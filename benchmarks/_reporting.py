@@ -1,0 +1,20 @@
+"""Reporting helpers for the benchmark harness.
+
+Every benchmark prints the rows/series it regenerates (the textual
+counterpart of the paper's figures) in addition to the timing collected by
+pytest-benchmark, so that EXPERIMENTS.md can quote them directly.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Print a small fixed-width table under a banner (captured with -s)."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header)), *(len(str(row[index])) for row in rows)) if rows else len(str(header))
+        for index, header in enumerate(headers)
+    ]
+    print("  " + "  ".join(str(header).ljust(width) for header, width in zip(headers, widths)))
+    for row in rows:
+        print("  " + "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths)))

@@ -1,0 +1,106 @@
+"""Experiment DEMO-S1..S5: the five demonstration scenarios of Section 4.
+
+Each benchmark reruns one scripted scenario end to end (network construction,
+local edits, publication, exchange, reconciliation, and — for Scenario 4 —
+manual conflict resolution), verifies the paper's described outcome, and
+reports the wall-clock cost of the whole interaction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.scenarios import (
+    scenario_1_bidirectional_translation,
+    scenario_2_conflict_and_dependent_rejection,
+    scenario_3_antecedent_acceptance,
+    scenario_4_deferral_and_resolution,
+    scenario_5_offline_publisher,
+)
+
+from ._reporting import print_table
+
+
+def test_scenario_1_bidirectional_translation(benchmark):
+    outcome = benchmark(scenario_1_bidirectional_translation)
+    obs = outcome.observations
+    assert obs["dresden_accepted_alaska"] and obs["alaska_accepted_dresden"]
+    print_table(
+        "DEMO-S1: bidirectional translation",
+        ["observation", "value"],
+        [[key, obs[key]] for key in (
+            "dresden_accepted_alaska",
+            "alaska_accepted_dresden",
+            "alaska_has_translated_organism",
+            "alaska_has_translated_sequence",
+        )],
+    )
+
+
+def test_scenario_2_conflict_and_dependent_rejection(benchmark):
+    outcome = benchmark(scenario_2_conflict_and_dependent_rejection)
+    obs = outcome.observations
+    assert obs["crete_accepts_beijing"] and obs["crete_rejects_dresden"]
+    assert obs["crete_rejects_follow_up"]
+    print_table(
+        "DEMO-S2: trust-based conflict resolution",
+        ["observation", "value"],
+        [[key, obs[key]] for key in (
+            "crete_accepts_beijing",
+            "crete_rejects_dresden",
+            "crete_rejects_follow_up",
+            "crete_sequence_is_beijings",
+        )],
+    )
+
+
+def test_scenario_3_antecedent_acceptance(benchmark):
+    outcome = benchmark(scenario_3_antecedent_acceptance)
+    obs = outcome.observations
+    assert obs["crete_accepts_beijing"] and obs["crete_accepts_alaska_antecedent"]
+    print_table(
+        "DEMO-S3: untrusted antecedent accepted with trusted dependent",
+        ["observation", "value"],
+        [[key, obs[key]] for key in (
+            "beijing_depends_on_alaska",
+            "crete_accepts_beijing",
+            "crete_accepts_alaska_antecedent",
+            "crete_has_modified_sequence",
+        )],
+    )
+
+
+def test_scenario_4_deferral_and_resolution(benchmark):
+    outcome = benchmark(scenario_4_deferral_and_resolution)
+    obs = outcome.observations
+    assert obs["dresden_defers_both"]
+    assert obs["resolution_accepts_beijing"] and obs["resolution_rejects_alaska"]
+    assert obs["resolution_accepts_crete_automatically"]
+    print_table(
+        "DEMO-S4: deferral and manual resolution",
+        ["observation", "value"],
+        [[key, obs[key]] for key in (
+            "dresden_defers_both",
+            "dresden_defers_crete",
+            "resolution_accepts_beijing",
+            "resolution_rejects_alaska",
+            "resolution_accepts_crete_automatically",
+            "dresden_final_sequence",
+        )],
+    )
+
+
+def test_scenario_5_offline_publisher(benchmark):
+    outcome = benchmark(scenario_5_offline_publisher)
+    obs = outcome.observations
+    assert obs["alaska_accepted_all"] and obs["store_still_has_beijing"]
+    print_table(
+        "DEMO-S5: publisher offline, archive still serves its updates",
+        ["observation", "value"],
+        [[key, obs[key]] for key in (
+            "beijing_online",
+            "alaska_accepted_all",
+            "store_still_has_beijing",
+            "archive_availability",
+        )],
+    )

@@ -1,0 +1,89 @@
+"""Experiment FIG2-bioinformatics: the four-peer network of Figure 2.
+
+Builds the Alaska/Beijing/Crete/Dresden CDSS, loads synthetic organism,
+protein and sequence data at the Σ1 and Σ2 peers, runs a full round of
+publication and reconciliation at every peer, and reports the per-peer
+instance sizes and decision counts.  The shape to check against the paper:
+data flows across the join/split mappings in both directions, and Crete —
+the only peer with a restrictive trust policy — ends up with a subset of what
+Dresden holds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.bioinformatics import BioDataGenerator, build_figure2_network
+from repro.workloads.reporting import render_decision_table
+
+from ._reporting import print_table
+
+SCALE = {"organisms": 6, "proteins": 8, "sequences_per_pair": 0.4, "sigma2_pairs": 10}
+
+
+def run_figure2_round() -> dict[str, dict[str, int]]:
+    network = build_figure2_network()
+    cdss = network.cdss
+    generator = BioDataGenerator(seed=23)
+    generator.load_sigma1(
+        network.alaska,
+        organisms=SCALE["organisms"],
+        proteins=SCALE["proteins"],
+        sequences_per_pair=SCALE["sequences_per_pair"],
+    )
+    generator.load_sigma2(network.dresden, pairs=SCALE["sigma2_pairs"])
+    cdss.import_existing_data("Alaska")
+    cdss.import_existing_data("Dresden")
+    generator.insertion_transactions(network.beijing, count=3, start_index=200)
+
+    for peer in network.peer_names():
+        cdss.publish(peer)
+    summaries = {}
+    for peer in network.peer_names():
+        outcome = cdss.reconcile(peer)
+        summaries[peer] = outcome.result.summary()
+
+    sizes = {
+        peer.name: {relation.name: peer.instance.count(relation.name) for relation in peer.schema}
+        for peer in network.peers()
+    }
+    return {"decisions": summaries, "sizes": sizes, "stats": cdss.statistics(),
+            "states": [cdss.reconciliation_state(name) for name in network.peer_names()]}
+
+
+def test_fig2_full_round(benchmark):
+    result = benchmark(run_figure2_round)
+    sizes = result["sizes"]
+    # Data flowed Σ1 -> Σ2 and Σ2 -> Σ1.
+    assert sizes["Dresden"]["OPS"] > SCALE["sigma2_pairs"]
+    assert sizes["Beijing"]["S"] > 0
+    # Crete distrusts Alaska, so it holds no more than Dresden.
+    assert sizes["Crete"]["OPS"] <= sizes["Dresden"]["OPS"]
+
+    print_table(
+        "FIG2: per-peer instance sizes after one full exchange round",
+        ["peer", "relation", "tuples"],
+        [[peer, relation, count] for peer, relations in sorted(sizes.items())
+         for relation, count in sorted(relations.items())],
+    )
+    print_table(
+        "FIG2: per-peer reconciliation decisions",
+        ["peer", "accepted", "rejected", "deferred", "pending"],
+        [[peer, summary["accepted"], summary["rejected"], summary["deferred"], summary["pending"]]
+         for peer, summary in sorted(result["decisions"].items())],
+    )
+    print(render_decision_table(result["states"]))
+
+
+def test_fig2_exchange_statistics(benchmark):
+    """System-level statistics of the Figure-2 round (provenance graph size etc.)."""
+    result = benchmark(run_figure2_round)
+    stats = result["stats"]
+    assert stats["peers"] == 4
+    assert stats["mappings"] == 10
+    assert stats["provenance_derivations"] > 0
+    print_table(
+        "FIG2: exchange engine statistics",
+        ["metric", "value"],
+        [[key, value] for key, value in sorted(stats.items())],
+    )

@@ -1,0 +1,120 @@
+"""Experiment PROV-OVERHEAD: the cost and value of provenance.
+
+Measures (a) the overhead that maintaining the provenance graph adds to
+update exchange, and (b) the cost of answering trust questions by evaluating
+the stored provenance in different semirings (boolean derivability, tropical
+cheapest-derivation, security clearances) — the homomorphism property that
+lets ORCHESTRA store provenance once and reuse it for many policies.
+
+Expected shape: provenance tracking costs a constant factor on exchange
+(well under an order of magnitude), and semiring evaluation over the stored
+graph is much cheaper than re-running the exchange.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.config import ExchangeConfig
+from repro.exchange.engine import ExchangeEngine
+from repro.provenance import BooleanSemiring, SecuritySemiring, TropicalSemiring, TrustLevel
+
+from .bench_exchange_scaling import _figure2_program, _insert_transactions
+from ._reporting import print_table
+
+BATCH = 100
+
+
+@pytest.mark.parametrize("track_provenance", [True, False], ids=["provenance_on", "provenance_off"])
+def test_exchange_with_and_without_provenance(benchmark, track_provenance):
+    """Cost of one exchange batch with provenance tracking on vs. off."""
+    transactions = _insert_transactions(BATCH)
+
+    def setup():
+        engine = ExchangeEngine(
+            _figure2_program(), ExchangeConfig(track_provenance=track_provenance)
+        )
+        return (engine,), {}
+
+    def run(engine: ExchangeEngine):
+        engine.process_transactions(transactions)
+        return engine
+
+    engine = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    stats = engine.statistics()
+    print_table(
+        f"PROV-OVERHEAD: exchange of {BATCH} transactions "
+        f"({'with' if track_provenance else 'without'} provenance)",
+        ["metric", "value"],
+        [
+            ["database tuples", stats["database_tuples"]],
+            ["provenance tuple nodes", stats["provenance_tuple_nodes"]],
+            ["provenance derivations", stats["provenance_derivations"]],
+        ],
+    )
+
+
+def test_trust_evaluation_by_homomorphism(benchmark):
+    """Answering three different trust questions from one stored provenance graph."""
+    engine = ExchangeEngine(_figure2_program())
+    engine.process_transactions(_insert_transactions(BATCH))
+    graph = engine.provenance
+    assert graph is not None
+    variables_by_peer = {
+        variable: variable.split(".", 1)[0] for variable in graph.base_variables()
+    }
+
+    def evaluate_all():
+        boolean = graph.evaluate(
+            BooleanSemiring(), {variable: True for variable in variables_by_peer}
+        )
+        tropical = graph.evaluate(
+            TropicalSemiring(),
+            {variable: 1.0 for variable in variables_by_peer},
+        )
+        security = graph.evaluate(
+            SecuritySemiring(),
+            {variable: TrustLevel.PUBLIC for variable in variables_by_peer},
+        )
+        return boolean, tropical, security
+
+    boolean, tropical, security = benchmark(evaluate_all)
+    derivable = sum(1 for value in boolean.values() if value)
+    cheapest = min(value for value in tropical.values() if value != float("inf"))
+    print_table(
+        "PROV-OVERHEAD: trust evaluation via semiring homomorphisms",
+        ["semiring", "result summary"],
+        [
+            ["boolean", f"{derivable} derivable tuples"],
+            ["tropical", f"cheapest derivation cost {cheapest}"],
+            ["security", f"{sum(1 for v in security.values() if v == TrustLevel.PUBLIC)} tuples at PUBLIC"],
+        ],
+    )
+    assert derivable > 0
+
+
+def test_polynomial_expansion_cost(benchmark):
+    """Expanding provenance polynomials for every derived Σ2 tuple."""
+    engine = ExchangeEngine(_figure2_program())
+    engine.process_transactions(_insert_transactions(BATCH))
+    graph = engine.provenance
+    assert graph is not None
+    targets = [("Crete.OPS", values) for values in engine.derived_tuples("Crete", "OPS")]
+
+    def expand():
+        return [graph.polynomial_for(relation, values) for relation, values in targets]
+
+    polynomials = benchmark(expand)
+    assert len(polynomials) == BATCH
+    degrees = {polynomial.degree for polynomial in polynomials}
+    print_table(
+        "PROV-OVERHEAD: provenance polynomials of derived OPS tuples",
+        ["metric", "value"],
+        [
+            ["tuples expanded", len(polynomials)],
+            ["polynomial degrees observed", sorted(degrees)],
+            ["monomials per tuple", sorted({p.monomial_count() for p in polynomials})],
+        ],
+    )

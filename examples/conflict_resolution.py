@@ -1,0 +1,73 @@
+"""Conflict deferral and manual resolution (demonstration Scenario 4).
+
+Beijing and Alaska publish conflicting reference sequences for the same
+(organism, protein) pair.  Dresden trusts both equally, so its reconciliation
+defers the conflict to the administrator; Crete meanwhile prefers Beijing and
+publishes a correction on top of Beijing's value, which Dresden must also
+defer.  The administrator then resolves the conflict in Beijing's favour and
+Crete's dependent correction is accepted automatically.
+
+Run with:  python examples/conflict_resolution.py
+"""
+
+from __future__ import annotations
+
+from repro.workloads.bioinformatics import build_figure2_network
+from repro.workloads.reporting import render_peer_state, render_reconciliation
+
+
+def main() -> None:
+    network = build_figure2_network()
+    cdss = network.cdss
+    alaska, beijing, crete, dresden = (
+        network.alaska,
+        network.beijing,
+        network.crete,
+        network.dresden,
+    )
+
+    # Two conflicting claims about S. cerevisiae hsp70.
+    for peer, sequence in ((beijing, "ACGTACGTACGT"), (alaska, "TGCATGCATGCA")):
+        builder = peer.new_transaction()
+        builder.insert("O", ("S. cerevisiae", 5))
+        builder.insert("P", ("hsp70", 14))
+        builder.insert("S", (5, 14, sequence))
+        transaction = peer.commit(builder)
+        print(f"{peer.name} committed {transaction.txn_id}: sequence {sequence}")
+    cdss.publish("Beijing")
+    cdss.publish("Alaska")
+
+    outcome = cdss.reconcile("Dresden")
+    print()
+    print(render_reconciliation(outcome, cdss.reconciliation_state("Dresden")))
+
+    # Crete trusts Beijing over Alaska, accepts Beijing's value, and
+    # publishes a correction that depends on it.
+    cdss.reconcile("Crete")
+    correction = crete.modify(
+        "OPS",
+        ("S. cerevisiae", "hsp70", "ACGTACGTACGT"),
+        ("S. cerevisiae", "hsp70", "ACGTACGTAAAA"),
+    )
+    print(f"\nCrete published a correction: {correction.txn_id}")
+    cdss.publish("Crete")
+
+    outcome = cdss.reconcile("Dresden")
+    print(render_reconciliation(outcome, cdss.reconciliation_state("Dresden")))
+
+    # The administrator resolves the deferred conflict in Beijing's favour.
+    conflict = cdss.open_conflicts("Dresden")[0]
+    beijing_txn = next(txn for txn in conflict.txn_ids if txn.startswith("Beijing"))
+    resolution = cdss.resolve_conflict("Dresden", beijing_txn)
+    print(f"\nadministrator chose {resolution.winner}")
+    print(f"  accepted: {resolution.accepted}")
+    print(f"  rejected: {resolution.rejected}")
+
+    print()
+    print(render_peer_state(dresden))
+    assert ("S. cerevisiae", "hsp70", "ACGTACGTAAAA") in dresden.tuples("OPS")
+    print("\nconflict resolution example completed successfully")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: a two-peer collaborative data sharing system.
+
+Builds the smallest useful CDSS — a source peer and a target peer connected
+by one schema mapping — then walks through the full update-exchange loop:
+local edits, publication, reconciliation, and a deletion that propagates.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import CDSS, PeerSchema
+from repro.core.mapping import join_mapping
+from repro.workloads.reporting import render_peer_state
+
+
+def main() -> None:
+    cdss = CDSS()
+
+    # 1. Two autonomous peers, each with its own (here: identical) schema.
+    source = cdss.add_peer("Source", PeerSchema.build("S", {"R": ["key", "value"]}, {"R": ["key"]}))
+    target = cdss.add_peer("Target", PeerSchema.build("T", {"R": ["key", "value"]}, {"R": ["key"]}))
+
+    # 2. A declarative schema mapping: whatever Source asserts in R flows to Target.
+    cdss.add_mapping(join_mapping("M_source_to_target", "Source", "Target",
+                                  "R(key, value)", ["R(key, value)"]))
+
+    # 3. Source edits its local instance (one transaction, two inserts).
+    builder = source.new_transaction()
+    builder.insert("R", (1, "hello"))
+    builder.insert("R", (2, "world"))
+    source.commit(builder)
+
+    # 4. Publish: the transaction is archived in the shared update store and
+    #    translated by the exchange engine.
+    publish = cdss.publish("Source")
+    print(f"published {len(publish.published)} transaction(s) at epoch {publish.epoch}")
+
+    # 5. Reconcile: Target pulls the newly published transactions, translated
+    #    into its schema, and applies the ones its trust policy accepts.
+    outcome = cdss.reconcile("Target")
+    print(f"Target accepted {len(outcome.accepted)} transaction(s)")
+    print(render_peer_state(target))
+
+    # 6. Updates include deletions: removing the tuple at the source removes
+    #    it at the target on the next exchange.
+    source.delete("R", (1, "hello"))
+    cdss.publish("Source")
+    cdss.reconcile("Target")
+    print("\nafter the deletion propagates:")
+    print(render_peer_state(target))
+
+    assert target.tuples("R") == frozenset({(2, "world")})
+    print("\nquickstart completed successfully")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that editable installs work in offline environments where the ``wheel``
+package (needed by PEP 517 editable builds) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

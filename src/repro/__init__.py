@@ -1,0 +1,65 @@
+"""repro — a reproduction of ORCHESTRA, the collaborative data sharing system.
+
+ORCHESTRA (Green, Karvounarakis, Taylor, Biton, Ives, Tannen; SIGMOD 2007)
+implements the *Collaborative Data Sharing System* (CDSS) model: loosely
+coupled peers with autonomous local databases exchange tuple-level updates
+through declarative schema mappings, with provenance-aware translation and
+trust-based reconciliation of conflicting, transactional updates.
+
+Quick start::
+
+    from repro import CDSS, PeerSchema, TrustPolicy
+    from repro.core.mapping import join_mapping
+
+    cdss = CDSS()
+    source = cdss.add_peer("Source", PeerSchema.build("S", {"R": ["a", "b"]}))
+    target = cdss.add_peer("Target", PeerSchema.build("T", {"R": ["a", "b"]}))
+    cdss.add_mapping(join_mapping("M", "Source", "Target", "R(a, b)", ["R(a, b)"]))
+
+    source.insert("R", (1, 2))
+    cdss.publish("Source")
+    cdss.reconcile("Target")
+    assert (1, 2) in target.tuples("R")
+
+The ready-made Figure-2 bioinformatics network and the five demonstration
+scenarios live in :mod:`repro.workloads`.
+"""
+
+from .config import ExchangeConfig, ReconciliationConfig, StoreConfig, SystemConfig
+from .core.catalog import Catalog
+from .core.mapping import Mapping, identity_mapping, join_mapping, split_mapping
+from .core.peer import Peer
+from .core.schema import PeerSchema, RelationSchema
+from .core.system import CDSS, PublishOutcome, ReconcileOutcome
+from .core.transactions import Transaction, TransactionBuilder
+from .core.trust import TrustCondition, TrustPolicy
+from .core.updates import Update, UpdateKind
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CDSS",
+    "Catalog",
+    "ExchangeConfig",
+    "Mapping",
+    "Peer",
+    "PeerSchema",
+    "PublishOutcome",
+    "ReconcileOutcome",
+    "ReconciliationConfig",
+    "RelationSchema",
+    "ReproError",
+    "StoreConfig",
+    "SystemConfig",
+    "Transaction",
+    "TransactionBuilder",
+    "TrustCondition",
+    "TrustPolicy",
+    "Update",
+    "UpdateKind",
+    "__version__",
+    "identity_mapping",
+    "join_mapping",
+    "split_mapping",
+]

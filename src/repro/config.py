@@ -1,0 +1,97 @@
+"""Configuration dataclasses for the CDSS engines.
+
+The defaults reproduce the behaviour described in the paper; benchmarks and
+ablations override individual knobs (for example, disabling incremental
+maintenance or provenance tracking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExchangeConfig:
+    """Configuration for the update exchange engine.
+
+    Attributes:
+        incremental: Use delta rules / DRed instead of full recomputation.
+        track_provenance: Maintain provenance polynomials for derived tuples.
+        max_iterations: Safety bound on semi-naive iterations (0 = unbounded).
+        skolem_prefix: Prefix used for labelled nulls created by existential
+            variables in mappings.
+    """
+
+    incremental: bool = True
+    track_provenance: bool = True
+    max_iterations: int = 0
+    skolem_prefix: str = "SK"
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 0:
+            raise ConfigurationError("max_iterations must be >= 0")
+        if not self.skolem_prefix:
+            raise ConfigurationError("skolem_prefix must be non-empty")
+
+
+@dataclass(frozen=True)
+class ReconciliationConfig:
+    """Configuration for the reconciliation algorithm.
+
+    Attributes:
+        default_priority: Priority assigned to transactions that match no
+            trust condition but are not distrusted either.  The paper treats
+            unmatched updates as untrusted; keeping the default at 0 rejects
+            them unless a condition grants a positive priority.
+        defer_on_ties: Defer mutually conflicting groups of equal priority to
+            the administrator (paper behaviour).  When ``False`` ties are
+            broken deterministically by transaction id (baseline ablation).
+        strict_antecedents: Reject candidates whose antecedents were rejected
+            (paper behaviour).  ``False`` applies candidates whose antecedent
+            data happens to already be present.
+    """
+
+    default_priority: int = 0
+    defer_on_ties: bool = True
+    strict_antecedents: bool = True
+
+    def __post_init__(self) -> None:
+        if self.default_priority < 0:
+            raise ConfigurationError("default_priority must be >= 0")
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Configuration of the simulated peer-to-peer update store.
+
+    Attributes:
+        replication_factor: Number of replica slots each published transaction
+            is assigned to in the simulated overlay.
+        require_online_to_publish: Publishing requires the peer to be online.
+        require_online_to_reconcile: Reconciling requires the peer to be
+            online (it must reach the archive).
+    """
+
+    replication_factor: int = 2
+    require_online_to_publish: bool = True
+    require_online_to_reconcile: bool = True
+
+    def __post_init__(self) -> None:
+        if self.replication_factor < 1:
+            raise ConfigurationError("replication_factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Top-level configuration for a :class:`repro.core.system.CDSS`."""
+
+    exchange: ExchangeConfig = field(default_factory=ExchangeConfig)
+    reconciliation: ReconciliationConfig = field(default_factory=ReconciliationConfig)
+    store: StoreConfig = field(default_factory=StoreConfig)
+
+    @staticmethod
+    def default() -> "SystemConfig":
+        """Return the configuration used throughout the paper's scenarios."""
+        return SystemConfig()

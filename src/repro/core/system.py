@@ -1,0 +1,273 @@
+"""The CDSS facade: publication, update exchange and reconciliation.
+
+:class:`CDSS` wires the substrates together the way Figure 1 of the paper
+describes:
+
+* peers edit their local instances autonomously and commit transactions;
+* ``publish(peer)`` archives the peer's unpublished transactions in the
+  shared update store (simulated P2P archive), advances the logical clock,
+  and folds the transactions into the incremental update-exchange engine,
+  which records how they translate into every other peer's schema;
+* ``reconcile(peer)`` retrieves everything published since the peer last
+  reconciled, translates it into the peer's schema, and runs the trust-based
+  reconciliation algorithm, applying the accepted transactions to the peer's
+  local instance and deferring equal-priority conflicts;
+* ``resolve_conflict(peer, winner)`` lets the site administrator settle a
+  deferred conflict, cascading accepts/rejects through dependent
+  transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..config import SystemConfig
+from ..errors import PeerError, PublicationError
+from ..exchange.engine import ExchangeEngine
+from ..exchange.migration import migrate_instance
+from ..exchange.rules import compile_mappings
+from ..exchange.translation import CandidateTransaction, UpdateTranslator
+from ..p2p.network import Network
+from ..p2p.replication import ReplicationManager
+from ..p2p.store import UpdateStore
+from ..reconcile.algorithm import ReconcileResult, Reconciler
+from ..reconcile.decisions import DeferredConflict, ReconciliationState
+from ..reconcile.resolution import ResolutionResult, resolve_conflict
+from .catalog import Catalog
+from .clock import LogicalClock
+from .mapping import Mapping
+from .peer import Peer
+from .schema import PeerSchema
+from .transactions import Transaction
+from .trust import TrustPolicy
+
+
+@dataclass
+class PublishOutcome:
+    """Summary of one publication."""
+
+    peer: str
+    epoch: int
+    published: list[str] = field(default_factory=list)
+    translated_changes: int = 0
+
+
+@dataclass
+class ReconcileOutcome:
+    """Summary of one reconciliation, wrapping the algorithm-level result."""
+
+    peer: str
+    epoch: int
+    candidates_considered: int
+    result: ReconcileResult
+
+    @property
+    def accepted(self) -> list[str]:
+        return self.result.accepted
+
+    @property
+    def rejected(self) -> list[str]:
+        return self.result.rejected
+
+    @property
+    def deferred(self) -> list[str]:
+        return self.result.deferred
+
+    @property
+    def pending(self) -> list[str]:
+        return self.result.pending
+
+
+class CDSS:
+    """A complete collaborative data sharing system."""
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        self.config = config or SystemConfig.default()
+        self.catalog = Catalog()
+        self.clock = LogicalClock()
+        self.store = UpdateStore()
+        self.network = Network()
+        self.replication = ReplicationManager(
+            self.network, self.config.store.replication_factor
+        )
+        self._engine: Optional[ExchangeEngine] = None
+        self._translators: dict[str, UpdateTranslator] = {}
+        self._reconcilers: dict[str, Reconciler] = {}
+
+    # -- setup -------------------------------------------------------------------
+    def add_peer(
+        self,
+        name: str,
+        schema: PeerSchema,
+        trust: Optional[TrustPolicy] = None,
+        storage=None,
+    ) -> Peer:
+        """Register a new participant.
+
+        Args:
+            name: Unique peer name.
+            schema: The peer's local schema.
+            trust: Trust policy (defaults to trusting everyone equally).
+            storage: Optional storage backend for the local instance (for
+                example a :class:`repro.storage.SQLiteInstance`); defaults to
+                an in-memory instance.
+        """
+        peer = Peer(name, schema, trust, storage=storage)
+        self.catalog.add_peer(peer)
+        self.network.register(name)
+        self._translators[name] = UpdateTranslator(name, schema)
+        self._reconcilers[name] = Reconciler(
+            peer, ReconciliationState(peer=name), self.config.reconciliation
+        )
+        self._invalidate_engine()
+        return peer
+
+    def add_mapping(self, mapping: Mapping) -> Mapping:
+        self.catalog.add_mapping(mapping)
+        self._invalidate_engine()
+        return mapping
+
+    def add_mappings(self, mappings: Iterable[Mapping]) -> list[Mapping]:
+        return [self.add_mapping(mapping) for mapping in mappings]
+
+    def peer(self, name: str) -> Peer:
+        return self.catalog.peer(name)
+
+    # -- engine management ---------------------------------------------------------
+    def _invalidate_engine(self) -> None:
+        self._engine = None
+
+    @property
+    def engine(self) -> ExchangeEngine:
+        """The update-exchange engine (built lazily, rebuilt on schema changes)."""
+        if self._engine is None:
+            program = compile_mappings(
+                [(peer.name, peer.schema) for peer in self.catalog.peers()],
+                self.catalog.mappings(),
+            )
+            self._engine = ExchangeEngine(program, self.config.exchange)
+            # Replay anything already archived so late schema changes keep the
+            # translated state consistent.
+            for entry in self.store.all_entries():
+                self._engine.process_transaction(entry.transaction)
+        return self._engine
+
+    # -- publication ------------------------------------------------------------------
+    def import_existing_data(self, peer_name: str) -> Optional[Transaction]:
+        """Wrap a peer's pre-existing local data into an initial transaction.
+
+        The transaction is appended to the peer's update log; the next
+        ``publish`` call ships it to the rest of the system.
+        """
+        peer = self.peer(peer_name)
+        transaction = migrate_instance(peer)
+        if transaction is not None:
+            peer.log.append(transaction)
+        return transaction
+
+    def publish(self, peer_name: str) -> PublishOutcome:
+        """Publish a peer's unpublished transactions to the shared store."""
+        peer = self.peer(peer_name)
+        if self.config.store.require_online_to_publish:
+            self.network.require_online(peer_name, "publish")
+
+        pending = peer.log.unpublished()
+        epoch = self.clock.tick()
+        outcome = PublishOutcome(peer=peer_name, epoch=epoch)
+        if not pending:
+            return outcome
+
+        # Make sure the exchange engine exists (and has replayed the archive)
+        # before new entries are appended, so nothing is processed twice.
+        engine = self.engine
+        entries = self.store.archive(pending, epoch, peer_name)
+        peer.log.mark_published(len(pending))
+        peer.clock.record_publication(epoch)
+
+        for entry in entries:
+            self.replication.place(entry.txn_id, peer_name)
+            delta = engine.process_transaction(entry.transaction)
+            outcome.published.append(entry.txn_id)
+            outcome.translated_changes += delta.change_count()
+        return outcome
+
+    def publish_all(self, peer_names: Optional[Sequence[str]] = None) -> list[PublishOutcome]:
+        """Publish every (or the given) peer's pending transactions, in order."""
+        names = list(peer_names) if peer_names is not None else self.catalog.peer_names()
+        outcomes = []
+        for name in names:
+            if self.network.is_online(name):
+                outcomes.append(self.publish(name))
+        return outcomes
+
+    # -- reconciliation -------------------------------------------------------------------
+    def reconcile(self, peer_name: str) -> ReconcileOutcome:
+        """Translate newly published transactions and reconcile them at a peer."""
+        peer = self.peer(peer_name)
+        if self.config.store.require_online_to_reconcile:
+            self.network.require_online(peer_name, "reconcile")
+
+        engine = self.engine
+        watermark = peer.clock.last_reconciled_epoch
+        entries = self.store.published_since(watermark)
+        translator = self._translators[peer_name]
+
+        candidates: list[CandidateTransaction] = []
+        for entry in entries:
+            if not engine.has_processed(entry.txn_id):
+                raise PublicationError(
+                    f"transaction {entry.txn_id!r} is archived but was never exchanged"
+                )
+            delta = engine.delta_for(entry.txn_id)
+            candidates.append(translator.translate(entry.transaction, delta))
+
+        epoch = self.clock.tick()
+        reconciler = self._reconcilers[peer_name]
+        result = reconciler.reconcile(
+            candidates,
+            known_transactions=self.store.antecedents_map(),
+            provenance=engine.provenance if self.config.exchange.track_provenance else None,
+            epoch=epoch,
+        )
+        peer.clock.record_reconciliation(self.store.latest_epoch())
+        return ReconcileOutcome(
+            peer=peer_name,
+            epoch=epoch,
+            candidates_considered=len(candidates),
+            result=result,
+        )
+
+    def resolve_conflict(self, peer_name: str, winner_txn_id: str) -> ResolutionResult:
+        """Manually resolve a deferred conflict at a peer (administrator action)."""
+        peer = self.peer(peer_name)
+        reconciler = self._reconcilers[peer_name]
+        return resolve_conflict(peer, reconciler.state, winner_txn_id)
+
+    # -- connectivity ----------------------------------------------------------------------
+    def set_online(self, peer_name: str, online: bool) -> None:
+        """Connect or disconnect a peer (it keeps operating locally while offline)."""
+        self.peer(peer_name).set_online(online)
+        self.network.set_online(peer_name, online)
+
+    # -- inspection ---------------------------------------------------------------------------
+    def reconciliation_state(self, peer_name: str) -> ReconciliationState:
+        return self._reconcilers[peer_name].state
+
+    def open_conflicts(self, peer_name: str) -> list[DeferredConflict]:
+        return self._reconcilers[peer_name].state.open_conflicts()
+
+    def peer_snapshot(self, peer_name: str) -> dict[str, frozenset[tuple]]:
+        return self.peer(peer_name).snapshot()
+
+    def statistics(self) -> dict[str, int]:
+        """System-wide counters used by the reports and benchmarks."""
+        stats = {
+            "peers": len(self.catalog.peers()),
+            "mappings": len(self.catalog.mappings()),
+            "published_transactions": len(self.store),
+            "epoch": self.clock.value,
+        }
+        if self._engine is not None:
+            stats.update(self._engine.statistics())
+        return stats

@@ -1,0 +1,244 @@
+"""Transactions and their antecedent dependency graph.
+
+The CDSS treats the *transaction* — a set of tuple-level updates applied
+atomically at one peer — as the basic unit of publication, translation and
+reconciliation.  Data dependencies between transactions (one transaction
+modifies or deletes a tuple inserted by another) induce a dependency graph
+that reconciliation must respect: a transaction can only be accepted if its
+antecedents are accepted, and must be rejected if any antecedent is rejected.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from ..errors import TransactionError
+from .updates import Update, UpdateKind
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An immutable, published transaction.
+
+    Attributes:
+        txn_id: Globally unique identifier (assigned by the originating peer).
+        peer: The originating peer's name.
+        updates: The tuple-level updates, in application order.
+        antecedents: Identifiers of transactions this one depends on (it
+            reads, modifies or deletes tuples they produced).
+        epoch: The logical-clock value at which the transaction was published
+            (0 while still unpublished).
+    """
+
+    txn_id: str
+    peer: str
+    updates: tuple[Update, ...]
+    antecedents: frozenset[str] = frozenset()
+    epoch: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "updates", tuple(self.updates))
+        object.__setattr__(self, "antecedents", frozenset(self.antecedents))
+        if not self.txn_id:
+            raise TransactionError("transactions require a non-empty txn_id")
+        if not self.updates:
+            raise TransactionError(f"transaction {self.txn_id!r} has no updates")
+        if self.txn_id in self.antecedents:
+            raise TransactionError(
+                f"transaction {self.txn_id!r} cannot be its own antecedent"
+            )
+
+    # -- content views ---------------------------------------------------------
+    def relations(self) -> set[str]:
+        return {update.relation for update in self.updates}
+
+    def inserted_tuples(self) -> list[tuple[str, tuple]]:
+        """All ``(relation, tuple)`` pairs this transaction adds."""
+        produced = []
+        for update in self.updates:
+            for values in update.inserted_tuples():
+                produced.append((update.relation, values))
+        return produced
+
+    def deleted_tuples(self) -> list[tuple[str, tuple]]:
+        """All ``(relation, tuple)`` pairs this transaction removes."""
+        removed = []
+        for update in self.updates:
+            for values in update.deleted_tuples():
+                removed.append((update.relation, values))
+        return removed
+
+    def touched_tuples(self) -> set[tuple[str, tuple]]:
+        return set(self.inserted_tuples()) | set(self.deleted_tuples())
+
+    def with_epoch(self, epoch: int) -> "Transaction":
+        """Return a copy stamped with the publication epoch."""
+        return Transaction(self.txn_id, self.peer, self.updates, self.antecedents, epoch)
+
+    def describe(self) -> str:
+        parts = "; ".join(update.describe() for update in self.updates)
+        deps = f" after {sorted(self.antecedents)}" if self.antecedents else ""
+        return f"{self.txn_id}@{self.peer}[{parts}]{deps}"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+class TransactionBuilder:
+    """Accumulates updates made at a peer into a transaction.
+
+    The builder computes the antecedent set automatically: whenever an update
+    deletes or modifies a tuple, the builder looks up, in the supplied
+    ``producers`` index, which earlier transaction produced that tuple and
+    records it as an antecedent.
+    """
+
+    _counter = itertools.count(1)
+
+    def __init__(
+        self,
+        peer: str,
+        txn_id: Optional[str] = None,
+        producers: Optional[Mapping[tuple[str, tuple], str]] = None,
+    ) -> None:
+        self._peer = peer
+        self._txn_id = txn_id or f"{peer}-txn-{next(self._counter)}"
+        self._updates: list[Update] = []
+        self._antecedents: set[str] = set()
+        self._producers = dict(producers or {})
+
+    @property
+    def txn_id(self) -> str:
+        return self._txn_id
+
+    def _record_dependency(self, relation: str, values: tuple) -> None:
+        producer = self._producers.get((relation, tuple(values)))
+        if producer is not None and producer != self._txn_id:
+            self._antecedents.add(producer)
+
+    def insert(self, relation: str, values: Sequence[object]) -> "TransactionBuilder":
+        self._updates.append(Update.insert(relation, values, origin=self._peer))
+        return self
+
+    def delete(self, relation: str, values: Sequence[object]) -> "TransactionBuilder":
+        self._record_dependency(relation, tuple(values))
+        self._updates.append(Update.delete(relation, values, origin=self._peer))
+        return self
+
+    def modify(
+        self, relation: str, old_values: Sequence[object], new_values: Sequence[object]
+    ) -> "TransactionBuilder":
+        self._record_dependency(relation, tuple(old_values))
+        self._updates.append(
+            Update.modify(relation, old_values, new_values, origin=self._peer)
+        )
+        return self
+
+    def depends_on(self, *txn_ids: str) -> "TransactionBuilder":
+        """Explicitly add antecedent transactions."""
+        self._antecedents.update(txn_ids)
+        return self
+
+    def build(self) -> Transaction:
+        return Transaction(
+            self._txn_id,
+            self._peer,
+            tuple(self._updates),
+            frozenset(self._antecedents),
+        )
+
+
+# -- dependency graph utilities ------------------------------------------------------
+
+def dependency_order(transactions: Iterable[Transaction]) -> list[Transaction]:
+    """Topologically sort transactions so antecedents come before dependents.
+
+    Antecedents outside the given set are ignored (they are assumed to be
+    already applied or handled by reconciliation).  Raises
+    :class:`TransactionError` on a dependency cycle.
+    """
+    transactions = list(transactions)
+    by_id = {transaction.txn_id: transaction for transaction in transactions}
+    permanent: set[str] = set()
+    temporary: set[str] = set()
+    ordered: list[Transaction] = []
+
+    def visit(txn_id: str) -> None:
+        if txn_id in permanent:
+            return
+        if txn_id in temporary:
+            raise TransactionError(
+                f"cycle in transaction dependencies involving {txn_id!r}"
+            )
+        temporary.add(txn_id)
+        for antecedent in sorted(by_id[txn_id].antecedents):
+            if antecedent in by_id:
+                visit(antecedent)
+        temporary.discard(txn_id)
+        permanent.add(txn_id)
+        ordered.append(by_id[txn_id])
+
+    for transaction in sorted(transactions, key=lambda txn: txn.txn_id):
+        visit(transaction.txn_id)
+    return ordered
+
+
+def dependents_index(transactions: Iterable[Transaction]) -> dict[str, set[str]]:
+    """Map each transaction id to the ids of transactions that depend on it."""
+    index: dict[str, set[str]] = {}
+    for transaction in transactions:
+        for antecedent in transaction.antecedents:
+            index.setdefault(antecedent, set()).add(transaction.txn_id)
+    return index
+
+
+def transitive_dependents(
+    roots: Iterable[str], transactions: Iterable[Transaction]
+) -> set[str]:
+    """All transactions that (transitively) depend on any of ``roots``."""
+    index = dependents_index(transactions)
+    result: set[str] = set()
+    frontier = list(roots)
+    while frontier:
+        current = frontier.pop()
+        for dependent in index.get(current, ()):
+            if dependent not in result:
+                result.add(dependent)
+                frontier.append(dependent)
+    return result
+
+
+def transitive_antecedents(
+    transaction: Transaction, by_id: Mapping[str, Transaction]
+) -> set[str]:
+    """All antecedents of ``transaction``, following the graph transitively.
+
+    Antecedent ids missing from ``by_id`` are included in the result (the
+    caller decides how to treat unknown antecedents) but not expanded.
+    """
+    result: set[str] = set()
+    frontier = list(transaction.antecedents)
+    while frontier:
+        current = frontier.pop()
+        if current in result:
+            continue
+        result.add(current)
+        known = by_id.get(current)
+        if known is not None:
+            frontier.extend(known.antecedents)
+    return result
+
+
+def producers_index(transactions: Iterable[Transaction]) -> dict[tuple[str, tuple], str]:
+    """Map each produced ``(relation, tuple)`` to the transaction that produced it.
+
+    Later transactions overwrite earlier producers of the same tuple, which is
+    the behaviour :class:`TransactionBuilder` needs for antecedent inference.
+    """
+    index: dict[tuple[str, tuple], str] = {}
+    for transaction in transactions:
+        for relation, values in transaction.inserted_tuples():
+            index[(relation, values)] = transaction.txn_id
+    return index

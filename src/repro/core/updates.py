@@ -1,0 +1,164 @@
+"""Tuple-level updates: insertions, deletions and modifications.
+
+The CDSS propagates *updates* rather than whole instances.  An update targets
+one relation of one peer's schema and is one of:
+
+* **insertion** of a tuple,
+* **deletion** of a tuple, or
+* **modification**, replacing an old tuple with a new one (the paper treats
+  a modification as a dependent delete+insert pair that must stay together).
+
+Updates carry the peer that originated them, which both drives provenance
+variable naming and lets trust conditions discriminate by origin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Sequence
+
+from ..errors import TransactionError
+from .schema import RelationSchema
+
+
+class UpdateKind(str, Enum):
+    """The three kinds of tuple-level updates."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+    MODIFY = "modify"
+
+
+@dataclass(frozen=True)
+class Update:
+    """One tuple-level update against a relation of the originating peer.
+
+    Attributes:
+        kind: Insert, delete, or modify.
+        relation: Unqualified relation name in the originating peer's schema.
+        values: The inserted tuple (INSERT), the deleted tuple (DELETE), or
+            the *new* tuple (MODIFY).
+        old_values: Only for MODIFY: the tuple being replaced.
+        origin: Name of the peer where the update was originally made.  This
+            is preserved when updates are translated to other schemas.
+    """
+
+    kind: UpdateKind
+    relation: str
+    values: tuple
+    old_values: Optional[tuple] = None
+    origin: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+        if self.old_values is not None:
+            object.__setattr__(self, "old_values", tuple(self.old_values))
+        if self.kind is UpdateKind.MODIFY and self.old_values is None:
+            raise TransactionError("MODIFY updates require old_values")
+        if self.kind is not UpdateKind.MODIFY and self.old_values is not None:
+            raise TransactionError(f"{self.kind.value} updates must not carry old_values")
+
+    # -- constructors ----------------------------------------------------------
+    @staticmethod
+    def insert(relation: str, values: Sequence[object], origin: str = "") -> "Update":
+        return Update(UpdateKind.INSERT, relation, tuple(values), origin=origin)
+
+    @staticmethod
+    def delete(relation: str, values: Sequence[object], origin: str = "") -> "Update":
+        return Update(UpdateKind.DELETE, relation, tuple(values), origin=origin)
+
+    @staticmethod
+    def modify(
+        relation: str,
+        old_values: Sequence[object],
+        new_values: Sequence[object],
+        origin: str = "",
+    ) -> "Update":
+        return Update(
+            UpdateKind.MODIFY,
+            relation,
+            tuple(new_values),
+            old_values=tuple(old_values),
+            origin=origin,
+        )
+
+    # -- derived views ----------------------------------------------------------
+    @property
+    def is_insert(self) -> bool:
+        return self.kind is UpdateKind.INSERT
+
+    @property
+    def is_delete(self) -> bool:
+        return self.kind is UpdateKind.DELETE
+
+    @property
+    def is_modify(self) -> bool:
+        return self.kind is UpdateKind.MODIFY
+
+    def inserted_tuples(self) -> list[tuple]:
+        """Tuples this update adds to the relation."""
+        if self.kind in (UpdateKind.INSERT, UpdateKind.MODIFY):
+            return [self.values]
+        return []
+
+    def deleted_tuples(self) -> list[tuple]:
+        """Tuples this update removes from the relation."""
+        if self.kind is UpdateKind.DELETE:
+            return [self.values]
+        if self.kind is UpdateKind.MODIFY:
+            return [self.old_values or ()]
+        return []
+
+    def key_of(self, schema: RelationSchema) -> tuple:
+        """The key this update targets, used for conflict detection.
+
+        For modifications the key of the *old* tuple is used: a modification
+        competes with other updates to the same pre-existing entity.
+        """
+        if self.kind is UpdateKind.MODIFY and self.old_values is not None:
+            return schema.key_of(self.old_values)
+        return schema.key_of(self.values)
+
+    def with_origin(self, origin: str) -> "Update":
+        """Return a copy carrying the given origin peer."""
+        return Update(self.kind, self.relation, self.values, self.old_values, origin)
+
+    def describe(self) -> str:
+        """One-line human-readable description (used by the reporting views)."""
+        from .tuples import render_tuple
+
+        if self.kind is UpdateKind.INSERT:
+            return f"+{self.relation}{render_tuple(self.values)}"
+        if self.kind is UpdateKind.DELETE:
+            return f"-{self.relation}{render_tuple(self.values)}"
+        return (
+            f"~{self.relation}{render_tuple(self.old_values or ())}"
+            f" -> {render_tuple(self.values)}"
+        )
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def conflicting(left: Update, right: Update, schema: RelationSchema) -> bool:
+    """Do two updates to the same relation conflict?
+
+    Two updates conflict when they target the same key but do not agree on
+    the resulting tuple:
+
+    * two insertions/modifications producing different tuples for one key,
+    * a deletion against an insertion/modification of the same key from a
+      *different* transaction (one wants the entity gone, the other present).
+
+    Updates on different relations or different keys never conflict.
+    """
+    if left.relation != right.relation:
+        return False
+    if left.key_of(schema) != right.key_of(schema):
+        return False
+    if left.is_delete and right.is_delete:
+        return False
+    if left.is_delete or right.is_delete:
+        return True
+    return left.values != right.values

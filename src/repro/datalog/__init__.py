@@ -1,0 +1,52 @@
+"""Datalog substrate used to evaluate schema mappings.
+
+The ORCHESTRA update-exchange engine compiles schema mappings
+(tuple-generating dependencies) into datalog rules and evaluates them
+bottom-up over the peers' local instances.  This package provides that
+substrate from scratch:
+
+* :mod:`repro.datalog.ast` — terms, atoms, rules and programs,
+* :mod:`repro.datalog.parser` — a small textual syntax for rules and facts,
+* :mod:`repro.datalog.unification` — substitutions and atom matching,
+* :mod:`repro.datalog.evaluation` — naive and semi-naive bottom-up evaluation,
+* :mod:`repro.datalog.provenance_eval` — evaluation that records semiring
+  provenance for every derived tuple,
+* :mod:`repro.datalog.stratification` — stratified negation,
+* :mod:`repro.datalog.skolem` — skolem functions for existential variables,
+* :mod:`repro.datalog.incremental` — delta-rule insertion propagation and
+  DRed-style deletion propagation.
+"""
+
+from .ast import Atom, Constant, Fact, Program, Rule, SkolemTerm, Variable
+from .evaluation import Database, evaluate_program, evaluate_rule_once
+from .incremental import IncrementalEngine
+from .parser import parse_atom, parse_fact, parse_program, parse_rule
+from .provenance_eval import ProvenanceDatabase, evaluate_with_provenance
+from .skolem import SkolemFactory
+from .stratification import stratify
+from .unification import Substitution, match_atom, unify_terms
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "Database",
+    "Fact",
+    "IncrementalEngine",
+    "Program",
+    "ProvenanceDatabase",
+    "Rule",
+    "SkolemFactory",
+    "SkolemTerm",
+    "Substitution",
+    "Variable",
+    "evaluate_program",
+    "evaluate_rule_once",
+    "evaluate_with_provenance",
+    "match_atom",
+    "parse_atom",
+    "parse_fact",
+    "parse_program",
+    "parse_rule",
+    "stratify",
+    "unify_terms",
+]

@@ -1,0 +1,391 @@
+"""Bottom-up (naive and semi-naive) evaluation of datalog programs.
+
+The evaluator works over a :class:`Database`, a mutable mapping from predicate
+names to sets of ground tuples.  Values inside tuples may be any hashable
+Python scalars plus ground :class:`~repro.datalog.ast.SkolemTerm` instances,
+which play the role of labelled nulls produced by existential variables of
+schema mappings.
+
+Negation is handled by stratifying the program first
+(:mod:`repro.datalog.stratification`) and evaluating strata in order, so that
+a negated atom is only ever evaluated against a fully computed relation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Mapping, Optional
+
+from ..errors import DatalogError
+from .ast import Atom, Comparison, Fact, Program, Rule, SkolemTerm, Variable
+from .stratification import stratify
+from .unification import Substitution, match_atom
+
+
+class Database:
+    """A mutable relational database: predicate name -> set of ground tuples.
+
+    Hash indexes on individual columns are built lazily the first time a join
+    probes a relation on a bound column and are maintained on every
+    insert/delete afterwards, which keeps join evaluation near-linear in the
+    number of matching tuples instead of scanning whole relations.
+    """
+
+    def __init__(self, facts: Optional[Iterable[Fact]] = None) -> None:
+        self._relations: dict[str, set[tuple]] = defaultdict(set)
+        #: (predicate, position) -> value -> set of tuples.
+        self._indexes: dict[tuple[str, int], dict[object, set[tuple]]] = {}
+        if facts is not None:
+            for fact in facts:
+                self.add_fact(fact)
+
+    @classmethod
+    def from_dict(cls, relations: Mapping[str, Iterable[tuple]]) -> "Database":
+        """Build a database from ``{predicate: iterable of tuples}``."""
+        database = cls()
+        for predicate, tuples in relations.items():
+            for values in tuples:
+                database.add(predicate, tuple(values))
+        return database
+
+    def add(self, predicate: str, values: tuple) -> bool:
+        """Insert a tuple; returns True when it was not already present."""
+        relation = self._relations[predicate]
+        values = tuple(values)
+        if values in relation:
+            return False
+        relation.add(values)
+        for (indexed_predicate, position), buckets in self._indexes.items():
+            if indexed_predicate == predicate and position < len(values):
+                buckets.setdefault(values[position], set()).add(values)
+        return True
+
+    def add_fact(self, fact: Fact) -> bool:
+        return self.add(fact.predicate, fact.values)
+
+    def remove(self, predicate: str, values: tuple) -> bool:
+        """Remove a tuple; returns True when it was present."""
+        relation = self._relations.get(predicate)
+        if relation is None:
+            return False
+        values = tuple(values)
+        if values in relation:
+            relation.remove(values)
+            for (indexed_predicate, position), buckets in self._indexes.items():
+                if indexed_predicate == predicate and position < len(values):
+                    bucket = buckets.get(values[position])
+                    if bucket is not None:
+                        bucket.discard(values)
+            return True
+        return False
+
+    def lookup(self, predicate: str, position: int, value: object) -> frozenset[tuple]:
+        """Tuples of ``predicate`` whose column ``position`` equals ``value``.
+
+        Builds (and afterwards maintains) a hash index on that column the
+        first time it is probed.
+        """
+        key = (predicate, position)
+        buckets = self._indexes.get(key)
+        if buckets is None:
+            buckets = {}
+            for row in self._relations.get(predicate, ()):
+                if position < len(row):
+                    buckets.setdefault(row[position], set()).add(row)
+            self._indexes[key] = buckets
+        return frozenset(buckets.get(value, ()))
+
+    def contains(self, predicate: str, values: tuple) -> bool:
+        relation = self._relations.get(predicate)
+        return relation is not None and tuple(values) in relation
+
+    def relation(self, predicate: str) -> frozenset[tuple]:
+        """A snapshot of the tuples currently stored for ``predicate``."""
+        return frozenset(self._relations.get(predicate, ()))
+
+    def predicates(self) -> set[str]:
+        return {name for name, rows in self._relations.items() if rows}
+
+    def facts(self) -> Iterator[Fact]:
+        for predicate, rows in self._relations.items():
+            for values in rows:
+                yield Fact(predicate, values)
+
+    def count(self, predicate: Optional[str] = None) -> int:
+        if predicate is not None:
+            return len(self._relations.get(predicate, ()))
+        return sum(len(rows) for rows in self._relations.values())
+
+    def copy(self) -> "Database":
+        clone = Database()
+        for predicate, rows in self._relations.items():
+            clone._relations[predicate] = set(rows)
+        return clone
+
+    def merge(self, other: "Database") -> int:
+        """Add every tuple of ``other``; returns the number of new tuples."""
+        added = 0
+        for predicate, rows in other._relations.items():
+            for values in rows:
+                if self.add(predicate, values):
+                    added += 1
+        return added
+
+    def diff(self, other: "Database") -> "Database":
+        """Tuples present in ``self`` but not in ``other``."""
+        result = Database()
+        for predicate, rows in self._relations.items():
+            missing = rows - other._relations.get(predicate, set())
+            if missing:
+                result._relations[predicate] = set(missing)
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        mine = {k: v for k, v in self._relations.items() if v}
+        theirs = {k: v for k, v in other._relations.items() if v}
+        return mine == theirs
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [
+            f"{predicate}: {len(rows)} tuples"
+            for predicate, rows in sorted(self._relations.items())
+            if rows
+        ]
+        return "Database(" + ", ".join(parts) + ")"
+
+
+def _candidate_tuples(
+    atom: Atom, database: Database, subst: Substitution
+) -> Iterable[tuple]:
+    """Candidate tuples for matching ``atom``, using an index when possible.
+
+    If some argument of the atom is already ground under the current
+    substitution (a constant, a bound variable, or a ground skolem term), the
+    relation is probed through a column index on that position instead of
+    being scanned in full.
+    """
+    for position, term in enumerate(atom.terms):
+        value = subst.apply_term(term)
+        if isinstance(value, Variable):
+            continue
+        if isinstance(value, SkolemTerm) and not value.is_ground:
+            continue
+        return database.lookup(atom.predicate, position, value)
+    return database.relation(atom.predicate)
+
+
+def _evaluation_plan(rule: Rule, delta_position: Optional[int]) -> list[tuple[object, bool]]:
+    """Order the body literals for evaluation.
+
+    Returns ``(literal, use_delta)`` pairs.  When a delta position is given,
+    the delta atom is evaluated first so that the (usually tiny) delta binds
+    variables before the other atoms are probed through column indexes; the
+    remaining positive atoms follow in their original order, and negated
+    atoms plus comparisons go last (rule safety guarantees their variables
+    are bound by then).
+    """
+    if delta_position is None:
+        return [(literal, False) for literal in rule.body]
+    plan: list[tuple[object, bool]] = [(rule.body[delta_position], True)]
+    positives: list[Atom] = []
+    guards: list[tuple[object, bool]] = []
+    for index, literal in enumerate(rule.body):
+        if index == delta_position:
+            continue
+        if isinstance(literal, Atom) and not literal.negated:
+            positives.append(literal)
+        else:
+            guards.append((literal, False))
+
+    # Greedy join ordering: repeatedly pick the atom sharing the most
+    # variables with what is already bound, so that every probe can use a
+    # column index instead of a full scan.
+    bound: set[Variable] = set(rule.body[delta_position].variables())
+    while positives:
+        best = max(positives, key=lambda atom: (len(atom.variables() & bound), -rule.body.index(atom)))
+        positives.remove(best)
+        plan.append((best, False))
+        bound.update(best.variables())
+    return plan + guards
+
+
+def _satisfy_body(
+    rule: Rule,
+    database: Database,
+    subst: Substitution,
+    literal_index: int,
+    delta: Optional[dict[str, set[tuple]]] = None,
+    delta_position: Optional[int] = None,
+    plan: Optional[list[tuple[object, bool]]] = None,
+) -> Iterator[Substitution]:
+    """Enumerate substitutions satisfying the rule body from ``literal_index``.
+
+    When ``delta`` and ``delta_position`` are given, the positive atom at that
+    body position is matched against the delta relation instead of the full
+    database (the semi-naive rewriting), and the body is re-ordered so that
+    the delta atom is evaluated first.
+    """
+    if plan is None:
+        plan = _evaluation_plan(rule, delta_position if delta is not None else None)
+    if literal_index >= len(plan):
+        yield subst
+        return
+
+    literal, use_delta = plan[literal_index]
+
+    if isinstance(literal, Comparison):
+        left = subst.apply_term(literal.left)
+        right = subst.apply_term(literal.right)
+        if isinstance(left, Variable) or isinstance(right, Variable):
+            raise DatalogError(
+                f"comparison {literal!r} evaluated with unbound variable in rule {rule!r}"
+            )
+        if literal.evaluate(left, right):
+            yield from _satisfy_body(
+                rule, database, subst, literal_index + 1, delta, delta_position, plan
+            )
+        return
+
+    atom = literal
+    if atom.negated:
+        grounded = subst.apply_atom(atom)
+        if not grounded.is_ground():
+            raise DatalogError(
+                f"negated atom {atom!r} not ground when evaluated in rule {rule!r}"
+            )
+        values = tuple(
+            term.value if hasattr(term, "value") else term for term in grounded.terms
+        )
+        if not database.contains(atom.predicate, values):
+            yield from _satisfy_body(
+                rule, database, subst, literal_index + 1, delta, delta_position, plan
+            )
+        return
+
+    if delta is not None and use_delta:
+        candidates: Iterable[tuple] = delta.get(atom.predicate, ())
+    else:
+        candidates = _candidate_tuples(atom, database, subst)
+
+    for values in candidates:
+        extended = match_atom(atom, values, subst)
+        if extended is not None:
+            yield from _satisfy_body(
+                rule, database, extended, literal_index + 1, delta, delta_position, plan
+            )
+
+
+def _head_values(rule: Rule, subst: Substitution) -> tuple:
+    """Instantiate the head atom of ``rule`` to a ground tuple."""
+    values = []
+    for term in rule.head.terms:
+        value = subst.apply_term(term)
+        if isinstance(value, Variable):
+            raise DatalogError(
+                f"head variable {value.name} unbound when firing rule {rule!r}"
+            )
+        if isinstance(value, SkolemTerm) and not value.is_ground:
+            raise DatalogError(
+                f"head skolem term {value!r} not ground when firing rule {rule!r}"
+            )
+        values.append(value)
+    return tuple(values)
+
+
+def evaluate_rule_once(
+    rule: Rule,
+    database: Database,
+    delta: Optional[dict[str, set[tuple]]] = None,
+    delta_position: Optional[int] = None,
+) -> set[tuple]:
+    """Compute the set of head tuples derivable by one application of ``rule``."""
+    derived: set[tuple] = set()
+    for subst in _satisfy_body(rule, database, Substitution(), 0, delta, delta_position):
+        derived.add(_head_values(rule, subst))
+    return derived
+
+
+def _positive_body_positions(rule: Rule, idb_predicates: set[str]) -> list[int]:
+    """Body positions holding positive atoms over IDB (recursive) predicates."""
+    positions = []
+    for index, literal in enumerate(rule.body):
+        if isinstance(literal, Atom) and not literal.negated:
+            if literal.predicate in idb_predicates:
+                positions.append(index)
+    return positions
+
+
+def _evaluate_stratum(
+    rules: list[Rule],
+    database: Database,
+    max_iterations: int = 0,
+) -> dict[str, set[tuple]]:
+    """Semi-naive evaluation of one stratum; mutates ``database`` in place.
+
+    Returns the tuples newly derived in this stratum, per predicate.
+    """
+    idb = {rule.head.predicate for rule in rules}
+    all_new: dict[str, set[tuple]] = defaultdict(set)
+
+    # First round: naive application of every rule.
+    delta: dict[str, set[tuple]] = defaultdict(set)
+    for rule in rules:
+        for values in evaluate_rule_once(rule, database):
+            if database.add(rule.head.predicate, values):
+                delta[rule.head.predicate].add(values)
+                all_new[rule.head.predicate].add(values)
+
+    iterations = 1
+    while delta:
+        if max_iterations and iterations >= max_iterations:
+            raise DatalogError(
+                f"evaluation did not converge within {max_iterations} iterations"
+            )
+        next_delta: dict[str, set[tuple]] = defaultdict(set)
+        for rule in rules:
+            positions = _positive_body_positions(rule, idb)
+            if not positions:
+                continue  # Non-recursive rule: already fully applied above.
+            for position in positions:
+                literal = rule.body[position]
+                if literal.predicate not in delta:
+                    continue
+                for values in evaluate_rule_once(rule, database, delta, position):
+                    if database.add(rule.head.predicate, values):
+                        next_delta[rule.head.predicate].add(values)
+                        all_new[rule.head.predicate].add(values)
+        delta = next_delta
+        iterations += 1
+    return dict(all_new)
+
+
+def evaluate_program(
+    program: Program,
+    database: Database,
+    max_iterations: int = 0,
+    copy: bool = True,
+) -> Database:
+    """Evaluate ``program`` over ``database`` and return the resulting database.
+
+    The input database is not modified unless ``copy=False``.  Negation is
+    supported through stratification; an unstratifiable program raises
+    :class:`~repro.errors.StratificationError`.
+    """
+    program.validate()
+    working = database.copy() if copy else database
+    for stratum in stratify(program):
+        _evaluate_stratum(list(stratum), working, max_iterations=max_iterations)
+    return working
+
+
+def derived_tuples(
+    program: Program, database: Database, max_iterations: int = 0
+) -> Database:
+    """Return only the tuples added by evaluating ``program`` (the IDB delta)."""
+    result = evaluate_program(program, database, max_iterations=max_iterations)
+    return result.diff(database)

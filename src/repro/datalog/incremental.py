@@ -1,0 +1,252 @@
+"""Incremental maintenance of datalog-derived relations.
+
+The update-exchange engine must keep each peer's derived instance (and its
+provenance) up to date as new transactions arrive, without recomputing from
+scratch.  This module implements:
+
+* **insertion propagation** — the standard delta-rule/semi-naive approach:
+  a batch of new base facts is treated as the initial delta and propagated to
+  fixpoint;
+* **deletion propagation** — two strategies:
+
+  - *provenance-based* (the ORCHESTRA approach): base deletions demote the
+    corresponding provenance-graph nodes, after which every derived tuple
+    that has lost all support is removed;
+  - *DRed* (delete-and-rederive): over-delete everything potentially
+    depending on the deleted facts, then re-derive what still has an
+    alternative derivation.  Used as the non-provenance ablation baseline.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..errors import DatalogError
+from ..provenance.graph import ProvenanceGraph
+from .ast import Atom, Fact, Program, Rule
+from .evaluation import Database, evaluate_program, evaluate_rule_once
+from .provenance_eval import (
+    ProvenanceDatabase,
+    _fire_rule_with_provenance,
+    default_variable_namer,
+    evaluate_with_provenance,
+)
+from .stratification import stratify
+
+
+@dataclass
+class MaintenanceResult:
+    """Summary of one incremental maintenance step."""
+
+    inserted: dict[str, set[tuple]]
+    deleted: dict[str, set[tuple]]
+
+    @property
+    def inserted_count(self) -> int:
+        return sum(len(values) for values in self.inserted.values())
+
+    @property
+    def deleted_count(self) -> int:
+        return sum(len(values) for values in self.deleted.values())
+
+
+class IncrementalEngine:
+    """Maintains the fixpoint of a datalog program under base-fact changes.
+
+    The engine owns a :class:`Database` holding base and derived tuples, an
+    optional :class:`ProvenanceGraph`, and the program whose fixpoint is being
+    maintained.  ``apply_insertions``/``apply_deletions`` update the database
+    in place and report exactly which derived tuples changed.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        database: Optional[Database] = None,
+        track_provenance: bool = True,
+        variable_namer=default_variable_namer,
+    ) -> None:
+        program.validate()
+        self._program = program
+        self._track_provenance = track_provenance
+        self._variable_namer = variable_namer
+        self._graph: Optional[ProvenanceGraph] = ProvenanceGraph() if track_provenance else None
+        self._database = Database()
+        self._base = Database()
+        if database is not None:
+            self.apply_insertions(
+                Fact(predicate, values)
+                for predicate in database.predicates()
+                for values in database.relation(predicate)
+            )
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def database(self) -> Database:
+        """The current materialised database (base plus derived tuples)."""
+        return self._database
+
+    @property
+    def base(self) -> Database:
+        """Only the base (extensional) tuples currently asserted."""
+        return self._base
+
+    @property
+    def graph(self) -> Optional[ProvenanceGraph]:
+        return self._graph
+
+    @property
+    def program(self) -> Program:
+        return self._program
+
+    def provenance(self) -> ProvenanceDatabase:
+        if self._graph is None:
+            raise DatalogError("provenance tracking is disabled for this engine")
+        return ProvenanceDatabase(self._database, self._graph)
+
+    # -- insertions ----------------------------------------------------------
+    def apply_insertions(self, facts: Iterable[Fact]) -> MaintenanceResult:
+        """Insert base facts and propagate them through the program."""
+        inserted: dict[str, set[tuple]] = defaultdict(set)
+        delta: dict[str, set[tuple]] = defaultdict(set)
+
+        for fact in facts:
+            # Facts may be asserted into relations that mappings also derive
+            # into; the base/derived distinction is per-tuple (tracked by
+            # ``self._base`` and the provenance graph), not per-predicate.
+            if self._base.add(fact.predicate, fact.values):
+                if self._database.add(fact.predicate, fact.values):
+                    delta[fact.predicate].add(fact.values)
+                    inserted[fact.predicate].add(fact.values)
+                if self._graph is not None:
+                    self._graph.add_base_tuple(
+                        fact.predicate,
+                        fact.values,
+                        self._variable_namer(fact.predicate, fact.values),
+                    )
+
+        if not delta:
+            return MaintenanceResult({}, {})
+
+        self._propagate_insertions(delta, inserted)
+        return MaintenanceResult(dict(inserted), {})
+
+    def _propagate_insertions(
+        self, delta: dict[str, set[tuple]], inserted: dict[str, set[tuple]]
+    ) -> None:
+        """Semi-naive propagation of a batch of new tuples across all strata."""
+        for stratum in stratify(self._program):
+            rules = list(stratum)
+            current = {
+                predicate: set(values) for predicate, values in delta.items()
+            }
+            while current:
+                next_delta: dict[str, set[tuple]] = defaultdict(set)
+                for rule in rules:
+                    for position, literal in enumerate(rule.body):
+                        if not isinstance(literal, Atom) or literal.negated:
+                            continue
+                        if literal.predicate not in current:
+                            continue
+                        new_values = self._fire(rule, current, position)
+                        for values in new_values:
+                            if self._database.add(rule.head.predicate, values):
+                                next_delta[rule.head.predicate].add(values)
+                                inserted[rule.head.predicate].add(values)
+                                delta.setdefault(rule.head.predicate, set()).add(values)
+                current = next_delta
+
+    def _fire(
+        self, rule: Rule, delta: dict[str, set[tuple]], position: int
+    ) -> set[tuple]:
+        if self._graph is not None:
+            return _fire_rule_with_provenance(
+                rule, self._database, self._graph, delta, position
+            )
+        return evaluate_rule_once(rule, self._database, delta, position)
+
+    # -- deletions -------------------------------------------------------------
+    def apply_deletions(self, facts: Iterable[Fact]) -> MaintenanceResult:
+        """Delete base facts and remove derived tuples that lost all support."""
+        removed_base: dict[str, set[tuple]] = defaultdict(set)
+        for fact in facts:
+            if self._base.remove(fact.predicate, fact.values):
+                removed_base[fact.predicate].add(fact.values)
+
+        if not removed_base:
+            return MaintenanceResult({}, {})
+
+        if self._graph is not None:
+            deleted = self._delete_with_provenance(removed_base)
+        else:
+            deleted = self._delete_with_dred(removed_base)
+        return MaintenanceResult({}, deleted)
+
+    def _delete_with_provenance(
+        self, removed_base: dict[str, set[tuple]]
+    ) -> dict[str, set[tuple]]:
+        assert self._graph is not None
+        for predicate, values_set in removed_base.items():
+            for values in values_set:
+                self._graph.remove_base_tuple(predicate, values)
+
+        deleted: dict[str, set[tuple]] = defaultdict(set)
+        for relation, values in self._graph.unsupported_tuples():
+            if self._database.remove(relation, values):
+                deleted[relation].add(values)
+        # Base tuples removed above may still be derivable through mappings;
+        # only count them as deleted when they really left the database.
+        for predicate, values_set in removed_base.items():
+            for values in values_set:
+                if not self._graph.is_derivable(predicate, values):
+                    if self._database.remove(predicate, values):
+                        deleted[predicate].add(values)
+        return dict(deleted)
+
+    def _delete_with_dred(
+        self, removed_base: dict[str, set[tuple]]
+    ) -> dict[str, set[tuple]]:
+        """Delete-and-rederive without provenance (the ablation baseline)."""
+        # Over-delete: remove the base facts and anything transitively
+        # derivable from them, then recompute the fixpoint from the remaining
+        # base facts and re-insert what is still derivable.
+        for predicate, values_set in removed_base.items():
+            for values in values_set:
+                self._database.remove(predicate, values)
+
+        before = self._database.copy()
+        recomputed = evaluate_program(self._program, self._base, copy=True)
+        deleted: dict[str, set[tuple]] = defaultdict(set)
+        for predicate in before.predicates():
+            for values in before.relation(predicate):
+                if not recomputed.contains(predicate, values):
+                    deleted[predicate].add(values)
+        for predicate, values_set in removed_base.items():
+            for values in values_set:
+                if not recomputed.contains(predicate, values):
+                    deleted[predicate].add(values)
+        self._database = recomputed
+        return dict(deleted)
+
+    # -- full recomputation (ablation baseline) --------------------------------
+    def recompute(self) -> Database:
+        """Recompute the fixpoint from scratch (used for ablation benchmarks)."""
+        if self._graph is not None:
+            self._graph = ProvenanceGraph()
+            result = evaluate_with_provenance(
+                self._program,
+                self._base,
+                graph=self._graph,
+                variable_namer=self._variable_namer,
+            )
+            self._database = result.database
+        else:
+            self._database = evaluate_program(self._program, self._base, copy=True)
+        return self._database
+
+
+def full_recompute(program: Program, base: Database) -> Database:
+    """Convenience helper: evaluate the program from scratch over ``base``."""
+    return evaluate_program(program, base, copy=True)

@@ -1,0 +1,295 @@
+"""A small textual syntax for datalog rules and facts.
+
+The syntax is the conventional one used in the ORCHESTRA papers::
+
+    OPS(org, prot, seq) :- O(org, oid), P(prot, pid), S(oid, pid, seq).
+    S(SK_oid(org), SK_pid(prot), seq) :- OPS(org, prot, seq).
+    O('E. coli', 17).
+
+Conventions:
+
+* identifiers starting with a lower-case letter or ``?`` are variables
+  (``org``, ``?X``); identifiers starting with an upper-case letter inside a
+  term position are also variables when they are not quoted — constants are
+  written as quoted strings, numbers, ``true``/``false`` or ``null``;
+* ``not`` before an atom negates it;
+* ``SK_name(args)`` in a term position is a skolem term;
+* comparisons use ``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=``;
+* a rule may be prefixed with a label: ``[m1] head :- body.``
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from ..errors import DatalogParseError
+from .ast import Atom, Comparison, Constant, Fact, Program, Rule, SkolemTerm, Term, Variable
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<period>\.(?!\d))
+  | (?P<implies>:-)
+  | (?P<op><=|>=|!=|==|<|>|=)
+  | (?P<number>-?\d+(\.\d+)?)
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<name>[A-Za-z_?][A-Za-z0-9_?]*)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text")
+
+    def __init__(self, kind: str, text: str) -> None:
+        self.kind = kind
+        self.text = text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind}:{self.text}"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise DatalogParseError(
+                f"unexpected character {text[position]!r} at offset {position} in {text!r}"
+            )
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group()))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[_Token], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise DatalogParseError(f"unexpected end of input in {self._source!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise DatalogParseError(
+                f"expected {kind} but found {token.text!r} in {self._source!r}"
+            )
+        return token
+
+    def at_end(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    def parse_rule(self) -> Rule:
+        label = None
+        token = self._peek()
+        if token is not None and token.kind == "lbracket":
+            self._next()
+            label = self._expect("name").text
+            self._expect("rbracket")
+        head = self.parse_atom()
+        body: list = []
+        token = self._peek()
+        if token is not None and token.kind == "implies":
+            self._next()
+            body.append(self.parse_body_literal())
+            while True:
+                token = self._peek()
+                if token is not None and token.kind == "comma":
+                    self._next()
+                    body.append(self.parse_body_literal())
+                else:
+                    break
+        token = self._peek()
+        if token is not None and token.kind == "period":
+            self._next()
+        return Rule(head, tuple(body), label=label)
+
+    def parse_body_literal(self):
+        token = self._peek()
+        if token is None:
+            raise DatalogParseError(f"unexpected end of body in {self._source!r}")
+        if token.kind == "name" and token.text == "not":
+            self._next()
+            atom = self.parse_atom()
+            return atom.negate()
+        # Either an atom or a comparison; decide by looking ahead for an
+        # operator after the first term.
+        checkpoint = self._index
+        try:
+            left = self.parse_term()
+            token = self._peek()
+            if token is not None and token.kind == "op":
+                op = self._next().text
+                right = self.parse_term()
+                return Comparison(op, left, right)
+        except DatalogParseError:
+            pass
+        self._index = checkpoint
+        return self.parse_atom()
+
+    def parse_atom(self) -> Atom:
+        name = self._expect("name").text
+        self._expect("lparen")
+        terms: list[Term] = []
+        token = self._peek()
+        if token is not None and token.kind != "rparen":
+            terms.append(self.parse_term())
+            while True:
+                token = self._peek()
+                if token is not None and token.kind == "comma":
+                    self._next()
+                    terms.append(self.parse_term())
+                else:
+                    break
+        self._expect("rparen")
+        return Atom(name, tuple(terms))
+
+    def parse_term(self) -> Term:
+        token = self._next()
+        if token.kind == "number":
+            text = token.text
+            return Constant(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            raw = token.text[1:-1]
+            return Constant(raw.replace("\\'", "'").replace('\\"', '"'))
+        if token.kind == "name":
+            name = token.text
+            lowered = name.lower()
+            if lowered == "true":
+                return Constant(True)
+            if lowered == "false":
+                return Constant(False)
+            if lowered in {"null", "none"}:
+                return Constant(None)
+            next_token = self._peek()
+            if next_token is not None and next_token.kind == "lparen":
+                # A skolem/function term.
+                self._next()
+                arguments: list[Term] = []
+                token2 = self._peek()
+                if token2 is not None and token2.kind != "rparen":
+                    arguments.append(self.parse_term())
+                    while True:
+                        token2 = self._peek()
+                        if token2 is not None and token2.kind == "comma":
+                            self._next()
+                            arguments.append(self.parse_term())
+                        else:
+                            break
+                self._expect("rparen")
+                return SkolemTerm(name, tuple(arguments))
+            if name.startswith("?"):
+                return Variable(name[1:])
+            return Variable(name)
+        raise DatalogParseError(
+            f"unexpected token {token.text!r} in term position in {self._source!r}"
+        )
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule (or fact written as a ground rule)."""
+    parser = _Parser(_tokenize(text), text)
+    rule = parser.parse_rule()
+    if not parser.at_end():
+        raise DatalogParseError(f"trailing input after rule in {text!r}")
+    rule.validate()
+    return rule
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single (possibly non-ground) atom."""
+    parser = _Parser(_tokenize(text), text)
+    atom = parser.parse_atom()
+    if not parser.at_end():
+        raise DatalogParseError(f"trailing input after atom in {text!r}")
+    return atom
+
+
+def parse_fact(text: str) -> Fact:
+    """Parse a ground fact such as ``O('E. coli', 17).``"""
+    parser = _Parser(_tokenize(text), text)
+    atom = parser.parse_atom()
+    token = parser._peek()
+    if token is not None and token.kind == "period":
+        parser._next()
+    if not parser.at_end():
+        raise DatalogParseError(f"trailing input after fact in {text!r}")
+    values = []
+    for term in atom.terms:
+        if isinstance(term, Constant):
+            values.append(term.value)
+        elif isinstance(term, SkolemTerm) and term.is_ground:
+            values.append(term)
+        else:
+            raise DatalogParseError(f"fact {text!r} contains non-ground term {term!r}")
+    return Fact(atom.predicate, tuple(values))
+
+
+def _iter_statements(text: str) -> Iterator[str]:
+    """Split program text into statements, respecting quotes and comments."""
+    statement: list[str] = []
+    in_string: str | None = None
+    for line in text.splitlines():
+        stripped = line
+        if in_string is None:
+            comment = stripped.find("%")
+            if comment != -1:
+                stripped = stripped[:comment]
+            comment = stripped.find("#")
+            if comment != -1:
+                stripped = stripped[:comment]
+        for char in stripped:
+            if in_string:
+                statement.append(char)
+                if char == in_string:
+                    in_string = None
+                continue
+            if char in "'\"":
+                in_string = char
+                statement.append(char)
+                continue
+            statement.append(char)
+            if char == ".":
+                candidate = "".join(statement).strip()
+                if candidate and candidate != ".":
+                    yield candidate
+                statement = []
+        statement.append("\n")
+    remainder = "".join(statement).strip()
+    if remainder:
+        yield remainder
+
+
+def parse_program(text: str) -> Program:
+    """Parse a newline/period separated list of rules into a :class:`Program`.
+
+    Lines starting with ``%`` or ``#`` are comments.
+    """
+    program = Program()
+    for statement in _iter_statements(text):
+        program.add(parse_rule(statement))
+    return program

@@ -1,0 +1,161 @@
+"""Datalog evaluation that records semiring provenance.
+
+:func:`evaluate_with_provenance` runs the same semi-naive fixpoint as
+:mod:`repro.datalog.evaluation` but additionally records every rule firing in
+a :class:`~repro.provenance.graph.ProvenanceGraph`: base (EDB) tuples become
+provenance variables, and each firing of a rule becomes a derivation
+hyper-edge from the matched body tuples to the derived head tuple.  The
+resulting :class:`ProvenanceDatabase` bundles the derived database with its
+provenance graph so that callers can ask for polynomials or evaluate trust
+policies afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..provenance.graph import ProvenanceGraph
+from ..provenance.polynomial import Polynomial
+from .ast import Atom, Program, Rule
+from .evaluation import Database, _satisfy_body
+from .stratification import stratify
+from .unification import Substitution
+
+
+def default_variable_namer(relation: str, values: tuple) -> str:
+    """Default provenance-variable naming scheme for base tuples."""
+    rendered = ",".join(str(value) for value in values)
+    return f"{relation}({rendered})"
+
+
+@dataclass
+class ProvenanceDatabase:
+    """A database plus the provenance graph that justifies its derived tuples."""
+
+    database: Database
+    graph: ProvenanceGraph = field(default_factory=ProvenanceGraph)
+
+    def polynomial(self, relation: str, values: tuple, max_depth: int = 32) -> Polynomial:
+        """Provenance polynomial of one tuple."""
+        return self.graph.polynomial_for(relation, values, max_depth=max_depth)
+
+    def trusted(self, relation: str, values: tuple, trusted_variables: set[str]) -> bool:
+        """Is the tuple derivable using only trusted base tuples?"""
+        return self.graph.is_derivable(relation, values, trusted_variables)
+
+
+def _record_base_tuples(
+    graph: ProvenanceGraph,
+    database: Database,
+    namer,
+) -> None:
+    # Every tuple present before evaluation is extensional: peers assert
+    # facts directly into relations that mappings also derive into, so the
+    # IDB/EDB split is per-tuple, not per-predicate.
+    for predicate in database.predicates():
+        for values in database.relation(predicate):
+            graph.add_base_tuple(predicate, values, namer(predicate, values))
+
+
+def _fire_rule_with_provenance(
+    rule: Rule,
+    database: Database,
+    graph: ProvenanceGraph,
+    delta: Optional[dict[str, set[tuple]]] = None,
+    delta_position: Optional[int] = None,
+) -> set[tuple]:
+    """Apply one rule, recording a derivation per satisfying substitution."""
+    derived: set[tuple] = set()
+    label = rule.label or f"rule:{rule.head.predicate}"
+    for subst in _satisfy_body(rule, database, Substitution(), 0, delta, delta_position):
+        head_values = _ground_head(rule, subst)
+        sources = []
+        for literal in rule.body:
+            if isinstance(literal, Atom) and not literal.negated:
+                sources.append((literal.predicate, subst.ground_values(literal)))
+        graph.add_derivation(label, (rule.head.predicate, head_values), sources)
+        derived.add(head_values)
+    return derived
+
+
+def _ground_head(rule: Rule, subst: Substitution) -> tuple:
+    return subst.ground_values(rule.head)
+
+
+def evaluate_with_provenance(
+    program: Program,
+    database: Database,
+    graph: Optional[ProvenanceGraph] = None,
+    variable_namer=default_variable_namer,
+    max_iterations: int = 0,
+) -> ProvenanceDatabase:
+    """Evaluate ``program`` over ``database`` recording provenance.
+
+    Args:
+        program: The (stratified) datalog program to evaluate.
+        database: Base data; it is not modified.
+        graph: An existing provenance graph to extend (used by the incremental
+            exchange engine); a fresh one is created when omitted.
+        variable_namer: Function ``(relation, values) -> str`` naming the
+            provenance variable of each base tuple.
+        max_iterations: Optional safety bound on fixpoint rounds per stratum.
+
+    Returns:
+        A :class:`ProvenanceDatabase` with the full derived database and the
+        provenance graph covering every derivation discovered.
+    """
+    program.validate()
+    working = database.copy()
+    provenance_graph = graph if graph is not None else ProvenanceGraph()
+    _record_base_tuples(provenance_graph, working, variable_namer)
+
+    from ..errors import DatalogError
+
+    for stratum in stratify(program):
+        rules = list(stratum)
+        idb = {rule.head.predicate for rule in rules}
+
+        delta: dict[str, set[tuple]] = {}
+        for rule in rules:
+            new_values = _fire_rule_with_provenance(rule, working, provenance_graph)
+            for values in new_values:
+                if working.add(rule.head.predicate, values):
+                    delta.setdefault(rule.head.predicate, set()).add(values)
+
+        iterations = 1
+        while delta:
+            if max_iterations and iterations >= max_iterations:
+                raise DatalogError(
+                    f"provenance evaluation did not converge within {max_iterations} iterations"
+                )
+            next_delta: dict[str, set[tuple]] = {}
+            for rule in rules:
+                for position, literal in enumerate(rule.body):
+                    if not isinstance(literal, Atom) or literal.negated:
+                        continue
+                    if literal.predicate not in idb or literal.predicate not in delta:
+                        continue
+                    new_values = _fire_rule_with_provenance(
+                        rule, working, provenance_graph, delta, position
+                    )
+                    for values in new_values:
+                        if working.add(rule.head.predicate, values):
+                            next_delta.setdefault(rule.head.predicate, set()).add(values)
+            delta = next_delta
+            iterations += 1
+
+    return ProvenanceDatabase(working, provenance_graph)
+
+
+def provenance_for_all(
+    result: ProvenanceDatabase, predicates: Iterable[str], max_depth: int = 16
+) -> dict[tuple[str, tuple], Polynomial]:
+    """Expand provenance polynomials for every tuple of the given predicates."""
+    polynomials: dict[tuple[str, tuple], Polynomial] = {}
+    for predicate in predicates:
+        for values in result.database.relation(predicate):
+            polynomials[(predicate, values)] = result.polynomial(
+                predicate, values, max_depth=max_depth
+            )
+    return polynomials

@@ -1,0 +1,193 @@
+"""Substitutions, term matching and unification.
+
+Bottom-up datalog evaluation only needs *matching* (binding rule variables to
+ground fact values), but full unification of terms is also provided because
+the mapping composition utilities in :mod:`repro.exchange.rules` use it to
+detect overlapping rule heads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from .ast import Atom, Constant, SkolemTerm, Term, Variable
+
+
+class Substitution:
+    """An immutable-by-convention mapping from variables to ground values."""
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Optional[Mapping[Variable, object]] = None) -> None:
+        self._bindings: dict[Variable, object] = dict(bindings or {})
+
+    def get(self, variable: Variable) -> object:
+        return self._bindings.get(variable)
+
+    def __contains__(self, variable: Variable) -> bool:
+        return variable in self._bindings
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Substitution):
+            return NotImplemented
+        return self._bindings == other._bindings
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._bindings.items()))
+
+    def items(self) -> Iterable[tuple[Variable, object]]:
+        return self._bindings.items()
+
+    def copy(self) -> "Substitution":
+        return Substitution(self._bindings)
+
+    def bind(self, variable: Variable, value: object) -> Optional["Substitution"]:
+        """Return a new substitution with ``variable`` bound to ``value``.
+
+        Returns ``None`` when the variable is already bound to a different
+        value (a failed match).
+        """
+        existing = self._bindings.get(variable, _UNBOUND)
+        if existing is not _UNBOUND:
+            return self if existing == value else None
+        extended = dict(self._bindings)
+        extended[variable] = value
+        return Substitution(extended)
+
+    def apply_term(self, term: Term) -> object:
+        """Instantiate ``term`` under this substitution.
+
+        Variables without a binding are returned unchanged; ground skolem
+        terms are built recursively so that they act as labelled nulls.
+        """
+        if isinstance(term, Constant):
+            return term.value
+        if isinstance(term, Variable):
+            return self._bindings.get(term, term)
+        if isinstance(term, SkolemTerm):
+            return SkolemTerm(
+                term.function,
+                tuple(self._apply_argument(arg) for arg in term.arguments),
+            )
+        return term
+
+    def _apply_argument(self, arg: object) -> object:
+        if isinstance(arg, (Constant, Variable, SkolemTerm)):
+            return self.apply_term(arg)
+        return arg
+
+    def apply_atom(self, atom: Atom) -> Atom:
+        """Instantiate every term of ``atom`` and re-wrap ground values."""
+        new_terms: list[Term] = []
+        for term in atom.terms:
+            value = self.apply_term(term)
+            if isinstance(value, (Variable, SkolemTerm)):
+                new_terms.append(value)
+            else:
+                new_terms.append(Constant(value))
+        return Atom(atom.predicate, tuple(new_terms), negated=atom.negated)
+
+    def ground_values(self, atom: Atom) -> tuple:
+        """Return the tuple of ground values for ``atom`` under this substitution.
+
+        Raises :class:`ValueError` if any variable remains unbound.
+        """
+        values = []
+        for term in atom.terms:
+            value = self.apply_term(term)
+            if isinstance(value, Variable):
+                raise ValueError(
+                    f"variable {value.name} of {atom!r} is unbound in {self!r}"
+                )
+            values.append(value)
+        return tuple(values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{v.name}={value!r}" for v, value in self._bindings.items())
+        return f"{{{inner}}}"
+
+
+_UNBOUND = object()
+
+
+def match_term(term: Term, value: object, subst: Substitution) -> Optional[Substitution]:
+    """Match a rule term against a ground value, extending ``subst``.
+
+    Returns the extended substitution, or ``None`` when the match fails.
+    """
+    if isinstance(term, Constant):
+        return subst if term.value == value else None
+    if isinstance(term, Variable):
+        return subst.bind(term, value)
+    if isinstance(term, SkolemTerm):
+        if not isinstance(value, SkolemTerm):
+            return None
+        if term.function != value.function:
+            return None
+        if len(term.arguments) != len(value.arguments):
+            return None
+        current: Optional[Substitution] = subst
+        for sub_term, sub_value in zip(term.arguments, value.arguments):
+            if current is None:
+                return None
+            if isinstance(sub_term, (Constant, Variable, SkolemTerm)):
+                current = match_term(sub_term, sub_value, current)
+            else:
+                current = current if sub_term == sub_value else None
+        return current
+    return None
+
+
+def match_atom(
+    atom: Atom, values: tuple, subst: Optional[Substitution] = None
+) -> Optional[Substitution]:
+    """Match a (positive) atom against a ground tuple of values."""
+    if len(atom.terms) != len(values):
+        return None
+    current: Optional[Substitution] = subst if subst is not None else Substitution()
+    for term, value in zip(atom.terms, values):
+        current = match_term(term, value, current)
+        if current is None:
+            return None
+    return current
+
+
+def unify_terms(
+    left: Term, right: Term, subst: Optional[Substitution] = None
+) -> Optional[Substitution]:
+    """Unify two rule terms (both may contain variables).
+
+    This is standard syntactic unification without an occurs check over
+    constants; skolem terms unify structurally.  Used when composing mapping
+    rules, not during bottom-up evaluation.
+    """
+    current = subst if subst is not None else Substitution()
+    left_value = current.apply_term(left)
+    right_value = current.apply_term(right)
+
+    if isinstance(left_value, Variable):
+        return current.bind(left_value, right_value)
+    if isinstance(right_value, Variable):
+        return current.bind(right_value, left_value)
+    if isinstance(left_value, SkolemTerm) and isinstance(right_value, SkolemTerm):
+        if (
+            left_value.function != right_value.function
+            or len(left_value.arguments) != len(right_value.arguments)
+        ):
+            return None
+        result: Optional[Substitution] = current
+        for sub_left, sub_right in zip(left_value.arguments, right_value.arguments):
+            if result is None:
+                return None
+            left_term = sub_left if isinstance(
+                sub_left, (Variable, Constant, SkolemTerm)
+            ) else Constant(sub_left)
+            right_term = sub_right if isinstance(
+                sub_right, (Variable, Constant, SkolemTerm)
+            ) else Constant(sub_right)
+            result = unify_terms(left_term, right_term, result)
+        return result
+    return current if left_value == right_value else None

@@ -1,0 +1,89 @@
+"""Exception hierarchy for the ORCHESTRA CDSS reproduction.
+
+Every exception raised by the library derives from :class:`ReproError` so that
+callers can catch all library failures with a single handler while still being
+able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema or peer schema is malformed or violated."""
+
+
+class TupleArityError(SchemaError):
+    """A tuple's arity does not match its relation schema."""
+
+
+class UnknownRelationError(SchemaError):
+    """A referenced relation does not exist in the schema or instance."""
+
+
+class MappingError(ReproError):
+    """A schema mapping is malformed (unsafe variables, unknown relations)."""
+
+
+class DatalogError(ReproError):
+    """Base class for errors raised by the datalog engine."""
+
+
+class DatalogParseError(DatalogError):
+    """A datalog rule, atom or fact could not be parsed."""
+
+
+class UnsafeRuleError(DatalogError):
+    """A rule uses a variable in its head or a negated atom that is not bound
+    by a positive body atom."""
+
+
+class StratificationError(DatalogError):
+    """The rule program cannot be stratified (negation through recursion)."""
+
+
+class ProvenanceError(ReproError):
+    """Provenance annotations are inconsistent or an operation on them failed."""
+
+
+class SemiringError(ProvenanceError):
+    """A semiring operation was applied to incompatible values."""
+
+
+class StorageError(ReproError):
+    """A storage backend failed or was used incorrectly."""
+
+
+class TransactionError(ReproError):
+    """A transaction or update is malformed, or transaction dependencies are
+    inconsistent (for example, a cycle among antecedents)."""
+
+
+class PublicationError(ReproError):
+    """Publishing transactions to the shared update store failed."""
+
+
+class ReconciliationError(ReproError):
+    """The reconciliation algorithm was given inconsistent inputs or asked to
+    resolve a conflict that does not exist."""
+
+
+class TrustError(ReproError):
+    """A trust condition is malformed or refers to unknown peers/relations."""
+
+
+class PeerError(ReproError):
+    """A peer is unknown, duplicated, or in an invalid state for the
+    requested operation (for example, reconciling while disconnected)."""
+
+
+class NetworkError(ReproError):
+    """The simulated peer-to-peer network refused an operation, typically
+    because the requesting peer is offline."""
+
+
+class ConfigurationError(ReproError):
+    """An engine or system configuration value is invalid."""

@@ -1,0 +1,34 @@
+"""The update-exchange engine.
+
+Update exchange (companion paper [5] of the demo) is the step that takes the
+transactions published by all peers and translates them, along the declarative
+schema mappings, into each peer's local schema — maintaining provenance so
+that reconciliation can later evaluate trust policies, and doing so
+incrementally so that each reconciliation only processes newly published
+updates.
+
+* :mod:`repro.exchange.rules` compiles the catalogue's mappings into a datalog
+  program over peer-qualified relation names,
+* :mod:`repro.exchange.engine` maintains, per reconciling peer, the
+  incrementally-evaluated translated instance and its provenance graph,
+* :mod:`repro.exchange.translation` turns the per-transaction deltas computed
+  by the engine into candidate transactions in the target schema, and
+* :mod:`repro.exchange.migration` performs an initial bulk migration of
+  pre-existing data along the mappings.
+"""
+
+from .engine import ExchangeEngine, TranslationDelta
+from .migration import migrate_instance
+from .rules import compile_mappings, published_relation, qualify_atom
+from .translation import CandidateTransaction, UpdateTranslator
+
+__all__ = [
+    "CandidateTransaction",
+    "ExchangeEngine",
+    "TranslationDelta",
+    "UpdateTranslator",
+    "compile_mappings",
+    "migrate_instance",
+    "published_relation",
+    "qualify_atom",
+]

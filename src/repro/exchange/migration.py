@@ -1,0 +1,39 @@
+"""Initial data migration along mappings.
+
+When a peer joins the CDSS with pre-existing local data (the common case for
+the bioinformatics sources the paper motivates), that data must be made
+visible to the rest of the system before incremental update exchange can take
+over.  The migration helper wraps the peer's current instance into one large
+initial transaction, which the system then publishes and exchanges exactly
+like any other transaction — so the initial import shares the code path (and
+provenance handling) of regular updates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.peer import Peer
+from ..core.transactions import Transaction
+from ..core.updates import Update
+
+
+def migrate_instance(peer: Peer, txn_id: Optional[str] = None) -> Optional[Transaction]:
+    """Build the initial-import transaction for a peer's current instance.
+
+    Returns ``None`` when the instance is empty.  The returned transaction is
+    *not* committed to the peer (its tuples are already present locally); the
+    caller appends it to the peer's update log so that the next publication
+    ships it to the rest of the system.
+    """
+    updates: list[Update] = []
+    for relation in peer.schema:
+        for values in sorted(peer.instance.scan(relation.name), key=repr):
+            updates.append(Update.insert(relation.name, values, origin=peer.name))
+    if not updates:
+        return None
+    identifier = txn_id or f"{peer.name}-initial-import"
+    transaction = Transaction(identifier, peer.name, tuple(updates))
+    for update in updates:
+        peer.record_producer(update.relation, update.values, identifier)
+    return transaction

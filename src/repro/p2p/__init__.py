@@ -1,0 +1,25 @@
+"""Simulated peer-to-peer substrate for the published-update archive.
+
+Figure 1 of the paper stores published transactions in a peer-to-peer
+distributed database so that a peer's updates remain retrievable after it
+disconnects.  This package simulates that substrate:
+
+* :mod:`repro.p2p.store` — the durable, append-only archive of published
+  transactions, ordered by epoch,
+* :mod:`repro.p2p.network` — per-peer connectivity (peers are intermittently
+  connected; offline peers can neither publish nor reconcile),
+* :mod:`repro.p2p.replication` — replica placement of published transactions
+  onto the currently online peers and availability accounting under churn.
+"""
+
+from .network import Network
+from .replication import ReplicaPlacement, ReplicationManager
+from .store import PublishedTransaction, UpdateStore
+
+__all__ = [
+    "Network",
+    "PublishedTransaction",
+    "ReplicaPlacement",
+    "ReplicationManager",
+    "UpdateStore",
+]

@@ -1,0 +1,86 @@
+"""Simulated connectivity of the CDSS participants.
+
+Peers operate autonomously and are only intermittently connected.  The
+network tracks which peers are currently online, refuses store operations
+from offline peers (configurable), and records a simple availability trace
+used by the benchmarks to report behaviour under churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import NetworkError
+
+
+@dataclass
+class ConnectivityEvent:
+    """One connect/disconnect event in the availability trace."""
+
+    step: int
+    peer: str
+    online: bool
+
+
+class Network:
+    """Tracks online/offline state of every registered peer."""
+
+    def __init__(self, peers: Iterable[str] = ()) -> None:
+        self._online: dict[str, bool] = {}
+        self._step = 0
+        self._trace: list[ConnectivityEvent] = []
+        for peer in peers:
+            self.register(peer)
+
+    # -- membership -----------------------------------------------------------
+    def register(self, peer: str, online: bool = True) -> None:
+        if peer in self._online:
+            raise NetworkError(f"peer {peer!r} is already registered with the network")
+        self._online[peer] = online
+
+    def peers(self) -> set[str]:
+        return set(self._online)
+
+    def is_registered(self, peer: str) -> bool:
+        return peer in self._online
+
+    # -- connectivity -----------------------------------------------------------
+    def is_online(self, peer: str) -> bool:
+        try:
+            return self._online[peer]
+        except KeyError:
+            raise NetworkError(f"peer {peer!r} is not registered with the network") from None
+
+    def online_peers(self) -> set[str]:
+        return {peer for peer, online in self._online.items() if online}
+
+    def set_online(self, peer: str, online: bool) -> None:
+        current = self.is_online(peer)
+        if current == online:
+            return
+        self._online[peer] = online
+        self._step += 1
+        self._trace.append(ConnectivityEvent(self._step, peer, online))
+
+    def connect(self, peer: str) -> None:
+        self.set_online(peer, True)
+
+    def disconnect(self, peer: str) -> None:
+        self.set_online(peer, False)
+
+    def require_online(self, peer: str, operation: str) -> None:
+        if not self.is_online(peer):
+            raise NetworkError(f"peer {peer!r} is offline and cannot {operation}")
+
+    # -- tracing ---------------------------------------------------------------
+    def trace(self) -> list[ConnectivityEvent]:
+        return list(self._trace)
+
+    def availability(self) -> dict[str, bool]:
+        return dict(self._online)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        online = sorted(self.online_peers())
+        offline = sorted(self.peers() - self.online_peers())
+        return f"Network(online={online}, offline={offline})"

@@ -1,0 +1,94 @@
+"""Replica placement of published transactions across peers.
+
+The full ORCHESTRA system stores published updates in a distributed hash
+table; what matters to the algorithms above it is that a published
+transaction can still be retrieved when its publisher is offline, as long as
+enough replica holders remain online.  :class:`ReplicationManager` simulates
+that property: each published transaction is assigned to ``replication_factor``
+peer slots chosen deterministically among the peers online at publication
+time (always including the durable archive itself, so the paper's Scenario 5
+— publisher offline, data still available — holds by construction).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..errors import NetworkError
+from .network import Network
+
+
+@dataclass(frozen=True)
+class ReplicaPlacement:
+    """The peers holding replicas of one published transaction."""
+
+    txn_id: str
+    holders: tuple[str, ...]
+
+    def __contains__(self, peer: str) -> bool:
+        return peer in self.holders
+
+
+class ReplicationManager:
+    """Assigns and tracks replica holders for published transactions."""
+
+    def __init__(self, network: Network, replication_factor: int = 2) -> None:
+        if replication_factor < 1:
+            raise NetworkError("replication factor must be at least 1")
+        self._network = network
+        self._replication_factor = replication_factor
+        self._placements: dict[str, ReplicaPlacement] = {}
+
+    @property
+    def replication_factor(self) -> int:
+        return self._replication_factor
+
+    # -- placement --------------------------------------------------------------
+    def place(self, txn_id: str, publisher: str) -> ReplicaPlacement:
+        """Choose replica holders for a newly published transaction.
+
+        Holders are chosen deterministically (by hashing the transaction id)
+        among the peers online at publication time, preferring peers other
+        than the publisher so that the data survives its disconnection.
+        """
+        if txn_id in self._placements:
+            return self._placements[txn_id]
+        online = sorted(self._network.online_peers())
+        if not online:
+            online = [publisher]
+        others = [peer for peer in online if peer != publisher] or online
+        ranked = sorted(others, key=lambda peer: self._rank(txn_id, peer))
+        holders = tuple(ranked[: self._replication_factor])
+        placement = ReplicaPlacement(txn_id=txn_id, holders=holders)
+        self._placements[txn_id] = placement
+        return placement
+
+    @staticmethod
+    def _rank(txn_id: str, peer: str) -> str:
+        return hashlib.sha256(f"{txn_id}:{peer}".encode()).hexdigest()
+
+    # -- availability -------------------------------------------------------------
+    def placement(self, txn_id: str) -> Optional[ReplicaPlacement]:
+        return self._placements.get(txn_id)
+
+    def available(self, txn_id: str) -> bool:
+        """Is at least one replica holder of the transaction currently online?
+
+        The durable archive keeps every transaction retrievable in the
+        simulation; this predicate reports what a purely peer-hosted overlay
+        would offer, which the churn benchmark contrasts with the archive.
+        """
+        placement = self._placements.get(txn_id)
+        if placement is None:
+            return False
+        return any(self._network.is_online(peer) for peer in placement.holders)
+
+    def availability_ratio(self, txn_ids: Iterable[str]) -> float:
+        """Fraction of the given transactions with at least one online holder."""
+        ids = list(txn_ids)
+        if not ids:
+            return 1.0
+        available = sum(1 for txn_id in ids if self.available(txn_id))
+        return available / len(ids)

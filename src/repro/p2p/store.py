@@ -1,0 +1,111 @@
+"""The shared archive of published transactions.
+
+The update store is append-only and totally ordered by publication epoch.
+Publishing archives a peer's transactions so they stay available to everyone
+even when the publisher disconnects (demonstration Scenario 5); reconciling
+peers ask the store for every transaction published after the epoch they last
+reconciled at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..core.transactions import Transaction
+from ..errors import PublicationError
+
+
+@dataclass(frozen=True)
+class PublishedTransaction:
+    """One archived transaction together with its publication metadata."""
+
+    transaction: Transaction
+    epoch: int
+    sequence: int
+    publisher: str
+
+    @property
+    def txn_id(self) -> str:
+        return self.transaction.txn_id
+
+
+class UpdateStore:
+    """Append-only, epoch-ordered archive of published transactions."""
+
+    def __init__(self) -> None:
+        self._entries: list[PublishedTransaction] = []
+        self._by_id: dict[str, PublishedTransaction] = {}
+
+    # -- publication ------------------------------------------------------------
+    def archive(
+        self, transactions: Iterable[Transaction], epoch: int, publisher: str
+    ) -> list[PublishedTransaction]:
+        """Archive a batch of transactions published at ``epoch``."""
+        archived = []
+        for transaction in transactions:
+            if transaction.txn_id in self._by_id:
+                raise PublicationError(
+                    f"transaction {transaction.txn_id!r} was already published"
+                )
+            if transaction.peer != publisher:
+                raise PublicationError(
+                    f"peer {publisher!r} cannot publish transaction "
+                    f"{transaction.txn_id!r} owned by {transaction.peer!r}"
+                )
+            stamped = transaction.with_epoch(epoch)
+            entry = PublishedTransaction(
+                transaction=stamped,
+                epoch=epoch,
+                sequence=len(self._entries),
+                publisher=publisher,
+            )
+            self._entries.append(entry)
+            self._by_id[transaction.txn_id] = entry
+            archived.append(entry)
+        return archived
+
+    # -- retrieval ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def all_entries(self) -> list[PublishedTransaction]:
+        return list(self._entries)
+
+    def transactions(self) -> list[Transaction]:
+        return [entry.transaction for entry in self._entries]
+
+    def entry(self, txn_id: str) -> PublishedTransaction:
+        try:
+            return self._by_id[txn_id]
+        except KeyError:
+            raise PublicationError(f"transaction {txn_id!r} was never published") from None
+
+    def contains(self, txn_id: str) -> bool:
+        return txn_id in self._by_id
+
+    def published_since(
+        self, epoch: int, exclude_publisher: Optional[str] = None
+    ) -> list[PublishedTransaction]:
+        """Entries published strictly after ``epoch`` (optionally excluding a peer)."""
+        return [
+            entry
+            for entry in self._entries
+            if entry.epoch > epoch
+            and (exclude_publisher is None or entry.publisher != exclude_publisher)
+        ]
+
+    def published_by(self, publisher: str) -> list[PublishedTransaction]:
+        return [entry for entry in self._entries if entry.publisher == publisher]
+
+    def latest_epoch(self) -> int:
+        return self._entries[-1].epoch if self._entries else 0
+
+    def antecedents_map(self) -> dict[str, frozenset[str]]:
+        """``{txn_id: antecedents}`` for every archived transaction."""
+        return {
+            entry.txn_id: entry.transaction.antecedents for entry in self._entries
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UpdateStore({len(self._entries)} transactions, epoch {self.latest_epoch()})"

@@ -1,0 +1,62 @@
+"""Provenance semirings and the update-exchange provenance graph.
+
+This package reproduces the algebraic machinery of the companion paper
+*Provenance semirings* (Green, Karvounarakis, Tannen, PODS 2007) that
+ORCHESTRA uses to record where each exchanged tuple came from and to evaluate
+per-peer trust policies:
+
+* :mod:`repro.provenance.semiring` — the semiring protocol plus the standard
+  instances (boolean, counting, tropical, security/access-control, fuzzy,
+  why-provenance, lineage),
+* :mod:`repro.provenance.polynomial` — provenance polynomials ``N[X]``, the
+  most general (universal) annotation,
+* :mod:`repro.provenance.expressions` — compact provenance expression DAGs,
+* :mod:`repro.provenance.graph` — the provenance graph maintained during
+  update exchange (tuples + mapping-rule derivations),
+* :mod:`repro.provenance.homomorphism` — evaluation of polynomials,
+  expressions and graphs into arbitrary commutative semirings.
+"""
+
+from .expressions import ProvenanceExpression, prov_one, prov_plus, prov_times, prov_var, prov_zero
+from .graph import DerivationNode, ProvenanceGraph, TupleNode
+from .homomorphism import evaluate_expression, evaluate_graph, evaluate_polynomial
+from .polynomial import Monomial, Polynomial
+from .semiring import (
+    BooleanSemiring,
+    CountingSemiring,
+    FuzzySemiring,
+    LineageSemiring,
+    PolynomialSemiring,
+    SecuritySemiring,
+    Semiring,
+    TrustLevel,
+    TropicalSemiring,
+    WhySemiring,
+)
+
+__all__ = [
+    "BooleanSemiring",
+    "CountingSemiring",
+    "DerivationNode",
+    "FuzzySemiring",
+    "LineageSemiring",
+    "Monomial",
+    "Polynomial",
+    "PolynomialSemiring",
+    "ProvenanceExpression",
+    "ProvenanceGraph",
+    "SecuritySemiring",
+    "Semiring",
+    "TrustLevel",
+    "TropicalSemiring",
+    "TupleNode",
+    "WhySemiring",
+    "evaluate_expression",
+    "evaluate_graph",
+    "evaluate_polynomial",
+    "prov_one",
+    "prov_plus",
+    "prov_times",
+    "prov_var",
+    "prov_zero",
+]

@@ -1,0 +1,178 @@
+"""Compact provenance expression DAGs.
+
+Provenance polynomials can grow exponentially when derivations share
+sub-derivations.  ORCHESTRA therefore stores provenance as a graph/DAG and
+only expands to polynomials on demand.  :class:`ProvenanceExpression` is the
+in-memory DAG node: a variable, 0, 1, a sum, or a product.  Sub-expressions
+are shared by reference, so a tuple derived in many ways through a common
+sub-tuple stays small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..errors import ProvenanceError
+from .polynomial import Polynomial
+
+
+@dataclass(frozen=True)
+class ProvenanceExpression:
+    """An immutable provenance expression node.
+
+    ``kind`` is one of ``"zero"``, ``"one"``, ``"var"``, ``"plus"`` or
+    ``"times"``.  For ``"var"`` nodes, ``name`` holds the provenance variable;
+    for ``"plus"``/``"times"`` nodes, ``children`` holds the operands.
+    """
+
+    kind: str
+    name: str | None = None
+    children: tuple["ProvenanceExpression", ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in {"zero", "one", "var", "plus", "times"}:
+            raise ProvenanceError(f"unknown provenance expression kind {self.kind!r}")
+        if self.kind == "var" and not self.name:
+            raise ProvenanceError("variable expressions require a name")
+        if self.kind in {"plus", "times"} and not self.children:
+            raise ProvenanceError(f"{self.kind} expressions require children")
+
+    # -- structure ----------------------------------------------------------
+    def variables(self) -> set[str]:
+        """Every provenance variable reachable from this node."""
+        if self.kind == "var":
+            return {self.name or ""}
+        found: set[str] = set()
+        for child in self.children:
+            found.update(child.variables())
+        return found
+
+    def size(self) -> int:
+        """Number of nodes in the expression tree (counting shared nodes once per path)."""
+        if self.kind in {"zero", "one", "var"}:
+            return 1
+        return 1 + sum(child.size() for child in self.children)
+
+    def depth(self) -> int:
+        if self.kind in {"zero", "one", "var"}:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    # -- conversion -----------------------------------------------------------
+    def to_polynomial(self) -> Polynomial:
+        """Expand the expression into a provenance polynomial."""
+        if self.kind == "zero":
+            return Polynomial.zero()
+        if self.kind == "one":
+            return Polynomial.one()
+        if self.kind == "var":
+            return Polynomial.variable(self.name or "")
+        if self.kind == "plus":
+            total = Polynomial.zero()
+            for child in self.children:
+                total = total + child.to_polynomial()
+            return total
+        product = Polynomial.one()
+        for child in self.children:
+            product = product * child.to_polynomial()
+        return product
+
+    def evaluate(self, semiring, assignment: Mapping[str, object]):
+        """Evaluate the expression under an assignment into ``semiring``."""
+        if self.kind == "zero":
+            return semiring.zero()
+        if self.kind == "one":
+            return semiring.one()
+        if self.kind == "var":
+            if self.name not in assignment:
+                raise ProvenanceError(f"unassigned provenance variable {self.name!r}")
+            return assignment[self.name]
+        if self.kind == "plus":
+            total = semiring.zero()
+            for child in self.children:
+                total = semiring.plus(total, child.evaluate(semiring, assignment))
+            return total
+        product = semiring.one()
+        for child in self.children:
+            product = semiring.times(product, child.evaluate(semiring, assignment))
+        return product
+
+    def simplified(self) -> "ProvenanceExpression":
+        """Apply identity/absorption laws (0+x=x, 1*x=x, 0*x=0) recursively."""
+        if self.kind in {"zero", "one", "var"}:
+            return self
+        children = [child.simplified() for child in self.children]
+        if self.kind == "plus":
+            kept = [child for child in children if child.kind != "zero"]
+            if not kept:
+                return prov_zero()
+            if len(kept) == 1:
+                return kept[0]
+            return ProvenanceExpression("plus", children=tuple(kept))
+        # times
+        if any(child.kind == "zero" for child in children):
+            return prov_zero()
+        kept = [child for child in children if child.kind != "one"]
+        if not kept:
+            return prov_one()
+        if len(kept) == 1:
+            return kept[0]
+        return ProvenanceExpression("times", children=tuple(kept))
+
+    def __str__(self) -> str:
+        if self.kind == "zero":
+            return "0"
+        if self.kind == "one":
+            return "1"
+        if self.kind == "var":
+            return self.name or ""
+        symbol = " + " if self.kind == "plus" else " * "
+        return "(" + symbol.join(str(child) for child in self.children) + ")"
+
+
+def prov_zero() -> ProvenanceExpression:
+    """The absent-tuple annotation."""
+    return ProvenanceExpression("zero")
+
+
+def prov_one() -> ProvenanceExpression:
+    """The unconditionally-present annotation."""
+    return ProvenanceExpression("one")
+
+
+def prov_var(name: str) -> ProvenanceExpression:
+    """A provenance variable (a base tuple or mapping-rule identifier)."""
+    return ProvenanceExpression("var", name=name)
+
+
+def prov_plus(children: Iterable[ProvenanceExpression]) -> ProvenanceExpression:
+    """Sum of alternative derivations (n-ary, flattening nested sums)."""
+    flattened: list[ProvenanceExpression] = []
+    for child in children:
+        if child.kind == "plus":
+            flattened.extend(child.children)
+        elif child.kind != "zero":
+            flattened.append(child)
+    if not flattened:
+        return prov_zero()
+    if len(flattened) == 1:
+        return flattened[0]
+    return ProvenanceExpression("plus", children=tuple(flattened))
+
+
+def prov_times(children: Iterable[ProvenanceExpression]) -> ProvenanceExpression:
+    """Product of jointly used inputs (n-ary, flattening nested products)."""
+    flattened: list[ProvenanceExpression] = []
+    for child in children:
+        if child.kind == "zero":
+            return prov_zero()
+        if child.kind == "times":
+            flattened.extend(child.children)
+        elif child.kind != "one":
+            flattened.append(child)
+    if not flattened:
+        return prov_one()
+    if len(flattened) == 1:
+        return flattened[0]
+    return ProvenanceExpression("times", children=tuple(flattened))

@@ -1,0 +1,339 @@
+"""The update-exchange provenance graph.
+
+During update exchange ORCHESTRA does not materialise provenance polynomials
+for every derived tuple; it maintains a *provenance graph* whose nodes are
+tuples and whose hyper-edges are mapping-rule firings connecting the source
+tuples of a firing to the tuple it derives.  The graph supports:
+
+* lazily expanding a tuple's provenance into an expression or polynomial,
+* evaluating a tuple's annotation in any commutative semiring by a least
+  fixpoint computation (needed because peer mapping graphs may be cyclic,
+  e.g. the Figure-2 network maps Σ1 → Σ2 → Σ1), and
+* deletion propagation: after removing base tuples, finding which derived
+  tuples have lost all their support.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping, Optional
+
+from ..errors import ProvenanceError
+from .expressions import ProvenanceExpression, prov_plus, prov_times, prov_var, prov_zero
+from .polynomial import Polynomial
+from .semiring import BooleanSemiring
+
+#: A tuple node is identified by its relation name and its ground values.
+TupleKey = tuple[str, tuple]
+
+
+@dataclass(frozen=True)
+class TupleNode:
+    """A node of the provenance graph: one tuple of one relation."""
+
+    relation: str
+    values: tuple
+    is_base: bool
+    variable: Optional[str] = None
+
+    @property
+    def key(self) -> TupleKey:
+        return (self.relation, self.values)
+
+
+@dataclass(frozen=True)
+class DerivationNode:
+    """One firing of a mapping rule: sources jointly derive the target tuple."""
+
+    mapping_id: str
+    target: TupleKey
+    sources: tuple[TupleKey, ...]
+    rule_variable: Optional[str] = None
+
+    @property
+    def key(self) -> tuple:
+        return (self.mapping_id, self.target, self.sources)
+
+
+class ProvenanceGraph:
+    """A mutable provenance graph for one peer's (or the whole system's) data."""
+
+    def __init__(self, annotate_mappings: bool = False) -> None:
+        self._tuples: dict[TupleKey, TupleNode] = {}
+        self._derivations: dict[tuple, DerivationNode] = {}
+        self._derivations_by_target: dict[TupleKey, list[DerivationNode]] = defaultdict(list)
+        self._derivations_by_source: dict[TupleKey, list[DerivationNode]] = defaultdict(list)
+        self._annotate_mappings = annotate_mappings
+
+    # -- construction -----------------------------------------------------
+    def add_base_tuple(
+        self, relation: str, values: tuple, variable: Optional[str] = None
+    ) -> TupleNode:
+        """Register a base (peer-inserted) tuple and give it a provenance variable."""
+        key = (relation, tuple(values))
+        existing = self._tuples.get(key)
+        if existing is not None:
+            if existing.is_base:
+                return existing
+            # A tuple previously known only as derived is now also asserted as
+            # base data: promote it, keeping its derivations.
+            promoted = TupleNode(
+                relation, key[1], is_base=True, variable=variable or self._fresh_variable(key)
+            )
+            self._tuples[key] = promoted
+            return promoted
+        node = TupleNode(
+            relation, key[1], is_base=True, variable=variable or self._fresh_variable(key)
+        )
+        self._tuples[key] = node
+        return node
+
+    def add_derived_tuple(self, relation: str, values: tuple) -> TupleNode:
+        """Register a derived tuple (no variable of its own)."""
+        key = (relation, tuple(values))
+        existing = self._tuples.get(key)
+        if existing is not None:
+            return existing
+        node = TupleNode(relation, key[1], is_base=False)
+        self._tuples[key] = node
+        return node
+
+    def add_derivation(
+        self,
+        mapping_id: str,
+        target: tuple[str, tuple],
+        sources: Iterable[tuple[str, tuple]],
+        rule_variable: Optional[str] = None,
+    ) -> DerivationNode:
+        """Record that ``sources`` jointly derive ``target`` through ``mapping_id``."""
+        target_key: TupleKey = (target[0], tuple(target[1]))
+        source_keys: tuple[TupleKey, ...] = tuple(
+            (relation, tuple(values)) for relation, values in sources
+        )
+        self.add_derived_tuple(*target_key)
+        for relation, values in source_keys:
+            if (relation, values) not in self._tuples:
+                # Sources that have never been registered are treated as
+                # derived placeholders; they get no variable until someone
+                # asserts them as base data.
+                self.add_derived_tuple(relation, values)
+        if self._annotate_mappings and rule_variable is None:
+            rule_variable = f"m:{mapping_id}"
+        derivation = DerivationNode(mapping_id, target_key, source_keys, rule_variable)
+        if derivation.key in self._derivations:
+            return self._derivations[derivation.key]
+        self._derivations[derivation.key] = derivation
+        self._derivations_by_target[target_key].append(derivation)
+        for source_key in source_keys:
+            self._derivations_by_source[source_key].append(derivation)
+        return derivation
+
+    def remove_base_tuple(self, relation: str, values: tuple) -> bool:
+        """Demote a base tuple to derived-only (it was deleted at its origin).
+
+        The tuple node and its derivations stay in the graph; whether it is
+        still derivable is decided by :meth:`unsupported_tuples` /
+        :meth:`is_derivable`.
+        Returns True when the tuple was a base tuple.
+        """
+        key = (relation, tuple(values))
+        node = self._tuples.get(key)
+        if node is None or not node.is_base:
+            return False
+        self._tuples[key] = TupleNode(relation, key[1], is_base=False)
+        return True
+
+    # -- inspection ----------------------------------------------------------
+    def node(self, relation: str, values: tuple) -> Optional[TupleNode]:
+        return self._tuples.get((relation, tuple(values)))
+
+    def tuples(self) -> Iterable[TupleNode]:
+        return self._tuples.values()
+
+    def derivations(self) -> Iterable[DerivationNode]:
+        return self._derivations.values()
+
+    def derivations_of(self, relation: str, values: tuple) -> list[DerivationNode]:
+        return list(self._derivations_by_target.get((relation, tuple(values)), ()))
+
+    def derivations_from(self, relation: str, values: tuple) -> list[DerivationNode]:
+        return list(self._derivations_by_source.get((relation, tuple(values)), ()))
+
+    def base_variables(self) -> dict[str, TupleKey]:
+        """Map each provenance variable to the base tuple it annotates."""
+        return {
+            node.variable: key
+            for key, node in self._tuples.items()
+            if node.is_base and node.variable
+        }
+
+    def size(self) -> tuple[int, int]:
+        """Return ``(tuple nodes, derivation nodes)``."""
+        return (len(self._tuples), len(self._derivations))
+
+    # -- provenance expansion -------------------------------------------------
+    def expression_for(
+        self, relation: str, values: tuple, max_depth: int = 32
+    ) -> ProvenanceExpression:
+        """Expand a tuple's provenance into an expression.
+
+        Cycles in the derivation graph (possible when the peer mapping graph
+        is cyclic) are cut by returning 0 for a tuple already being expanded
+        on the current path, which yields the sum over all *acyclic*
+        derivations — exactly the finite part of the least fixpoint.
+        """
+        key = (relation, tuple(values))
+        return self._expand(key, frozenset(), max_depth)
+
+    def _expand(
+        self, key: TupleKey, on_path: frozenset, remaining_depth: int
+    ) -> ProvenanceExpression:
+        node = self._tuples.get(key)
+        if node is None:
+            return prov_zero()
+        alternatives: list[ProvenanceExpression] = []
+        if node.is_base and node.variable:
+            alternatives.append(prov_var(node.variable))
+        if remaining_depth > 0 and key not in on_path:
+            extended_path = on_path | {key}
+            for derivation in self._derivations_by_target.get(key, ()):
+                factors: list[ProvenanceExpression] = []
+                if derivation.rule_variable:
+                    factors.append(prov_var(derivation.rule_variable))
+                dead_branch = False
+                for source_key in derivation.sources:
+                    source_expression = self._expand(
+                        source_key, extended_path, remaining_depth - 1
+                    )
+                    if source_expression.kind == "zero":
+                        dead_branch = True
+                        break
+                    factors.append(source_expression)
+                if not dead_branch:
+                    alternatives.append(prov_times(factors))
+        return prov_plus(alternatives)
+
+    def polynomial_for(
+        self, relation: str, values: tuple, max_depth: int = 32
+    ) -> Polynomial:
+        """The provenance polynomial of a tuple (acyclic derivations only)."""
+        return self.expression_for(relation, values, max_depth).to_polynomial()
+
+    # -- semiring evaluation --------------------------------------------------
+    def evaluate(
+        self,
+        semiring,
+        assignment: Mapping[str, object],
+        default: Optional[object] = None,
+        max_iterations: int = 1000,
+    ) -> dict[TupleKey, object]:
+        """Evaluate every tuple's annotation in ``semiring`` by least fixpoint.
+
+        ``assignment`` maps provenance variables (base tuples and, when
+        enabled, mapping rules) to semiring values; variables missing from the
+        assignment take ``default`` (or the semiring's one if ``default`` is
+        ``None``).  The iteration converges for the idempotent semirings used
+        by trust policies (boolean, tropical, security, fuzzy); for
+        non-idempotent semirings over a cyclic graph the iteration is cut off
+        after ``max_iterations`` rounds and a :class:`ProvenanceError` is
+        raised.
+        """
+        fallback = semiring.one() if default is None else default
+
+        def variable_value(variable: Optional[str]):
+            if variable is None:
+                return semiring.one()
+            return assignment.get(variable, fallback)
+
+        annotations: dict[TupleKey, object] = {
+            key: semiring.zero() for key in self._tuples
+        }
+        for _round in range(max_iterations):
+            changed = False
+            for key, node in self._tuples.items():
+                value = semiring.zero()
+                if node.is_base:
+                    value = semiring.plus(value, variable_value(node.variable))
+                for derivation in self._derivations_by_target.get(key, ()):
+                    term = variable_value(derivation.rule_variable)
+                    for source_key in derivation.sources:
+                        term = semiring.times(
+                            term, annotations.get(source_key, semiring.zero())
+                        )
+                    value = semiring.plus(value, term)
+                if value != annotations[key]:
+                    annotations[key] = value
+                    changed = True
+            if not changed:
+                return annotations
+        raise ProvenanceError(
+            f"semiring evaluation did not converge within {max_iterations} iterations; "
+            "the provenance graph is cyclic and the target semiring is not idempotent"
+        )
+
+    def is_derivable(
+        self,
+        relation: str,
+        values: tuple,
+        trusted_variables: Optional[set[str]] = None,
+    ) -> bool:
+        """True when the tuple is derivable from base tuples.
+
+        When ``trusted_variables`` is given, only base tuples whose provenance
+        variable is in the set count as support (the boolean-semiring trust
+        evaluation of the paper).
+        """
+        boolean = BooleanSemiring()
+        if trusted_variables is None:
+            assignment = {
+                node.variable: True
+                for node in self._tuples.values()
+                if node.is_base and node.variable
+            }
+        else:
+            assignment = {
+                node.variable: (node.variable in trusted_variables)
+                for node in self._tuples.values()
+                if node.is_base and node.variable
+            }
+        annotations = self.evaluate(boolean, assignment, default=True)
+        return bool(annotations.get((relation, tuple(values)), False))
+
+    def unsupported_tuples(self) -> list[TupleKey]:
+        """Tuples that are no longer derivable from any base tuple.
+
+        Used by deletion propagation: after base deletions, these are the
+        derived tuples that must be removed from the target instances.
+        """
+        boolean = BooleanSemiring()
+        assignment = {
+            node.variable: True
+            for node in self._tuples.values()
+            if node.is_base and node.variable
+        }
+        annotations = self.evaluate(boolean, assignment, default=True)
+        return [key for key, supported in annotations.items() if not supported]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tuples, derivations = self.size()
+        return f"ProvenanceGraph(tuples={tuples}, derivations={derivations})"
+
+
+def merge_graphs(graphs: Iterable[ProvenanceGraph]) -> ProvenanceGraph:
+    """Union several provenance graphs into a new one."""
+    merged = ProvenanceGraph()
+    for graph in graphs:
+        for node in graph.tuples():
+            if node.is_base:
+                merged.add_base_tuple(node.relation, node.values, node.variable)
+            else:
+                merged.add_derived_tuple(node.relation, node.values)
+        for derivation in graph.derivations():
+            merged.add_derivation(
+                derivation.mapping_id,
+                derivation.target,
+                derivation.sources,
+                derivation.rule_variable,
+            )
+    return merged

@@ -1,0 +1,73 @@
+"""Evaluating provenance under semiring homomorphisms.
+
+The central theorem of the provenance-semirings paper is that ``N[X]`` is the
+free (universal) commutative semiring on ``X``: any assignment ``X -> K`` into
+a commutative semiring ``K`` extends uniquely to a homomorphism
+``N[X] -> K``.  ORCHESTRA stores provenance once (as polynomials, expression
+DAGs or a provenance graph) and answers many different trust questions by
+choosing different target semirings and assignments:
+
+* boolean semiring, trusted base tuples assigned ``True`` — "is the tuple
+  derivable from data I trust?",
+* tropical semiring, each peer's data assigned a cost — "what is the cheapest
+  chain of mappings that produced this tuple?",
+* security semiring, each source assigned a clearance — "what clearance is
+  needed to see this tuple?".
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from .expressions import ProvenanceExpression
+from .graph import ProvenanceGraph, TupleKey
+from .polynomial import Polynomial
+
+
+def evaluate_polynomial(
+    polynomial: Polynomial, semiring, assignment: Mapping[str, object]
+):
+    """Evaluate ``polynomial`` in ``semiring`` under ``assignment``."""
+    return polynomial.evaluate(semiring, assignment)
+
+
+def evaluate_expression(
+    expression: ProvenanceExpression, semiring, assignment: Mapping[str, object]
+):
+    """Evaluate a provenance expression DAG in ``semiring`` under ``assignment``."""
+    return expression.evaluate(semiring, assignment)
+
+
+def evaluate_graph(
+    graph: ProvenanceGraph,
+    semiring,
+    assignment: Mapping[str, object],
+    default: Optional[object] = None,
+) -> dict[TupleKey, object]:
+    """Evaluate every tuple of a provenance graph in ``semiring``.
+
+    A thin wrapper over :meth:`ProvenanceGraph.evaluate` kept here so the
+    three provenance representations share one entry point.
+    """
+    return graph.evaluate(semiring, assignment, default=default)
+
+
+def specialize_assignment(
+    variables_by_peer: Mapping[str, str], values_by_peer: Mapping[str, object], default
+) -> dict[str, object]:
+    """Build a variable assignment from per-peer values.
+
+    Args:
+        variables_by_peer: Maps each provenance variable to the peer that
+            contributed the corresponding base tuple.
+        values_by_peer: The semiring value assigned to each peer (for example
+            a trust cost or a clearance level).
+        default: Value used for peers absent from ``values_by_peer``.
+
+    Returns:
+        An assignment suitable for the ``evaluate_*`` functions.
+    """
+    return {
+        variable: values_by_peer.get(peer, default)
+        for variable, peer in variables_by_peer.items()
+    }

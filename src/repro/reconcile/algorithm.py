@@ -1,0 +1,334 @@
+"""The greedy reconciliation algorithm.
+
+Given the undecided candidate transactions visible to a peer, the reconciler:
+
+1. builds applicable transaction groups (candidates plus the undecided
+   antecedents they need), rejecting candidates whose antecedents were
+   rejected and leaving candidates with missing antecedents pending;
+2. assigns each group a trust priority; groups with priority 0 are rejected
+   (their data is distrusted);
+3. processes priorities from highest to lowest; within a priority level a
+   group is accepted when it conflicts neither with previously accepted data
+   nor with an already accepted group, is rejected when a strictly
+   higher-priority group (or earlier accepted state) has claimed the
+   conflicting key, and is *deferred* when the conflict is with another group
+   of the same priority — those are handed to the administrator;
+4. transactions that depend on deferred transactions are deferred as well;
+5. accepted groups are applied to the peer's local instance atomically, in
+   dependency order.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from ..config import ReconciliationConfig
+from ..core.peer import Peer
+from ..exchange.translation import CandidateTransaction
+from ..provenance.graph import ProvenanceGraph
+from .candidates import GroupingOutcome, TransactionGroup, antecedent_closure, build_groups
+from .conflicts import updates_conflict
+from .decisions import Decision, ReconciliationState
+from .priorities import group_priority
+
+
+@dataclass
+class ReconcileResult:
+    """Summary of one reconciliation run at one peer."""
+
+    peer: str
+    epoch: int = 0
+    accepted: list[str] = field(default_factory=list)
+    rejected: list[str] = field(default_factory=list)
+    deferred: list[str] = field(default_factory=list)
+    pending: list[str] = field(default_factory=list)
+    conflicts_deferred: int = 0
+    applied_updates: int = 0
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "accepted": len(self.accepted),
+            "rejected": len(self.rejected),
+            "deferred": len(self.deferred),
+            "pending": len(self.pending),
+            "conflicts_deferred": self.conflicts_deferred,
+            "applied_updates": self.applied_updates,
+        }
+
+
+class Reconciler:
+    """Runs the reconciliation algorithm for one peer."""
+
+    def __init__(
+        self,
+        peer: Peer,
+        state: Optional[ReconciliationState] = None,
+        config: Optional[ReconciliationConfig] = None,
+    ) -> None:
+        self._peer = peer
+        self._state = state or ReconciliationState(peer=peer.name)
+        self._config = config or ReconciliationConfig()
+
+    @property
+    def state(self) -> ReconciliationState:
+        return self._state
+
+    @property
+    def peer(self) -> Peer:
+        return self._peer
+
+    # -- the main entry point ----------------------------------------------------
+    def reconcile(
+        self,
+        candidates: Iterable[CandidateTransaction],
+        known_transactions: Optional[Mapping[str, frozenset[str]]] = None,
+        provenance: Optional[ProvenanceGraph] = None,
+        epoch: int = 0,
+    ) -> ReconcileResult:
+        """Decide and apply one batch of candidate transactions.
+
+        ``candidates`` should contain the newly translated transactions; the
+        reconciler automatically re-considers candidates left undecided by
+        earlier runs.
+        """
+        result = ReconcileResult(peer=self._peer.name, epoch=epoch)
+
+        pool: dict[str, CandidateTransaction] = {}
+        for candidate in self._state.undecided.values():
+            pool[candidate.txn_id] = candidate
+        for candidate in candidates:
+            if candidate.origin == self._peer.name:
+                # The peer's own transactions are already applied locally.
+                self._state.decisions.setdefault(candidate.txn_id, Decision.ACCEPTED)
+                continue
+            if candidate.is_empty:
+                # No effect in this peer's schema: vacuously accepted so that
+                # dependents do not wait for it.
+                self._state.decisions.setdefault(candidate.txn_id, Decision.ACCEPTED)
+                continue
+            if not self._state.is_decided(candidate.txn_id):
+                pool[candidate.txn_id] = candidate
+
+        grouping = build_groups(
+            pool.values(), self._state, self._peer.name, known_transactions
+        )
+        self._reject_candidates(grouping, result)
+        self._mark_pending(grouping, result)
+
+        trusted_peers = None
+        if provenance is not None and self._peer.trust.require_trusted_provenance:
+            trusted_peers = self._peer.trust.trusted_peers(
+                {candidate.origin for candidate in pool.values()} | {self._peer.name}
+            )
+        else:
+            provenance = None
+        for group in grouping.groups:
+            group_priority(group, self._peer.trust, self._peer.schema, provenance, trusted_peers)
+
+        self._greedy_select(grouping.groups, pool, result)
+        return result
+
+    # -- phases -------------------------------------------------------------------
+    def _reject_candidates(self, grouping: GroupingOutcome, result: ReconcileResult) -> None:
+        for candidate in grouping.rejected:
+            self._state.record_reject(candidate.txn_id)
+            result.rejected.append(candidate.txn_id)
+
+    def _mark_pending(self, grouping: GroupingOutcome, result: ReconcileResult) -> None:
+        for candidate in grouping.pending:
+            self._state.record_pending(candidate)
+            result.pending.append(candidate.txn_id)
+
+    def _greedy_select(
+        self,
+        groups: list[TransactionGroup],
+        pool: Mapping[str, CandidateTransaction],
+        result: ReconcileResult,
+    ) -> None:
+        # Distrusted groups (priority 0) are rejected outright, unless their
+        # candidate is needed as an antecedent of a trusted group — in that
+        # case it will be applied as part of that group.
+        needed_as_antecedent: set[str] = set()
+        for group in groups:
+            if group.priority > 0:
+                needed_as_antecedent.update(
+                    member.txn_id for member in group.members[:-1]
+                )
+
+        viable: list[TransactionGroup] = []
+        for group in groups:
+            if group.priority > 0:
+                viable.append(group)
+            elif group.txn_id not in needed_as_antecedent:
+                self._state.record_reject(group.txn_id)
+                result.rejected.append(group.txn_id)
+            # else: leave undecided; its fate follows the trusted dependent.
+
+        # Transactions deferred by an earlier reconciliation stay deferred
+        # until the administrator resolves their conflict (paper semantics);
+        # they also transitively defer anything that depends on them.
+        deferred_ids: set[str] = set(self._state.deferred_ids())
+        accepted_groups: list[TransactionGroup] = []
+
+        by_priority: dict[int, list[TransactionGroup]] = defaultdict(list)
+        for group in viable:
+            by_priority[group.priority].append(group)
+
+        for priority in sorted(by_priority, reverse=True):
+            level = sorted(by_priority[priority], key=lambda group: group.txn_id)
+            survivors: list[TransactionGroup] = []
+            for group in level:
+                if group.txn_id in deferred_ids:
+                    continue
+                if self._depends_on_deferred(group, deferred_ids, pool):
+                    self._defer_group(group, result, deferred_ids)
+                    continue
+                if self._conflicts_with_accepted(group, accepted_groups):
+                    self._state.record_reject(group.txn_id)
+                    result.rejected.append(group.txn_id)
+                    continue
+                survivors.append(group)
+
+            if self._config.defer_on_ties:
+                conflict_sets = self._same_priority_conflicts(survivors)
+            else:
+                conflict_sets = []
+            deferred_here: set[str] = set()
+            for conflict_set in conflict_sets:
+                ids = sorted(group.txn_id for group in conflict_set)
+                self._state.add_deferred_conflict(ids, priority)
+                result.conflicts_deferred += 1
+                for group in conflict_set:
+                    if group.txn_id not in deferred_here:
+                        self._defer_group(group, result, deferred_ids)
+                        deferred_here.add(group.txn_id)
+
+            if not self._config.defer_on_ties:
+                # Ablation baseline: break ties deterministically by txn id.
+                survivors = self._break_ties(survivors)
+
+            for group in survivors:
+                if group.txn_id in deferred_here:
+                    continue
+                if self._conflicts_with_accepted(group, accepted_groups):
+                    self._state.record_reject(group.txn_id)
+                    result.rejected.append(group.txn_id)
+                    continue
+                self._accept_group(group, result)
+                accepted_groups.append(group)
+
+    # -- helpers -------------------------------------------------------------------
+    def _antecedent_sensitive_conflict(
+        self, left: TransactionGroup, right: TransactionGroup
+    ) -> bool:
+        """Member-wise conflict check that ignores antecedent relationships."""
+        pool = {member.txn_id: member for member in left.members + right.members}
+        for left_member in left.members:
+            left_closure = antecedent_closure(left_member, pool)
+            for right_member in right.members:
+                if left_member.txn_id == right_member.txn_id:
+                    continue
+                right_closure = antecedent_closure(right_member, pool)
+                if (
+                    left_member.txn_id in right_closure
+                    or right_member.txn_id in left_closure
+                ):
+                    continue
+                if updates_conflict(
+                    left_member.updates, right_member.updates, self._peer.schema
+                ):
+                    return True
+        return False
+
+    def _conflicts_with_accepted(
+        self, group: TransactionGroup, accepted_groups: list[TransactionGroup]
+    ) -> bool:
+        """Conflict against this round's accepted groups and the stored state."""
+        for accepted in accepted_groups:
+            if self._antecedent_sensitive_conflict(group, accepted):
+                return True
+        candidate_pool = {member.txn_id: member for member in group.members}
+        closure = antecedent_closure(group.candidate, candidate_pool) | group.member_ids()
+        for txn_id, updates in self._state.accepted_updates.items():
+            if txn_id in closure:
+                continue
+            for member in group.members:
+                member_closure = antecedent_closure(member, candidate_pool)
+                if txn_id in member_closure:
+                    continue
+                if updates_conflict(member.updates, list(updates), self._peer.schema):
+                    return True
+        return False
+
+    def _same_priority_conflicts(
+        self, groups: list[TransactionGroup]
+    ) -> list[list[TransactionGroup]]:
+        """Find connected components of mutually conflicting same-priority groups."""
+        conflict_edges: dict[str, set[str]] = defaultdict(set)
+        by_id = {group.txn_id: group for group in groups}
+        ids = sorted(by_id)
+        for index, left_id in enumerate(ids):
+            for right_id in ids[index + 1 :]:
+                if self._antecedent_sensitive_conflict(by_id[left_id], by_id[right_id]):
+                    conflict_edges[left_id].add(right_id)
+                    conflict_edges[right_id].add(left_id)
+
+        components: list[list[TransactionGroup]] = []
+        seen: set[str] = set()
+        for txn_id in ids:
+            if txn_id in seen or txn_id not in conflict_edges:
+                continue
+            component: list[str] = []
+            frontier = [txn_id]
+            while frontier:
+                current = frontier.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                component.append(current)
+                frontier.extend(conflict_edges[current] - seen)
+            components.append([by_id[member] for member in sorted(component)])
+        return components
+
+    def _break_ties(self, groups: list[TransactionGroup]) -> list[TransactionGroup]:
+        """Ablation: accept the lexicographically smallest of each conflict set."""
+        kept: list[TransactionGroup] = []
+        for group in sorted(groups, key=lambda candidate: candidate.txn_id):
+            if not any(self._antecedent_sensitive_conflict(group, other) for other in kept):
+                kept.append(group)
+            else:
+                self._state.record_reject(group.txn_id)
+        return kept
+
+    def _depends_on_deferred(
+        self,
+        group: TransactionGroup,
+        deferred_ids: set[str],
+        pool: Mapping[str, CandidateTransaction],
+    ) -> bool:
+        if not deferred_ids:
+            return False
+        closure = antecedent_closure(group.candidate, pool)
+        return bool(closure & deferred_ids)
+
+    def _defer_group(
+        self,
+        group: TransactionGroup,
+        result: ReconcileResult,
+        deferred_ids: set[str],
+    ) -> None:
+        self._state.record_defer(group.candidate)
+        result.deferred.append(group.txn_id)
+        deferred_ids.add(group.txn_id)
+
+    def _accept_group(self, group: TransactionGroup, result: ReconcileResult) -> None:
+        """Apply every member of the group to the local instance and record it."""
+        for member in group.members:
+            if self._state.decision(member.txn_id) is Decision.ACCEPTED:
+                continue
+            self._peer.apply_updates(member.updates, producer=member.txn_id)
+            self._state.record_accept(member)
+            result.accepted.append(member.txn_id)
+            result.applied_updates += len(member.updates)

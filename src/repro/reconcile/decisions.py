@@ -1,0 +1,145 @@
+"""Per-peer reconciliation state: the decision history.
+
+Each peer remembers, across reconciliations, which transactions it has
+accepted, rejected or deferred, which updates the accepted transactions
+applied (needed for conflict checks against later candidates), and which
+deferred conflicts are awaiting manual resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional
+
+from ..core.updates import Update
+from ..errors import ReconciliationError
+from ..exchange.translation import CandidateTransaction
+
+
+class Decision(str, Enum):
+    """The possible outcomes for a candidate transaction at one peer."""
+
+    ACCEPTED = "accepted"
+    REJECTED = "rejected"
+    DEFERRED = "deferred"
+    PENDING = "pending"
+
+
+@dataclass
+class DeferredConflict:
+    """A set of equal-priority, mutually conflicting transactions awaiting
+    a decision by the site administrator."""
+
+    conflict_id: int
+    txn_ids: frozenset[str]
+    priority: int
+    resolved: bool = False
+    winner: Optional[str] = None
+
+
+@dataclass
+class ReconciliationState:
+    """Everything one peer remembers between reconciliations."""
+
+    peer: str
+    decisions: dict[str, Decision] = field(default_factory=dict)
+    #: Updates applied by accepted transactions, used for conflict detection
+    #: against future candidates (keyed by txn id).
+    accepted_updates: dict[str, tuple[Update, ...]] = field(default_factory=dict)
+    #: Candidates not yet decided (deferred or waiting for antecedents),
+    #: re-considered on every subsequent reconciliation.
+    undecided: dict[str, CandidateTransaction] = field(default_factory=dict)
+    deferred_conflicts: list[DeferredConflict] = field(default_factory=list)
+    _conflict_counter: int = 0
+
+    # -- decision bookkeeping ------------------------------------------------
+    def decision(self, txn_id: str) -> Decision:
+        return self.decisions.get(txn_id, Decision.PENDING)
+
+    def is_decided(self, txn_id: str) -> bool:
+        return self.decision(txn_id) in (Decision.ACCEPTED, Decision.REJECTED)
+
+    def record_accept(self, candidate: CandidateTransaction) -> None:
+        self.decisions[candidate.txn_id] = Decision.ACCEPTED
+        self.accepted_updates[candidate.txn_id] = candidate.updates
+        self.undecided.pop(candidate.txn_id, None)
+
+    def record_reject(self, txn_id: str) -> None:
+        self.decisions[txn_id] = Decision.REJECTED
+        self.undecided.pop(txn_id, None)
+
+    def record_defer(self, candidate: CandidateTransaction) -> None:
+        self.decisions[candidate.txn_id] = Decision.DEFERRED
+        self.undecided[candidate.txn_id] = candidate
+
+    def record_pending(self, candidate: CandidateTransaction) -> None:
+        if self.is_decided(candidate.txn_id):
+            return
+        self.decisions.setdefault(candidate.txn_id, Decision.PENDING)
+        self.undecided[candidate.txn_id] = candidate
+
+    def accepted_ids(self) -> set[str]:
+        return {
+            txn_id
+            for txn_id, decision in self.decisions.items()
+            if decision is Decision.ACCEPTED
+        }
+
+    def rejected_ids(self) -> set[str]:
+        return {
+            txn_id
+            for txn_id, decision in self.decisions.items()
+            if decision is Decision.REJECTED
+        }
+
+    def deferred_ids(self) -> set[str]:
+        return {
+            txn_id
+            for txn_id, decision in self.decisions.items()
+            if decision is Decision.DEFERRED
+        }
+
+    def all_accepted_updates(self) -> list[Update]:
+        updates: list[Update] = []
+        for group in self.accepted_updates.values():
+            updates.extend(group)
+        return updates
+
+    # -- deferred conflicts ----------------------------------------------------
+    def add_deferred_conflict(
+        self, txn_ids: Iterable[str], priority: int
+    ) -> DeferredConflict:
+        txn_ids = frozenset(txn_ids)
+        for existing in self.deferred_conflicts:
+            if not existing.resolved and existing.txn_ids == txn_ids:
+                # Re-deferring the same unresolved conflict on a later
+                # reconciliation must not create duplicates.
+                return existing
+        self._conflict_counter += 1
+        conflict = DeferredConflict(
+            conflict_id=self._conflict_counter,
+            txn_ids=frozenset(txn_ids),
+            priority=priority,
+        )
+        self.deferred_conflicts.append(conflict)
+        return conflict
+
+    def open_conflicts(self) -> list[DeferredConflict]:
+        return [conflict for conflict in self.deferred_conflicts if not conflict.resolved]
+
+    def conflict_containing(self, txn_id: str) -> DeferredConflict:
+        for conflict in self.deferred_conflicts:
+            if not conflict.resolved and txn_id in conflict.txn_ids:
+                return conflict
+        raise ReconciliationError(
+            f"peer {self.peer!r} has no open deferred conflict involving {txn_id!r}"
+        )
+
+    # -- reporting ------------------------------------------------------------
+    def summary(self) -> dict[str, int]:
+        counts = {"accepted": 0, "rejected": 0, "deferred": 0, "pending": 0}
+        for decision in self.decisions.values():
+            counts[decision.value] += 1
+        counts["open_conflicts"] = len(self.open_conflicts())
+        return counts

@@ -1,0 +1,57 @@
+"""The storage backend protocol shared by all peer-instance implementations."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """Set-oriented relational storage for one peer's local instance.
+
+    Tuples are plain Python tuples whose cells are scalars
+    (str/int/float/bool/None) or labelled nulls
+    (:class:`repro.datalog.ast.SkolemTerm`).  All operations have set
+    semantics: inserting an existing tuple or deleting a missing one is a
+    no-op reported through the boolean return value.
+    """
+
+    def create_relation(self, name: str, arity: int) -> None:
+        """Declare a relation; idempotent if it already exists with the same arity."""
+        ...
+
+    def relations(self) -> set[str]:
+        """Names of all declared relations."""
+        ...
+
+    def arity(self, name: str) -> int:
+        """Arity of a declared relation."""
+        ...
+
+    def insert(self, relation: str, values: tuple) -> bool:
+        """Insert a tuple; True when it was not already present."""
+        ...
+
+    def delete(self, relation: str, values: tuple) -> bool:
+        """Delete a tuple; True when it was present."""
+        ...
+
+    def contains(self, relation: str, values: tuple) -> bool:
+        """Membership test."""
+        ...
+
+    def scan(self, relation: str) -> Iterator[tuple]:
+        """Iterate over all tuples of a relation."""
+        ...
+
+    def count(self, relation: str | None = None) -> int:
+        """Number of tuples in one relation, or in the whole instance."""
+        ...
+
+    def clear(self, relation: str | None = None) -> None:
+        """Remove all tuples from one relation, or from every relation."""
+        ...
+
+    def insert_many(self, relation: str, rows: Iterable[tuple]) -> int:
+        """Bulk insert; returns the number of tuples actually added."""
+        ...

@@ -1,0 +1,207 @@
+"""SQLite-backed peer instance storage.
+
+The original ORCHESTRA stores peer instances in a relational DBMS.  This
+backend provides the same :class:`~repro.storage.interface.StorageBackend`
+protocol on top of the standard-library ``sqlite3`` module, including support
+for labelled nulls (skolem terms), which are serialised with a type tag so
+that round-tripping preserves their identity.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sqlite3
+from typing import Iterable, Iterator
+
+from ..datalog.ast import SkolemTerm
+from ..errors import StorageError, TupleArityError, UnknownRelationError
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.@-]*\Z")
+
+
+def encode_cell(value: object) -> str:
+    """Serialise one cell value (scalar or labelled null) to a JSON string."""
+    return json.dumps(_encode(value), sort_keys=True)
+
+
+def decode_cell(text: str) -> object:
+    """Inverse of :func:`encode_cell`."""
+    return _decode(json.loads(text))
+
+
+def _encode(value: object) -> object:
+    if isinstance(value, SkolemTerm):
+        return {
+            "__skolem__": value.function,
+            "args": [_encode(argument) for argument in value.arguments],
+        }
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return {"v": value}
+    raise StorageError(f"unsupported cell value of type {type(value).__name__}: {value!r}")
+
+
+def _decode(payload: object) -> object:
+    if isinstance(payload, dict) and "__skolem__" in payload:
+        return SkolemTerm(
+            payload["__skolem__"],
+            tuple(_decode(argument) for argument in payload.get("args", [])),
+        )
+    if isinstance(payload, dict) and "v" in payload:
+        return payload["v"]
+    raise StorageError(f"cannot decode stored cell payload: {payload!r}")
+
+
+class SQLiteInstance:
+    """A peer instance stored in an SQLite database.
+
+    Args:
+        path: Database file path, or ``":memory:"`` (the default) for an
+            ephemeral database.
+
+    Each relation becomes one table with columns ``c0..c{n-1}`` (TEXT, holding
+    tag-encoded cells) and a uniqueness constraint over the full row, giving
+    the same set semantics as :class:`~repro.storage.memory.MemoryInstance`.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._connection = sqlite3.connect(path)
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS _catalog (name TEXT PRIMARY KEY, arity INTEGER NOT NULL)"
+        )
+        self._connection.commit()
+        self._arities: dict[str, int] = {
+            name: arity
+            for name, arity in self._connection.execute("SELECT name, arity FROM _catalog")
+        }
+
+    # -- helpers -------------------------------------------------------------
+    @staticmethod
+    def _table(name: str) -> str:
+        if not _NAME_RE.match(name):
+            raise StorageError(f"invalid relation name {name!r}")
+        return '"rel_' + name.replace('"', "") + '"'
+
+    def _check(self, relation: str, values: tuple) -> tuple:
+        arity = self.arity(relation)
+        values = tuple(values)
+        if len(values) != arity:
+            raise TupleArityError(
+                f"relation {relation!r} has arity {arity}, got tuple of length {len(values)}"
+            )
+        return values
+
+    # -- schema ----------------------------------------------------------------
+    def create_relation(self, name: str, arity: int) -> None:
+        if arity < 0:
+            raise StorageError(f"relation {name!r} cannot have negative arity")
+        existing = self._arities.get(name)
+        if existing is not None:
+            if existing != arity:
+                raise StorageError(
+                    f"relation {name!r} already exists with arity {existing}, not {arity}"
+                )
+            return
+        columns = ", ".join(f"c{i} TEXT NOT NULL" for i in range(arity)) or "c0 TEXT"
+        unique = ", ".join(f"c{i}" for i in range(max(arity, 1)))
+        self._connection.execute(
+            f"CREATE TABLE IF NOT EXISTS {self._table(name)} ({columns}, UNIQUE ({unique}))"
+        )
+        self._connection.execute(
+            "INSERT OR REPLACE INTO _catalog (name, arity) VALUES (?, ?)", (name, arity)
+        )
+        self._connection.commit()
+        self._arities[name] = arity
+
+    def relations(self) -> set[str]:
+        return set(self._arities)
+
+    def arity(self, name: str) -> int:
+        try:
+            return self._arities[name]
+        except KeyError:
+            raise UnknownRelationError(f"unknown relation {name!r}") from None
+
+    # -- data ---------------------------------------------------------------
+    def insert(self, relation: str, values: tuple) -> bool:
+        values = self._check(relation, values)
+        arity = max(len(values), 1)
+        encoded = [encode_cell(value) for value in values] or [encode_cell(None)]
+        placeholders = ", ".join("?" for _ in range(arity))
+        cursor = self._connection.execute(
+            f"INSERT OR IGNORE INTO {self._table(relation)} VALUES ({placeholders})",
+            encoded,
+        )
+        self._connection.commit()
+        return cursor.rowcount > 0
+
+    def insert_many(self, relation: str, rows: Iterable[tuple]) -> int:
+        added = 0
+        for values in rows:
+            if self.insert(relation, values):
+                added += 1
+        return added
+
+    def delete(self, relation: str, values: tuple) -> bool:
+        values = self._check(relation, values)
+        encoded = [encode_cell(value) for value in values] or [encode_cell(None)]
+        condition = " AND ".join(f"c{i} = ?" for i in range(len(encoded)))
+        cursor = self._connection.execute(
+            f"DELETE FROM {self._table(relation)} WHERE {condition}", encoded
+        )
+        self._connection.commit()
+        return cursor.rowcount > 0
+
+    def contains(self, relation: str, values: tuple) -> bool:
+        values = self._check(relation, values)
+        encoded = [encode_cell(value) for value in values] or [encode_cell(None)]
+        condition = " AND ".join(f"c{i} = ?" for i in range(len(encoded)))
+        cursor = self._connection.execute(
+            f"SELECT 1 FROM {self._table(relation)} WHERE {condition} LIMIT 1", encoded
+        )
+        return cursor.fetchone() is not None
+
+    def scan(self, relation: str) -> Iterator[tuple]:
+        arity = self.arity(relation)
+        cursor = self._connection.execute(f"SELECT * FROM {self._table(relation)}")
+        for row in cursor:
+            if arity == 0:
+                yield ()
+            else:
+                yield tuple(decode_cell(cell) for cell in row[:arity])
+
+    def count(self, relation: str | None = None) -> int:
+        if relation is not None:
+            self.arity(relation)
+            cursor = self._connection.execute(
+                f"SELECT COUNT(*) FROM {self._table(relation)}"
+            )
+            return int(cursor.fetchone()[0])
+        return sum(self.count(name) for name in self._arities)
+
+    def clear(self, relation: str | None = None) -> None:
+        if relation is not None:
+            self.arity(relation)
+            self._connection.execute(f"DELETE FROM {self._table(relation)}")
+        else:
+            for name in self._arities:
+                self._connection.execute(f"DELETE FROM {self._table(name)}")
+        self._connection.commit()
+
+    # -- lifecycle ----------------------------------------------------------
+    def snapshot(self) -> dict[str, frozenset[tuple]]:
+        """An immutable snapshot of every relation."""
+        return {name: frozenset(self.scan(name)) for name in self._arities}
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "SQLiteInstance":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{name}[{self.count(name)}]" for name in sorted(self._arities))
+        return f"SQLiteInstance({parts})"

@@ -1,0 +1,96 @@
+"""Per-peer update (transaction) logs.
+
+Each peer accumulates the transactions committed against its local instance
+in an append-only log.  Publication reads the unpublished suffix of this log,
+ships it to the shared update store, and advances the publication watermark.
+The log is deliberately agnostic about the transaction type: it stores opaque
+entries keyed by an identifier, which keeps this substrate free of circular
+dependencies on :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterable, Iterator, Optional, TypeVar
+
+from ..errors import StorageError
+
+EntryT = TypeVar("EntryT")
+
+
+class UpdateLog(Generic[EntryT]):
+    """An append-only log of transactions with a publication watermark.
+
+    Args:
+        key: Function extracting a stable identifier from an entry.  Defaults
+            to ``getattr(entry, "txn_id")``.
+    """
+
+    def __init__(self, key: Optional[Callable[[EntryT], object]] = None) -> None:
+        self._entries: list[EntryT] = []
+        self._ids: set[object] = set()
+        self._published_watermark = 0
+        self._key = key or (lambda entry: getattr(entry, "txn_id"))
+
+    # -- appending -----------------------------------------------------------
+    def append(self, entry: EntryT) -> None:
+        """Append a committed transaction to the log (ids must be unique)."""
+        identifier = self._key(entry)
+        if identifier in self._ids:
+            raise StorageError(f"duplicate transaction id {identifier!r} in update log")
+        self._entries.append(entry)
+        self._ids.add(identifier)
+
+    def extend(self, entries: Iterable[EntryT]) -> None:
+        for entry in entries:
+            self.append(entry)
+
+    # -- reading ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[EntryT]:
+        return iter(self._entries)
+
+    def all_entries(self) -> list[EntryT]:
+        return list(self._entries)
+
+    def entry(self, identifier: object) -> EntryT:
+        for candidate in self._entries:
+            if self._key(candidate) == identifier:
+                return candidate
+        raise StorageError(f"no transaction with id {identifier!r} in update log")
+
+    def contains(self, identifier: object) -> bool:
+        return identifier in self._ids
+
+    # -- publication ------------------------------------------------------------
+    @property
+    def published_count(self) -> int:
+        return self._published_watermark
+
+    def unpublished(self) -> list[EntryT]:
+        """Entries appended since the last :meth:`mark_published` call."""
+        return list(self._entries[self._published_watermark:])
+
+    def mark_published(self, count: Optional[int] = None) -> int:
+        """Advance the publication watermark.
+
+        Args:
+            count: Number of entries to mark as published; defaults to all
+                currently unpublished entries.
+
+        Returns:
+            The new watermark position.
+        """
+        pending = len(self._entries) - self._published_watermark
+        if count is None:
+            count = pending
+        if count < 0 or count > pending:
+            raise StorageError(
+                f"cannot mark {count} entries published; only {pending} are pending"
+            )
+        self._published_watermark += count
+        return self._published_watermark
+
+    def published(self) -> list[EntryT]:
+        return list(self._entries[: self._published_watermark])

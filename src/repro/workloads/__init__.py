@@ -1,0 +1,51 @@
+"""Workload construction, demonstration scenarios and reporting.
+
+* :mod:`repro.workloads.bioinformatics` builds the Figure-2 CDSS (the four
+  universities sharing protein reference sequences) and generates synthetic
+  organism/protein/sequence data at configurable scale,
+* :mod:`repro.workloads.scenarios` scripts the five demonstration scenarios
+  of Section 4 of the paper and returns structured outcomes,
+* :mod:`repro.workloads.generator` produces synthetic update/transaction
+  workloads with controllable conflict rates for the scaling benchmarks,
+* :mod:`repro.workloads.reporting` renders textual views of peers, mappings
+  and reconciliation traces (the stand-in for the paper's Java GUI).
+"""
+
+from .bioinformatics import (
+    BioDataGenerator,
+    FigureTwoNetwork,
+    build_figure2_network,
+    SIGMA1_RELATIONS,
+    SIGMA2_RELATIONS,
+)
+from .generator import SyntheticWorkload, WorkloadConfig
+from .reporting import render_mappings, render_peer_state, render_reconciliation
+from .scenarios import (
+    ScenarioOutcome,
+    run_all_scenarios,
+    scenario_1_bidirectional_translation,
+    scenario_2_conflict_and_dependent_rejection,
+    scenario_3_antecedent_acceptance,
+    scenario_4_deferral_and_resolution,
+    scenario_5_offline_publisher,
+)
+
+__all__ = [
+    "BioDataGenerator",
+    "FigureTwoNetwork",
+    "SIGMA1_RELATIONS",
+    "SIGMA2_RELATIONS",
+    "ScenarioOutcome",
+    "SyntheticWorkload",
+    "WorkloadConfig",
+    "build_figure2_network",
+    "render_mappings",
+    "render_peer_state",
+    "render_reconciliation",
+    "run_all_scenarios",
+    "scenario_1_bidirectional_translation",
+    "scenario_2_conflict_and_dependent_rejection",
+    "scenario_3_antecedent_acceptance",
+    "scenario_4_deferral_and_resolution",
+    "scenario_5_offline_publisher",
+]

@@ -1,0 +1,248 @@
+"""The Figure-2 bioinformatics CDSS and its synthetic data generator.
+
+The demonstration network has four participants sharing protein reference
+sequences:
+
+* **Alaska** and **Beijing** use schema Σ1 = { O(org, oid), P(prot, pid),
+  S(oid, pid, seq) } — organisms and proteins carry numeric identifiers;
+* **Crete** and **Dresden** use schema Σ2 = { OPS(org, prot, seq) } — a single
+  denormalised table without identifiers.
+
+Mappings: ``M_A↔B`` and ``M_C↔D`` are identity mappings; ``M_A→C`` joins the
+three Σ1 tables into OPS; ``M_C→A`` splits OPS back into the Σ1 tables,
+inventing identifiers as labelled nulls.  Alaska, Beijing and Dresden trust
+every participant equally, while Crete trusts only Beijing (priority 2) and
+Dresden (priority 1).
+
+Because the real SHARQ/pPOD datasets are not available, the
+:class:`BioDataGenerator` produces deterministic synthetic organisms, proteins
+and sequences with the same schema shapes and configurable scale; DESIGN.md
+documents this substitution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config import SystemConfig
+from ..core.mapping import identity_mapping, join_mapping, split_mapping
+from ..core.peer import Peer
+from ..core.schema import PeerSchema
+from ..core.system import CDSS
+from ..core.trust import TrustPolicy
+
+#: Σ1 relations with their attributes (Alaska and Beijing).
+SIGMA1_RELATIONS = {
+    "O": ["org", "oid"],
+    "P": ["prot", "pid"],
+    "S": ["oid", "pid", "seq"],
+}
+#: Keys used for conflict detection: organisms are keyed by name, proteins by
+#: name, and sequences by the (oid, pid) pair they describe.
+SIGMA1_KEYS = {"O": ["org"], "P": ["prot"], "S": ["oid", "pid"]}
+
+#: Σ2 relation (Crete and Dresden): one denormalised table keyed by
+#: (organism, protein).
+SIGMA2_RELATIONS = {"OPS": ["org", "prot", "seq"]}
+SIGMA2_KEYS = {"OPS": ["org", "prot"]}
+
+PEER_ALASKA = "Alaska"
+PEER_BEIJING = "Beijing"
+PEER_CRETE = "Crete"
+PEER_DRESDEN = "Dresden"
+
+_ORGANISMS = [
+    "E. coli",
+    "S. cerevisiae",
+    "D. melanogaster",
+    "C. elegans",
+    "H. sapiens",
+    "M. musculus",
+    "A. thaliana",
+    "P. falciparum",
+    "T. gondii",
+    "X. laevis",
+]
+
+_PROTEINS = [
+    "lacZ",
+    "recA",
+    "gal4",
+    "actin",
+    "BRCA1",
+    "p53",
+    "tubulin",
+    "histone-H3",
+    "kinesin",
+    "myosin",
+    "hsp70",
+    "ubiquitin",
+]
+
+
+def sigma1_schema(name: str = "Sigma1") -> PeerSchema:
+    """The Σ1 peer schema used by Alaska and Beijing."""
+    return PeerSchema.build(name, SIGMA1_RELATIONS, SIGMA1_KEYS)
+
+
+def sigma2_schema(name: str = "Sigma2") -> PeerSchema:
+    """The Σ2 peer schema used by Crete and Dresden."""
+    return PeerSchema.build(name, SIGMA2_RELATIONS, SIGMA2_KEYS)
+
+
+@dataclass
+class FigureTwoNetwork:
+    """The constructed Figure-2 CDSS plus direct handles to its four peers."""
+
+    cdss: CDSS
+    alaska: Peer
+    beijing: Peer
+    crete: Peer
+    dresden: Peer
+
+    def peers(self) -> list[Peer]:
+        return [self.alaska, self.beijing, self.crete, self.dresden]
+
+    def peer_names(self) -> list[str]:
+        return [peer.name for peer in self.peers()]
+
+
+def crete_trust_policy() -> TrustPolicy:
+    """Crete trusts only Beijing (preferred) and Dresden; everyone else is distrusted."""
+    return TrustPolicy.trust_only(
+        PEER_CRETE, {PEER_BEIJING: 2, PEER_DRESDEN: 1}, others=0
+    )
+
+
+def build_figure2_network(config: Optional[SystemConfig] = None) -> FigureTwoNetwork:
+    """Construct the four-peer CDSS of Figure 2 with its mappings and trust."""
+    cdss = CDSS(config)
+    alaska = cdss.add_peer(PEER_ALASKA, sigma1_schema(), TrustPolicy.trust_all(PEER_ALASKA))
+    beijing = cdss.add_peer(PEER_BEIJING, sigma1_schema(), TrustPolicy.trust_all(PEER_BEIJING))
+    crete = cdss.add_peer(PEER_CRETE, sigma2_schema(), crete_trust_policy())
+    dresden = cdss.add_peer(PEER_DRESDEN, sigma2_schema(), TrustPolicy.trust_all(PEER_DRESDEN))
+
+    sigma1 = alaska.schema.relations
+    sigma2 = crete.schema.relations
+
+    # Identity mappings between peers sharing a schema (both directions).
+    cdss.add_mappings(identity_mapping("M_AB", PEER_ALASKA, PEER_BEIJING, sigma1))
+    cdss.add_mappings(identity_mapping("M_BA", PEER_BEIJING, PEER_ALASKA, sigma1))
+    cdss.add_mappings(identity_mapping("M_CD", PEER_CRETE, PEER_DRESDEN, sigma2))
+    cdss.add_mappings(identity_mapping("M_DC", PEER_DRESDEN, PEER_CRETE, sigma2))
+
+    # M_A->C joins the three Σ1 tables into OPS.
+    cdss.add_mapping(
+        join_mapping(
+            "M_AC",
+            PEER_ALASKA,
+            PEER_CRETE,
+            "OPS(org, prot, seq)",
+            ["O(org, oid)", "P(prot, pid)", "S(oid, pid, seq)"],
+        )
+    )
+    # M_C->A splits OPS back into the Σ1 tables (oid/pid become labelled nulls).
+    cdss.add_mapping(
+        split_mapping(
+            "M_CA",
+            PEER_CRETE,
+            PEER_ALASKA,
+            ["O(org, oid)", "P(prot, pid)", "S(oid, pid, seq)"],
+            "OPS(org, prot, seq)",
+        )
+    )
+    return FigureTwoNetwork(cdss, alaska, beijing, crete, dresden)
+
+
+@dataclass
+class BioDataGenerator:
+    """Deterministic synthetic generator of organisms, proteins and sequences.
+
+    Attributes:
+        seed: Random seed; the same seed always yields the same data.
+        sequence_length: Length of generated reference sequences.
+    """
+
+    seed: int = 7
+    sequence_length: int = 12
+    _random: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._random = random.Random(self.seed)
+
+    def organism(self, index: int) -> str:
+        base = _ORGANISMS[index % len(_ORGANISMS)]
+        suffix = index // len(_ORGANISMS)
+        return base if suffix == 0 else f"{base} strain-{suffix}"
+
+    def protein(self, index: int) -> str:
+        base = _PROTEINS[index % len(_PROTEINS)]
+        suffix = index // len(_PROTEINS)
+        return base if suffix == 0 else f"{base}-{suffix}"
+
+    def sequence(self) -> str:
+        return "".join(self._random.choice("ACGT") for _ in range(self.sequence_length))
+
+    # -- bulk loading ------------------------------------------------------------
+    def sigma1_rows(
+        self, organisms: int, proteins: int, sequences_per_pair: float = 0.25
+    ) -> dict[str, list[tuple]]:
+        """Generate Σ1 rows: organisms, proteins, and a sample of sequences."""
+        o_rows = [(self.organism(i), i + 1) for i in range(organisms)]
+        p_rows = [(self.protein(j), 100 + j) for j in range(proteins)]
+        s_rows = []
+        for org_name, oid in o_rows:
+            for prot_name, pid in p_rows:
+                if self._random.random() < sequences_per_pair:
+                    s_rows.append((oid, pid, self.sequence()))
+        return {"O": o_rows, "P": p_rows, "S": s_rows}
+
+    def sigma2_rows(self, pairs: int) -> dict[str, list[tuple]]:
+        """Generate Σ2 rows: (organism, protein, sequence) triples."""
+        rows = []
+        for index in range(pairs):
+            org = self.organism(index % max(len(_ORGANISMS), 1))
+            prot = self.protein(index)
+            rows.append((org, prot, self.sequence()))
+        return {"OPS": rows}
+
+    def load_sigma1(self, peer: Peer, organisms: int, proteins: int,
+                    sequences_per_pair: float = 0.25) -> int:
+        """Load generated Σ1 data directly into a peer's instance (pre-CDSS data)."""
+        rows = self.sigma1_rows(organisms, proteins, sequences_per_pair)
+        loaded = 0
+        for relation, tuples in rows.items():
+            loaded += peer.instance.insert_many(relation, tuples)
+        return loaded
+
+    def load_sigma2(self, peer: Peer, pairs: int) -> int:
+        """Load generated Σ2 data directly into a peer's instance (pre-CDSS data)."""
+        rows = self.sigma2_rows(pairs)
+        loaded = 0
+        for relation, tuples in rows.items():
+            loaded += peer.instance.insert_many(relation, tuples)
+        return loaded
+
+    def insertion_transactions(
+        self, peer: Peer, count: int, start_index: int = 0
+    ) -> list:
+        """Commit ``count`` single-insert transactions of fresh Σ1/Σ2 data at a peer."""
+        committed = []
+        sigma1 = peer.schema.has_relation("O")
+        for offset in range(count):
+            index = start_index + offset
+            if sigma1:
+                builder = peer.new_transaction()
+                oid = 10_000 + index
+                pid = 20_000 + index
+                builder.insert("O", (self.organism(index), oid))
+                builder.insert("P", (self.protein(index), pid))
+                builder.insert("S", (oid, pid, self.sequence()))
+                committed.append(peer.commit(builder))
+            else:
+                committed.append(
+                    peer.insert("OPS", (self.organism(index), self.protein(index), self.sequence()))
+                )
+        return committed

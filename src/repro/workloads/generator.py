@@ -1,0 +1,199 @@
+"""Synthetic update workload generation for the scaling benchmarks.
+
+The demo paper states that ORCHESTRA "has been tested extensively on small-
+to medium-sized networks with update-heavy workloads".  The generator builds
+such workloads deterministically: streams of transactions at the Figure-2
+peers with a configurable mix of insertions, modifications and deletions and
+a controllable conflict rate (fraction of transactions that collide with a
+concurrently published transaction on the same key at another peer).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..core.peer import Peer
+from ..core.transactions import Transaction
+from ..errors import ConfigurationError
+from .bioinformatics import BioDataGenerator, FigureTwoNetwork
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of a synthetic workload.
+
+    Attributes:
+        transactions: Total number of transactions to generate.
+        updates_per_transaction: Tuple-level updates per transaction.
+        conflict_rate: Fraction of transactions [0, 1] generated as one half
+            of a deliberate same-key conflict pair across two peers.
+        modify_fraction: Fraction of follow-up transactions that modify
+            previously inserted data (creating antecedent dependencies).
+        delete_fraction: Fraction of follow-up transactions that delete
+            previously inserted data.
+        seed: Random seed for reproducibility.
+    """
+
+    transactions: int = 100
+    updates_per_transaction: int = 3
+    conflict_rate: float = 0.0
+    modify_fraction: float = 0.2
+    delete_fraction: float = 0.1
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        if self.transactions < 0:
+            raise ConfigurationError("transactions must be non-negative")
+        if self.updates_per_transaction < 1:
+            raise ConfigurationError("updates_per_transaction must be at least 1")
+        for name in ("conflict_rate", "modify_fraction", "delete_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must lie in [0, 1]")
+
+
+@dataclass
+class GeneratedTransaction:
+    """Bookkeeping for one generated transaction."""
+
+    transaction: Transaction
+    peer: str
+    kind: str
+    conflicts_with: Optional[str] = None
+
+
+class SyntheticWorkload:
+    """Generates and commits a synthetic transaction stream on a network."""
+
+    def __init__(self, network: FigureTwoNetwork, config: Optional[WorkloadConfig] = None) -> None:
+        self._network = network
+        self._config = config or WorkloadConfig()
+        self._random = random.Random(self._config.seed)
+        self._data = BioDataGenerator(seed=self._config.seed)
+        self._generated: list[GeneratedTransaction] = []
+        self._inserted_keys: list[tuple[str, int, int, str]] = []
+        self._next_index = 0
+
+    @property
+    def config(self) -> WorkloadConfig:
+        return self._config
+
+    @property
+    def generated(self) -> list[GeneratedTransaction]:
+        return list(self._generated)
+
+    # -- generation ------------------------------------------------------------
+    def _sigma1_peers(self) -> list[Peer]:
+        return [self._network.alaska, self._network.beijing]
+
+    def _fresh_key(self) -> tuple[int, int]:
+        self._next_index += 1
+        return 1_000 + self._next_index, 5_000 + self._next_index
+
+    def _insert_transaction(self, peer: Peer) -> GeneratedTransaction:
+        builder = peer.new_transaction()
+        recorded_key: Optional[tuple[str, int, int, str]] = None
+        for _ in range(self._config.updates_per_transaction):
+            oid, pid = self._fresh_key()
+            organism = self._data.organism(self._next_index)
+            protein = self._data.protein(self._next_index)
+            sequence = self._data.sequence()
+            builder.insert("O", (organism, oid))
+            builder.insert("P", (protein, pid))
+            builder.insert("S", (oid, pid, sequence))
+            recorded_key = (peer.name, oid, pid, sequence)
+        transaction = peer.commit(builder)
+        if recorded_key is not None:
+            self._inserted_keys.append(recorded_key)
+        return GeneratedTransaction(transaction, peer.name, "insert")
+
+    def _modify_transaction(self, peer: Peer) -> Optional[GeneratedTransaction]:
+        candidates = [key for key in self._inserted_keys if key[0] == peer.name]
+        if not candidates:
+            return None
+        _, oid, pid, sequence = self._random.choice(candidates)
+        if not peer.instance.contains("S", (oid, pid, sequence)):
+            return None
+        new_sequence = self._data.sequence()
+        transaction = peer.modify("S", (oid, pid, sequence), (oid, pid, new_sequence))
+        self._inserted_keys = [
+            key if key[1:3] != (oid, pid) or key[0] != peer.name
+            else (peer.name, oid, pid, new_sequence)
+            for key in self._inserted_keys
+        ]
+        return GeneratedTransaction(transaction, peer.name, "modify")
+
+    def _delete_transaction(self, peer: Peer) -> Optional[GeneratedTransaction]:
+        candidates = [key for key in self._inserted_keys if key[0] == peer.name]
+        if not candidates:
+            return None
+        chosen = self._random.choice(candidates)
+        _, oid, pid, sequence = chosen
+        if not peer.instance.contains("S", (oid, pid, sequence)):
+            return None
+        transaction = peer.delete("S", (oid, pid, sequence))
+        self._inserted_keys.remove(chosen)
+        return GeneratedTransaction(transaction, peer.name, "delete")
+
+    def _conflict_pair(self) -> list[GeneratedTransaction]:
+        """Two transactions at different peers asserting different sequences
+        for the same (oid, pid) key."""
+        alaska, beijing = self._network.alaska, self._network.beijing
+        oid, pid = self._fresh_key()
+        organism = self._data.organism(self._next_index)
+        protein = self._data.protein(self._next_index)
+        pair = []
+        for peer in (alaska, beijing):
+            builder = peer.new_transaction()
+            builder.insert("O", (organism, oid))
+            builder.insert("P", (protein, pid))
+            builder.insert("S", (oid, pid, self._data.sequence()))
+            pair.append(GeneratedTransaction(peer.commit(builder), peer.name, "conflict"))
+        pair[0].conflicts_with = pair[1].transaction.txn_id
+        pair[1].conflicts_with = pair[0].transaction.txn_id
+        return pair
+
+    def generate(self) -> list[GeneratedTransaction]:
+        """Commit the whole configured workload at the Σ1 peers."""
+        produced: list[GeneratedTransaction] = []
+        while len(produced) < self._config.transactions:
+            roll = self._random.random()
+            remaining = self._config.transactions - len(produced)
+            if self._config.conflict_rate and roll < self._config.conflict_rate and remaining >= 2:
+                produced.extend(self._conflict_pair())
+                continue
+            peer = self._random.choice(self._sigma1_peers())
+            roll = self._random.random()
+            generated: Optional[GeneratedTransaction] = None
+            if roll < self._config.delete_fraction:
+                generated = self._delete_transaction(peer)
+            elif roll < self._config.delete_fraction + self._config.modify_fraction:
+                generated = self._modify_transaction(peer)
+            if generated is None:
+                generated = self._insert_transaction(peer)
+            produced.append(generated)
+        self._generated.extend(produced)
+        return produced
+
+    # -- driving the system ----------------------------------------------------------
+    def publish_all(self) -> int:
+        """Publish every Σ1 peer's pending transactions; returns count published."""
+        published = 0
+        for peer in self._sigma1_peers():
+            outcome = self._network.cdss.publish(peer.name)
+            published += len(outcome.published)
+        return published
+
+    def reconcile_all(self) -> dict[str, dict[str, int]]:
+        """Reconcile every peer and return the per-peer decision summaries."""
+        summaries = {}
+        for peer in self._network.peers():
+            outcome = self._network.cdss.reconcile(peer.name)
+            summaries[peer.name] = outcome.result.summary()
+        return summaries
+
+    def transaction_stream(self) -> Iterator[Transaction]:
+        for generated in self._generated:
+            yield generated.transaction

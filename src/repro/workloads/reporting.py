@@ -1,0 +1,80 @@
+"""Textual views of the CDSS state (the stand-in for the Java GUI of Figure 3).
+
+The demonstration shows, per peer: the current local instance, the mappings
+connecting it to other peers, and the updates (original and translated) that
+were applied during reconciliation.  These functions render the same
+information as plain text so that the examples and EXPERIMENTS.md can show
+exactly what a demo attendee would have seen.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.peer import Peer
+from ..core.system import CDSS, ReconcileOutcome
+from ..core.tuples import render_tuple
+from ..reconcile.decisions import ReconciliationState
+
+
+def render_peer_state(peer: Peer) -> str:
+    """Render one peer's local instance, relation by relation."""
+    lines = [f"=== {peer.name} ({'online' if peer.online else 'offline'}) ==="]
+    lines.append(f"schema: {peer.schema}")
+    for relation in peer.schema:
+        rows = sorted(peer.instance.scan(relation.name), key=repr)
+        lines.append(f"  {relation.name} ({len(rows)} tuples)")
+        for values in rows:
+            lines.append(f"    {render_tuple(values)}")
+    return "\n".join(lines)
+
+
+def render_mappings(cdss: CDSS) -> str:
+    """Render every schema mapping registered in the system."""
+    lines = ["=== Schema mappings ==="]
+    for mapping in cdss.catalog.mappings():
+        lines.append(f"  {mapping}")
+    return "\n".join(lines)
+
+
+def render_reconciliation(outcome: ReconcileOutcome, state: ReconciliationState) -> str:
+    """Render the result of one reconciliation run, including open conflicts."""
+    lines = [
+        f"=== Reconciliation at {outcome.peer} (epoch {outcome.epoch}) ===",
+        f"candidates considered: {outcome.candidates_considered}",
+        f"accepted: {sorted(outcome.accepted)}",
+        f"rejected: {sorted(outcome.rejected)}",
+        f"deferred: {sorted(outcome.deferred)}",
+        f"pending:  {sorted(outcome.pending)}",
+    ]
+    open_conflicts = state.open_conflicts()
+    if open_conflicts:
+        lines.append("open conflicts awaiting the administrator:")
+        for conflict in open_conflicts:
+            members = ", ".join(sorted(conflict.txn_ids))
+            lines.append(f"  #{conflict.conflict_id} priority={conflict.priority}: {members}")
+    return "\n".join(lines)
+
+
+def render_system_overview(cdss: CDSS) -> str:
+    """Render the whole system: statistics, mappings and every peer's state."""
+    lines = ["=== CDSS overview ==="]
+    for key, value in cdss.statistics().items():
+        lines.append(f"  {key}: {value}")
+    lines.append(render_mappings(cdss))
+    for peer in cdss.catalog.peers():
+        lines.append(render_peer_state(peer))
+    return "\n".join(lines)
+
+
+def render_decision_table(states: Iterable[ReconciliationState]) -> str:
+    """A compact per-peer table of decision counts (used by the benchmarks)."""
+    lines = ["peer        accepted rejected deferred pending open_conflicts"]
+    for state in states:
+        summary = state.summary()
+        lines.append(
+            f"{state.peer:<12}"
+            f"{summary['accepted']:>8} {summary['rejected']:>8} "
+            f"{summary['deferred']:>8} {summary['pending']:>7} {summary['open_conflicts']:>14}"
+        )
+    return "\n".join(lines)

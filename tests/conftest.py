@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CDSS, PeerSchema, TrustPolicy
+from repro.core.mapping import join_mapping
+from repro.workloads.bioinformatics import FigureTwoNetwork, build_figure2_network
+
+
+@pytest.fixture
+def figure2() -> FigureTwoNetwork:
+    """A fresh Figure-2 bioinformatics network (4 peers, 10 mappings)."""
+    return build_figure2_network()
+
+
+@pytest.fixture
+def two_peer_system() -> CDSS:
+    """A minimal two-peer system with one identity-like mapping R -> R."""
+    cdss = CDSS()
+    cdss.add_peer("Source", PeerSchema.build("S", {"R": ["a", "b"]}, {"R": ["a"]}))
+    cdss.add_peer("Target", PeerSchema.build("T", {"R": ["a", "b"]}, {"R": ["a"]}))
+    cdss.add_mapping(join_mapping("M_ST", "Source", "Target", "R(a, b)", ["R(a, b)"]))
+    return cdss
+
+
+@pytest.fixture
+def untrusting_target_system() -> CDSS:
+    """Two peers where the target distrusts the source (priority 0)."""
+    cdss = CDSS()
+    cdss.add_peer("Source", PeerSchema.build("S", {"R": ["a", "b"]}, {"R": ["a"]}))
+    cdss.add_peer(
+        "Target",
+        PeerSchema.build("T", {"R": ["a", "b"]}, {"R": ["a"]}),
+        TrustPolicy.trust_only("Target", {}, others=0),
+    )
+    cdss.add_mapping(join_mapping("M_ST", "Source", "Target", "R(a, b)", ["R(a, b)"]))
+    return cdss

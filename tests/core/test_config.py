@@ -1,0 +1,71 @@
+"""Unit tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.config import ExchangeConfig, ReconciliationConfig, StoreConfig, SystemConfig
+from repro.errors import ConfigurationError
+
+
+class TestExchangeConfig:
+    def test_defaults(self):
+        config = ExchangeConfig()
+        assert config.incremental
+        assert config.track_provenance
+        assert config.max_iterations == 0
+        assert config.skolem_prefix == "SK"
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExchangeConfig(max_iterations=-1)
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExchangeConfig(skolem_prefix="")
+
+
+class TestReconciliationConfig:
+    def test_defaults(self):
+        config = ReconciliationConfig()
+        assert config.defer_on_ties
+        assert config.strict_antecedents
+        assert config.default_priority == 0
+
+    def test_negative_priority_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReconciliationConfig(default_priority=-1)
+
+
+class TestStoreConfig:
+    def test_defaults(self):
+        config = StoreConfig()
+        assert config.replication_factor == 2
+        assert config.require_online_to_publish
+        assert config.require_online_to_reconcile
+
+    def test_invalid_replication_factor(self):
+        with pytest.raises(ConfigurationError):
+            StoreConfig(replication_factor=0)
+
+
+class TestSystemConfig:
+    def test_default_factory(self):
+        config = SystemConfig.default()
+        assert isinstance(config.exchange, ExchangeConfig)
+        assert isinstance(config.reconciliation, ReconciliationConfig)
+        assert isinstance(config.store, StoreConfig)
+
+    def test_configs_are_frozen(self):
+        config = SystemConfig.default()
+        with pytest.raises(Exception):
+            config.exchange.incremental = False
+
+
+class TestErrorHierarchy:
+    def test_every_error_derives_from_repro_error(self):
+        import inspect
+
+        from repro import errors
+
+        for _name, cls in inspect.getmembers(errors, inspect.isclass):
+            if issubclass(cls, Exception) and cls.__module__ == "repro.errors":
+                assert issubclass(cls, errors.ReproError) or cls is errors.ReproError

@@ -1,0 +1,100 @@
+"""Unit tests for relation and peer schemas."""
+
+import pytest
+
+from repro.core.schema import PeerSchema, RelationSchema, qualified_name, split_qualified
+from repro.errors import SchemaError, TupleArityError, UnknownRelationError
+
+
+class TestRelationSchema:
+    def test_basic_properties(self):
+        schema = RelationSchema("S", ("oid", "pid", "seq"), ("oid", "pid"))
+        assert schema.arity == 3
+        assert schema.key == ("oid", "pid")
+
+    def test_key_defaults_to_all_attributes(self):
+        schema = RelationSchema("R", ("a", "b"))
+        assert schema.key == ("a", "b")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("a", "a"))
+
+    def test_unknown_key_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("a",), ("b",))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ("a",))
+
+    def test_attribute_index(self):
+        schema = RelationSchema("R", ("a", "b"))
+        assert schema.attribute_index("b") == 1
+        with pytest.raises(SchemaError):
+            schema.attribute_index("missing")
+
+    def test_key_of(self):
+        schema = RelationSchema("S", ("oid", "pid", "seq"), ("oid", "pid"))
+        assert schema.key_of((1, 10, "ATG")) == (1, 10)
+
+    def test_check_arity(self):
+        schema = RelationSchema("R", ("a", "b"))
+        with pytest.raises(TupleArityError):
+            schema.check_arity((1,))
+
+    def test_as_dict(self):
+        schema = RelationSchema("R", ("a", "b"))
+        assert schema.as_dict((1, 2)) == {"a": 1, "b": 2}
+
+    def test_str(self):
+        assert str(RelationSchema("R", ("a", "b"))) == "R(a, b)"
+
+
+class TestPeerSchema:
+    def _sigma1(self) -> PeerSchema:
+        return PeerSchema.build(
+            "Sigma1",
+            {"O": ["org", "oid"], "P": ["prot", "pid"], "S": ["oid", "pid", "seq"]},
+            {"O": ["org"], "S": ["oid", "pid"]},
+        )
+
+    def test_build(self):
+        schema = self._sigma1()
+        assert schema.relation_names() == ("O", "P", "S")
+        assert schema.relation("S").key == ("oid", "pid")
+        assert schema.relation("P").key == ("prot", "pid")
+
+    def test_duplicate_relations_rejected(self):
+        with pytest.raises(SchemaError):
+            PeerSchema("X", (RelationSchema("R", ("a",)), RelationSchema("R", ("b",))))
+
+    def test_unknown_relation(self):
+        schema = self._sigma1()
+        with pytest.raises(UnknownRelationError):
+            schema.relation("Missing")
+        assert not schema.has_relation("Missing")
+        assert schema.has_relation("O")
+
+    def test_arity_and_validate_tuple(self):
+        schema = self._sigma1()
+        assert schema.arity("S") == 3
+        assert schema.validate_tuple("O", ("E. coli", 1)) == ("E. coli", 1)
+        with pytest.raises(TupleArityError):
+            schema.validate_tuple("O", ("E. coli",))
+
+    def test_iteration_and_str(self):
+        schema = self._sigma1()
+        assert len(list(schema)) == 3
+        assert "Sigma1" in str(schema)
+
+
+class TestQualifiedNames:
+    def test_roundtrip(self):
+        name = qualified_name("Alaska", "O")
+        assert name == "Alaska.O"
+        assert split_qualified(name) == ("Alaska", "O")
+
+    def test_invalid_qualified_name(self):
+        with pytest.raises(SchemaError):
+            split_qualified("NotQualified")

@@ -1,0 +1,135 @@
+"""Unit tests for transactions, the builder, and dependency utilities."""
+
+import pytest
+
+from repro.core.transactions import (
+    Transaction,
+    TransactionBuilder,
+    dependency_order,
+    dependents_index,
+    producers_index,
+    transitive_antecedents,
+    transitive_dependents,
+)
+from repro.core.updates import Update
+from repro.errors import TransactionError
+
+
+def txn(txn_id: str, antecedents=(), relation="R", values=(1,)) -> Transaction:
+    return Transaction(
+        txn_id, "Peer", (Update.insert(relation, values, origin="Peer"),), frozenset(antecedents)
+    )
+
+
+class TestTransaction:
+    def test_requires_updates(self):
+        with pytest.raises(TransactionError):
+            Transaction("t1", "Peer", ())
+
+    def test_requires_id(self):
+        with pytest.raises(TransactionError):
+            Transaction("", "Peer", (Update.insert("R", (1,)),))
+
+    def test_cannot_depend_on_itself(self):
+        with pytest.raises(TransactionError):
+            Transaction("t1", "Peer", (Update.insert("R", (1,)),), frozenset({"t1"}))
+
+    def test_inserted_and_deleted_tuples(self):
+        transaction = Transaction(
+            "t1",
+            "Peer",
+            (
+                Update.insert("R", (1,)),
+                Update.delete("R", (2,)),
+                Update.modify("R", (3,), (4,)),
+            ),
+        )
+        assert ("R", (1,)) in transaction.inserted_tuples()
+        assert ("R", (4,)) in transaction.inserted_tuples()
+        assert ("R", (2,)) in transaction.deleted_tuples()
+        assert ("R", (3,)) in transaction.deleted_tuples()
+        assert len(transaction.touched_tuples()) == 4
+
+    def test_with_epoch(self):
+        stamped = txn("t1").with_epoch(7)
+        assert stamped.epoch == 7
+        assert stamped.txn_id == "t1"
+
+    def test_relations_and_describe(self):
+        transaction = txn("t1", antecedents={"t0"})
+        assert transaction.relations() == {"R"}
+        assert "t0" in transaction.describe()
+
+
+class TestTransactionBuilder:
+    def test_builds_transaction_with_updates(self):
+        builder = TransactionBuilder("Alaska", "t1")
+        builder.insert("O", ("E. coli", 1)).modify("O", ("E. coli", 1), ("E. coli", 2))
+        transaction = builder.build()
+        assert transaction.txn_id == "t1"
+        assert transaction.peer == "Alaska"
+        assert len(transaction.updates) == 2
+
+    def test_antecedents_inferred_from_producers(self):
+        producers = {("R", (1,)): "earlier"}
+        builder = TransactionBuilder("Peer", "t2", producers=producers)
+        builder.delete("R", (1,))
+        assert builder.build().antecedents == frozenset({"earlier"})
+
+    def test_modify_infers_antecedent(self):
+        producers = {("R", (1,)): "earlier"}
+        builder = TransactionBuilder("Peer", "t2", producers=producers)
+        builder.modify("R", (1,), (2,))
+        assert builder.build().antecedents == frozenset({"earlier"})
+
+    def test_own_transaction_not_an_antecedent(self):
+        producers = {("R", (1,)): "t3"}
+        builder = TransactionBuilder("Peer", "t3", producers=producers)
+        builder.delete("R", (1,))
+        assert builder.build().antecedents == frozenset()
+
+    def test_explicit_depends_on(self):
+        builder = TransactionBuilder("Peer", "t4")
+        builder.insert("R", (1,)).depends_on("a", "b")
+        assert builder.build().antecedents == frozenset({"a", "b"})
+
+    def test_generated_ids_unique(self):
+        first = TransactionBuilder("Peer").txn_id
+        second = TransactionBuilder("Peer").txn_id
+        assert first != second
+
+
+class TestDependencyUtilities:
+    def test_dependency_order(self):
+        transactions = [txn("c", {"b"}), txn("b", {"a"}), txn("a")]
+        ordered = [t.txn_id for t in dependency_order(transactions)]
+        assert ordered.index("a") < ordered.index("b") < ordered.index("c")
+
+    def test_dependency_order_ignores_external_antecedents(self):
+        transactions = [txn("b", {"external"}), txn("a")]
+        assert len(dependency_order(transactions)) == 2
+
+    def test_dependency_cycle_rejected(self):
+        transactions = [txn("a", {"b"}), txn("b", {"a"})]
+        with pytest.raises(TransactionError):
+            dependency_order(transactions)
+
+    def test_dependents_index(self):
+        transactions = [txn("a"), txn("b", {"a"}), txn("c", {"a"})]
+        index = dependents_index(transactions)
+        assert index["a"] == {"b", "c"}
+
+    def test_transitive_dependents(self):
+        transactions = [txn("a"), txn("b", {"a"}), txn("c", {"b"}), txn("d")]
+        assert transitive_dependents(["a"], transactions) == {"b", "c"}
+
+    def test_transitive_antecedents(self):
+        transactions = {t.txn_id: t for t in [txn("a"), txn("b", {"a"}), txn("c", {"b", "x"})]}
+        result = transitive_antecedents(transactions["c"], transactions)
+        assert result == {"b", "a", "x"}
+
+    def test_producers_index_latest_wins(self):
+        first = Transaction("t1", "P", (Update.insert("R", (1,)),))
+        second = Transaction("t2", "P", (Update.modify("R", (1,), (1,)),))
+        index = producers_index([first, second])
+        assert index[("R", (1,))] == "t2"

@@ -1,0 +1,112 @@
+"""Unit tests for trust conditions and policies."""
+
+import pytest
+
+from repro.core.schema import PeerSchema
+from repro.core.trust import TrustCondition, TrustPolicy
+from repro.core.updates import Update
+from repro.errors import TrustError
+
+SIGMA2 = PeerSchema.build("Sigma2", {"OPS": ["org", "prot", "seq"]})
+
+
+class TestTrustCondition:
+    def test_negative_priority_rejected(self):
+        with pytest.raises(TrustError):
+            TrustCondition(priority=-1)
+
+    def test_origin_filter(self):
+        condition = TrustCondition(priority=2, origin_peer="Beijing")
+        assert condition.matches(Update.insert("OPS", ("a", "b", "c"), origin="Beijing"))
+        assert not condition.matches(Update.insert("OPS", ("a", "b", "c"), origin="Alaska"))
+
+    def test_relation_filter(self):
+        condition = TrustCondition(priority=2, relation="OPS")
+        assert condition.matches(Update.insert("OPS", ("a", "b", "c"), origin="X"))
+        assert not condition.matches(Update.insert("O", ("a", 1), origin="X"))
+
+    def test_content_predicate(self):
+        condition = TrustCondition(
+            priority=3,
+            relation="OPS",
+            predicate=lambda row: row["org"] == "E. coli",
+        )
+        assert condition.matches(
+            Update.insert("OPS", ("E. coli", "recA", "AAA"), origin="X"), SIGMA2
+        )
+        assert not condition.matches(
+            Update.insert("OPS", ("H. sapiens", "BRCA1", "AAA"), origin="X"), SIGMA2
+        )
+
+    def test_content_predicate_without_schema_does_not_match(self):
+        condition = TrustCondition(priority=3, predicate=lambda row: True)
+        assert not condition.matches(Update.insert("OPS", ("a", "b", "c"), origin="X"))
+
+    def test_str(self):
+        condition = TrustCondition(priority=2, origin_peer="Beijing", description="prefer Beijing")
+        assert "Beijing" in str(condition)
+        assert "2" in str(condition)
+
+
+class TestTrustPolicy:
+    def test_trust_all(self):
+        policy = TrustPolicy.trust_all("Dresden")
+        update = Update.insert("OPS", ("a", "b", "c"), origin="Anyone")
+        assert policy.priority_for_update(update) == 1
+        assert policy.trusts_peer("Anyone")
+
+    def test_trust_only(self):
+        policy = TrustPolicy.trust_only("Crete", {"Beijing": 2, "Dresden": 1}, others=0)
+        assert policy.priority_for_update(Update.insert("OPS", ("a", "b", "c"), origin="Beijing")) == 2
+        assert policy.priority_for_update(Update.insert("OPS", ("a", "b", "c"), origin="Dresden")) == 1
+        assert policy.priority_for_update(Update.insert("OPS", ("a", "b", "c"), origin="Alaska")) == 0
+        assert policy.trusts_peer("Beijing")
+        assert not policy.trusts_peer("Alaska")
+
+    def test_own_updates_highly_trusted(self):
+        policy = TrustPolicy.trust_only("Crete", {}, others=0)
+        update = Update.insert("OPS", ("a", "b", "c"), origin="Crete")
+        assert policy.priority_for_update(update) == policy.own_priority
+        assert policy.trusts_peer("Crete")
+
+    def test_conditions_take_precedence(self):
+        policy = TrustPolicy.trust_all("Dresden", priority=1)
+        policy.add_condition(TrustCondition(priority=5, origin_peer="Beijing"))
+        assert policy.priority_for_update(Update.insert("OPS", ("a", "b", "c"), origin="Beijing")) == 5
+        assert policy.priority_for_update(Update.insert("OPS", ("a", "b", "c"), origin="Alaska")) == 1
+
+    def test_distrust_condition(self):
+        policy = TrustPolicy.trust_all("Dresden", priority=1)
+        policy.add_condition(TrustCondition(priority=0, origin_peer="Mallory"))
+        assert policy.priority_for_update(Update.insert("OPS", ("a", "b", "c"), origin="Mallory")) == 0
+        assert not policy.trusts_peer("Mallory")
+
+    def test_transaction_priority_is_minimum(self):
+        policy = TrustPolicy.trust_only("Crete", {"Beijing": 2}, others=0)
+        updates = [
+            Update.insert("OPS", ("a", "b", "c"), origin="Beijing"),
+            Update.insert("OPS", ("d", "e", "f"), origin="Alaska"),
+        ]
+        assert policy.priority_for_updates(updates) == 0
+
+    def test_empty_transaction_priority_zero(self):
+        policy = TrustPolicy.trust_all("Dresden")
+        assert policy.priority_for_updates([]) == 0
+
+    def test_owner_mismatch_validation(self):
+        with pytest.raises(TrustError):
+            TrustPolicy(owner="X", default_priority=-1)
+
+    def test_trusted_peers(self):
+        policy = TrustPolicy.trust_only("Crete", {"Beijing": 2, "Dresden": 1}, others=0)
+        assert policy.trusted_peers(["Alaska", "Beijing", "Crete", "Dresden"]) == {
+            "Beijing",
+            "Crete",
+            "Dresden",
+        }
+
+    def test_describe(self):
+        policy = TrustPolicy.trust_only("Crete", {"Beijing": 2}, others=0)
+        policy.add_condition(TrustCondition(priority=3, relation="OPS"))
+        text = policy.describe()
+        assert "Crete" in text and "Beijing" in text

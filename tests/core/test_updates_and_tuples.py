@@ -1,0 +1,118 @@
+"""Unit tests for tuple-level updates, conflict detection, and tuple helpers."""
+
+import pytest
+
+from repro.core.schema import RelationSchema
+from repro.core.tuples import (
+    has_labelled_nulls,
+    is_labelled_null,
+    labelled_null,
+    render_tuple,
+    render_value,
+)
+from repro.core.updates import Update, UpdateKind, conflicting
+from repro.errors import TransactionError
+
+S_SCHEMA = RelationSchema("S", ("oid", "pid", "seq"), ("oid", "pid"))
+
+
+class TestUpdateConstruction:
+    def test_insert(self):
+        update = Update.insert("S", (1, 10, "ATG"), origin="Alaska")
+        assert update.is_insert
+        assert update.inserted_tuples() == [(1, 10, "ATG")]
+        assert update.deleted_tuples() == []
+
+    def test_delete(self):
+        update = Update.delete("S", (1, 10, "ATG"))
+        assert update.is_delete
+        assert update.deleted_tuples() == [(1, 10, "ATG")]
+        assert update.inserted_tuples() == []
+
+    def test_modify(self):
+        update = Update.modify("S", (1, 10, "ATG"), (1, 10, "GGG"), origin="Beijing")
+        assert update.is_modify
+        assert update.inserted_tuples() == [(1, 10, "GGG")]
+        assert update.deleted_tuples() == [(1, 10, "ATG")]
+
+    def test_modify_requires_old_values(self):
+        with pytest.raises(TransactionError):
+            Update(UpdateKind.MODIFY, "S", (1, 10, "GGG"))
+
+    def test_non_modify_rejects_old_values(self):
+        with pytest.raises(TransactionError):
+            Update(UpdateKind.INSERT, "S", (1, 10, "GGG"), old_values=(1, 10, "ATG"))
+
+    def test_key_of_uses_old_tuple_for_modify(self):
+        update = Update.modify("S", (1, 10, "ATG"), (2, 20, "GGG"))
+        assert update.key_of(S_SCHEMA) == (1, 10)
+
+    def test_with_origin(self):
+        update = Update.insert("S", (1, 10, "ATG")).with_origin("Crete")
+        assert update.origin == "Crete"
+
+    def test_describe(self):
+        assert Update.insert("S", (1, 10, "A")).describe().startswith("+S")
+        assert Update.delete("S", (1, 10, "A")).describe().startswith("-S")
+        assert "->" in Update.modify("S", (1, 10, "A"), (1, 10, "B")).describe()
+
+
+class TestConflictDetection:
+    def test_same_key_different_value_conflicts(self):
+        left = Update.insert("S", (1, 10, "AAA"))
+        right = Update.insert("S", (1, 10, "BBB"))
+        assert conflicting(left, right, S_SCHEMA)
+
+    def test_identical_inserts_do_not_conflict(self):
+        left = Update.insert("S", (1, 10, "AAA"))
+        right = Update.insert("S", (1, 10, "AAA"))
+        assert not conflicting(left, right, S_SCHEMA)
+
+    def test_different_keys_do_not_conflict(self):
+        left = Update.insert("S", (1, 10, "AAA"))
+        right = Update.insert("S", (2, 10, "BBB"))
+        assert not conflicting(left, right, S_SCHEMA)
+
+    def test_different_relations_do_not_conflict(self):
+        left = Update.insert("S", (1, 10, "AAA"))
+        right = Update.insert("O", (1, 10, "AAA"))
+        assert not conflicting(left, right, S_SCHEMA)
+
+    def test_delete_vs_insert_conflicts(self):
+        left = Update.delete("S", (1, 10, "AAA"))
+        right = Update.insert("S", (1, 10, "BBB"))
+        assert conflicting(left, right, S_SCHEMA)
+
+    def test_two_deletes_do_not_conflict(self):
+        left = Update.delete("S", (1, 10, "AAA"))
+        right = Update.delete("S", (1, 10, "AAA"))
+        assert not conflicting(left, right, S_SCHEMA)
+
+    def test_modify_vs_modify_same_key_conflicts(self):
+        left = Update.modify("S", (1, 10, "AAA"), (1, 10, "BBB"))
+        right = Update.modify("S", (1, 10, "AAA"), (1, 10, "CCC"))
+        assert conflicting(left, right, S_SCHEMA)
+
+    def test_modify_vs_identical_modify_no_conflict(self):
+        left = Update.modify("S", (1, 10, "AAA"), (1, 10, "BBB"))
+        right = Update.modify("S", (1, 10, "AAA"), (1, 10, "BBB"))
+        assert not conflicting(left, right, S_SCHEMA)
+
+
+class TestTupleHelpers:
+    def test_labelled_null_detection(self):
+        null = labelled_null("SK_oid", "E. coli")
+        assert is_labelled_null(null)
+        assert not is_labelled_null("plain")
+        assert has_labelled_nulls((1, null))
+        assert not has_labelled_nulls((1, 2))
+
+    def test_render_value(self):
+        null = labelled_null("SK_oid", "E. coli")
+        assert "SK_oid" in render_value(null)
+        assert render_value("text") == "text"
+        assert render_value(5) == "5"
+
+    def test_render_tuple(self):
+        rendered = render_tuple((1, "a"))
+        assert rendered == "(1, a)"

@@ -1,0 +1,134 @@
+"""Unit tests for incremental (insertion/deletion) maintenance."""
+
+import pytest
+
+from repro.datalog.ast import Fact
+from repro.datalog.evaluation import Database, evaluate_program
+from repro.datalog.incremental import IncrementalEngine, full_recompute
+from repro.datalog.parser import parse_program
+
+JOIN_PROGRAM = """
+OPS(org, prot, seq) :- O(org, oid), P(prot, pid), S(oid, pid, seq).
+"""
+
+TC_PROGRAM = """
+Path(x, y) :- Edge(x, y).
+Path(x, z) :- Path(x, y), Edge(y, z).
+"""
+
+
+def make_join_engine(track_provenance: bool = True) -> IncrementalEngine:
+    program = parse_program(JOIN_PROGRAM)
+    base = Database.from_dict(
+        {"O": [("ecoli", 1)], "P": [("lacZ", 10)], "S": [(1, 10, "ATG")]}
+    )
+    return IncrementalEngine(program, base, track_provenance=track_provenance)
+
+
+class TestInsertions:
+    def test_initial_fixpoint(self):
+        engine = make_join_engine()
+        assert engine.database.relation("OPS") == frozenset({("ecoli", "lacZ", "ATG")})
+
+    def test_incremental_insert_joins_with_existing(self):
+        engine = make_join_engine()
+        result = engine.apply_insertions([Fact("S", (1, 10, "GGG"))])
+        assert ("ecoli", "lacZ", "GGG") in engine.database.relation("OPS")
+        assert result.inserted_count >= 1
+
+    def test_duplicate_insert_is_noop(self):
+        engine = make_join_engine()
+        result = engine.apply_insertions([Fact("S", (1, 10, "ATG"))])
+        assert result.inserted_count == 0
+
+    def test_matches_full_recomputation(self):
+        program = parse_program(TC_PROGRAM)
+        engine = IncrementalEngine(program, track_provenance=False)
+        edges = [(1, 2), (2, 3), (3, 4), (4, 5), (2, 5)]
+        for edge in edges:
+            engine.apply_insertions([Fact("Edge", edge)])
+        expected = full_recompute(program, Database.from_dict({"Edge": edges}))
+        assert engine.database.relation("Path") == expected.relation("Path")
+
+    def test_batched_and_single_inserts_agree(self):
+        program = parse_program(TC_PROGRAM)
+        batched = IncrementalEngine(program)
+        single = IncrementalEngine(program)
+        edges = [(1, 2), (2, 3), (3, 1), (3, 4)]
+        batched.apply_insertions([Fact("Edge", edge) for edge in edges])
+        for edge in edges:
+            single.apply_insertions([Fact("Edge", edge)])
+        assert batched.database.relation("Path") == single.database.relation("Path")
+
+
+class TestDeletions:
+    def test_delete_base_removes_derived(self):
+        engine = make_join_engine()
+        result = engine.apply_deletions([Fact("S", (1, 10, "ATG"))])
+        assert ("ecoli", "lacZ", "ATG") not in engine.database.relation("OPS")
+        assert result.deleted_count >= 1
+
+    def test_delete_keeps_alternative_derivations(self):
+        program = parse_program("T(x) :- R(x).\nT(x) :- Q(x).")
+        engine = IncrementalEngine(
+            program, Database.from_dict({"R": [(1,)], "Q": [(1,)]})
+        )
+        engine.apply_deletions([Fact("R", (1,))])
+        assert (1,) in engine.database.relation("T")
+        engine.apply_deletions([Fact("Q", (1,))])
+        assert (1,) not in engine.database.relation("T")
+
+    def test_delete_unknown_fact_is_noop(self):
+        engine = make_join_engine()
+        result = engine.apply_deletions([Fact("S", (99, 99, "NOPE"))])
+        assert result.deleted_count == 0
+
+    def test_deletion_matches_recomputation_with_provenance(self):
+        program = parse_program(TC_PROGRAM)
+        edges = [(1, 2), (2, 3), (3, 4), (1, 3)]
+        engine = IncrementalEngine(program, Database.from_dict({"Edge": edges}))
+        engine.apply_deletions([Fact("Edge", (2, 3))])
+        remaining = [edge for edge in edges if edge != (2, 3)]
+        expected = full_recompute(program, Database.from_dict({"Edge": remaining}))
+        assert engine.database.relation("Path") == expected.relation("Path")
+
+    def test_deletion_matches_recomputation_without_provenance(self):
+        program = parse_program(TC_PROGRAM)
+        edges = [(1, 2), (2, 3), (3, 4), (1, 3)]
+        engine = IncrementalEngine(
+            program, Database.from_dict({"Edge": edges}), track_provenance=False
+        )
+        engine.apply_deletions([Fact("Edge", (2, 3))])
+        remaining = [edge for edge in edges if edge != (2, 3)]
+        expected = full_recompute(program, Database.from_dict({"Edge": remaining}))
+        assert engine.database.relation("Path") == expected.relation("Path")
+
+    def test_reinsert_after_delete(self):
+        engine = make_join_engine()
+        engine.apply_deletions([Fact("S", (1, 10, "ATG"))])
+        engine.apply_insertions([Fact("S", (1, 10, "ATG"))])
+        assert ("ecoli", "lacZ", "ATG") in engine.database.relation("OPS")
+
+
+class TestProvenanceAccess:
+    def test_provenance_polynomial_available(self):
+        engine = make_join_engine()
+        provenance = engine.provenance()
+        polynomial = provenance.polynomial("OPS", ("ecoli", "lacZ", "ATG"))
+        assert not polynomial.is_zero()
+
+    def test_provenance_disabled_raises(self):
+        engine = make_join_engine(track_provenance=False)
+        with pytest.raises(Exception):
+            engine.provenance()
+
+    def test_recompute_matches_incremental(self):
+        engine = make_join_engine()
+        engine.apply_insertions([Fact("O", ("yeast", 2)), Fact("S", (2, 10, "CCC"))])
+        incremental_state = {
+            predicate: engine.database.relation(predicate)
+            for predicate in ("O", "P", "S", "OPS")
+        }
+        engine.recompute()
+        for predicate, rows in incremental_state.items():
+            assert engine.database.relation(predicate) == rows

@@ -1,0 +1,134 @@
+"""Unit tests for the datalog text parser."""
+
+import pytest
+
+from repro.datalog.ast import Constant, SkolemTerm, Variable
+from repro.datalog.parser import parse_atom, parse_fact, parse_program, parse_rule
+from repro.errors import DatalogParseError
+
+
+class TestParseAtom:
+    def test_variables_and_constants(self):
+        atom = parse_atom("R(x, 'abc', 42)")
+        assert atom.predicate == "R"
+        assert isinstance(atom.terms[0], Variable)
+        assert atom.terms[1] == Constant("abc")
+        assert atom.terms[2] == Constant(42)
+
+    def test_floats_and_booleans_and_null(self):
+        atom = parse_atom("R(1.5, true, false, null)")
+        assert atom.terms[0] == Constant(1.5)
+        assert atom.terms[1] == Constant(True)
+        assert atom.terms[2] == Constant(False)
+        assert atom.terms[3] == Constant(None)
+
+    def test_question_mark_variables(self):
+        atom = parse_atom("R(?x, ?Y)")
+        assert atom.terms[0] == Variable("x")
+        assert atom.terms[1] == Variable("Y")
+
+    def test_skolem_term(self):
+        atom = parse_atom("R(SK_oid(org), seq)")
+        assert isinstance(atom.terms[0], SkolemTerm)
+        assert atom.terms[0].function == "SK_oid"
+        assert atom.terms[0].arguments == (Variable("org"),)
+
+    def test_empty_argument_list(self):
+        atom = parse_atom("Empty()")
+        assert atom.arity == 0
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DatalogParseError):
+            parse_atom("R(x) extra")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(DatalogParseError):
+            parse_atom("R(x")
+
+
+class TestParseRule:
+    def test_simple_rule(self):
+        rule = parse_rule("T(x) :- R(x, y).")
+        assert rule.head.predicate == "T"
+        assert len(rule.body) == 1
+
+    def test_rule_without_period(self):
+        rule = parse_rule("T(x) :- R(x, y)")
+        assert rule.head.predicate == "T"
+
+    def test_join_rule(self):
+        rule = parse_rule("OPS(org, prot, seq) :- O(org, oid), P(prot, pid), S(oid, pid, seq).")
+        assert len(rule.positive_body) == 3
+
+    def test_negation(self):
+        rule = parse_rule("T(x) :- R(x), not S(x).")
+        assert len(rule.negative_body) == 1
+
+    def test_comparison(self):
+        rule = parse_rule("T(x) :- R(x, y), x != y.")
+        assert len(rule.comparisons) == 1
+
+    def test_labelled_rule(self):
+        rule = parse_rule("[m1] T(x) :- R(x).")
+        assert rule.label == "m1"
+
+    def test_ground_fact_rule(self):
+        rule = parse_rule("R('E. coli', 17).")
+        assert rule.is_fact
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(Exception):
+            parse_rule("T(z) :- R(x).")
+
+    def test_skolem_head(self):
+        rule = parse_rule("S(SK_oid(org), seq) :- OPS(org, prot, seq).")
+        assert isinstance(rule.head.terms[0], SkolemTerm)
+
+    def test_quoted_string_with_spaces(self):
+        rule = parse_rule("R('E. coli', x) :- S(x).")
+        assert rule.head.terms[0] == Constant("E. coli")
+
+
+class TestParseFact:
+    def test_simple_fact(self):
+        fact = parse_fact("O('E. coli', 17).")
+        assert fact.predicate == "O"
+        assert fact.values == ("E. coli", 17)
+
+    def test_ground_skolem_in_fact(self):
+        fact = parse_fact("S(SK_oid('E. coli'), 'ATG').")
+        assert isinstance(fact.values[0], SkolemTerm)
+        assert fact.values[0].is_ground
+
+    def test_non_ground_fact_rejected(self):
+        with pytest.raises(DatalogParseError):
+            parse_fact("O(x, 17).")
+
+
+class TestParseProgram:
+    def test_multiple_rules(self):
+        program = parse_program(
+            """
+            % the Figure-2 join mapping
+            OPS(org, prot, seq) :- O(org, oid), P(prot, pid), S(oid, pid, seq).
+            # and a projection
+            Orgs(org) :- OPS(org, prot, seq).
+            """
+        )
+        assert len(program) == 2
+        assert program.idb_predicates == {"OPS", "Orgs"}
+
+    def test_comments_ignored(self):
+        program = parse_program("% nothing here\n# nor here\nT(x) :- R(x).")
+        assert len(program) == 1
+
+    def test_string_containing_period(self):
+        program = parse_program("R('E. coli', 1).\nT(x) :- R(x, y).")
+        assert len(program) == 2
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+
+    def test_roundtrip_through_repr(self):
+        rule = parse_rule("T(x) :- R(x, y), not S(x).")
+        assert "not" in repr(rule)

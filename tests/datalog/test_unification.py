@@ -1,0 +1,111 @@
+"""Unit tests for substitutions, matching and unification."""
+
+from repro.datalog.ast import Atom, Constant, SkolemTerm, Variable
+from repro.datalog.unification import Substitution, match_atom, match_term, unify_terms
+
+
+class TestSubstitution:
+    def test_bind_new_variable(self):
+        subst = Substitution()
+        extended = subst.bind(Variable("x"), 1)
+        assert extended is not None
+        assert extended.get(Variable("x")) == 1
+        # Original substitution is unchanged.
+        assert Variable("x") not in subst
+
+    def test_bind_conflicting_value_fails(self):
+        subst = Substitution({Variable("x"): 1})
+        assert subst.bind(Variable("x"), 2) is None
+
+    def test_bind_same_value_succeeds(self):
+        subst = Substitution({Variable("x"): 1})
+        assert subst.bind(Variable("x"), 1) is subst
+
+    def test_apply_term_constant_and_variable(self):
+        subst = Substitution({Variable("x"): 7})
+        assert subst.apply_term(Constant(3)) == 3
+        assert subst.apply_term(Variable("x")) == 7
+        assert subst.apply_term(Variable("unbound")) == Variable("unbound")
+
+    def test_apply_term_builds_ground_skolem(self):
+        subst = Substitution({Variable("x"): "E. coli"})
+        value = subst.apply_term(SkolemTerm("f", (Variable("x"),)))
+        assert isinstance(value, SkolemTerm)
+        assert value.is_ground
+        assert value.arguments == ("E. coli",)
+
+    def test_apply_atom(self):
+        subst = Substitution({Variable("x"): 1})
+        atom = subst.apply_atom(Atom("R", (Variable("x"), Variable("y"))))
+        assert atom.terms[0] == Constant(1)
+        assert atom.terms[1] == Variable("y")
+
+    def test_ground_values(self):
+        subst = Substitution({Variable("x"): 1, Variable("y"): 2})
+        values = subst.ground_values(Atom("R", (Variable("x"), Variable("y"))))
+        assert values == (1, 2)
+
+    def test_equality_and_hash(self):
+        a = Substitution({Variable("x"): 1})
+        b = Substitution({Variable("x"): 1})
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestMatching:
+    def test_match_constant(self):
+        assert match_term(Constant(1), 1, Substitution()) is not None
+        assert match_term(Constant(1), 2, Substitution()) is None
+
+    def test_match_variable_binds(self):
+        result = match_term(Variable("x"), 5, Substitution())
+        assert result is not None
+        assert result.get(Variable("x")) == 5
+
+    def test_match_skolem_structure(self):
+        pattern = SkolemTerm("f", (Variable("x"),))
+        value = SkolemTerm("f", ("E. coli",))
+        result = match_term(pattern, value, Substitution())
+        assert result is not None
+        assert result.get(Variable("x")) == "E. coli"
+
+    def test_match_skolem_wrong_function(self):
+        pattern = SkolemTerm("f", (Variable("x"),))
+        assert match_term(pattern, SkolemTerm("g", ("a",)), Substitution()) is None
+
+    def test_match_skolem_against_scalar_fails(self):
+        pattern = SkolemTerm("f", (Variable("x"),))
+        assert match_term(pattern, "not-a-skolem", Substitution()) is None
+
+    def test_match_atom_repeated_variable(self):
+        atom = Atom("R", (Variable("x"), Variable("x")))
+        assert match_atom(atom, (1, 1)) is not None
+        assert match_atom(atom, (1, 2)) is None
+
+    def test_match_atom_wrong_arity(self):
+        assert match_atom(Atom("R", (Variable("x"),)), (1, 2)) is None
+
+
+class TestUnification:
+    def test_unify_variable_with_constant(self):
+        result = unify_terms(Variable("x"), Constant(3))
+        assert result is not None
+        assert result.apply_term(Variable("x")) == 3
+
+    def test_unify_two_variables(self):
+        result = unify_terms(Variable("x"), Variable("y"))
+        assert result is not None
+
+    def test_unify_mismatched_constants(self):
+        assert unify_terms(Constant(1), Constant(2)) is None
+
+    def test_unify_skolems_structurally(self):
+        left = SkolemTerm("f", (Variable("x"), Constant(2)))
+        right = SkolemTerm("f", (Constant(1), Variable("y")))
+        result = unify_terms(left, right)
+        assert result is not None
+        assert result.apply_term(Variable("x")) == 1
+        assert result.apply_term(Variable("y")) == 2
+
+    def test_unify_skolems_different_functions(self):
+        assert unify_terms(SkolemTerm("f", ()), SkolemTerm("g", ())) is None

@@ -1,0 +1,114 @@
+"""Integration tests for data flows across the Figure-2 network."""
+
+from repro.core.tuples import has_labelled_nulls
+from repro.workloads.bioinformatics import BioDataGenerator
+
+
+class TestTransitivePropagation:
+    def test_alaska_data_reaches_every_peer(self, figure2):
+        cdss = figure2.cdss
+        builder = figure2.alaska.new_transaction()
+        builder.insert("O", ("E. coli", 1))
+        builder.insert("P", ("lacZ", 10))
+        builder.insert("S", (1, 10, "ATGATG"))
+        figure2.alaska.commit(builder)
+        cdss.publish("Alaska")
+
+        cdss.reconcile("Beijing")
+        cdss.reconcile("Dresden")
+        # Crete distrusts Alaska, so it rejects the data.
+        cdss.reconcile("Crete")
+
+        assert figure2.beijing.instance.contains("S", (1, 10, "ATGATG"))
+        assert figure2.dresden.instance.contains("OPS", ("E. coli", "lacZ", "ATGATG"))
+        assert figure2.crete.instance.count("OPS") == 0
+
+    def test_sigma2_data_reaches_sigma1_with_labelled_nulls(self, figure2):
+        cdss = figure2.cdss
+        figure2.crete.insert("OPS", ("H. sapiens", "p53", "CCCGGG"))
+        cdss.publish("Crete")
+        cdss.reconcile("Alaska")
+        cdss.reconcile("Dresden")
+
+        organisms = figure2.alaska.tuples("O")
+        assert any(values[0] == "H. sapiens" for values in organisms)
+        assert any(has_labelled_nulls(values) for values in organisms)
+        assert figure2.dresden.instance.contains("OPS", ("H. sapiens", "p53", "CCCGGG"))
+
+    def test_beijing_data_reaches_crete_through_alaska_mapping(self, figure2):
+        # Beijing has no direct mapping to Crete; data flows B -> A -> C.
+        cdss = figure2.cdss
+        builder = figure2.beijing.new_transaction()
+        builder.insert("O", ("M. musculus", 2))
+        builder.insert("P", ("actin", 20))
+        builder.insert("S", (2, 20, "TTTAAA"))
+        figure2.beijing.commit(builder)
+        cdss.publish("Beijing")
+        outcome = cdss.reconcile("Crete")
+        assert len(outcome.accepted) == 1
+        assert figure2.crete.instance.contains("OPS", ("M. musculus", "actin", "TTTAAA"))
+
+    def test_deletion_propagates_downstream(self, figure2):
+        cdss = figure2.cdss
+        builder = figure2.alaska.new_transaction()
+        builder.insert("O", ("E. coli", 1))
+        builder.insert("P", ("lacZ", 10))
+        builder.insert("S", (1, 10, "ATGATG"))
+        figure2.alaska.commit(builder)
+        cdss.publish("Alaska")
+        cdss.reconcile("Dresden")
+        assert figure2.dresden.instance.contains("OPS", ("E. coli", "lacZ", "ATGATG"))
+
+        figure2.alaska.delete("S", (1, 10, "ATGATG"))
+        cdss.publish("Alaska")
+        outcome = cdss.reconcile("Dresden")
+        assert len(outcome.accepted) == 1
+        assert not figure2.dresden.instance.contains("OPS", ("E. coli", "lacZ", "ATGATG"))
+
+    def test_local_edits_stay_local_until_published(self, figure2):
+        cdss = figure2.cdss
+        figure2.alaska.insert("O", ("E. coli", 1))
+        cdss.reconcile("Beijing")
+        assert figure2.beijing.instance.count("O") == 0
+        cdss.publish("Alaska")
+        cdss.reconcile("Beijing")
+        assert figure2.beijing.instance.count("O") == 1
+
+
+class TestBulkLoadFlow:
+    def test_initial_import_and_exchange(self, figure2):
+        cdss = figure2.cdss
+        generator = BioDataGenerator(seed=11)
+        generator.load_sigma1(figure2.alaska, organisms=5, proteins=5, sequences_per_pair=0.5)
+        cdss.import_existing_data("Alaska")
+        cdss.publish("Alaska")
+        cdss.reconcile("Dresden")
+
+        expected = figure2.alaska.instance.count("S")
+        assert expected > 0
+        assert figure2.dresden.instance.count("OPS") == expected
+
+    def test_round_trip_preserves_peer_count_consistency(self, figure2):
+        cdss = figure2.cdss
+        generator = BioDataGenerator(seed=11)
+        generator.insertion_transactions(figure2.alaska, 5)
+        # Disjoint organisms/proteins so the two sources do not conflict.
+        generator.insertion_transactions(figure2.dresden, 4, start_index=100)
+        cdss.publish("Alaska")
+        cdss.publish("Dresden")
+        for peer in figure2.peer_names():
+            cdss.reconcile(peer)
+        # Dresden sees its own 4 plus Alaska's 5 sequences.
+        assert figure2.dresden.instance.count("OPS") == 9
+        # Beijing (Σ1, trusts everyone) sees every sequence Alaska published
+        # plus the split translation of Dresden's 4 OPS rows.  (The mapping
+        # cycle Σ1 -> Σ2 -> Σ1 also produces labelled-null variants of
+        # Alaska's tuples — a universal, non-core solution — so the count is
+        # a lower bound rather than an equality.)
+        for values in figure2.alaska.tuples("S"):
+            if not any(values == other for other in figure2.beijing.tuples("S")):
+                raise AssertionError(f"Beijing is missing {values!r}")
+        assert figure2.beijing.instance.count("S") >= 9
+        dresden_organisms = {row[0] for row in figure2.dresden.tuples("OPS")}
+        beijing_organisms = {row[0] for row in figure2.beijing.tuples("O")}
+        assert dresden_organisms <= beijing_organisms

@@ -1,0 +1,126 @@
+"""Property-based integration tests over end-to-end CDSS invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CDSS, PeerSchema
+from repro.config import ExchangeConfig, SystemConfig
+from repro.core.mapping import join_mapping
+from repro.workloads.bioinformatics import build_figure2_network
+
+
+def build_chain() -> CDSS:
+    """A -> B -> C chain of identity-like mappings over one relation."""
+    cdss = CDSS()
+    for name in ("A", "B", "C"):
+        cdss.add_peer(name, PeerSchema.build(name, {"R": ["k", "v"]}, {"R": ["k"]}))
+    cdss.add_mapping(join_mapping("M_AB", "A", "B", "R(k, v)", ["R(k, v)"]))
+    cdss.add_mapping(join_mapping("M_BC", "B", "C", "R(k, v)", ["R(k, v)"]))
+    return cdss
+
+
+rows = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=20), st.sampled_from(["a", "b", "c"])),
+    min_size=0,
+    max_size=12,
+    unique_by=lambda row: row[0],
+)
+
+
+class TestChainPropagation:
+    @settings(max_examples=20, deadline=None)
+    @given(data=rows)
+    def test_everything_published_reaches_the_end_of_the_chain(self, data):
+        cdss = build_chain()
+        source = cdss.peer("A")
+        for key, value in data:
+            source.insert("R", (key, value))
+        cdss.publish("A")
+        cdss.reconcile("B")
+        cdss.reconcile("C")
+        assert cdss.peer("B").tuples("R") == frozenset(data)
+        assert cdss.peer("C").tuples("R") == frozenset(data)
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=rows)
+    def test_provenance_toggle_does_not_change_outcomes(self, data):
+        with_provenance = build_chain()
+        without = CDSS(SystemConfig(exchange=ExchangeConfig(track_provenance=False)))
+        for name in ("A", "B", "C"):
+            without.add_peer(name, PeerSchema.build(name, {"R": ["k", "v"]}, {"R": ["k"]}))
+        without.add_mapping(join_mapping("M_AB", "A", "B", "R(k, v)", ["R(k, v)"]))
+        without.add_mapping(join_mapping("M_BC", "B", "C", "R(k, v)", ["R(k, v)"]))
+
+        for cdss in (with_provenance, without):
+            for key, value in data:
+                cdss.peer("A").insert("R", (key, value))
+            cdss.publish("A")
+            cdss.reconcile("B")
+            cdss.reconcile("C")
+        assert with_provenance.peer("C").tuples("R") == without.peer("C").tuples("R")
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=rows, deletions=st.integers(min_value=0, max_value=5))
+    def test_insert_then_delete_round_trip(self, data, deletions):
+        cdss = build_chain()
+        source = cdss.peer("A")
+        for key, value in data:
+            source.insert("R", (key, value))
+        cdss.publish("A")
+        cdss.reconcile("C")
+
+        to_delete = data[:deletions]
+        for key, value in to_delete:
+            source.delete("R", (key, value))
+        if to_delete:
+            cdss.publish("A")
+            cdss.reconcile("C")
+        survivors = frozenset(data) - frozenset(to_delete)
+        assert cdss.peer("C").tuples("R") == survivors
+
+
+class TestFigure2Invariants:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.sampled_from(["orgA", "orgB", "orgC"]),
+                st.sampled_from(["p1", "p2", "p3", "p4"]),
+                st.sampled_from(["AAA", "CCC", "GGG"]),
+            ),
+            min_size=0,
+            max_size=8,
+            unique_by=lambda row: (row[0], row[1]),
+        )
+    )
+    def test_sigma2_peers_always_agree_after_full_reconciliation(self, pairs):
+        network = build_figure2_network()
+        cdss = network.cdss
+        for org, prot, seq in pairs:
+            network.dresden.insert("OPS", (org, prot, seq))
+        cdss.publish("Dresden")
+        cdss.reconcile("Crete")
+        cdss.reconcile("Dresden")
+        # Dresden and Crete share a schema and Crete trusts Dresden, so after
+        # reconciling they hold the same OPS instance.
+        assert network.crete.tuples("OPS") == network.dresden.tuples("OPS")
+        assert network.dresden.tuples("OPS") == frozenset(pairs)
+
+    @settings(max_examples=10, deadline=None)
+    @given(count=st.integers(min_value=0, max_value=5))
+    def test_accepted_plus_rejected_never_exceeds_candidates(self, count):
+        network = build_figure2_network()
+        cdss = network.cdss
+        for index in range(count):
+            builder = network.alaska.new_transaction()
+            builder.insert("O", (f"org{index}", index))
+            builder.insert("P", (f"prot{index}", 100 + index))
+            builder.insert("S", (index, 100 + index, "ACGT"))
+            network.alaska.commit(builder)
+        cdss.publish("Alaska")
+        outcome = cdss.reconcile("Dresden")
+        assert len(outcome.accepted) == count
+        summary = outcome.result.summary()
+        assert summary["accepted"] + summary["rejected"] + summary["deferred"] + summary[
+            "pending"
+        ] <= max(count, 1) * 2

@@ -1,0 +1,70 @@
+"""Integration test: a peer whose local instance lives in SQLite.
+
+The CDSS algorithms only depend on the storage protocol, so a peer backed by
+the SQLite backend must behave identically to the in-memory default —
+including storing labelled nulls produced by split mappings durably.
+"""
+
+from repro import CDSS, PeerSchema
+from repro.core.mapping import join_mapping, split_mapping
+from repro.core.tuples import has_labelled_nulls
+from repro.storage.sqlite_backend import SQLiteInstance
+
+SIGMA1 = {
+    "O": ["org", "oid"],
+    "P": ["prot", "pid"],
+    "S": ["oid", "pid", "seq"],
+}
+SIGMA1_KEYS = {"O": ["org"], "P": ["prot"], "S": ["oid", "pid"]}
+
+
+def test_sqlite_backed_peer_participates_in_exchange(tmp_path):
+    cdss = CDSS()
+    source = cdss.add_peer(
+        "Source",
+        PeerSchema.build("Sigma2", {"OPS": ["org", "prot", "seq"]}, {"OPS": ["org", "prot"]}),
+    )
+    target = cdss.add_peer(
+        "Target",
+        PeerSchema.build("Sigma1", SIGMA1, SIGMA1_KEYS),
+        storage=SQLiteInstance(str(tmp_path / "target.db")),
+    )
+    cdss.add_mapping(
+        split_mapping(
+            "M_split", "Source", "Target",
+            ["O(org, oid)", "P(prot, pid)", "S(oid, pid, seq)"],
+            "OPS(org, prot, seq)",
+        )
+    )
+
+    source.insert("OPS", ("H. sapiens", "BRCA1", "GGCTAGCT"))
+    cdss.publish("Source")
+    outcome = cdss.reconcile("Target")
+    assert len(outcome.accepted) == 1
+
+    organisms = set(target.instance.scan("O"))
+    assert any(values[0] == "H. sapiens" for values in organisms)
+    assert any(has_labelled_nulls(values) for values in organisms)
+
+    # The labelled nulls round-trip through SQLite storage on disk.
+    reopened = SQLiteInstance(str(tmp_path / "target.db"))
+    assert any(has_labelled_nulls(values) for values in reopened.scan("O"))
+    reopened.close()
+
+
+def test_sqlite_backed_peer_local_edits_publish(tmp_path):
+    cdss = CDSS()
+    source = cdss.add_peer(
+        "Source",
+        PeerSchema.build("S", {"R": ["k", "v"]}, {"R": ["k"]}),
+        storage=SQLiteInstance(str(tmp_path / "source.db")),
+    )
+    target = cdss.add_peer("Target", PeerSchema.build("T", {"R": ["k", "v"]}, {"R": ["k"]}))
+    cdss.add_mapping(join_mapping("M", "Source", "Target", "R(k, v)", ["R(k, v)"]))
+
+    source.insert("R", (1, "a"))
+    source.modify("R", (1, "a"), (1, "b"))
+    cdss.publish("Source")
+    cdss.reconcile("Target")
+    assert target.tuples("R") == frozenset({(1, "b")})
+    assert set(source.instance.scan("R")) == {(1, "b")}

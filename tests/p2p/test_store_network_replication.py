@@ -1,0 +1,145 @@
+"""Unit tests for the simulated P2P substrate: store, network, replication."""
+
+import pytest
+
+from repro.core.transactions import Transaction
+from repro.core.updates import Update
+from repro.errors import NetworkError, PublicationError
+from repro.p2p.network import Network
+from repro.p2p.replication import ReplicationManager
+from repro.p2p.store import UpdateStore
+
+
+def txn(txn_id: str, peer: str = "Alaska") -> Transaction:
+    return Transaction(txn_id, peer, (Update.insert("R", (txn_id,), origin=peer),))
+
+
+class TestUpdateStore:
+    def test_archive_and_retrieve(self):
+        store = UpdateStore()
+        store.archive([txn("t1"), txn("t2")], epoch=1, publisher="Alaska")
+        assert len(store) == 2
+        assert store.contains("t1")
+        assert store.entry("t1").epoch == 1
+        assert store.entry("t1").transaction.epoch == 1
+        assert store.latest_epoch() == 1
+
+    def test_duplicate_publication_rejected(self):
+        store = UpdateStore()
+        store.archive([txn("t1")], epoch=1, publisher="Alaska")
+        with pytest.raises(PublicationError):
+            store.archive([txn("t1")], epoch=2, publisher="Alaska")
+
+    def test_wrong_publisher_rejected(self):
+        store = UpdateStore()
+        with pytest.raises(PublicationError):
+            store.archive([txn("t1", peer="Beijing")], epoch=1, publisher="Alaska")
+
+    def test_published_since(self):
+        store = UpdateStore()
+        store.archive([txn("t1")], epoch=1, publisher="Alaska")
+        store.archive([txn("t2", "Beijing")], epoch=2, publisher="Beijing")
+        store.archive([txn("t3")], epoch=3, publisher="Alaska")
+        since_one = store.published_since(1)
+        assert [entry.txn_id for entry in since_one] == ["t2", "t3"]
+        excluding = store.published_since(0, exclude_publisher="Alaska")
+        assert [entry.txn_id for entry in excluding] == ["t2"]
+
+    def test_published_by(self):
+        store = UpdateStore()
+        store.archive([txn("t1")], epoch=1, publisher="Alaska")
+        store.archive([txn("t2", "Beijing")], epoch=2, publisher="Beijing")
+        assert [entry.txn_id for entry in store.published_by("Beijing")] == ["t2"]
+
+    def test_unknown_entry(self):
+        store = UpdateStore()
+        with pytest.raises(PublicationError):
+            store.entry("missing")
+
+    def test_antecedents_map(self):
+        store = UpdateStore()
+        dependent = Transaction(
+            "t2", "Alaska", (Update.insert("R", (2,), origin="Alaska"),), frozenset({"t1"})
+        )
+        store.archive([txn("t1"), dependent], epoch=1, publisher="Alaska")
+        assert store.antecedents_map() == {"t1": frozenset(), "t2": frozenset({"t1"})}
+
+
+class TestNetwork:
+    def test_register_and_connectivity(self):
+        network = Network(["A", "B"])
+        assert network.peers() == {"A", "B"}
+        assert network.is_online("A")
+        network.disconnect("A")
+        assert not network.is_online("A")
+        assert network.online_peers() == {"B"}
+        network.connect("A")
+        assert network.is_online("A")
+
+    def test_duplicate_registration_rejected(self):
+        network = Network(["A"])
+        with pytest.raises(NetworkError):
+            network.register("A")
+
+    def test_unknown_peer_rejected(self):
+        network = Network()
+        with pytest.raises(NetworkError):
+            network.is_online("ghost")
+
+    def test_require_online(self):
+        network = Network(["A"])
+        network.disconnect("A")
+        with pytest.raises(NetworkError):
+            network.require_online("A", "publish")
+
+    def test_trace_records_changes_only(self):
+        network = Network(["A"])
+        network.connect("A")  # already online: no event
+        network.disconnect("A")
+        network.disconnect("A")  # no change: no event
+        assert len(network.trace()) == 1
+        assert network.availability() == {"A": False}
+
+
+class TestReplication:
+    def test_placement_prefers_other_peers(self):
+        network = Network(["A", "B", "C"])
+        manager = ReplicationManager(network, replication_factor=2)
+        placement = manager.place("t1", publisher="A")
+        assert len(placement.holders) == 2
+        assert "A" not in placement.holders
+
+    def test_placement_is_deterministic_and_cached(self):
+        network = Network(["A", "B", "C"])
+        manager = ReplicationManager(network, replication_factor=2)
+        first = manager.place("t1", publisher="A")
+        second = manager.place("t1", publisher="A")
+        assert first is second
+
+    def test_availability_under_churn(self):
+        network = Network(["A", "B", "C"])
+        manager = ReplicationManager(network, replication_factor=2)
+        manager.place("t1", publisher="A")
+        assert manager.available("t1")
+        for holder in manager.placement("t1").holders:
+            network.disconnect(holder)
+        assert not manager.available("t1")
+
+    def test_availability_ratio(self):
+        network = Network(["A", "B", "C"])
+        manager = ReplicationManager(network, replication_factor=1)
+        manager.place("t1", publisher="A")
+        manager.place("t2", publisher="A")
+        assert manager.availability_ratio(["t1", "t2"]) == 1.0
+        assert manager.availability_ratio([]) == 1.0
+        assert manager.availability_ratio(["unknown"]) == 0.0
+
+    def test_invalid_replication_factor(self):
+        with pytest.raises(NetworkError):
+            ReplicationManager(Network(), replication_factor=0)
+
+    def test_single_peer_network_places_on_publisher(self):
+        network = Network(["A"])
+        manager = ReplicationManager(network, replication_factor=2)
+        placement = manager.place("t1", publisher="A")
+        assert placement.holders == ("A",)

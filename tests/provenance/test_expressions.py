@@ -1,0 +1,92 @@
+"""Unit tests for provenance expression DAGs."""
+
+import pytest
+
+from repro.errors import ProvenanceError
+from repro.provenance.expressions import (
+    ProvenanceExpression,
+    prov_one,
+    prov_plus,
+    prov_times,
+    prov_var,
+    prov_zero,
+)
+from repro.provenance.polynomial import Polynomial
+from repro.provenance.semiring import BooleanSemiring, CountingSemiring
+
+
+class TestConstruction:
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ProvenanceError):
+            ProvenanceExpression("bogus")
+
+    def test_var_requires_name(self):
+        with pytest.raises(ProvenanceError):
+            ProvenanceExpression("var")
+
+    def test_nary_requires_children(self):
+        with pytest.raises(ProvenanceError):
+            ProvenanceExpression("plus")
+
+    def test_plus_flattens_and_drops_zero(self):
+        expression = prov_plus([prov_zero(), prov_var("x"), prov_plus([prov_var("y")])])
+        assert expression.kind == "plus"
+        assert expression.variables() == {"x", "y"}
+
+    def test_plus_of_nothing_is_zero(self):
+        assert prov_plus([]).kind == "zero"
+        assert prov_plus([prov_zero()]).kind == "zero"
+
+    def test_times_short_circuits_zero(self):
+        assert prov_times([prov_var("x"), prov_zero()]).kind == "zero"
+
+    def test_times_drops_one(self):
+        expression = prov_times([prov_one(), prov_var("x")])
+        assert expression == prov_var("x")
+
+
+class TestConversionAndEvaluation:
+    def test_to_polynomial(self):
+        expression = prov_plus(
+            [prov_times([prov_var("x"), prov_var("y")]), prov_var("x")]
+        )
+        polynomial = expression.to_polynomial()
+        expected = Polynomial.variable("x") * Polynomial.variable("y") + Polynomial.variable("x")
+        assert polynomial == expected
+
+    def test_evaluate_boolean(self):
+        expression = prov_plus(
+            [prov_times([prov_var("x"), prov_var("y")]), prov_var("z")]
+        )
+        semiring = BooleanSemiring()
+        assert expression.evaluate(semiring, {"x": True, "y": True, "z": False})
+        assert not expression.evaluate(semiring, {"x": True, "y": False, "z": False})
+
+    def test_evaluate_counting_matches_polynomial(self):
+        expression = prov_times([prov_var("x"), prov_plus([prov_var("y"), prov_one()])])
+        assignment = {"x": 2, "y": 3}
+        semiring = CountingSemiring()
+        assert expression.evaluate(semiring, assignment) == expression.to_polynomial().evaluate(
+            semiring, assignment
+        )
+
+    def test_missing_variable_rejected(self):
+        with pytest.raises(ProvenanceError):
+            prov_var("x").evaluate(BooleanSemiring(), {})
+
+    def test_size_and_depth(self):
+        expression = prov_plus([prov_times([prov_var("x"), prov_var("y")]), prov_var("z")])
+        assert expression.size() == 5
+        assert expression.depth() == 3
+
+    def test_simplified(self):
+        raw = ProvenanceExpression(
+            "times",
+            children=(prov_one(), ProvenanceExpression("plus", children=(prov_zero(), prov_var("x")))),
+        )
+        assert raw.simplified() == prov_var("x")
+
+    def test_str_rendering(self):
+        expression = prov_plus([prov_times([prov_var("x"), prov_var("y")]), prov_var("z")])
+        rendered = str(expression)
+        assert "x" in rendered and "+" in rendered and "*" in rendered

@@ -1,0 +1,54 @@
+"""Unit tests for semiring homomorphism evaluation helpers."""
+
+from repro.provenance.expressions import prov_plus, prov_times, prov_var
+from repro.provenance.graph import ProvenanceGraph
+from repro.provenance.homomorphism import (
+    evaluate_expression,
+    evaluate_graph,
+    evaluate_polynomial,
+    specialize_assignment,
+)
+from repro.provenance.polynomial import Polynomial
+from repro.provenance.semiring import BooleanSemiring, SecuritySemiring, TropicalSemiring, TrustLevel
+
+
+class TestEvaluationHelpers:
+    def test_evaluate_polynomial(self):
+        polynomial = Polynomial.variable("x") * Polynomial.variable("y")
+        result = evaluate_polynomial(polynomial, TropicalSemiring(), {"x": 1.0, "y": 2.0})
+        assert result == 3.0
+
+    def test_evaluate_expression(self):
+        expression = prov_plus([prov_var("x"), prov_times([prov_var("y"), prov_var("z")])])
+        result = evaluate_expression(
+            expression, BooleanSemiring(), {"x": False, "y": True, "z": True}
+        )
+        assert result is True
+
+    def test_evaluate_graph(self):
+        graph = ProvenanceGraph()
+        graph.add_base_tuple("R", (1,), "r")
+        graph.add_derivation("m", ("T", (1,)), [("R", (1,))])
+        annotations = evaluate_graph(graph, BooleanSemiring(), {"r": True})
+        assert annotations[("T", (1,))] is True
+
+    def test_security_clearances_through_graph(self):
+        graph = ProvenanceGraph()
+        graph.add_base_tuple("R", (1,), "r")
+        graph.add_base_tuple("Q", (1,), "q")
+        graph.add_derivation("m1", ("T", (1,)), [("R", (1,)), ("Q", (1,))])
+        annotations = evaluate_graph(
+            graph,
+            SecuritySemiring(),
+            {"r": TrustLevel.PUBLIC, "q": TrustLevel.SECRET},
+        )
+        # A joint derivation needs the *stricter* clearance.
+        assert annotations[("T", (1,))] == TrustLevel.SECRET
+
+
+class TestSpecializeAssignment:
+    def test_per_peer_values(self):
+        variables_by_peer = {"v1": "Alaska", "v2": "Beijing", "v3": "Crete"}
+        values_by_peer = {"Alaska": 5.0, "Beijing": 1.0}
+        assignment = specialize_assignment(variables_by_peer, values_by_peer, default=99.0)
+        assert assignment == {"v1": 5.0, "v2": 1.0, "v3": 99.0}

@@ -1,0 +1,117 @@
+"""Unit tests for the in-memory storage backend."""
+
+import pytest
+
+from repro.datalog.ast import SkolemTerm
+from repro.errors import StorageError, TupleArityError, UnknownRelationError
+from repro.storage.interface import StorageBackend
+from repro.storage.memory import MemoryInstance
+
+
+@pytest.fixture
+def instance() -> MemoryInstance:
+    backend = MemoryInstance()
+    backend.create_relation("R", 2)
+    backend.create_relation("Empty", 0)
+    return backend
+
+
+class TestSchema:
+    def test_implements_protocol(self, instance):
+        assert isinstance(instance, StorageBackend)
+
+    def test_create_relation_idempotent(self, instance):
+        instance.create_relation("R", 2)
+        assert instance.arity("R") == 2
+
+    def test_conflicting_arity_rejected(self, instance):
+        with pytest.raises(StorageError):
+            instance.create_relation("R", 3)
+
+    def test_negative_arity_rejected(self, instance):
+        with pytest.raises(StorageError):
+            instance.create_relation("Bad", -1)
+
+    def test_unknown_relation(self, instance):
+        with pytest.raises(UnknownRelationError):
+            instance.arity("Missing")
+        with pytest.raises(UnknownRelationError):
+            list(instance.scan("Missing"))
+
+    def test_relations(self, instance):
+        assert instance.relations() == {"R", "Empty"}
+
+
+class TestData:
+    def test_insert_and_contains(self, instance):
+        assert instance.insert("R", (1, 2))
+        assert not instance.insert("R", (1, 2))
+        assert instance.contains("R", (1, 2))
+
+    def test_arity_checked(self, instance):
+        with pytest.raises(TupleArityError):
+            instance.insert("R", (1,))
+        with pytest.raises(TupleArityError):
+            instance.contains("R", (1, 2, 3))
+
+    def test_delete(self, instance):
+        instance.insert("R", (1, 2))
+        assert instance.delete("R", (1, 2))
+        assert not instance.delete("R", (1, 2))
+
+    def test_scan_and_count(self, instance):
+        instance.insert_many("R", [(1, 2), (3, 4)])
+        assert set(instance.scan("R")) == {(1, 2), (3, 4)}
+        assert instance.count("R") == 2
+        assert instance.count() == 2
+
+    def test_insert_many_returns_new_count(self, instance):
+        assert instance.insert_many("R", [(1, 2), (1, 2), (3, 4)]) == 2
+
+    def test_clear_single_relation(self, instance):
+        instance.insert("R", (1, 2))
+        instance.clear("R")
+        assert instance.count("R") == 0
+
+    def test_clear_all(self, instance):
+        instance.insert("R", (1, 2))
+        instance.clear()
+        assert instance.count() == 0
+
+    def test_labelled_nulls_supported(self, instance):
+        null = SkolemTerm("SK_oid", ("E. coli",))
+        instance.insert("R", (null, "x"))
+        assert instance.contains("R", (SkolemTerm("SK_oid", ("E. coli",)), "x"))
+
+    def test_zero_arity_relation(self, instance):
+        assert instance.insert("Empty", ())
+        assert instance.contains("Empty", ())
+        assert not instance.insert("Empty", ())
+
+
+class TestSnapshots:
+    def test_snapshot_is_frozen(self, instance):
+        instance.insert("R", (1, 2))
+        snapshot = instance.snapshot()
+        assert snapshot["R"] == frozenset({(1, 2)})
+        instance.insert("R", (3, 4))
+        assert snapshot["R"] == frozenset({(1, 2)})
+
+    def test_copy_is_independent(self, instance):
+        instance.insert("R", (1, 2))
+        clone = instance.copy()
+        clone.insert("R", (3, 4))
+        assert instance.count("R") == 1
+        assert clone.count("R") == 2
+
+    def test_equality(self, instance):
+        other = MemoryInstance()
+        other.create_relation("R", 2)
+        other.create_relation("Empty", 0)
+        assert instance == other
+        instance.insert("R", (1, 2))
+        assert instance != other
+
+    def test_load(self, instance):
+        instance.load({"R": [(1, 2), (3, 4)]})
+        assert instance.count("R") == 2

@@ -1,0 +1,133 @@
+"""Unit and property-based tests for the SQLite storage backend."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.ast import SkolemTerm
+from repro.errors import StorageError, TupleArityError, UnknownRelationError
+from repro.storage.sqlite_backend import SQLiteInstance, decode_cell, encode_cell
+
+
+@pytest.fixture
+def instance() -> SQLiteInstance:
+    with SQLiteInstance(":memory:") as backend:
+        backend.create_relation("R", 2)
+        backend.create_relation("S", 3)
+        yield backend
+
+
+scalar_values = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.text(max_size=20),
+    st.booleans(),
+    st.none(),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+
+
+@st.composite
+def cell_values(draw):
+    """Scalars or (possibly nested) labelled nulls."""
+    if draw(st.booleans()):
+        return draw(scalar_values)
+    arity = draw(st.integers(min_value=0, max_value=2))
+    arguments = tuple(draw(scalar_values) for _ in range(arity))
+    return SkolemTerm(draw(st.sampled_from(["SK_a", "SK_b"])), arguments)
+
+
+class TestCellEncoding:
+    @settings(max_examples=80, deadline=None)
+    @given(value=cell_values())
+    def test_roundtrip(self, value):
+        assert decode_cell(encode_cell(value)) == value
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(StorageError):
+            encode_cell(object())
+
+    def test_decode_garbage_rejected(self):
+        with pytest.raises(StorageError):
+            decode_cell('{"unexpected": 1}')
+
+
+class TestSQLiteBackend:
+    def test_insert_contains_delete(self, instance):
+        assert instance.insert("R", (1, "a"))
+        assert not instance.insert("R", (1, "a"))
+        assert instance.contains("R", (1, "a"))
+        assert instance.delete("R", (1, "a"))
+        assert not instance.contains("R", (1, "a"))
+
+    def test_scan(self, instance):
+        instance.insert_many("R", [(1, "a"), (2, "b")])
+        assert set(instance.scan("R")) == {(1, "a"), (2, "b")}
+
+    def test_count(self, instance):
+        instance.insert_many("R", [(1, "a"), (2, "b")])
+        instance.insert("S", (1, 2, 3))
+        assert instance.count("R") == 2
+        assert instance.count() == 3
+
+    def test_arity_checked(self, instance):
+        with pytest.raises(TupleArityError):
+            instance.insert("R", (1,))
+
+    def test_unknown_relation(self, instance):
+        with pytest.raises(UnknownRelationError):
+            instance.count("Missing")
+
+    def test_conflicting_arity_rejected(self, instance):
+        with pytest.raises(StorageError):
+            instance.create_relation("R", 5)
+
+    def test_invalid_relation_name_rejected(self, instance):
+        with pytest.raises(StorageError):
+            instance.create_relation("bad name; drop", 1)
+
+    def test_labelled_null_roundtrip(self, instance):
+        null = SkolemTerm("SK_oid", ("E. coli", 3))
+        instance.insert("R", (null, "seq"))
+        assert instance.contains("R", (SkolemTerm("SK_oid", ("E. coli", 3)), "seq"))
+        assert set(instance.scan("R")) == {(null, "seq")}
+
+    def test_clear(self, instance):
+        instance.insert("R", (1, "a"))
+        instance.clear("R")
+        assert instance.count("R") == 0
+        instance.insert("R", (1, "a"))
+        instance.insert("S", (1, 2, 3))
+        instance.clear()
+        assert instance.count() == 0
+
+    def test_snapshot(self, instance):
+        instance.insert("R", (1, "a"))
+        snapshot = instance.snapshot()
+        assert snapshot["R"] == frozenset({(1, "a")})
+
+    def test_persistence_on_disk(self, tmp_path):
+        path = str(tmp_path / "peer.db")
+        first = SQLiteInstance(path)
+        first.create_relation("R", 2)
+        first.insert("R", (1, "a"))
+        first.close()
+
+        second = SQLiteInstance(path)
+        assert second.arity("R") == 2
+        assert second.contains("R", (1, "a"))
+        second.close()
+
+    @settings(max_examples=25, deadline=None)
+    @given(rows=st.lists(st.tuples(st.integers(-100, 100), st.text(max_size=8)), max_size=10))
+    def test_matches_memory_semantics(self, rows):
+        """SQLite and memory backends agree on set semantics."""
+        from repro.storage.memory import MemoryInstance
+
+        memory = MemoryInstance()
+        memory.create_relation("R", 2)
+        sqlite = SQLiteInstance(":memory:")
+        sqlite.create_relation("R", 2)
+        for row in rows:
+            assert memory.insert("R", row) == sqlite.insert("R", row)
+        assert set(memory.scan("R")) == set(sqlite.scan("R"))
+        sqlite.close()

@@ -1,0 +1,68 @@
+"""Unit tests for the per-peer update log."""
+
+import pytest
+
+from repro.core.transactions import Transaction
+from repro.core.updates import Update
+from repro.errors import StorageError
+from repro.storage.update_log import UpdateLog
+
+
+def make_transaction(txn_id: str) -> Transaction:
+    return Transaction(txn_id, "Peer", (Update.insert("R", (1,), origin="Peer"),))
+
+
+class TestUpdateLog:
+    def test_append_and_len(self):
+        log: UpdateLog[Transaction] = UpdateLog()
+        log.append(make_transaction("t1"))
+        log.append(make_transaction("t2"))
+        assert len(log) == 2
+        assert [entry.txn_id for entry in log] == ["t1", "t2"]
+
+    def test_duplicate_ids_rejected(self):
+        log: UpdateLog[Transaction] = UpdateLog()
+        log.append(make_transaction("t1"))
+        with pytest.raises(StorageError):
+            log.append(make_transaction("t1"))
+
+    def test_entry_lookup(self):
+        log: UpdateLog[Transaction] = UpdateLog()
+        log.append(make_transaction("t1"))
+        assert log.entry("t1").txn_id == "t1"
+        assert log.contains("t1")
+        assert not log.contains("t9")
+        with pytest.raises(StorageError):
+            log.entry("t9")
+
+    def test_publication_watermark(self):
+        log: UpdateLog[Transaction] = UpdateLog()
+        log.extend([make_transaction("t1"), make_transaction("t2")])
+        assert [entry.txn_id for entry in log.unpublished()] == ["t1", "t2"]
+        log.mark_published()
+        assert log.unpublished() == []
+        assert [entry.txn_id for entry in log.published()] == ["t1", "t2"]
+
+        log.append(make_transaction("t3"))
+        assert [entry.txn_id for entry in log.unpublished()] == ["t3"]
+        log.mark_published(1)
+        assert log.published_count == 3
+
+    def test_partial_publication(self):
+        log: UpdateLog[Transaction] = UpdateLog()
+        log.extend([make_transaction("t1"), make_transaction("t2")])
+        log.mark_published(1)
+        assert [entry.txn_id for entry in log.unpublished()] == ["t2"]
+
+    def test_invalid_publication_count(self):
+        log: UpdateLog[Transaction] = UpdateLog()
+        log.append(make_transaction("t1"))
+        with pytest.raises(StorageError):
+            log.mark_published(5)
+        with pytest.raises(StorageError):
+            log.mark_published(-1)
+
+    def test_custom_key(self):
+        log: UpdateLog[dict] = UpdateLog(key=lambda entry: entry["id"])
+        log.append({"id": "a"})
+        assert log.contains("a")

@@ -1,0 +1,81 @@
+"""Integration tests: the five demonstration scenarios of Section 4.
+
+Each test asserts exactly the claims the paper's demonstration description
+makes; EXPERIMENTS.md cross-references these outcomes.
+"""
+
+from repro.workloads.scenarios import (
+    run_all_scenarios,
+    scenario_1_bidirectional_translation,
+    scenario_2_conflict_and_dependent_rejection,
+    scenario_3_antecedent_acceptance,
+    scenario_4_deferral_and_resolution,
+    scenario_5_offline_publisher,
+)
+
+
+class TestScenario1:
+    def test_updates_flow_both_ways(self):
+        outcome = scenario_1_bidirectional_translation()
+        obs = outcome.observations
+        assert obs["dresden_accepted_alaska"]
+        assert ("E. coli", "lacZ", "ATGACCATGATT") in obs["dresden_ops"]
+        assert obs["alaska_accepted_dresden"]
+        assert obs["alaska_has_translated_organism"]
+        assert obs["alaska_has_translated_sequence"]
+
+
+class TestScenario2:
+    def test_trust_based_conflict_resolution(self):
+        outcome = scenario_2_conflict_and_dependent_rejection()
+        obs = outcome.observations
+        assert obs["crete_accepts_beijing"]
+        assert obs["crete_rejects_dresden"]
+        assert obs["crete_sequence_is_beijings"]
+
+    def test_dependent_of_rejected_also_rejected(self):
+        outcome = scenario_2_conflict_and_dependent_rejection()
+        assert outcome.observations["crete_rejects_follow_up"]
+
+
+class TestScenario3:
+    def test_untrusted_antecedent_accepted_with_trusted_dependent(self):
+        outcome = scenario_3_antecedent_acceptance()
+        obs = outcome.observations
+        assert obs["beijing_depends_on_alaska"]
+        assert obs["crete_accepts_beijing"]
+        assert obs["crete_accepts_alaska_antecedent"]
+        assert obs["crete_has_modified_sequence"]
+        assert obs["crete_has_untouched_antecedent_data"]
+
+
+class TestScenario4:
+    def test_deferral_and_manual_resolution(self):
+        outcome = scenario_4_deferral_and_resolution()
+        obs = outcome.observations
+        assert obs["dresden_defers_both"]
+        assert obs["dresden_open_conflicts_after_first"] == 1
+        assert obs["dresden_defers_crete"]
+        assert obs["resolution_accepts_beijing"]
+        assert obs["resolution_rejects_alaska"]
+        assert obs["resolution_accepts_crete_automatically"]
+        assert obs["dresden_final_sequence"]
+        assert obs["dresden_decisions"]["Alaska-T1"] == "rejected"
+        assert obs["dresden_decisions"]["Crete-T1"] == "accepted"
+
+
+class TestScenario5:
+    def test_offline_publisher_data_still_available(self):
+        outcome = scenario_5_offline_publisher()
+        obs = outcome.observations
+        assert obs["beijing_online"] is False
+        assert obs["alaska_accepted_all"]
+        assert obs["store_still_has_beijing"]
+        assert obs["archive_availability"] == 1.0
+        assert obs["alaska_organism_count"] >= 3
+
+
+def test_run_all_scenarios_returns_every_id():
+    outcomes = run_all_scenarios()
+    assert set(outcomes) == {"DEMO-S1", "DEMO-S2", "DEMO-S3", "DEMO-S4", "DEMO-S5"}
+    assert all(outcome.network is not None for outcome in outcomes.values())
