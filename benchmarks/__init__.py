@@ -1,0 +1,10 @@
+"""Benchmark harness (pytest-benchmark based).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks -q -s
+
+Making this directory a package lets ``bench_*`` modules share the
+``_reporting`` helpers through a relative import regardless of how pytest
+is invoked.
+"""

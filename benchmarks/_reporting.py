@@ -3,6 +3,12 @@
 Every benchmark prints the rows/series it regenerates (the textual
 counterpart of the paper's figures) in addition to the timing collected by
 pytest-benchmark, so that EXPERIMENTS.md can quote them directly.
+
+The helpers consume the ``to_dict()`` serialization of the library's outcome
+objects (:class:`~repro.core.system.PublishOutcome`,
+:class:`~repro.core.system.ReconcileOutcome`,
+:class:`~repro.api.sync.SyncReport`), so whatever a benchmark prints is the
+same plain data a dashboard or CI artifact would ingest.
 """
 
 from __future__ import annotations
@@ -18,3 +24,48 @@ def print_table(title: str, headers: list[str], rows: list[list[object]]) -> Non
     print("  " + "  ".join(str(header).ljust(width) for header, width in zip(headers, widths)))
     for row in rows:
         print("  " + "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths)))
+
+
+def print_outcomes(title: str, outcomes, columns: list[str]) -> None:
+    """Tabulate ``to_dict()``-serializable outcomes, one row per outcome.
+
+    List-valued fields are rendered as their length (e.g. the ``published``
+    id list becomes a count), scalars verbatim.
+    """
+    rows = []
+    for outcome in outcomes:
+        data = outcome.to_dict()
+        row = []
+        for column in columns:
+            value = data.get(column)
+            row.append(len(value) if isinstance(value, (list, dict)) else value)
+        rows.append(row)
+    print_table(title, columns, rows)
+
+
+def print_sync_report(title: str, report) -> None:
+    """Print the round-by-round shape of a :class:`SyncReport` via its dict form."""
+    data = report.to_dict()
+    print_table(
+        f"{title}: rounds",
+        ["round", "published", "translated", "candidates", "skipped_offline"],
+        [
+            [
+                round_["index"],
+                round_["published_transactions"],
+                round_["translated_changes"],
+                round_["candidates_considered"],
+                ",".join(round_["skipped_offline"]) or "-",
+            ]
+            for round_ in data["rounds"]
+        ],
+    )
+    print_table(
+        f"{title}: per-peer decisions",
+        ["peer", "accepted", "rejected", "deferred", "pending", "open_conflicts"],
+        [
+            [peer, *(summary[key] for key in
+                     ("accepted", "rejected", "deferred", "pending", "open_conflicts"))]
+            for peer, summary in sorted(data["decisions"].items())
+        ],
+    )

@@ -4,7 +4,8 @@ Figure 1 of the paper shows the CDSS architecture: peers publish transactions
 into a shared (peer-to-peer) archive, the update-exchange engine translates
 them, and each peer reconciles against its trust policy — all while peers
 connect and disconnect.  This benchmark drives a three-peer chain
-(A → B → C) through that pipeline with churn at the publisher and reports the
+(A → B → C), built with the fluent :class:`~repro.api.NetworkBuilder`,
+through that pipeline with churn at the publisher and reports the
 per-stage costs and the availability the archive provides.
 """
 
@@ -12,21 +13,23 @@ from __future__ import annotations
 
 import pytest
 
-from repro import CDSS, PeerSchema
-from repro.core.mapping import join_mapping
+from repro import CDSS, NetworkBuilder
 
-from ._reporting import print_table
+from ._reporting import print_outcomes, print_table
 
 TRANSACTIONS = 40
 
 
 def build_chain() -> CDSS:
-    cdss = CDSS()
-    for name in ("A", "B", "C"):
-        cdss.add_peer(name, PeerSchema.build(name, {"R": ["k", "v"]}, {"R": ["k"]}))
-    cdss.add_mapping(join_mapping("M_AB", "A", "B", "R(k, v)", ["R(k, v)"]))
-    cdss.add_mapping(join_mapping("M_BC", "B", "C", "R(k, v)", ["R(k, v)"]))
-    return cdss
+    return (
+        NetworkBuilder("fig1-chain")
+        .peer("A").relation("R", "k", "v", key=("k",))
+        .peer("B").relation("R", "k", "v", key=("k",))
+        .peer("C").relation("R", "k", "v", key=("k",))
+        .mapping("[M_AB] @B.R(k, v) :- @A.R(k, v).")
+        .mapping("[M_BC] @C.R(k, v) :- @B.R(k, v).")
+        .build()
+    )
 
 
 def run_pipeline() -> dict[str, object]:
@@ -36,21 +39,23 @@ def run_pipeline() -> dict[str, object]:
         source.insert("R", (index, f"value-{index}"))
     publish = cdss.publish("A")
 
-    # The publisher disconnects: its updates must stay retrievable.
+    # The publisher disconnects: its updates must stay retrievable, and the
+    # orchestrated sync reports the offline peer instead of dropping it.
     cdss.set_online("A", False)
-    middle = cdss.reconcile("B")
-    tail = cdss.reconcile("C")
+    report = cdss.sync()
 
     return {
         "published": len(publish.published),
         "translated_changes": publish.translated_changes,
-        "b_accepted": len(middle.accepted),
-        "c_accepted": len(tail.accepted),
+        "b_accepted": len(report.accepted("B")),
+        "c_accepted": len(report.accepted("C")),
+        "skipped_offline": report.skipped_offline,
         "c_tuples": cdss.peer("C").instance.count("R"),
         "archive_size": len(cdss.store),
         "availability": cdss.replication.availability_ratio(
             [entry.txn_id for entry in cdss.store.all_entries()]
         ),
+        "publish_outcome": publish,
     }
 
 
@@ -59,10 +64,16 @@ def test_fig1_pipeline(benchmark):
     assert stats["published"] == TRANSACTIONS
     assert stats["c_accepted"] == TRANSACTIONS
     assert stats["c_tuples"] == TRANSACTIONS
+    assert stats["skipped_offline"] == ["A"]
     print_table(
         "FIG1: publish -> archive -> translate -> reconcile over a 3-peer chain",
         ["metric", "value"],
-        [[key, value] for key, value in stats.items()],
+        [[key, value] for key, value in stats.items() if key != "publish_outcome"],
+    )
+    print_outcomes(
+        "FIG1: publication outcome (serialized)",
+        [stats["publish_outcome"]],
+        ["peer", "epoch", "published", "translated_changes"],
     )
 
 

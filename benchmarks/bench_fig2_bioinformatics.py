@@ -1,12 +1,13 @@
 """Experiment FIG2-bioinformatics: the four-peer network of Figure 2.
 
-Builds the Alaska/Beijing/Crete/Dresden CDSS, loads synthetic organism,
-protein and sequence data at the Σ1 and Σ2 peers, runs a full round of
-publication and reconciliation at every peer, and reports the per-peer
-instance sizes and decision counts.  The shape to check against the paper:
-data flows across the join/split mappings in both directions, and Crete —
-the only peer with a restrictive trust policy — ends up with a subset of what
-Dresden holds.
+Builds the Alaska/Beijing/Crete/Dresden CDSS from its declarative spec
+(:data:`repro.workloads.FIGURE2_SPEC`), loads synthetic organism, protein
+and sequence data at the Σ1 and Σ2 peers, runs one orchestrated ``sync()``
+(publication + reconciliation at every peer until quiescence), and reports
+the per-peer instance sizes and decision counts.  The shape to check against
+the paper: data flows across the join/split mappings in both directions, and
+Crete — the only peer with a restrictive trust policy — ends up with a
+subset of what Dresden holds.
 """
 
 from __future__ import annotations
@@ -16,12 +17,12 @@ import pytest
 from repro.workloads.bioinformatics import BioDataGenerator, build_figure2_network
 from repro.workloads.reporting import render_decision_table
 
-from ._reporting import print_table
+from ._reporting import print_sync_report, print_table
 
 SCALE = {"organisms": 6, "proteins": 8, "sequences_per_pair": 0.4, "sigma2_pairs": 10}
 
 
-def run_figure2_round() -> dict[str, dict[str, int]]:
+def run_figure2_round() -> dict[str, object]:
     network = build_figure2_network()
     cdss = network.cdss
     generator = BioDataGenerator(seed=23)
@@ -36,24 +37,22 @@ def run_figure2_round() -> dict[str, dict[str, int]]:
     cdss.import_existing_data("Dresden")
     generator.insertion_transactions(network.beijing, count=3, start_index=200)
 
-    for peer in network.peer_names():
-        cdss.publish(peer)
-    summaries = {}
-    for peer in network.peer_names():
-        outcome = cdss.reconcile(peer)
-        summaries[peer] = outcome.result.summary()
+    # One call replaces the per-peer publish and reconcile loops.
+    report = cdss.sync()
 
     sizes = {
         peer.name: {relation.name: peer.instance.count(relation.name) for relation in peer.schema}
         for peer in network.peers()
     }
-    return {"decisions": summaries, "sizes": sizes, "stats": cdss.statistics(),
+    return {"report": report, "sizes": sizes, "stats": cdss.statistics(),
             "states": [cdss.reconciliation_state(name) for name in network.peer_names()]}
 
 
 def test_fig2_full_round(benchmark):
     result = benchmark(run_figure2_round)
     sizes = result["sizes"]
+    report = result["report"]
+    assert report.converged and not report.skipped_offline
     # Data flowed Σ1 -> Σ2 and Σ2 -> Σ1.
     assert sizes["Dresden"]["OPS"] > SCALE["sigma2_pairs"]
     assert sizes["Beijing"]["S"] > 0
@@ -61,17 +60,12 @@ def test_fig2_full_round(benchmark):
     assert sizes["Crete"]["OPS"] <= sizes["Dresden"]["OPS"]
 
     print_table(
-        "FIG2: per-peer instance sizes after one full exchange round",
+        "FIG2: per-peer instance sizes after one full sync",
         ["peer", "relation", "tuples"],
         [[peer, relation, count] for peer, relations in sorted(sizes.items())
          for relation, count in sorted(relations.items())],
     )
-    print_table(
-        "FIG2: per-peer reconciliation decisions",
-        ["peer", "accepted", "rejected", "deferred", "pending"],
-        [[peer, summary["accepted"], summary["rejected"], summary["deferred"], summary["pending"]]
-         for peer, summary in sorted(result["decisions"].items())],
-    )
+    print_sync_report("FIG2", report)
     print(render_decision_table(result["states"]))
 
 

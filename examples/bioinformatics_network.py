@@ -5,10 +5,10 @@ Reproduces the demonstration setting of the paper: four universities
 two schemas (Σ1 with identifiers, Σ2 denormalised), connected by identity,
 join and split mappings, with Crete trusting only Beijing and Dresden.
 
-The script loads synthetic data at two peers, runs publication and
-reconciliation at every peer, and prints the per-peer state, the mappings,
-and the reconciliation traces — the textual equivalent of the paper's
-Figure-3 GUI views.
+The whole network is written in the declarative spec language
+(:data:`repro.workloads.FIGURE2_SPEC`); a single ``sync()`` call replaces
+the hand-rolled publish/reconcile loops, and the returned
+:class:`~repro.api.sync.SyncReport` carries every per-peer outcome.
 
 Run with:  python examples/bioinformatics_network.py
 """
@@ -24,6 +24,7 @@ from repro.workloads.reporting import (
 
 
 def main() -> None:
+    # FIGURE2_SPEC -> CDSS.from_spec: peers, trust, and tgd mappings in one text.
     network = build_figure2_network()
     cdss = network.cdss
 
@@ -40,16 +41,20 @@ def main() -> None:
     # Beijing contributes fresh measurements as ordinary transactions.
     generator.insertion_transactions(network.beijing, count=2, start_index=50)
 
-    # Everyone publishes, then everyone reconciles.
-    for peer in network.peer_names():
-        outcome = cdss.publish(peer)
+    # One call: everyone publishes, everyone reconciles, until quiescence.
+    report = cdss.sync()
+    print(
+        f"sync converged in {report.round_count} round(s): "
+        f"{report.published_transactions} transactions published, "
+        f"{report.translated_changes} translated changes"
+    )
+    for outcome in report.rounds[0].published:
         if outcome.published:
-            print(f"{peer} published {len(outcome.published)} transaction(s) "
+            print(f"  {outcome.peer} published {len(outcome.published)} transaction(s) "
                   f"({outcome.translated_changes} translated changes)")
     print()
-    for peer in network.peer_names():
-        outcome = cdss.reconcile(peer)
-        print(render_reconciliation(outcome, cdss.reconciliation_state(peer)))
+    for outcome in report.rounds[0].reconciled:
+        print(render_reconciliation(outcome, cdss.reconciliation_state(outcome.peer)))
         print()
 
     for peer in network.peers():
@@ -62,6 +67,11 @@ def main() -> None:
     crete_ops = network.crete.tuples("OPS")
     print(f"Dresden OPS tuples: {len(dresden_ops)}; Crete OPS tuples: {len(crete_ops)}")
     assert len(crete_ops) <= len(dresden_ops)
+
+    # The provenance-annotated query API answers "which sequences does Crete
+    # hold, and how were they derived?" in one call.
+    answers = cdss.query("Crete", "Answer(org, prot) :- OPS(org, prot, seq).")
+    print(f"Crete (organism, protein) pairs via query(): {len(answers)}")
     print("bioinformatics network example completed successfully")
 
 

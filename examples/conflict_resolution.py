@@ -7,6 +7,10 @@ publishes a correction on top of Beijing's value, which Dresden must also
 defer.  The administrator then resolves the conflict in Beijing's favour and
 Crete's dependent correction is accepted automatically.
 
+The exchange is driven entirely by ``cdss.sync()``: the returned
+:class:`~repro.api.sync.SyncReport` names the deferred transactions and the
+conflicts left open for the administrator.
+
 Run with:  python examples/conflict_resolution.py
 """
 
@@ -34,26 +38,28 @@ def main() -> None:
         builder.insert("S", (5, 14, sequence))
         transaction = peer.commit(builder)
         print(f"{peer.name} committed {transaction.txn_id}: sequence {sequence}")
-    cdss.publish("Beijing")
-    cdss.publish("Alaska")
 
-    outcome = cdss.reconcile("Dresden")
-    print()
-    print(render_reconciliation(outcome, cdss.reconciliation_state("Dresden")))
+    # One sync spreads both claims; Dresden defers, Crete prefers Beijing.
+    report = cdss.sync()
+    print(f"\nsync: open conflicts per peer: {report.open_conflicts}")
+    dresden_outcome = next(
+        outcome for outcome in report.rounds[0].reconciled if outcome.peer == "Dresden"
+    )
+    print(render_reconciliation(dresden_outcome, cdss.reconciliation_state("Dresden")))
 
-    # Crete trusts Beijing over Alaska, accepts Beijing's value, and
-    # publishes a correction that depends on it.
-    cdss.reconcile("Crete")
+    # Crete trusts Beijing over Alaska, accepted Beijing's value during the
+    # sync, and now publishes a correction that depends on it.
     correction = crete.modify(
         "OPS",
         ("S. cerevisiae", "hsp70", "ACGTACGTACGT"),
         ("S. cerevisiae", "hsp70", "ACGTACGTAAAA"),
     )
     print(f"\nCrete published a correction: {correction.txn_id}")
-    cdss.publish("Crete")
-
-    outcome = cdss.reconcile("Dresden")
-    print(render_reconciliation(outcome, cdss.reconciliation_state("Dresden")))
+    report = cdss.sync(peers=["Crete", "Dresden"])
+    dresden_outcome = next(
+        outcome for outcome in report.rounds[0].reconciled if outcome.peer == "Dresden"
+    )
+    print(render_reconciliation(dresden_outcome, cdss.reconciliation_state("Dresden")))
 
     # The administrator resolves the deferred conflict in Beijing's favour.
     conflict = cdss.open_conflicts("Dresden")[0]

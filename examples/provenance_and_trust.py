@@ -31,9 +31,9 @@ def main() -> None:
         builder.insert("P", ("recA", 11))
         builder.insert("S", (1, 11, "ATGGCGGAT"))
         peer.commit(builder)
-        cdss.publish(peer.name)
 
-    cdss.reconcile("Dresden")
+    # One orchestrated sync publishes both and reconciles Dresden.
+    cdss.sync(peers=["Alaska", "Beijing", "Dresden"])
 
     graph = cdss.engine.provenance
     target = ("Dresden.OPS", ("E. coli", "recA", "ATGGCGGAT"))
@@ -68,6 +68,17 @@ def main() -> None:
     print(f"  clearance required: {annotations[target].name}")
 
     assert annotations[target] == TrustLevel.PUBLIC
+
+    # The same provenance machinery backs ad-hoc queries over a peer's
+    # instance: every answer row carries its polynomial over local tuples.
+    result = cdss.query(
+        "Dresden",
+        "Answer(org, seq) :- OPS(org, prot, seq), prot = 'recA'.",
+        provenance=True,
+    )
+    for row in sorted(result.rows):
+        print(f"  query answer {row}: provenance {result.provenance[row]}")
+
     print("\nprovenance and trust example completed successfully")
 
 

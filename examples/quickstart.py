@@ -1,56 +1,70 @@
 """Quickstart: a two-peer collaborative data sharing system.
 
-Builds the smallest useful CDSS — a source peer and a target peer connected
-by one schema mapping — then walks through the full update-exchange loop:
-local edits, publication, reconciliation, and a deletion that propagates.
+Describes the smallest useful CDSS — a source peer and a target peer
+connected by one schema mapping — in the declarative network-spec language,
+then drives the full update-exchange loop with single ``sync()`` calls:
+local edits, orchestrated publication + reconciliation, a deletion that
+propagates, and an ad-hoc datalog query over the result.
+
+(The imperative facade — ``add_peer`` / ``add_mapping`` / ``publish`` /
+``reconcile`` — remains fully supported; ``sync()`` composes it.)
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import CDSS, PeerSchema
-from repro.core.mapping import join_mapping
+from repro import CDSS
 from repro.workloads.reporting import render_peer_state
+
+#: Peers, relations with keys, and a tgd mapping — the whole network as text.
+SPEC = """
+network quickstart
+peer Source
+  relation R(key, value) key(key)
+peer Target
+  relation R(key, value) key(key)
+mapping [M_source_to_target] @Target.R(k, v) :- @Source.R(k, v).
+"""
 
 
 def main() -> None:
-    cdss = CDSS()
+    # 1. Build the whole network from its declarative description.
+    cdss = CDSS.from_spec(SPEC)
+    source, target = cdss.peer("Source"), cdss.peer("Target")
 
-    # 1. Two autonomous peers, each with its own (here: identical) schema.
-    source = cdss.add_peer("Source", PeerSchema.build("S", {"R": ["key", "value"]}, {"R": ["key"]}))
-    target = cdss.add_peer("Target", PeerSchema.build("T", {"R": ["key", "value"]}, {"R": ["key"]}))
-
-    # 2. A declarative schema mapping: whatever Source asserts in R flows to Target.
-    cdss.add_mapping(join_mapping("M_source_to_target", "Source", "Target",
-                                  "R(key, value)", ["R(key, value)"]))
-
-    # 3. Source edits its local instance (one transaction, two inserts).
+    # 2. Source edits its local instance (one transaction, two inserts).
     builder = source.new_transaction()
     builder.insert("R", (1, "hello"))
     builder.insert("R", (2, "world"))
     source.commit(builder)
 
-    # 4. Publish: the transaction is archived in the shared update store and
-    #    translated by the exchange engine.
-    publish = cdss.publish("Source")
-    print(f"published {len(publish.published)} transaction(s) at epoch {publish.epoch}")
-
-    # 5. Reconcile: Target pulls the newly published transactions, translated
-    #    into its schema, and applies the ones its trust policy accepts.
-    outcome = cdss.reconcile("Target")
-    print(f"Target accepted {len(outcome.accepted)} transaction(s)")
+    # 3. One sync orchestrates the whole exchange: every online peer
+    #    publishes, every online peer reconciles, repeating until quiescence.
+    report = cdss.sync()
+    print(
+        f"sync converged in {report.round_count} round(s): "
+        f"{report.published_transactions} transaction(s) published, "
+        f"{report.translated_changes} translated changes"
+    )
+    print(f"Target accepted {len(report.accepted('Target'))} transaction(s)")
     print(render_peer_state(target))
 
-    # 6. Updates include deletions: removing the tuple at the source removes
-    #    it at the target on the next exchange.
+    # 4. Updates include deletions: removing the tuple at the source removes
+    #    it at the target on the next sync.
     source.delete("R", (1, "hello"))
-    cdss.publish("Source")
-    cdss.reconcile("Target")
+    cdss.sync()
     print("\nafter the deletion propagates:")
     print(render_peer_state(target))
-
     assert target.tuples("R") == frozenset({(2, "world")})
+
+    # 5. Ad-hoc datalog over a peer's instance.
+    result = cdss.query("Target", "Answer(v) :- R(k, v).")
+    print(f"\nquery answers at Target: {sorted(result.rows)}")
+    assert ("world",) in result
+
+    # 6. The report serializes for dashboards/CI artifacts.
+    assert report.to_dict()["converged"] is True
     print("\nquickstart completed successfully")
 
 

@@ -1,10 +1,30 @@
-"""Setuptools shim.
+"""Packaging metadata for the ORCHESTRA CDSS reproduction.
 
-The canonical project metadata lives in ``pyproject.toml``; this file exists
-so that editable installs work in offline environments where the ``wheel``
-package (needed by PEP 517 editable builds) is unavailable.
+Kept as a plain ``setup.py`` (rather than a PEP 517 ``pyproject.toml``
+build) so that editable installs keep working in offline environments where
+the ``wheel`` package is unavailable.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-orchestra",
+    version="1.1.0",
+    description=(
+        "Reproduction of ORCHESTRA (SIGMOD 2007): collaborative data sharing "
+        "with declarative schema mappings, provenance-aware update exchange, "
+        "and trust-based reconciliation"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    license="MIT",
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Database",
+        "Intended Audience :: Science/Research",
+    ],
+)

@@ -6,51 +6,98 @@ coupled peers with autonomous local databases exchange tuple-level updates
 through declarative schema mappings, with provenance-aware translation and
 trust-based reconciliation of conflicting, transactional updates.
 
-Quick start::
+Quick start — describe the network declaratively, then let ``sync()``
+orchestrate publication and reconciliation until quiescence::
 
-    from repro import CDSS, PeerSchema, TrustPolicy
-    from repro.core.mapping import join_mapping
+    from repro import CDSS
+
+    cdss = CDSS.from_spec('''
+        peer Source
+          relation R(key, value) key(key)
+        peer Target
+          relation R(key, value) key(key)
+        mapping [M_ST] @Target.R(k, v) :- @Source.R(k, v).
+    ''')
+
+    cdss.peer("Source").insert("R", (1, "hello"))
+    report = cdss.sync()          # publish + reconcile everywhere
+    assert (1, "hello") in cdss.peer("Target").tuples("R")
+    assert report.converged and not report.skipped_offline
+
+    # Ad-hoc datalog over a peer's instance, optionally with provenance.
+    rows = cdss.query("Target", "Answer(v) :- R(k, v).")
+
+The same network can be built fluently (:class:`repro.api.NetworkBuilder`)
+or imperatively — the original ``add_peer``/``add_mapping``/``publish``/
+``reconcile`` facade remains fully supported and is what the declarative
+layer composes::
+
+    from repro import CDSS, PeerSchema
+    from repro.core.mapping import mapping_from_tgd
 
     cdss = CDSS()
-    source = cdss.add_peer("Source", PeerSchema.build("S", {"R": ["a", "b"]}))
-    target = cdss.add_peer("Target", PeerSchema.build("T", {"R": ["a", "b"]}))
-    cdss.add_mapping(join_mapping("M", "Source", "Target", "R(a, b)", ["R(a, b)"]))
-
-    source.insert("R", (1, 2))
+    cdss.add_peer("Source", PeerSchema.build("S", {"R": ["a", "b"]}))
+    cdss.add_peer("Target", PeerSchema.build("T", {"R": ["a", "b"]}))
+    cdss.add_mapping(mapping_from_tgd("[M] @Target.R(a, b) :- @Source.R(a, b)."))
     cdss.publish("Source")
     cdss.reconcile("Target")
-    assert (1, 2) in target.tuples("R")
 
-The ready-made Figure-2 bioinformatics network and the five demonstration
+The ready-made Figure-2 bioinformatics network (written as the declarative
+spec :data:`repro.workloads.FIGURE2_SPEC`) and the five demonstration
 scenarios live in :mod:`repro.workloads`.
 """
 
+from .api import (
+    NetworkBuilder,
+    NetworkSpec,
+    PeerSpec,
+    QueryResult,
+    SyncReport,
+    SyncRound,
+    parse_network_spec,
+)
 from .config import ExchangeConfig, ReconciliationConfig, StoreConfig, SystemConfig
 from .core.catalog import Catalog
-from .core.mapping import Mapping, identity_mapping, join_mapping, split_mapping
+from .core.mapping import (
+    Mapping,
+    identity_mapping,
+    join_mapping,
+    mapping_from_tgd,
+    mapping_to_tgd,
+    split_mapping,
+)
 from .core.peer import Peer
 from .core.schema import PeerSchema, RelationSchema
-from .core.system import CDSS, PublishOutcome, ReconcileOutcome
+from .core.system import CDSS, PublishAllOutcome, PublishOutcome, ReconcileOutcome
 from .core.transactions import Transaction, TransactionBuilder
 from .core.trust import TrustCondition, TrustPolicy
 from .core.updates import Update, UpdateKind
-from .errors import ReproError
+from .errors import ReproError, SpecError, SyncError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CDSS",
     "Catalog",
     "ExchangeConfig",
     "Mapping",
+    "NetworkBuilder",
+    "NetworkSpec",
     "Peer",
     "PeerSchema",
+    "PeerSpec",
+    "PublishAllOutcome",
     "PublishOutcome",
+    "QueryResult",
     "ReconcileOutcome",
     "ReconciliationConfig",
     "RelationSchema",
     "ReproError",
+    "SpecError",
     "StoreConfig",
+    "SyncError",
+    "SyncReport",
+    "SyncRound",
     "SystemConfig",
     "Transaction",
     "TransactionBuilder",
@@ -61,5 +108,8 @@ __all__ = [
     "__version__",
     "identity_mapping",
     "join_mapping",
+    "mapping_from_tgd",
+    "mapping_to_tgd",
+    "parse_network_spec",
     "split_mapping",
 ]

@@ -1,0 +1,358 @@
+"""The declarative network specification language.
+
+A CDSS network — peers, relations with keys, trust policies, and tgd
+mappings — can be described as text, mirroring the datalog notation the
+paper itself uses::
+
+    # The two-peer quickstart network.
+    network quickstart
+    peer Source
+      relation R(key, value) key(key)
+    peer Target
+      relation R(key, value) key(key)
+    mapping [M_ST] @Target.R(k, v) :- @Source.R(k, v).
+
+The format is line-oriented:
+
+* ``network <name>`` (optional) names the network;
+* ``peer <Name> [schema <SchemaName>]`` opens a peer section;
+* ``relation Rel(attr, ...) [key(attr, ...)]`` declares a relation of the
+  current peer; without a ``key`` clause the whole tuple is the key;
+* ``trust <Peer> <priority>`` and ``trust * <priority>`` populate the
+  peer's trust table (``*`` sets the default priority; 0 means distrust);
+* ``mapping [Id] @Target.R(...) :- @Source.R(...), ... .`` declares a tgd
+  mapping, target side first, continuing across lines until the closing
+  period.  Split mappings list several head atoms; variables occurring only
+  in the heads are existential and become labelled nulls;
+* ``#`` or ``%`` start a comment.
+
+:func:`parse_network_spec` turns text (or an equivalent dict) into a
+:class:`NetworkSpec`; :meth:`NetworkSpec.to_text` renders it back so that
+spec → CDSS → spec round-trips.  ``CDSS.from_spec`` builds a running system
+from either form.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Mapping as MappingType, Optional, Sequence, Union
+
+from ..core.mapping import Mapping, mapping_from_tgd, mapping_to_tgd
+from ..core.schema import PeerSchema
+from ..core.trust import TrustPolicy
+from ..errors import SpecError
+
+#: The trust-table key that sets a peer's default priority.
+TRUST_DEFAULT = "*"
+
+_PEER_RE = re.compile(r"peer\s+(?P<name>\w+)(?:\s+schema\s+(?P<schema>\w+))?\s*$")
+_RELATION_RE = re.compile(
+    r"relation\s+(?P<name>\w+)\s*\((?P<attrs>[^)]*)\)(?:\s*key\s*\((?P<key>[^)]*)\))?\s*$"
+)
+_TRUST_RE = re.compile(r"trust\s+(?P<peer>\*|\w+)\s+(?P<priority>\d+)\s*$")
+
+
+@dataclass
+class PeerSpec:
+    """Declarative description of one peer: schema shape plus trust table."""
+
+    name: str
+    schema_name: Optional[str] = None
+    relations: dict[str, list[str]] = field(default_factory=dict)
+    keys: dict[str, list[str]] = field(default_factory=dict)
+    #: ``{peer: priority}`` plus the optional ``"*"`` default entry.
+    trust: dict[str, int] = field(default_factory=dict)
+
+    def schema(self) -> PeerSchema:
+        if not self.relations:
+            raise SpecError(f"peer {self.name!r} declares no relations")
+        return PeerSchema.build(
+            self.schema_name or self.name, self.relations, self.keys
+        )
+
+    def trust_policy(self) -> TrustPolicy:
+        table = {peer: priority for peer, priority in self.trust.items() if peer != TRUST_DEFAULT}
+        default = self.trust.get(TRUST_DEFAULT, 1)
+        return TrustPolicy(
+            owner=self.name, peer_priorities=table, default_priority=default
+        )
+
+    def to_dict(self) -> dict:
+        spec: dict = {"relations": {name: list(attrs) for name, attrs in self.relations.items()}}
+        if self.schema_name:
+            spec["schema"] = self.schema_name
+        if self.keys:
+            spec["keys"] = {name: list(attrs) for name, attrs in self.keys.items()}
+        if self.trust:
+            spec["trust"] = dict(self.trust)
+        return spec
+
+
+@dataclass
+class NetworkSpec:
+    """A complete declarative description of a CDSS network."""
+
+    name: str = "network"
+    peers: dict[str, PeerSpec] = field(default_factory=dict)
+    mappings: list[Mapping] = field(default_factory=list)
+
+    # -- validation ----------------------------------------------------------
+    def validate(self) -> None:
+        """Cross-check the spec before any system state is built."""
+        if not self.peers:
+            raise SpecError("a network spec needs at least one peer")
+        for peer in self.peers.values():
+            if not peer.relations:
+                raise SpecError(f"peer {peer.name!r} declares no relations")
+            for relation, key in peer.keys.items():
+                if relation not in peer.relations:
+                    raise SpecError(
+                        f"peer {peer.name!r} declares a key for unknown relation {relation!r}"
+                    )
+            for trusted in peer.trust:
+                if trusted != TRUST_DEFAULT and trusted not in self.peers:
+                    raise SpecError(
+                        f"peer {peer.name!r} declares trust in unknown peer {trusted!r}"
+                    )
+        seen_ids: set[str] = set()
+        for mapping in self.mappings:
+            if mapping.mapping_id in seen_ids:
+                raise SpecError(f"duplicate mapping id {mapping.mapping_id!r}")
+            seen_ids.add(mapping.mapping_id)
+            for role, peer_name in (
+                ("source", mapping.source_peer),
+                ("target", mapping.target_peer),
+            ):
+                if peer_name not in self.peers:
+                    raise SpecError(
+                        f"mapping {mapping.mapping_id!r} references unknown "
+                        f"{role} peer {peer_name!r}"
+                    )
+            mapping.validate_against(
+                self.peers[mapping.source_peer].schema(),
+                self.peers[mapping.target_peer].schema(),
+            )
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "peers": {name: peer.to_dict() for name, peer in self.peers.items()},
+            "mappings": [mapping_to_tgd(mapping) for mapping in self.mappings],
+        }
+
+    def to_text(self) -> str:
+        lines = [f"network {self.name}"]
+        for peer in self.peers.values():
+            header = f"peer {peer.name}"
+            if peer.schema_name:
+                header += f" schema {peer.schema_name}"
+            lines.append(header)
+            for relation, attributes in peer.relations.items():
+                line = f"  relation {relation}({', '.join(attributes)})"
+                key = peer.keys.get(relation)
+                if key:
+                    line += f" key({', '.join(key)})"
+                lines.append(line)
+            for trusted, priority in peer.trust.items():
+                lines.append(f"  trust {trusted} {priority}")
+        for mapping in self.mappings:
+            lines.append(f"mapping {mapping_to_tgd(mapping)}")
+        return "\n".join(lines) + "\n"
+
+
+SpecInput = Union[str, MappingType, NetworkSpec]
+
+
+def _strip_comment(line: str) -> str:
+    # Quote-aware: '#'/'%' inside a quoted constant is content, not a comment.
+    in_string: Optional[str] = None
+    for index, char in enumerate(line):
+        if in_string:
+            if char == in_string:
+                in_string = None
+        elif char in "'\"":
+            in_string = char
+        elif char in "#%":
+            return line[:index].rstrip()
+    return line.rstrip()
+
+
+def _parse_text_spec(text: str) -> NetworkSpec:
+    spec = NetworkSpec()
+    current: Optional[PeerSpec] = None
+    pending_mapping: list[str] = []
+
+    def finish_mapping() -> None:
+        if pending_mapping:
+            raise SpecError(
+                "mapping statement is missing its closing period: "
+                + " ".join(pending_mapping)
+            )
+
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+
+        if pending_mapping:
+            pending_mapping.append(line)
+            if line.endswith("."):
+                spec.mappings.append(_mapping_from_lines(pending_mapping, f"line {number}"))
+                pending_mapping = []
+            continue
+
+        if line.startswith("network "):
+            spec.name = line.split(None, 1)[1].strip()
+            continue
+
+        if line.startswith("peer"):
+            match = _PEER_RE.match(line)
+            if match is None:
+                raise SpecError(f"line {number}: malformed peer declaration {raw.strip()!r}")
+            name = match.group("name")
+            if name in spec.peers:
+                raise SpecError(f"line {number}: peer {name!r} is declared twice")
+            current = PeerSpec(name=name, schema_name=match.group("schema"))
+            spec.peers[name] = current
+            continue
+
+        if line.startswith("relation"):
+            if current is None:
+                raise SpecError(f"line {number}: relation declared outside a peer section")
+            match = _RELATION_RE.match(line)
+            if match is None:
+                raise SpecError(f"line {number}: malformed relation declaration {raw.strip()!r}")
+            relation = match.group("name")
+            if relation in current.relations:
+                raise SpecError(
+                    f"line {number}: relation {relation!r} of peer "
+                    f"{current.name!r} is declared twice"
+                )
+            attributes = [attr.strip() for attr in match.group("attrs").split(",") if attr.strip()]
+            current.relations[relation] = attributes
+            key_text = match.group("key")
+            if key_text is not None:
+                current.keys[relation] = [
+                    attr.strip() for attr in key_text.split(",") if attr.strip()
+                ]
+            continue
+
+        if line.startswith("trust"):
+            if current is None:
+                raise SpecError(f"line {number}: trust declared outside a peer section")
+            match = _TRUST_RE.match(line)
+            if match is None:
+                raise SpecError(f"line {number}: malformed trust declaration {raw.strip()!r}")
+            current.trust[match.group("peer")] = int(match.group("priority"))
+            continue
+
+        if line.startswith("mapping"):
+            body = line[len("mapping"):].strip()
+            if body.endswith("."):
+                spec.mappings.append(_mapping_from_lines([body], f"line {number}"))
+            else:
+                pending_mapping = [body]
+            continue
+
+        raise SpecError(f"line {number}: unrecognised spec statement {raw.strip()!r}")
+
+    finish_mapping()
+    return spec
+
+
+def _mapping_from_lines(lines: Sequence[str], context: str) -> Mapping:
+    text = " ".join(lines)
+    try:
+        return mapping_from_tgd(text)
+    except SpecError:
+        raise
+    except Exception as error:  # parse/mapping errors become spec errors with context
+        raise SpecError(f"{context}: bad mapping {text!r}: {error}") from error
+
+
+def _parse_dict_spec(data: MappingType) -> NetworkSpec:
+    spec = NetworkSpec(name=str(data.get("name", "network")))
+    peers = data.get("peers")
+    if not isinstance(peers, MappingType) or not peers:
+        raise SpecError("dict specs need a non-empty 'peers' mapping")
+    for name, entry in peers.items():
+        entry = entry or {}
+        if not isinstance(entry, MappingType):
+            raise SpecError(f"peer {name!r} entry must be a mapping, got {type(entry).__name__}")
+        relations = entry.get("relations", {})
+        spec.peers[name] = PeerSpec(
+            name=name,
+            schema_name=entry.get("schema"),
+            relations={rel: list(attrs) for rel, attrs in relations.items()},
+            keys={rel: list(attrs) for rel, attrs in entry.get("keys", {}).items()},
+            trust={peer: int(p) for peer, p in entry.get("trust", {}).items()},
+        )
+    for index, entry in enumerate(data.get("mappings", [])):
+        if isinstance(entry, Mapping):
+            spec.mappings.append(entry)
+        elif isinstance(entry, str):
+            spec.mappings.append(_mapping_from_lines([entry], f"mappings[{index}]"))
+        else:
+            raise SpecError(
+                f"mappings[{index}] must be a tgd string or Mapping, got {type(entry).__name__}"
+            )
+    return spec
+
+
+def parse_network_spec(source: SpecInput) -> NetworkSpec:
+    """Parse a textual or dict network description into a :class:`NetworkSpec`.
+
+    The spec is validated (unknown peers, duplicate ids, arity mismatches)
+    before being returned, so a spec that parses is guaranteed to build.
+    """
+    if isinstance(source, NetworkSpec):
+        spec = source
+    elif isinstance(source, str):
+        spec = _parse_text_spec(source)
+    elif isinstance(source, MappingType):
+        spec = _parse_dict_spec(source)
+    else:
+        raise SpecError(
+            f"cannot parse a network spec from {type(source).__name__}; "
+            "pass text, a dict, or a NetworkSpec"
+        )
+    spec.validate()
+    return spec
+
+
+def spec_of(cdss) -> NetworkSpec:
+    """Extract the declarative spec of a running system (inverse of ``from_spec``).
+
+    Only table-based trust policies (per-peer priorities plus a default) can
+    be captured; policies carrying :class:`TrustCondition` predicates raise
+    :class:`SpecError` because arbitrary Python predicates have no textual
+    form.
+    """
+    spec = NetworkSpec(name=getattr(cdss, "name", None) or "network")
+    for peer in cdss.catalog.peers():
+        policy = peer.trust
+        if policy.conditions:
+            raise SpecError(
+                f"peer {peer.name!r} uses trust conditions with Python predicates, "
+                "which cannot be serialized to a network spec"
+            )
+        trust: dict[str, int] = dict(policy.peer_priorities)
+        if policy.default_priority != 1:
+            trust[TRUST_DEFAULT] = policy.default_priority
+        spec.peers[peer.name] = PeerSpec(
+            name=peer.name,
+            schema_name=peer.schema.name,
+            relations={
+                relation.name: list(relation.attributes) for relation in peer.schema
+            },
+            keys={
+                relation.name: list(relation.key)
+                for relation in peer.schema
+                if relation.key != relation.attributes
+            },
+            trust=trust,
+        )
+    spec.mappings = list(cdss.catalog.mappings())
+    return spec

@@ -1,0 +1,205 @@
+"""One-call synchronization of the whole network.
+
+``cdss.sync()`` replaces the hand-rolled publish/reconcile loops of the
+examples and benchmarks: it repeatedly runs *rounds* — every online peer
+publishes its pending transactions, then every online peer reconciles —
+until a round observes nothing new (quiescence).  Offline peers are skipped
+and reported, never silently dropped; deferred conflicts do not block
+quiescence (they await the administrator) but are surfaced per peer in the
+returned :class:`SyncReport`.
+
+Centralizing the loop here gives later performance work (batching,
+async publication, sharded reconciliation) a single seam to optimize
+without touching user code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..errors import PeerError, SyncError
+
+#: Rounds after which :func:`synchronize` gives up and raises SyncError.
+DEFAULT_MAX_ROUNDS = 25
+
+
+@dataclass
+class SyncRound:
+    """One publish-then-reconcile pass over the selected peers."""
+
+    index: int
+    published: list = field(default_factory=list)  # list[PublishOutcome]
+    reconciled: list = field(default_factory=list)  # list[ReconcileOutcome]
+    skipped_offline: list[str] = field(default_factory=list)
+
+    @property
+    def published_transactions(self) -> int:
+        return sum(len(outcome.published) for outcome in self.published)
+
+    @property
+    def translated_changes(self) -> int:
+        return sum(outcome.translated_changes for outcome in self.published)
+
+    @property
+    def candidates_considered(self) -> int:
+        return sum(outcome.candidates_considered for outcome in self.reconciled)
+
+    def is_quiescent(self) -> bool:
+        """True when the round neither published nor translated anything new."""
+        return self.published_transactions == 0 and self.candidates_considered == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "published": [outcome.to_dict() for outcome in self.published],
+            "reconciled": [outcome.to_dict() for outcome in self.reconciled],
+            "skipped_offline": list(self.skipped_offline),
+            "published_transactions": self.published_transactions,
+            "translated_changes": self.translated_changes,
+            "candidates_considered": self.candidates_considered,
+            "quiescent": self.is_quiescent(),
+        }
+
+
+@dataclass
+class SyncReport:
+    """Structured, serializable outcome of one :func:`synchronize` call."""
+
+    peers: list[str]
+    rounds: list[SyncRound] = field(default_factory=list)
+    converged: bool = False
+    #: Per-peer count of conflicts still awaiting the administrator.
+    open_conflicts: dict[str, int] = field(default_factory=dict)
+
+    # -- aggregate views ------------------------------------------------------
+    @property
+    def round_count(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def published_transactions(self) -> int:
+        return sum(round_.published_transactions for round_ in self.rounds)
+
+    @property
+    def translated_changes(self) -> int:
+        return sum(round_.translated_changes for round_ in self.rounds)
+
+    @property
+    def skipped_offline(self) -> list[str]:
+        """Peers that were offline during at least one round (deduplicated)."""
+        seen: list[str] = []
+        for round_ in self.rounds:
+            for peer in round_.skipped_offline:
+                if peer not in seen:
+                    seen.append(peer)
+        return seen
+
+    def _decisions(self, peer: str, attribute: str) -> list[str]:
+        collected: list[str] = []
+        for round_ in self.rounds:
+            for outcome in round_.reconciled:
+                if outcome.peer == peer:
+                    for txn_id in getattr(outcome, attribute):
+                        if txn_id not in collected:
+                            collected.append(txn_id)
+        return collected
+
+    def accepted(self, peer: str) -> list[str]:
+        """Transaction ids the peer accepted during this sync (any round)."""
+        return self._decisions(peer, "accepted")
+
+    def rejected(self, peer: str) -> list[str]:
+        return self._decisions(peer, "rejected")
+
+    def deferred(self, peer: str) -> list[str]:
+        return self._decisions(peer, "deferred")
+
+    def pending(self, peer: str) -> list[str]:
+        """Transactions still undecided at the peer after the final round."""
+        for round_ in reversed(self.rounds):
+            for outcome in round_.reconciled:
+                if outcome.peer == peer:
+                    return list(outcome.pending)
+        return []
+
+    def decision_summary(self, peer: str) -> dict[str, int]:
+        return {
+            "accepted": len(self.accepted(peer)),
+            "rejected": len(self.rejected(peer)),
+            "deferred": len(self.deferred(peer)),
+            "pending": len(self.pending(peer)),
+            "open_conflicts": self.open_conflicts.get(peer, 0),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "peers": list(self.peers),
+            "rounds": [round_.to_dict() for round_ in self.rounds],
+            "round_count": self.round_count,
+            "converged": self.converged,
+            "published_transactions": self.published_transactions,
+            "translated_changes": self.translated_changes,
+            "skipped_offline": self.skipped_offline,
+            "open_conflicts": dict(self.open_conflicts),
+            "decisions": {peer: self.decision_summary(peer) for peer in self.peers},
+        }
+
+
+def _selected_peers(cdss, peers: Optional[Sequence[str]]) -> list[str]:
+    names = list(peers) if peers is not None else cdss.catalog.peer_names()
+    if not names:
+        raise SyncError("there are no peers to synchronize")
+    for name in names:
+        if not cdss.catalog.has_peer(name):
+            raise PeerError(f"unknown peer {name!r}")
+    return names
+
+
+def sync_round(cdss, peers: Optional[Sequence[str]] = None, index: int = 1) -> SyncRound:
+    """Run one publish-then-reconcile pass over the selected (online) peers."""
+    names = _selected_peers(cdss, peers)
+    round_ = SyncRound(index=index)
+    publish = cdss.publish_all(names)
+    round_.published = publish.outcomes
+    round_.skipped_offline = publish.skipped_offline
+    for name in names:
+        if name not in publish.skipped_offline:
+            round_.reconciled.append(cdss.reconcile(name))
+    return round_
+
+
+def synchronize(
+    cdss,
+    peers: Optional[Sequence[str]] = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> SyncReport:
+    """Publish and reconcile across the network until quiescence.
+
+    Args:
+        cdss: The system to synchronize.
+        peers: Restrict the sync to these peers (default: every peer).
+            Offline peers are skipped and recorded, not treated as errors.
+        max_rounds: Safety bound; exceeding it raises :class:`SyncError`
+            (a correctly functioning network converges in a handful of
+            rounds because reconciliation applies updates directly, without
+            creating new publishable transactions).
+
+    Returns:
+        A :class:`SyncReport` covering every round, including per-peer
+        decisions and conflicts left open for the administrator.
+    """
+    names = _selected_peers(cdss, peers)
+    report = SyncReport(peers=names)
+    for index in range(1, max_rounds + 1):
+        round_ = sync_round(cdss, names, index=index)
+        report.rounds.append(round_)
+        if round_.is_quiescent():
+            report.converged = True
+            break
+    else:
+        raise SyncError(
+            f"synchronization did not reach quiescence within {max_rounds} rounds"
+        )
+    report.open_conflicts = {name: len(cdss.open_conflicts(name)) for name in names}
+    return report

@@ -20,12 +20,12 @@ rules over peer-qualified relation names (see :mod:`repro.exchange.rules`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
-from ..datalog.ast import Atom, Variable
-from ..datalog.parser import parse_atom, parse_rule
+from ..datalog.ast import Atom, Constant, SkolemTerm, Term, Variable
+from ..datalog.parser import parse_atom, parse_rule, parse_tgd
 from ..errors import MappingError
-from .schema import PeerSchema, RelationSchema
+from .schema import PeerSchema, RelationSchema, split_qualified
 
 
 @dataclass(frozen=True)
@@ -139,6 +139,90 @@ class Mapping:
 
 
 # -- constructors ----------------------------------------------------------------
+
+def mapping_from_tgd(text: str, mapping_id: Optional[str] = None) -> Mapping:
+    """Build a mapping from a peer-qualified tgd rule.
+
+    The rule is written target-first, in the notation of the paper and the
+    declarative network-spec language::
+
+        [M_AC] @Crete.OPS(org, prot, seq) :-
+            @Alaska.O(org, oid), @Alaska.P(prot, pid), @Alaska.S(oid, pid, seq).
+
+    Every atom must be peer-qualified; all head atoms must name one target
+    peer and all body atoms one source peer.  The rule label becomes the
+    mapping id unless ``mapping_id`` overrides it.
+    """
+    tgd = parse_tgd(text)
+    identifier = mapping_id or tgd.label
+    if not identifier:
+        raise MappingError(f"tgd {text!r} needs a [label] or an explicit mapping_id")
+
+    def unqualify(atoms, side: str) -> tuple[str, tuple[Atom, ...]]:
+        peers: set[str] = set()
+        stripped: list[Atom] = []
+        for atom in atoms:
+            if "." not in atom.predicate:
+                raise MappingError(
+                    f"mapping {identifier!r}: atom {atom.predicate!r} in the {side} "
+                    "is not peer-qualified (write @Peer.Relation(...))"
+                )
+            peer, relation = split_qualified(atom.predicate)
+            peers.add(peer)
+            stripped.append(Atom(relation, atom.terms))
+        if len(peers) != 1:
+            raise MappingError(
+                f"mapping {identifier!r}: the {side} must reference exactly one "
+                f"peer, found {sorted(peers)}"
+            )
+        return peers.pop(), tuple(stripped)
+
+    target_peer, heads = unqualify(tgd.heads, "head")
+    source_peer, body = unqualify(tgd.body, "body")
+    return Mapping(identifier, source_peer, target_peer, body, heads)
+
+
+def _render_term(term: Term) -> str:
+    """Render a term so that :func:`parse_tgd` reads it back unchanged."""
+    if isinstance(term, Variable):
+        return f"?{term.name}"
+    if isinstance(term, SkolemTerm):
+        inner = ", ".join(_render_term(argument) for argument in term.arguments)
+        return f"{term.function}({inner})"
+    if isinstance(term, Constant):
+        value = term.value
+        if value is None:
+            return "null"
+        if value is True:
+            return "true"
+        if value is False:
+            return "false"
+        if isinstance(value, str):
+            escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+            return f"'{escaped}'"
+        return repr(value)
+    raise MappingError(f"cannot render term {term!r} in a tgd")
+
+
+def _render_qualified_atom(peer: str, atom: Atom) -> str:
+    terms = ", ".join(_render_term(term) for term in atom.terms)
+    return f"@{peer}.{atom.predicate}({terms})"
+
+
+def mapping_to_tgd(mapping: Mapping) -> str:
+    """Render a mapping as the peer-qualified tgd text of the spec language.
+
+    Inverse of :func:`mapping_from_tgd` (up to whitespace): the rendered rule
+    parses back into an equal mapping.
+    """
+    heads = ", ".join(
+        _render_qualified_atom(mapping.target_peer, atom) for atom in mapping.heads
+    )
+    body = ", ".join(
+        _render_qualified_atom(mapping.source_peer, atom) for atom in mapping.body
+    )
+    return f"[{mapping.mapping_id}] {heads} :- {body}."
+
 
 def mapping_from_datalog(
     mapping_id: str, source_peer: str, target_peer: str, text: str

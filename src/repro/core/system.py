@@ -15,6 +15,13 @@ describes:
 * ``resolve_conflict(peer, winner)`` lets the site administrator settle a
   deferred conflict, cascading accepts/rejects through dependent
   transactions.
+
+On top of these imperative primitives the facade offers the declarative
+surface of :mod:`repro.api`: ``CDSS.from_spec`` builds a whole network from
+a textual/dict description, ``sync()`` drives publish + reconcile across
+all online peers until quiescence and returns a structured
+:class:`~repro.api.sync.SyncReport`, and ``query()`` evaluates ad-hoc
+datalog over a peer's instance (optionally provenance-annotated).
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from ..config import SystemConfig
-from ..errors import PeerError, PublicationError
+from ..errors import MappingError, PeerError, PublicationError
 from ..exchange.engine import ExchangeEngine
 from ..exchange.migration import migrate_instance
 from ..exchange.rules import compile_mappings
@@ -52,6 +59,15 @@ class PublishOutcome:
     published: list[str] = field(default_factory=list)
     translated_changes: int = 0
 
+    def to_dict(self) -> dict:
+        """Plain-data form used by reports, benchmarks and serialization."""
+        return {
+            "peer": self.peer,
+            "epoch": self.epoch,
+            "published": list(self.published),
+            "translated_changes": self.translated_changes,
+        }
+
 
 @dataclass
 class ReconcileOutcome:
@@ -78,12 +94,53 @@ class ReconcileOutcome:
     def pending(self) -> list[str]:
         return self.result.pending
 
+    def to_dict(self) -> dict:
+        """Plain-data form used by reports, benchmarks and serialization."""
+        serialized = self.result.to_dict()
+        serialized["epoch"] = self.epoch
+        serialized["candidates_considered"] = self.candidates_considered
+        return serialized
+
+
+@dataclass
+class PublishAllOutcome:
+    """Outcome of publishing across several peers.
+
+    Iterates like the plain list of per-peer :class:`PublishOutcome` it used
+    to be, but additionally names the peers that were skipped because they
+    were offline at the time.
+    """
+
+    outcomes: list[PublishOutcome] = field(default_factory=list)
+    skipped_offline: list[str] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __getitem__(self, index):
+        return self.outcomes[index]
+
+    @property
+    def published_transactions(self) -> int:
+        return sum(len(outcome.published) for outcome in self.outcomes)
+
+    def to_dict(self) -> dict:
+        return {
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+            "skipped_offline": list(self.skipped_offline),
+            "published_transactions": self.published_transactions,
+        }
+
 
 class CDSS:
     """A complete collaborative data sharing system."""
 
     def __init__(self, config: Optional[SystemConfig] = None) -> None:
         self.config = config or SystemConfig.default()
+        self.name = "network"
         self.catalog = Catalog()
         self.clock = LogicalClock()
         self.store = UpdateStore()
@@ -94,6 +151,30 @@ class CDSS:
         self._engine: Optional[ExchangeEngine] = None
         self._translators: dict[str, UpdateTranslator] = {}
         self._reconcilers: dict[str, Reconciler] = {}
+
+    # -- declarative construction --------------------------------------------------
+    @classmethod
+    def from_spec(cls, source, config: Optional[SystemConfig] = None) -> "CDSS":
+        """Build a complete system from a declarative network description.
+
+        ``source`` may be the textual spec language, an equivalent dict, or
+        an already-parsed :class:`~repro.api.spec.NetworkSpec`; see
+        :mod:`repro.api.spec` for the format.  The spec is fully validated
+        before any peer is registered.
+        """
+        from ..api.builder import build_network
+
+        return build_network(source, config)
+
+    def to_spec(self):
+        """The declarative :class:`~repro.api.spec.NetworkSpec` of this system.
+
+        Inverse of :meth:`from_spec` for table-based trust policies;
+        ``cdss.to_spec().to_text()`` round-trips.
+        """
+        from ..api.spec import spec_of
+
+        return spec_of(self)
 
     # -- setup -------------------------------------------------------------------
     def add_peer(
@@ -124,6 +205,17 @@ class CDSS:
         return peer
 
     def add_mapping(self, mapping: Mapping) -> Mapping:
+        # Validate peer membership up front with a mapping-level error rather
+        # than letting engine compilation fail later with a bare KeyError.
+        for role, peer_name in (
+            ("source", mapping.source_peer),
+            ("target", mapping.target_peer),
+        ):
+            if not self.catalog.has_peer(peer_name):
+                raise MappingError(
+                    f"mapping {mapping.mapping_id!r} references {role} peer "
+                    f"{peer_name!r}, which is not registered; call add_peer first"
+                )
         self.catalog.add_mapping(mapping)
         self._invalidate_engine()
         return mapping
@@ -192,14 +284,21 @@ class CDSS:
             outcome.translated_changes += delta.change_count()
         return outcome
 
-    def publish_all(self, peer_names: Optional[Sequence[str]] = None) -> list[PublishOutcome]:
-        """Publish every (or the given) peer's pending transactions, in order."""
+    def publish_all(self, peer_names: Optional[Sequence[str]] = None) -> PublishAllOutcome:
+        """Publish every (or the given) peer's pending transactions, in order.
+
+        Offline peers are skipped but reported in ``skipped_offline`` rather
+        than silently omitted; the result still iterates over the per-peer
+        :class:`PublishOutcome` list for backward compatibility.
+        """
         names = list(peer_names) if peer_names is not None else self.catalog.peer_names()
-        outcomes = []
+        result = PublishAllOutcome()
         for name in names:
             if self.network.is_online(name):
-                outcomes.append(self.publish(name))
-        return outcomes
+                result.outcomes.append(self.publish(name))
+            else:
+                result.skipped_offline.append(name)
+        return result
 
     # -- reconciliation -------------------------------------------------------------------
     def reconcile(self, peer_name: str) -> ReconcileOutcome:
@@ -237,6 +336,50 @@ class CDSS:
             candidates_considered=len(candidates),
             result=result,
         )
+
+    # -- orchestration --------------------------------------------------------------
+    def sync(
+        self,
+        peers: Optional[Sequence[str]] = None,
+        max_rounds: Optional[int] = None,
+    ):
+        """Publish and reconcile across the network until quiescence.
+
+        Runs rounds of "every online peer publishes, then every online peer
+        reconciles" until a round observes no new transactions, and returns
+        a structured :class:`~repro.api.sync.SyncReport` (per-peer outcomes,
+        translated-change counts, skipped offline peers, open conflicts).
+        Restrict participation with ``peers``.
+        """
+        from ..api.sync import DEFAULT_MAX_ROUNDS, synchronize
+
+        return synchronize(
+            self, peers, max_rounds if max_rounds is not None else DEFAULT_MAX_ROUNDS
+        )
+
+    def sync_round(self, peers: Optional[Sequence[str]] = None):
+        """Run exactly one publish-then-reconcile pass (no quiescence loop)."""
+        from ..api.sync import sync_round
+
+        return sync_round(self, peers)
+
+    def query(
+        self,
+        peer_name: str,
+        text: str,
+        provenance: bool = False,
+        max_depth: int = 16,
+    ):
+        """Evaluate an ad-hoc datalog query over one peer's local instance.
+
+        The head predicate of the first rule in ``text`` is the answer
+        relation; with ``provenance=True`` every answer row is annotated
+        with its provenance polynomial over the peer's base tuples.  Returns
+        a :class:`~repro.api.query.QueryResult`.
+        """
+        from ..api.query import run_query
+
+        return run_query(self, peer_name, text, provenance=provenance, max_depth=max_depth)
 
     def resolve_conflict(self, peer_name: str, winner_txn_id: str) -> ResolutionResult:
         """Manually resolve a deferred conflict at a peer (administrator action)."""

@@ -16,19 +16,42 @@ Conventions:
 * ``SK_name(args)`` in a term position is a skolem term;
 * comparisons use ``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=``;
 * a rule may be prefixed with a label: ``[m1] head :- body.``
+* an atom may be *peer-qualified*: ``@Alaska.O(org, oid)`` names relation
+  ``O`` of peer ``Alaska`` (the atom's predicate becomes ``"Alaska.O"``).
+  Peer-qualified atoms are how the declarative network-spec language of
+  :mod:`repro.api` writes tgd mappings across peers;
+* :func:`parse_tgd` reads a (possibly multi-head) tuple-generating
+  dependency ``[label] head1, head2 :- body.`` in which head variables may
+  be existential.
 """
 
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from typing import Iterator
 
 from ..errors import DatalogParseError
 from .ast import Atom, Comparison, Constant, Fact, Program, Rule, SkolemTerm, Term, Variable
 
+
+@dataclass(frozen=True)
+class ParsedTgd:
+    """A parsed tuple-generating dependency ``[label] heads :- body.``
+
+    Unlike :class:`~repro.datalog.ast.Rule`, a tgd may have several head
+    atoms, and head variables that do not occur in the body are *existential*
+    (they become labelled nulls during update exchange) rather than unsafe.
+    """
+
+    heads: tuple[Atom, ...]
+    body: tuple[Atom, ...]
+    label: str | None = None
+
 _TOKEN_RE = re.compile(
     r"""
     (?P<ws>\s+)
+  | (?P<at>@)
   | (?P<lbracket>\[)
   | (?P<rbracket>\])
   | (?P<lparen>\()
@@ -128,6 +151,40 @@ class _Parser:
             self._next()
         return Rule(head, tuple(body), label=label)
 
+    def parse_tgd(self) -> ParsedTgd:
+        label = None
+        token = self._peek()
+        if token is not None and token.kind == "lbracket":
+            self._next()
+            label = self._expect("name").text
+            self._expect("rbracket")
+        heads = [self.parse_atom()]
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "comma":
+                self._next()
+                heads.append(self.parse_atom())
+            else:
+                break
+        self._expect("implies")
+        body = [self.parse_body_literal()]
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "comma":
+                self._next()
+                body.append(self.parse_body_literal())
+            else:
+                break
+        token = self._peek()
+        if token is not None and token.kind == "period":
+            self._next()
+        for literal in body:
+            if not isinstance(literal, Atom):
+                raise DatalogParseError(
+                    f"tgd bodies may not contain comparisons: {literal!r} in {self._source!r}"
+                )
+        return ParsedTgd(tuple(heads), tuple(body), label=label)
+
     def parse_body_literal(self):
         token = self._peek()
         if token is None:
@@ -152,7 +209,16 @@ class _Parser:
         return self.parse_atom()
 
     def parse_atom(self) -> Atom:
+        token = self._peek()
+        qualifier = None
+        if token is not None and token.kind == "at":
+            # A peer-qualified atom: @Peer.Relation(terms).
+            self._next()
+            qualifier = self._expect("name").text
+            self._expect("period")
         name = self._expect("name").text
+        if qualifier is not None:
+            name = f"{qualifier}.{name}"
         self._expect("lparen")
         terms: list[Term] = []
         token = self._peek()
@@ -220,6 +286,25 @@ def parse_rule(text: str) -> Rule:
     return rule
 
 
+def parse_tgd(text: str) -> ParsedTgd:
+    """Parse a tuple-generating dependency ``[label] head1, head2 :- body.``
+
+    Head atoms may share a comma-separated list before ``:-`` (split
+    mappings need several), and atoms on either side may be peer-qualified
+    (``@Crete.OPS(org, prot, seq)``).  Variables appearing only in the heads
+    are existential, so no safety check is applied to them; negated body
+    atoms are rejected because tgds are positive.
+    """
+    parser = _Parser(_tokenize(text), text)
+    tgd = parser.parse_tgd()
+    if not parser.at_end():
+        raise DatalogParseError(f"trailing input after tgd in {text!r}")
+    for atom in tgd.body:
+        if atom.negated:
+            raise DatalogParseError(f"tgd bodies may not contain negation in {text!r}")
+    return tgd
+
+
 def parse_atom(text: str) -> Atom:
     """Parse a single (possibly non-ground) atom."""
     parser = _Parser(_tokenize(text), text)
@@ -262,7 +347,7 @@ def _iter_statements(text: str) -> Iterator[str]:
             comment = stripped.find("#")
             if comment != -1:
                 stripped = stripped[:comment]
-        for char in stripped:
+        for position, char in enumerate(stripped):
             if in_string:
                 statement.append(char)
                 if char == in_string:
@@ -274,6 +359,12 @@ def _iter_statements(text: str) -> Iterator[str]:
                 continue
             statement.append(char)
             if char == ".":
+                # A "." immediately followed by an identifier character is
+                # part of a qualified name (@Peer.Relation) or a decimal
+                # number, not a statement terminator.
+                following = stripped[position + 1] if position + 1 < len(stripped) else ""
+                if following.isalnum() or following == "_":
+                    continue
                 candidate = "".join(statement).strip()
                 if candidate and candidate != ".":
                     yield candidate

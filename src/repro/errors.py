@@ -87,3 +87,15 @@ class NetworkError(ReproError):
 
 class ConfigurationError(ReproError):
     """An engine or system configuration value is invalid."""
+
+
+class SpecError(ReproError):
+    """A declarative network specification (or the fluent builder state it
+    describes) is malformed: unknown peers, duplicate declarations, trust
+    entries for unregistered participants, or unserializable policies."""
+
+
+class SyncError(ReproError):
+    """The sync orchestration could not reach quiescence within its round
+    budget, or there were no peers to synchronize.  (Unknown peer names
+    raise :class:`PeerError`, matching the rest of the facade.)"""

@@ -57,6 +57,18 @@ class ReconcileResult:
             "applied_updates": self.applied_updates,
         }
 
+    def to_dict(self) -> dict:
+        """Plain-data form (full id lists, unlike the count-only summary)."""
+        return {
+            "peer": self.peer,
+            "accepted": list(self.accepted),
+            "rejected": list(self.rejected),
+            "deferred": list(self.deferred),
+            "pending": list(self.pending),
+            "conflicts_deferred": self.conflicts_deferred,
+            "applied_updates": self.applied_updates,
+        }
+
 
 class Reconciler:
     """Runs the reconciliation algorithm for one peer."""

@@ -13,6 +13,7 @@
 
 from .bioinformatics import (
     BioDataGenerator,
+    FIGURE2_SPEC,
     FigureTwoNetwork,
     build_figure2_network,
     SIGMA1_RELATIONS,
@@ -32,6 +33,7 @@ from .scenarios import (
 
 __all__ = [
     "BioDataGenerator",
+    "FIGURE2_SPEC",
     "FigureTwoNetwork",
     "SIGMA1_RELATIONS",
     "SIGMA2_RELATIONS",

@@ -14,6 +14,10 @@ inventing identifiers as labelled nulls.  Alaska, Beijing and Dresden trust
 every participant equally, while Crete trusts only Beijing (priority 2) and
 Dresden (priority 1).
 
+The whole network is written in the declarative spec language as
+:data:`FIGURE2_SPEC` and built with ``CDSS.from_spec``; the schema helpers
+below remain for code that works with Σ1/Σ2 directly.
+
 Because the real SHARQ/pPOD datasets are not available, the
 :class:`BioDataGenerator` produces deterministic synthetic organisms, proteins
 and sequences with the same schema shapes and configurable scale; DESIGN.md
@@ -27,7 +31,6 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..config import SystemConfig
-from ..core.mapping import identity_mapping, join_mapping, split_mapping
 from ..core.peer import Peer
 from ..core.schema import PeerSchema
 from ..core.system import CDSS
@@ -52,6 +55,54 @@ PEER_ALASKA = "Alaska"
 PEER_BEIJING = "Beijing"
 PEER_CRETE = "Crete"
 PEER_DRESDEN = "Dresden"
+
+#: The Figure-2 network in the declarative spec language: four peers over
+#: two schemas, identity mappings within each schema group, and the
+#: join/split mappings across them.  ``build_figure2_network`` feeds this
+#: text straight into :meth:`repro.CDSS.from_spec`.
+FIGURE2_SPEC = """
+network figure2-bioinformatics
+
+peer Alaska schema Sigma1
+  relation O(org, oid) key(org)
+  relation P(prot, pid) key(prot)
+  relation S(oid, pid, seq) key(oid, pid)
+  trust * 1
+
+peer Beijing schema Sigma1
+  relation O(org, oid) key(org)
+  relation P(prot, pid) key(prot)
+  relation S(oid, pid, seq) key(oid, pid)
+  trust * 1
+
+peer Crete schema Sigma2
+  relation OPS(org, prot, seq) key(org, prot)
+  trust Beijing 2
+  trust Dresden 1
+  trust * 0
+
+peer Dresden schema Sigma2
+  relation OPS(org, prot, seq) key(org, prot)
+  trust * 1
+
+# Identity mappings between the peers sharing a schema (both directions).
+mapping [M_AB_O] @Beijing.O(x0, x1) :- @Alaska.O(x0, x1).
+mapping [M_AB_P] @Beijing.P(x0, x1) :- @Alaska.P(x0, x1).
+mapping [M_AB_S] @Beijing.S(x0, x1, x2) :- @Alaska.S(x0, x1, x2).
+mapping [M_BA_O] @Alaska.O(x0, x1) :- @Beijing.O(x0, x1).
+mapping [M_BA_P] @Alaska.P(x0, x1) :- @Beijing.P(x0, x1).
+mapping [M_BA_S] @Alaska.S(x0, x1, x2) :- @Beijing.S(x0, x1, x2).
+mapping [M_CD_OPS] @Dresden.OPS(x0, x1, x2) :- @Crete.OPS(x0, x1, x2).
+mapping [M_DC_OPS] @Crete.OPS(x0, x1, x2) :- @Dresden.OPS(x0, x1, x2).
+
+# M_A->C joins the three Sigma1 tables into OPS.
+mapping [M_AC] @Crete.OPS(org, prot, seq) :-
+    @Alaska.O(org, oid), @Alaska.P(prot, pid), @Alaska.S(oid, pid, seq).
+
+# M_C->A splits OPS back into Sigma1 (oid/pid become labelled nulls).
+mapping [M_CA] @Alaska.O(org, oid), @Alaska.P(prot, pid), @Alaska.S(oid, pid, seq) :-
+    @Crete.OPS(org, prot, seq).
+"""
 
 _ORGANISMS = [
     "E. coli",
@@ -117,43 +168,15 @@ def crete_trust_policy() -> TrustPolicy:
 
 
 def build_figure2_network(config: Optional[SystemConfig] = None) -> FigureTwoNetwork:
-    """Construct the four-peer CDSS of Figure 2 with its mappings and trust."""
-    cdss = CDSS(config)
-    alaska = cdss.add_peer(PEER_ALASKA, sigma1_schema(), TrustPolicy.trust_all(PEER_ALASKA))
-    beijing = cdss.add_peer(PEER_BEIJING, sigma1_schema(), TrustPolicy.trust_all(PEER_BEIJING))
-    crete = cdss.add_peer(PEER_CRETE, sigma2_schema(), crete_trust_policy())
-    dresden = cdss.add_peer(PEER_DRESDEN, sigma2_schema(), TrustPolicy.trust_all(PEER_DRESDEN))
-
-    sigma1 = alaska.schema.relations
-    sigma2 = crete.schema.relations
-
-    # Identity mappings between peers sharing a schema (both directions).
-    cdss.add_mappings(identity_mapping("M_AB", PEER_ALASKA, PEER_BEIJING, sigma1))
-    cdss.add_mappings(identity_mapping("M_BA", PEER_BEIJING, PEER_ALASKA, sigma1))
-    cdss.add_mappings(identity_mapping("M_CD", PEER_CRETE, PEER_DRESDEN, sigma2))
-    cdss.add_mappings(identity_mapping("M_DC", PEER_DRESDEN, PEER_CRETE, sigma2))
-
-    # M_A->C joins the three Σ1 tables into OPS.
-    cdss.add_mapping(
-        join_mapping(
-            "M_AC",
-            PEER_ALASKA,
-            PEER_CRETE,
-            "OPS(org, prot, seq)",
-            ["O(org, oid)", "P(prot, pid)", "S(oid, pid, seq)"],
-        )
+    """Construct the four-peer CDSS of Figure 2 from its declarative spec."""
+    cdss = CDSS.from_spec(FIGURE2_SPEC, config=config)
+    return FigureTwoNetwork(
+        cdss,
+        cdss.peer(PEER_ALASKA),
+        cdss.peer(PEER_BEIJING),
+        cdss.peer(PEER_CRETE),
+        cdss.peer(PEER_DRESDEN),
     )
-    # M_C->A splits OPS back into the Σ1 tables (oid/pid become labelled nulls).
-    cdss.add_mapping(
-        split_mapping(
-            "M_CA",
-            PEER_CRETE,
-            PEER_ALASKA,
-            ["O(org, oid)", "P(prot, pid)", "S(oid, pid, seq)"],
-            "OPS(org, prot, seq)",
-        )
-    )
-    return FigureTwoNetwork(cdss, alaska, beijing, crete, dresden)
 
 
 @dataclass

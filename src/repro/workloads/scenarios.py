@@ -1,11 +1,16 @@
 """The five demonstration scenarios of Section 4, as scripted runs.
 
-Each scenario builds a fresh Figure-2 network, drives the publish/reconcile
-steps exactly as the demonstration describes, and returns a
-:class:`ScenarioOutcome` whose ``observations`` record the checkable claims
-the paper makes (who accepted, rejected or deferred what, and what data ended
-up where).  The integration tests and the benchmark harness both run these
-scenarios; EXPERIMENTS.md records the observed outcomes next to the paper's
+Each scenario builds a fresh Figure-2 network (from its declarative spec)
+and drives the exchange with the orchestrated ``cdss.sync()`` API: one call
+publishes every participating peer's pending transactions and reconciles
+all of them until quiescence, returning a :class:`~repro.api.sync.SyncReport`
+whose per-peer decisions the observations quote.  Scenarios restrict
+``sync(peers=...)`` to the participants the demonstration script names, so
+the interleavings match the paper exactly (e.g. in Scenario 3 Crete must
+not reconcile before Beijing's dependent modification is published).
+
+The integration tests and the benchmark harness both run these scenarios;
+EXPERIMENTS.md records the observed outcomes next to the paper's
 description.
 """
 
@@ -15,7 +20,6 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..core.system import CDSS
-from ..reconcile.decisions import Decision
 from .bioinformatics import FigureTwoNetwork, build_figure2_network
 
 
@@ -48,25 +52,24 @@ def scenario_1_bidirectional_translation() -> ScenarioOutcome:
     builder.insert("P", ("lacZ", 10))
     builder.insert("S", (1, 10, "ATGACCATGATT"))
     alaska_txn = alaska.commit(builder)
-    cdss.publish("Alaska")
-    dresden_result = cdss.reconcile("Dresden")
+    first = cdss.sync(peers=["Alaska", "Dresden"])
 
     dresden_txn = dresden.insert("OPS", ("H. sapiens", "BRCA1", "GGCTAGCTAGCT"))
-    cdss.publish("Dresden")
-    alaska_result = cdss.reconcile("Alaska")
+    second = cdss.sync(peers=["Dresden", "Alaska"])
 
     observations = {
         "alaska_txn": alaska_txn.txn_id,
         "dresden_txn": dresden_txn.txn_id,
-        "dresden_accepted_alaska": alaska_txn.txn_id in dresden_result.accepted,
+        "dresden_accepted_alaska": alaska_txn.txn_id in first.accepted("Dresden"),
         "dresden_ops": set(dresden.tuples("OPS")),
-        "alaska_accepted_dresden": dresden_txn.txn_id in alaska_result.accepted,
+        "alaska_accepted_dresden": dresden_txn.txn_id in second.accepted("Alaska"),
         "alaska_has_translated_organism": any(
             values[0] == "H. sapiens" for values in alaska.tuples("O")
         ),
         "alaska_has_translated_sequence": any(
             values[2] == "GGCTAGCTAGCT" for values in alaska.tuples("S")
         ),
+        "sync_rounds": first.round_count + second.round_count,
     }
     return ScenarioOutcome("DEMO-S1", "Bidirectional update translation", observations, network)
 
@@ -87,9 +90,7 @@ def scenario_2_conflict_and_dependent_rejection() -> ScenarioOutcome:
 
     dresden_txn = dresden.insert("OPS", ("E. coli", "recA", "GGGGGGTTTTTT"))
 
-    cdss.publish("Beijing")
-    cdss.publish("Dresden")
-    first = cdss.reconcile("Crete")
+    first = cdss.sync(peers=["Beijing", "Dresden", "Crete"])
 
     # Dresden then publishes a follow-up that depends on its earlier update.
     follow_up = dresden.modify(
@@ -97,16 +98,15 @@ def scenario_2_conflict_and_dependent_rejection() -> ScenarioOutcome:
         ("E. coli", "recA", "GGGGGGTTTTTT"),
         ("E. coli", "recA", "GGGGGGTTTTAA"),
     )
-    cdss.publish("Dresden")
-    second = cdss.reconcile("Crete")
+    second = cdss.sync(peers=["Dresden", "Crete"])
 
     observations = {
         "beijing_txn": beijing_txn.txn_id,
         "dresden_txn": dresden_txn.txn_id,
         "dresden_follow_up": follow_up.txn_id,
-        "crete_accepts_beijing": beijing_txn.txn_id in first.accepted,
-        "crete_rejects_dresden": dresden_txn.txn_id in first.rejected,
-        "crete_rejects_follow_up": follow_up.txn_id in second.rejected,
+        "crete_accepts_beijing": beijing_txn.txn_id in first.accepted("Crete"),
+        "crete_rejects_dresden": dresden_txn.txn_id in first.rejected("Crete"),
+        "crete_rejects_follow_up": follow_up.txn_id in second.rejected("Crete"),
         "crete_ops": set(crete.tuples("OPS")),
         "crete_sequence_is_beijings": ("E. coli", "recA", "AAAAAACCCCCC")
         in crete.tuples("OPS"),
@@ -132,23 +132,22 @@ def scenario_3_antecedent_acceptance() -> ScenarioOutcome:
     builder.insert("P", ("actin", 13))
     builder.insert("S", (4, 13, "CCCCCCCCCCCC"))
     alaska_txn = alaska.commit(builder)
-    cdss.publish("Alaska")
 
-    # Beijing first learns Alaska's data, then modifies one sequence.
-    cdss.reconcile("Beijing")
+    # Beijing first learns Alaska's data (Crete must not reconcile yet, or it
+    # would reject the distrusted Alaska transaction outright)...
+    cdss.sync(peers=["Alaska", "Beijing"])
+    # ...then modifies one sequence, publishing a dependent transaction.
     beijing_txn = beijing.modify(
         "S", (3, 12, "TTTTTTTTTTTT"), (3, 12, "TTTTTTTTGGGG")
     )
-    cdss.publish("Beijing")
-
-    crete_result = cdss.reconcile("Crete")
+    second = cdss.sync(peers=["Beijing", "Crete"])
 
     observations = {
         "alaska_txn": alaska_txn.txn_id,
         "beijing_txn": beijing_txn.txn_id,
         "beijing_depends_on_alaska": alaska_txn.txn_id in beijing_txn.antecedents,
-        "crete_accepts_beijing": beijing_txn.txn_id in crete_result.accepted,
-        "crete_accepts_alaska_antecedent": alaska_txn.txn_id in crete_result.accepted,
+        "crete_accepts_beijing": beijing_txn.txn_id in second.accepted("Crete"),
+        "crete_accepts_alaska_antecedent": alaska_txn.txn_id in second.accepted("Crete"),
         "crete_has_modified_sequence": ("D. melanogaster", "gal4", "TTTTTTTTGGGG")
         in crete.tuples("OPS"),
         "crete_has_untouched_antecedent_data": ("C. elegans", "actin", "CCCCCCCCCCCC")
@@ -187,22 +186,20 @@ def scenario_4_deferral_and_resolution() -> ScenarioOutcome:
     builder.insert("S", (5, 14, "TGCATGCATGCA"))
     alaska_txn = alaska.commit(builder)
 
-    cdss.publish("Beijing")
-    cdss.publish("Alaska")
+    # One sync: both conflicting transactions reach every peer.  Dresden
+    # trusts both equally and defers; Crete prefers Beijing and accepts it.
+    first = cdss.sync()
+    first_dresden = next(
+        outcome for outcome in first.rounds[0].reconciled if outcome.peer == "Dresden"
+    )
 
-    first = cdss.reconcile("Dresden")
-
-    # Crete reconciles (accepts Beijing, rejects Alaska) and publishes a
-    # modification of Beijing's data.
-    cdss.reconcile("Crete")
+    # Crete publishes a modification on top of Beijing's (deferred) data.
     crete_txn = crete.modify(
         "OPS",
         ("S. cerevisiae", "hsp70", "ACGTACGTACGT"),
         ("S. cerevisiae", "hsp70", "ACGTACGTAAAA"),
     )
-    cdss.publish("Crete")
-
-    second = cdss.reconcile("Dresden")
+    second = cdss.sync(peers=["Crete", "Dresden"])
 
     resolution = cdss.resolve_conflict("Dresden", beijing_txn.txn_id)
 
@@ -210,11 +207,12 @@ def scenario_4_deferral_and_resolution() -> ScenarioOutcome:
         "beijing_txn": beijing_txn.txn_id,
         "alaska_txn": alaska_txn.txn_id,
         "crete_txn": crete_txn.txn_id,
-        "dresden_defers_both": beijing_txn.txn_id in first.deferred
-        and alaska_txn.txn_id in first.deferred,
-        "dresden_open_conflicts_after_first": first.result.conflicts_deferred,
-        "dresden_defers_crete": crete_txn.txn_id in second.deferred
-        or crete_txn.txn_id in second.pending,
+        "dresden_defers_both": beijing_txn.txn_id in first.deferred("Dresden")
+        and alaska_txn.txn_id in first.deferred("Dresden"),
+        "dresden_open_conflicts_after_first": first_dresden.result.conflicts_deferred,
+        "dresden_defers_crete": crete_txn.txn_id in second.deferred("Dresden")
+        or crete_txn.txn_id in second.pending("Dresden"),
+        "open_conflicts_reported": first.open_conflicts.get("Dresden", 0),
         "resolution_accepts_beijing": beijing_txn.txn_id in resolution.accepted,
         "resolution_rejects_alaska": alaska_txn.txn_id in resolution.rejected,
         "resolution_accepts_crete_automatically": crete_txn.txn_id in resolution.accepted,
@@ -245,17 +243,20 @@ def scenario_5_offline_publisher() -> ScenarioOutcome:
         builder.insert("P", (f"protein-{index}", 80 + index))
         builder.insert("S", (50 + index, 80 + index, "ACGT" * 3))
         committed.append(beijing.commit(builder))
-    cdss.publish("Beijing")
+    cdss.sync(peers=["Beijing"])
 
-    # Beijing disconnects; its updates must remain retrievable.
+    # Beijing disconnects; its archived updates must remain retrievable, and
+    # the network-wide sync must report the skipped peer instead of silently
+    # dropping it.
     cdss.set_online("Beijing", False)
-    result = cdss.reconcile("Alaska")
+    report = cdss.sync()
 
     observations = {
         "beijing_txns": [txn.txn_id for txn in committed],
         "beijing_online": cdss.network.is_online("Beijing"),
+        "sync_skipped_offline": report.skipped_offline,
         "alaska_accepted_all": all(
-            txn.txn_id in result.accepted for txn in committed
+            txn.txn_id in report.accepted("Alaska") for txn in committed
         ),
         "alaska_organism_count": len(alaska.tuples("O")),
         "store_still_has_beijing": all(

@@ -1,0 +1,151 @@
+"""The fluent NetworkBuilder: construction and build-time validation."""
+
+import pytest
+
+from repro import CDSS, NetworkBuilder, SpecError
+from repro.core.mapping import join_mapping
+from repro.errors import MappingError
+
+
+def two_peer_builder() -> NetworkBuilder:
+    return (
+        NetworkBuilder("two-peer")
+        .peer("Source").relation("R", "a", "b", key=("a",))
+        .peer("Target").relation("R", "a", "b", key=("a",))
+        .mapping("[M_ST] @Target.R(x, y) :- @Source.R(x, y).")
+    )
+
+
+class TestFluentConstruction:
+    def test_build_produces_working_cdss(self):
+        cdss = two_peer_builder().build()
+        assert isinstance(cdss, CDSS)
+        assert cdss.name == "two-peer"
+        source, target = cdss.peer("Source"), cdss.peer("Target")
+        source.insert("R", (1, "x"))
+        report = cdss.sync()
+        assert report.converged
+        assert (1, "x") in target.tuples("R")
+
+    def test_trust_helpers(self):
+        cdss = (
+            NetworkBuilder()
+            .peer("A").relation("R", "k")
+            .peer("B").relation("R", "k").trust_only({"A": 3})
+            .mapping("[M] @B.R(x) :- @A.R(x).")
+            .build()
+        )
+        policy = cdss.peer("B").trust
+        assert policy.peer_priorities == {"A": 3}
+        assert policy.default_priority == 0
+
+    def test_identity_expands_shared_relations(self):
+        cdss = (
+            NetworkBuilder()
+            .peer("A").relation("R", "k", "v").relation("S", "k")
+            .peer("B").relation("R", "k", "v").relation("S", "k")
+            .identity("M_AB", "A", "B")
+            .build()
+        )
+        ids = {mapping.mapping_id for mapping in cdss.catalog.mappings()}
+        assert ids == {"M_AB_R", "M_AB_S"}
+        assert all(mapping.is_identity for mapping in cdss.catalog.mappings())
+
+    def test_accepts_prebuilt_mapping_objects(self):
+        mapping = join_mapping("M", "Source", "Target", "R(a, b)", ["R(a, b)"])
+        cdss = (
+            NetworkBuilder()
+            .peer("Source").relation("R", "a", "b")
+            .peer("Target").relation("R", "a", "b")
+            .mapping(mapping)
+            .build()
+        )
+        assert cdss.catalog.mapping("M") is mapping
+
+    def test_spec_round_trip_through_builder(self):
+        spec = two_peer_builder().spec()
+        rebuilt = CDSS.from_spec(spec.to_text())
+        assert rebuilt.catalog.peer_names() == ["Source", "Target"]
+
+
+class TestBuildTimeValidation:
+    def test_duplicate_peer_rejected(self):
+        builder = NetworkBuilder()
+        builder.peer("A").relation("R", "k")
+        with pytest.raises(SpecError, match="declared twice"):
+            builder.peer("A")
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(SpecError, match="declared twice"):
+            NetworkBuilder().peer("A").relation("R", "k").relation("R", "k")
+
+    def test_relation_needs_attributes(self):
+        with pytest.raises(SpecError, match="at least one attribute"):
+            NetworkBuilder().peer("A").relation("R")
+
+    def test_peer_without_relations_rejected_at_build(self):
+        builder = NetworkBuilder()
+        builder.peer("A")
+        with pytest.raises(SpecError, match="declares no relations"):
+            builder.build()
+
+    def test_mapping_to_unknown_peer_rejected_at_build(self):
+        builder = NetworkBuilder()
+        builder.peer("A").relation("R", "k")
+        builder.mapping("[M] @Ghost.R(x) :- @A.R(x).")
+        with pytest.raises(SpecError, match="unknown target peer 'Ghost'"):
+            builder.build()
+
+    def test_duplicate_mapping_id_rejected_at_build(self):
+        builder = two_peer_builder()
+        builder.mapping("[M_ST] @Target.R(x, y) :- @Source.R(x, y).")
+        with pytest.raises(SpecError, match="duplicate mapping id"):
+            builder.build()
+
+    def test_negative_trust_rejected(self):
+        with pytest.raises(SpecError, match="non-negative"):
+            NetworkBuilder().peer("A").relation("R", "k").trust("B", -1)
+
+    def test_trust_in_unknown_peer_rejected_at_build(self):
+        builder = NetworkBuilder()
+        builder.peer("A").relation("R", "k").trust("Ghost", 2)
+        with pytest.raises(SpecError, match="unknown peer 'Ghost'"):
+            builder.build()
+
+    def test_identity_without_shared_relations_rejected(self):
+        builder = NetworkBuilder()
+        builder.peer("A").relation("R", "k")
+        builder.peer("B").relation("S", "k")
+        builder.identity("M_AB", "A", "B")
+        with pytest.raises(SpecError, match="share no relations"):
+            builder.build()
+
+    def test_identity_unknown_peer_rejected(self):
+        builder = NetworkBuilder()
+        builder.peer("A").relation("R", "k")
+        builder.identity("M", "A", "Ghost")
+        with pytest.raises(SpecError, match="unknown target peer 'Ghost'"):
+            builder.build()
+
+    def test_mismatched_explicit_mapping_id_rejected(self):
+        mapping = join_mapping("M1", "A", "B", "R(x)", ["R(x)"])
+        with pytest.raises(SpecError, match="does not match"):
+            NetworkBuilder().mapping(mapping, mapping_id="M2")
+
+
+class TestFacadeValidation:
+    def test_add_mapping_unknown_peer_is_a_mapping_error(self, two_peer_system):
+        mapping = join_mapping("M_bad", "Source", "Ghost", "R(a, b)", ["R(a, b)"])
+        with pytest.raises(MappingError, match="not registered"):
+            two_peer_system.add_mapping(mapping)
+
+    def test_publish_all_reports_skipped_offline(self, two_peer_system):
+        two_peer_system.peer("Source").insert("R", (1, "x"))
+        two_peer_system.set_online("Target", False)
+        result = two_peer_system.publish_all()
+        assert result.skipped_offline == ["Target"]
+        assert [outcome.peer for outcome in result] == ["Source"]
+        assert result.published_transactions == 1
+        serialized = result.to_dict()
+        assert serialized["skipped_offline"] == ["Target"]
+        assert serialized["outcomes"][0]["peer"] == "Source"

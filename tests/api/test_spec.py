@@ -1,0 +1,195 @@
+"""The declarative network-spec language: parsing, validation, round-trips."""
+
+import pytest
+
+from repro import CDSS, SpecError
+from repro.api.spec import NetworkSpec, parse_network_spec, spec_of
+from repro.core.mapping import mapping_from_tgd, mapping_to_tgd
+from repro.errors import DatalogParseError, MappingError
+from repro.workloads.bioinformatics import FIGURE2_SPEC
+
+TWO_PEER_SPEC = """
+network two-peer
+peer Source schema S
+  relation R(a, b) key(a)
+peer Target schema T
+  relation R(a, b) key(a)
+  trust Source 2
+  trust * 0
+mapping [M_ST] @Target.R(x, y) :- @Source.R(x, y).
+"""
+
+
+class TestTextParsing:
+    def test_parses_peers_relations_trust_and_mappings(self):
+        spec = parse_network_spec(TWO_PEER_SPEC)
+        assert spec.name == "two-peer"
+        assert set(spec.peers) == {"Source", "Target"}
+        source = spec.peers["Source"]
+        assert source.schema_name == "S"
+        assert source.relations == {"R": ["a", "b"]}
+        assert source.keys == {"R": ["a"]}
+        target = spec.peers["Target"]
+        assert target.trust == {"Source": 2, "*": 0}
+        assert len(spec.mappings) == 1
+        mapping = spec.mappings[0]
+        assert mapping.mapping_id == "M_ST"
+        assert mapping.source_peer == "Source"
+        assert mapping.target_peer == "Target"
+
+    def test_multiline_mapping_and_comments(self):
+        spec = parse_network_spec(
+            """
+            # comment line
+            peer A
+              relation O(org, oid) key(org)
+              relation P(prot, pid) key(prot)
+              relation S(oid, pid, seq)
+            peer C
+              relation OPS(org, prot, seq)  % trailing comment style
+            mapping [M_AC] @C.OPS(org, prot, seq) :-
+                @A.O(org, oid), @A.P(prot, pid),
+                @A.S(oid, pid, seq).
+            """
+        )
+        assert len(spec.mappings) == 1
+        assert len(spec.mappings[0].body) == 3
+
+    def test_figure2_spec_parses(self):
+        spec = parse_network_spec(FIGURE2_SPEC)
+        assert set(spec.peers) == {"Alaska", "Beijing", "Crete", "Dresden"}
+        assert len(spec.mappings) == 10
+        split = next(m for m in spec.mappings if m.mapping_id == "M_CA")
+        assert len(split.heads) == 3
+        assert split.existential_variables()  # oid/pid become labelled nulls
+
+    @pytest.mark.parametrize(
+        "text, fragment",
+        [
+            ("peer A\n  relation R(a)\ngarbage here", "unrecognised"),
+            ("peer A\n  relation R(a)\npeer A\n  relation R(a)", "declared twice"),
+            ("relation R(a)", "outside a peer section"),
+            ("peer A\n  trust B two", "malformed trust"),
+            ("peer A\n  relation R(a)\nmapping [M] @B.R(x) :- @A.R(x).", "unknown"),
+            ("peer A\n  relation R(a)\nmapping [M] @A.R(x) :- @A.R(x)", "missing its closing period"),
+        ],
+    )
+    def test_malformed_specs_raise_spec_errors(self, text, fragment):
+        with pytest.raises(SpecError, match=fragment):
+            parse_network_spec(text)
+
+    def test_unknown_trust_peer_rejected(self):
+        with pytest.raises(SpecError, match="unknown peer 'Ghost'"):
+            parse_network_spec(
+                "peer A\n  relation R(a)\n  trust Ghost 2"
+            )
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(MappingError, match="arity"):
+            parse_network_spec(
+                """
+                peer A
+                  relation R(a, b)
+                peer B
+                  relation R(a, b)
+                mapping [M] @B.R(x) :- @A.R(x, y).
+                """
+            )
+
+
+class TestDictSpecs:
+    def test_dict_spec_builds(self):
+        cdss = CDSS.from_spec(
+            {
+                "name": "dicty",
+                "peers": {
+                    "Source": {"relations": {"R": ["a", "b"]}, "keys": {"R": ["a"]}},
+                    "Target": {"relations": {"R": ["a", "b"]}, "trust": {"Source": 2, "*": 0}},
+                },
+                "mappings": ["[M_ST] @Target.R(x, y) :- @Source.R(x, y)."],
+            }
+        )
+        assert cdss.name == "dicty"
+        assert cdss.catalog.peer_names() == ["Source", "Target"]
+        assert cdss.peer("Target").trust.peer_priorities == {"Source": 2}
+        assert cdss.peer("Target").trust.default_priority == 0
+
+    def test_dict_spec_needs_peers(self):
+        with pytest.raises(SpecError, match="peers"):
+            parse_network_spec({"mappings": []})
+
+    def test_unsupported_source_type(self):
+        with pytest.raises(SpecError, match="cannot parse"):
+            parse_network_spec(42)
+
+
+class TestRoundTrip:
+    def test_text_to_cdss_to_text(self):
+        cdss = CDSS.from_spec(TWO_PEER_SPEC)
+        recovered = cdss.to_spec()
+        rebuilt = CDSS.from_spec(recovered.to_text())
+        assert rebuilt.to_spec().to_dict() == recovered.to_dict()
+
+    def test_figure2_round_trip_preserves_everything(self):
+        cdss = CDSS.from_spec(FIGURE2_SPEC)
+        spec = cdss.to_spec()
+        rebuilt = CDSS.from_spec(spec)
+        assert rebuilt.catalog.peer_names() == cdss.catalog.peer_names()
+        assert {m.mapping_id for m in rebuilt.catalog.mappings()} == {
+            m.mapping_id for m in cdss.catalog.mappings()
+        }
+        for name in cdss.catalog.peer_names():
+            original, copy = cdss.peer(name), rebuilt.peer(name)
+            assert copy.schema == original.schema
+            assert copy.trust.peer_priorities == original.trust.peer_priorities
+            assert copy.trust.default_priority == original.trust.default_priority
+        # The mapping structure itself survives, atom for atom.
+        for mapping in cdss.catalog.mappings():
+            assert rebuilt.catalog.mapping(mapping.mapping_id) == mapping
+
+    def test_trust_conditions_are_not_serializable(self):
+        from repro.core.trust import TrustCondition
+
+        cdss = CDSS.from_spec(TWO_PEER_SPEC)
+        cdss.peer("Target").trust.add_condition(
+            TrustCondition(priority=5, predicate=lambda row: True)
+        )
+        with pytest.raises(SpecError, match="trust conditions"):
+            cdss.to_spec()
+
+
+class TestTgdHelpers:
+    def test_mapping_tgd_round_trip(self):
+        mapping = mapping_from_tgd(
+            "[M_CA] @Alaska.O(org, oid), @Alaska.P(prot, pid) :- @Crete.OPS(org, prot, seq)."
+        )
+        assert mapping.source_peer == "Crete"
+        assert mapping.target_peer == "Alaska"
+        assert mapping_from_tgd(mapping_to_tgd(mapping)) == mapping
+
+    def test_tgd_requires_label_or_explicit_id(self):
+        with pytest.raises(MappingError, match="label"):
+            mapping_from_tgd("@B.R(x) :- @A.R(x).")
+
+    def test_tgd_requires_qualified_atoms(self):
+        with pytest.raises(MappingError, match="peer-qualified"):
+            mapping_from_tgd("[M] R(x) :- @A.R(x).")
+
+    def test_tgd_single_peer_per_side(self):
+        with pytest.raises(MappingError, match="exactly one"):
+            mapping_from_tgd("[M] @B.R(x) :- @A.R(x), @C.S(x).")
+
+    def test_tgd_constants_survive_round_trip(self):
+        mapping = mapping_from_tgd(
+            "[M] @B.R(x, 'hello world', 3, true, null) :- @A.R(x)."
+        )
+        assert mapping_from_tgd(mapping_to_tgd(mapping)) == mapping
+
+    def test_comment_markers_inside_string_constants_survive(self):
+        # '#' and '%' inside quoted constants are content, not comments.
+        cdss = CDSS.from_spec(
+            "peer A\n  relation R(a, b)\npeer B\n  relation R(a, b)\n"
+            "mapping [M] @B.R(x, '#tag %50') :- @A.R(x, '#tag %50')."
+        )
+        rebuilt = CDSS.from_spec(cdss.to_spec().to_text())
+        assert rebuilt.catalog.mapping("M") == cdss.catalog.mapping("M")

@@ -1,0 +1,192 @@
+"""sync() orchestration and the ad-hoc query API.
+
+Includes the seed-equivalence check the redesign promises: building the
+Figure-2 network from its textual spec and running a single ``sync()``
+reproduces exactly the peer snapshots of the hand-wired network driven by
+manual publish/reconcile loops.
+"""
+
+import pytest
+
+from repro import CDSS, PeerSchema, SyncError, TrustPolicy
+from repro.core.mapping import identity_mapping, join_mapping, split_mapping
+from repro.errors import PeerError, UnknownRelationError
+from repro.workloads.bioinformatics import (
+    BioDataGenerator,
+    FIGURE2_SPEC,
+    build_figure2_network,
+    crete_trust_policy,
+    sigma1_schema,
+    sigma2_schema,
+)
+
+
+def _load_figure2_data(cdss: CDSS) -> None:
+    """The same deterministic workload at both networks under comparison."""
+    generator = BioDataGenerator(seed=23)
+    generator.load_sigma1(
+        cdss.peer("Alaska"), organisms=5, proteins=6, sequences_per_pair=0.5
+    )
+    generator.load_sigma2(cdss.peer("Dresden"), pairs=4)
+    cdss.import_existing_data("Alaska")
+    cdss.import_existing_data("Dresden")
+    generator.insertion_transactions(cdss.peer("Beijing"), count=3, start_index=200)
+
+
+def _hand_wired_figure2() -> CDSS:
+    """The Figure-2 network exactly as the seed wired it, imperatively."""
+    cdss = CDSS()
+    cdss.add_peer("Alaska", sigma1_schema(), TrustPolicy.trust_all("Alaska"))
+    cdss.add_peer("Beijing", sigma1_schema(), TrustPolicy.trust_all("Beijing"))
+    cdss.add_peer("Crete", sigma2_schema(), crete_trust_policy())
+    cdss.add_peer("Dresden", sigma2_schema(), TrustPolicy.trust_all("Dresden"))
+    sigma1 = cdss.peer("Alaska").schema.relations
+    sigma2 = cdss.peer("Crete").schema.relations
+    cdss.add_mappings(identity_mapping("M_AB", "Alaska", "Beijing", sigma1))
+    cdss.add_mappings(identity_mapping("M_BA", "Beijing", "Alaska", sigma1))
+    cdss.add_mappings(identity_mapping("M_CD", "Crete", "Dresden", sigma2))
+    cdss.add_mappings(identity_mapping("M_DC", "Dresden", "Crete", sigma2))
+    cdss.add_mapping(
+        join_mapping("M_AC", "Alaska", "Crete", "OPS(org, prot, seq)",
+                     ["O(org, oid)", "P(prot, pid)", "S(oid, pid, seq)"])
+    )
+    cdss.add_mapping(
+        split_mapping("M_CA", "Crete", "Alaska",
+                      ["O(org, oid)", "P(prot, pid)", "S(oid, pid, seq)"],
+                      "OPS(org, prot, seq)")
+    )
+    return cdss
+
+
+class TestSeedEquivalence:
+    def test_from_spec_plus_sync_matches_manual_loops(self):
+        manual = _hand_wired_figure2()
+        _load_figure2_data(manual)
+        for name in manual.catalog.peer_names():
+            manual.publish(name)
+        for name in manual.catalog.peer_names():
+            manual.reconcile(name)
+
+        declarative = CDSS.from_spec(FIGURE2_SPEC)
+        _load_figure2_data(declarative)
+        report = declarative.sync()
+        assert report.converged
+
+        for name in manual.catalog.peer_names():
+            assert declarative.peer_snapshot(name) == manual.peer_snapshot(name), name
+
+
+class TestSync:
+    def test_sync_reaches_quiescence_and_reports(self, two_peer_system):
+        two_peer_system.peer("Source").insert("R", (1, "x"))
+        report = two_peer_system.sync()
+        assert report.converged
+        assert report.round_count == 2  # one working round + one quiescent check
+        assert report.rounds[-1].is_quiescent()
+        assert report.published_transactions == 1
+        assert report.accepted("Target") == ["Source-T1"]
+        assert report.open_conflicts == {"Source": 0, "Target": 0}
+        serialized = report.to_dict()
+        assert serialized["converged"] is True
+        assert serialized["decisions"]["Target"]["accepted"] == 1
+
+    def test_sync_on_idle_network_is_single_quiescent_round(self, two_peer_system):
+        report = two_peer_system.sync()
+        assert report.converged and report.round_count == 1
+
+    def test_sync_subset_restricts_participants(self, figure2):
+        figure2.alaska.insert("O", ("E. coli", 1))
+        report = figure2.cdss.sync(peers=["Alaska", "Beijing"])
+        assert set(report.peers) == {"Alaska", "Beijing"}
+        assert figure2.beijing.instance.count("O") == 1
+        # Dresden did not participate, so nothing reached it yet.
+        assert figure2.dresden.instance.count("OPS") == 0
+
+    def test_sync_skips_and_reports_offline_peers(self, figure2):
+        cdss = figure2.cdss
+        figure2.beijing.insert("O", ("M. musculus", 2))
+        cdss.sync(peers=["Beijing"])
+        cdss.set_online("Beijing", False)
+        cdss.set_online("Crete", False)
+        report = cdss.sync()
+        assert set(report.skipped_offline) == {"Beijing", "Crete"}
+        assert set(report.to_dict()["skipped_offline"]) == {"Beijing", "Crete"}
+        # Alaska still received Beijing's archived update.
+        assert any(values[0] == "M. musculus" for values in figure2.alaska.tuples("O"))
+
+    def test_sync_unknown_peer_rejected(self, two_peer_system):
+        with pytest.raises(PeerError, match="Ghost"):
+            two_peer_system.sync(peers=["Ghost"])
+
+    def test_sync_round_is_one_pass(self, two_peer_system):
+        two_peer_system.peer("Source").insert("R", (1, "x"))
+        round_ = two_peer_system.sync_round()
+        assert round_.published_transactions == 1
+        assert not round_.is_quiescent()
+        assert two_peer_system.sync_round().is_quiescent()
+
+    def test_sync_max_rounds_exhaustion_raises(self, two_peer_system):
+        two_peer_system.peer("Source").insert("R", (1, "x"))
+        with pytest.raises(SyncError, match="quiescence"):
+            two_peer_system.sync(max_rounds=0)
+
+    def test_sync_converges_with_deferred_conflicts_open(self, figure2):
+        cdss = figure2.cdss
+        for peer, sequence in ((figure2.beijing, "AAAA"), (figure2.alaska, "CCCC")):
+            builder = peer.new_transaction()
+            builder.insert("O", ("S. cerevisiae", 5))
+            builder.insert("P", ("hsp70", 14))
+            builder.insert("S", (5, 14, sequence))
+            peer.commit(builder)
+        report = cdss.sync()
+        # Dresden trusts both equally: the conflict is deferred, not a livelock.
+        assert report.converged
+        assert report.open_conflicts["Dresden"] == 1
+        assert len(report.deferred("Dresden")) == 2
+        # A second sync is immediately quiescent and keeps the conflict open.
+        again = cdss.sync()
+        assert again.round_count == 1
+        assert again.open_conflicts["Dresden"] == 1
+
+
+class TestQuery:
+    def test_query_joins_local_relations(self, figure2):
+        figure2.crete.insert("OPS", ("E. coli", "lacZ", "ATG"))
+        figure2.crete.insert("OPS", ("E. coli", "recA", "GGG"))
+        result = figure2.cdss.query(
+            "Crete", "Answer(prot) :- OPS(org, prot, seq), org = 'E. coli'."
+        )
+        assert result.rows == frozenset({("lacZ",), ("recA",)})
+        assert ("lacZ",) in result and len(result) == 2
+
+    def test_query_multi_rule_program(self, two_peer_system):
+        source = two_peer_system.peer("Source")
+        source.insert("R", (1, "x"))
+        source.insert("R", (2, "y"))
+        result = two_peer_system.query(
+            "Source",
+            """
+            Big(k, v) :- R(k, v), k > 1.
+            Answer(v) :- Big(k, v).
+            """,
+        )
+        assert result.predicate == "Big"
+        assert result.rows == frozenset({(2, "y")})
+
+    def test_query_with_provenance_annotates_rows(self, figure2):
+        figure2.crete.insert("OPS", ("E. coli", "lacZ", "ATG"))
+        result = figure2.cdss.query(
+            "Crete", "Answer(org, seq) :- OPS(org, prot, seq).", provenance=True
+        )
+        row = ("E. coli", "ATG")
+        assert row in result.rows
+        assert "OPS" in str(result.provenance[row])
+        assert result.to_dict()["provenance"]
+
+    def test_query_unknown_relation_rejected(self, figure2):
+        with pytest.raises(UnknownRelationError, match="Nope"):
+            figure2.cdss.query("Crete", "Answer(x) :- Nope(x).")
+
+    def test_query_unknown_peer_rejected(self, figure2):
+        with pytest.raises(PeerError):
+            figure2.cdss.query("Ghost", "Answer(x) :- OPS(x, y, z).")

@@ -132,3 +132,49 @@ class TestParseProgram:
     def test_roundtrip_through_repr(self):
         rule = parse_rule("T(x) :- R(x, y), not S(x).")
         assert "not" in repr(rule)
+
+
+class TestPeerQualifiedAtomsAndTgds:
+    def test_qualified_atom(self):
+        atom = parse_atom("@Alaska.O(org, oid)")
+        assert atom.predicate == "Alaska.O"
+        assert len(atom.terms) == 2
+
+    def test_qualified_rule(self):
+        rule = parse_rule(
+            "[m1] @Crete.OPS(org, prot, seq) :- @Alaska.O(org, oid), "
+            "@Alaska.P(prot, pid), @Alaska.S(oid, pid, seq)."
+        )
+        assert rule.label == "m1"
+        assert rule.head.predicate == "Crete.OPS"
+        assert rule.body_predicates() == {"Alaska.O", "Alaska.P", "Alaska.S"}
+
+    def test_tgd_multi_head_with_existentials(self):
+        from repro.datalog.parser import parse_tgd
+
+        tgd = parse_tgd(
+            "[M_CA] @Alaska.O(org, oid), @Alaska.P(prot, pid), "
+            "@Alaska.S(oid, pid, seq) :- @Crete.OPS(org, prot, seq)."
+        )
+        assert tgd.label == "M_CA"
+        assert len(tgd.heads) == 3
+        assert tgd.body[0].predicate == "Crete.OPS"
+
+    def test_tgd_rejects_negation_and_comparisons(self):
+        from repro.datalog.parser import parse_tgd
+
+        with pytest.raises(DatalogParseError, match="negation"):
+            parse_tgd("[M] @B.R(x) :- @A.R(x), not @A.S(x).")
+        with pytest.raises(DatalogParseError, match="comparisons"):
+            parse_tgd("[M] @B.R(x) :- @A.R(x), x > 1.")
+
+    def test_program_with_qualified_atoms_splits_correctly(self):
+        program = parse_program(
+            "@B.R(x) :- @A.R(x).\n@C.R(x) :- @B.R(x)."
+        )
+        assert len(program) == 2
+        assert program.idb_predicates == {"B.R", "C.R"}
+
+    def test_decimal_numbers_survive_statement_splitting(self):
+        program = parse_program("T(x) :- R(x, y), y > 1.5.")
+        assert len(program) == 1
