@@ -1,0 +1,67 @@
+"""SIM-THROUGHPUT: cost of the randomized differential-oracle harness.
+
+The simulator is the safety net for every scaling/perf PR, so its own
+throughput matters: these benchmarks measure how many seeded networks (and
+workload transactions) the full four-oracle campaign sustains per second,
+at the pytest-slice scale and at the larger nightly scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.workloads.simulation import SimulationConfig, run_campaign, run_simulation
+
+from ._reporting import print_table
+
+SCALES = {
+    "slice": SimulationConfig(epochs=3, max_peers=4, transactions_per_epoch=(2, 5)),
+    "nightly": SimulationConfig(epochs=6, max_peers=6, transactions_per_epoch=(3, 9)),
+}
+
+
+@pytest.mark.parametrize("scale", list(SCALES))
+def test_simulation_campaign_throughput(benchmark, scale):
+    config = SCALES[scale]
+    seeds = range(1, 11)
+
+    def run():
+        return run_campaign(seeds, config)
+
+    campaign = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert campaign.ok, "\n".join(f.describe() for f in campaign.failures)
+
+    elapsed = benchmark.stats.stats.mean
+    transactions = sum(result.transactions for result in campaign.results)
+    checks = sum(result.oracle_checks for result in campaign.results)
+    print_table(
+        f"SIM-THROUGHPUT ({scale})",
+        ["seeds", "transactions", "oracle checks", "mean s", "txns/s", "checks/s"],
+        [[
+            len(campaign.results),
+            transactions,
+            checks,
+            f"{elapsed:.3f}",
+            f"{transactions / elapsed:.0f}",
+            f"{checks / elapsed:.0f}",
+        ]],
+    )
+
+
+def test_single_seed_oracle_cost():
+    """Relative cost of one fully-oracled epoch vs an uncheck-free sync run
+    is dominated by the from-scratch recomputation; record the absolute
+    figure so regressions in the oracle path are visible."""
+    config = SimulationConfig(epochs=5, max_peers=5, transactions_per_epoch=(4, 8))
+    started = time.perf_counter()
+    for seed in range(50, 55):
+        result = run_simulation(seed, config)
+        assert result.ok
+    elapsed = time.perf_counter() - started
+    print_table(
+        "SIM-ORACLE-COST",
+        ["seeds", "epochs/seed", "seconds", "seconds/seed"],
+        [[5, config.epochs, f"{elapsed:.3f}", f"{elapsed / 5:.3f}"]],
+    )

@@ -19,7 +19,7 @@ state is created — so a half-built network never leaks out.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Union
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ..config import SystemConfig
 from ..core.mapping import Mapping, identity_mapping, mapping_from_tgd
@@ -97,8 +97,8 @@ class PeerBuilder:
     def spec(self) -> NetworkSpec:
         return self._network.spec()
 
-    def build(self):
-        return self._network.build()
+    def build(self, storage_factory: Optional[Callable[[str], object]] = None):
+        return self._network.build(storage_factory)
 
 
 class NetworkBuilder:
@@ -202,25 +202,40 @@ class NetworkBuilder:
         self._spec.validate()
         return self._spec
 
-    def build(self):
-        """Validate the whole description and construct the CDSS."""
+    def build(self, storage_factory: Optional[Callable[[str], object]] = None):
+        """Validate the whole description and construct the CDSS.
+
+        Args:
+            storage_factory: Optional ``peer name -> storage backend``
+                callable; when given, every peer's local instance is created
+                by it (e.g. ``lambda name: SQLiteInstance(f"{name}.db")``)
+                instead of the in-memory default.
+        """
         from ..core.system import CDSS
 
         spec = self.spec()
         cdss = CDSS(self._config)
         cdss.name = spec.name
         for peer_spec in spec.peers.values():
-            cdss.add_peer(peer_spec.name, peer_spec.schema(), peer_spec.trust_policy())
+            storage = storage_factory(peer_spec.name) if storage_factory else None
+            cdss.add_peer(
+                peer_spec.name, peer_spec.schema(), peer_spec.trust_policy(),
+                storage=storage,
+            )
         for mapping in spec.mappings:
             cdss.add_mapping(mapping)
         return cdss
 
 
-def build_network(source, config: Optional[SystemConfig] = None):
+def build_network(
+    source,
+    config: Optional[SystemConfig] = None,
+    storage_factory: Optional[Callable[[str], object]] = None,
+):
     """Build a CDSS directly from a textual/dict/:class:`NetworkSpec` description."""
     from .spec import parse_network_spec
 
     spec = parse_network_spec(source)
     builder = NetworkBuilder(spec.name, config)
     builder._spec = spec
-    return builder.build()
+    return builder.build(storage_factory)

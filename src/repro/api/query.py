@@ -70,8 +70,8 @@ def run_query(
     """Evaluate ``text`` (one or more datalog rules) over a peer's instance.
 
     Body atoms may reference the peer's schema relations and any predicate
-    defined by an earlier rule of the query; the head predicate of the first
-    rule is the answer relation.
+    defined by a rule of the query (in any order — evaluation stratifies the
+    program); the head predicate of the first rule is the answer relation.
     """
     peer = cdss.peer(peer_name)
     program = parse_program(text)

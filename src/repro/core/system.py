@@ -154,17 +154,24 @@ class CDSS:
 
     # -- declarative construction --------------------------------------------------
     @classmethod
-    def from_spec(cls, source, config: Optional[SystemConfig] = None) -> "CDSS":
+    def from_spec(
+        cls,
+        source,
+        config: Optional[SystemConfig] = None,
+        storage_factory=None,
+    ) -> "CDSS":
         """Build a complete system from a declarative network description.
 
         ``source`` may be the textual spec language, an equivalent dict, or
         an already-parsed :class:`~repro.api.spec.NetworkSpec`; see
         :mod:`repro.api.spec` for the format.  The spec is fully validated
-        before any peer is registered.
+        before any peer is registered.  ``storage_factory`` (``peer name ->
+        storage backend``) selects a non-default backend for every peer's
+        local instance, e.g. ``lambda name: SQLiteInstance()``.
         """
         from ..api.builder import build_network
 
-        return build_network(source, config)
+        return build_network(source, config, storage_factory)
 
     def to_spec(self):
         """The declarative :class:`~repro.api.spec.NetworkSpec` of this system.

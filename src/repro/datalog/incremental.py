@@ -230,6 +230,25 @@ class IncrementalEngine:
         self._database = recomputed
         return dict(deleted)
 
+    def reference_database(self) -> Database:
+        """Recompute the fixpoint from scratch without touching engine state.
+
+        Differential-testing oracle: if incremental maintenance is correct,
+        the returned database equals :attr:`database` after any sequence of
+        ``apply_insertions``/``apply_deletions`` calls.  Provenance-tracking
+        engines recompute through :func:`evaluate_with_provenance` (on a
+        throwaway graph) so the oracle exercises the same evaluation path
+        that :meth:`recompute` uses.
+        """
+        if self._graph is not None:
+            return evaluate_with_provenance(
+                self._program,
+                self._base,
+                graph=ProvenanceGraph(),
+                variable_namer=self._variable_namer,
+            ).database
+        return evaluate_program(self._program, self._base, copy=True)
+
     # -- full recomputation (ablation baseline) --------------------------------
     def recompute(self) -> Database:
         """Recompute the fixpoint from scratch (used for ablation benchmarks)."""

@@ -82,6 +82,25 @@ class ExchangeEngine:
     def provenance(self) -> Optional[ProvenanceGraph]:
         return self._engine.graph
 
+    @property
+    def database(self):
+        """The materialised database of published and derived relations."""
+        return self._engine.database
+
+    @property
+    def base_database(self):
+        """Only the published (extensional) facts currently asserted."""
+        return self._engine.base
+
+    def reference_database(self):
+        """From-scratch recomputation of the derived state (non-mutating).
+
+        Differential-testing oracle: must equal :attr:`database` after any
+        stream of processed transactions if incremental maintenance is
+        correct.
+        """
+        return self._engine.reference_database()
+
     def processed_transactions(self) -> list[str]:
         """Transaction ids in the order they were folded into the engine."""
         return list(self._processed_order)

@@ -7,6 +7,10 @@
   of Section 4 of the paper and returns structured outcomes,
 * :mod:`repro.workloads.generator` produces synthetic update/transaction
   workloads with controllable conflict rates for the scaling benchmarks,
+* :mod:`repro.workloads.simulation` generates whole random networks
+  (peers, schemas, acyclic mapping graphs, trust policies) from a seed,
+  drives random workloads over them and checks differential oracles —
+  the engine behind ``python -m repro.simulate``,
 * :mod:`repro.workloads.reporting` renders textual views of peers, mappings
   and reconciliation traces (the stand-in for the paper's Java GUI).
 """
@@ -21,6 +25,16 @@ from .bioinformatics import (
 )
 from .generator import SyntheticWorkload, WorkloadConfig
 from .reporting import render_mappings, render_peer_state, render_reconciliation
+from .simulation import (
+    CampaignResult,
+    OracleFailure,
+    RandomWorkload,
+    SimulationConfig,
+    SimulationResult,
+    generate_network,
+    run_campaign,
+    run_simulation,
+)
 from .scenarios import (
     ScenarioOutcome,
     run_all_scenarios,
@@ -33,14 +47,22 @@ from .scenarios import (
 
 __all__ = [
     "BioDataGenerator",
+    "CampaignResult",
     "FIGURE2_SPEC",
     "FigureTwoNetwork",
+    "OracleFailure",
+    "RandomWorkload",
     "SIGMA1_RELATIONS",
     "SIGMA2_RELATIONS",
     "ScenarioOutcome",
+    "SimulationConfig",
+    "SimulationResult",
     "SyntheticWorkload",
     "WorkloadConfig",
     "build_figure2_network",
+    "generate_network",
+    "run_campaign",
+    "run_simulation",
     "render_mappings",
     "render_peer_state",
     "render_reconciliation",

@@ -167,9 +167,15 @@ def crete_trust_policy() -> TrustPolicy:
     )
 
 
-def build_figure2_network(config: Optional[SystemConfig] = None) -> FigureTwoNetwork:
-    """Construct the four-peer CDSS of Figure 2 from its declarative spec."""
-    cdss = CDSS.from_spec(FIGURE2_SPEC, config=config)
+def build_figure2_network(
+    config: Optional[SystemConfig] = None, storage_factory=None
+) -> FigureTwoNetwork:
+    """Construct the four-peer CDSS of Figure 2 from its declarative spec.
+
+    ``storage_factory`` (``peer name -> storage backend``) lets every peer's
+    local instance live in a non-default backend, e.g. SQLite.
+    """
+    cdss = CDSS.from_spec(FIGURE2_SPEC, config=config, storage_factory=storage_factory)
     return FigureTwoNetwork(
         cdss,
         cdss.peer(PEER_ALASKA),

@@ -52,6 +52,12 @@ class WorkloadConfig:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ConfigurationError(f"{name} must lie in [0, 1]")
+        total = self.modify_fraction + self.delete_fraction
+        if total > 1.0:
+            raise ConfigurationError(
+                "modify_fraction + delete_fraction must not exceed 1, "
+                f"got {total}"
+            )
 
 
 @dataclass

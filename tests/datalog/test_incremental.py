@@ -1,5 +1,7 @@
 """Unit tests for incremental (insertion/deletion) maintenance."""
 
+import random
+
 import pytest
 
 from repro.datalog.ast import Fact
@@ -108,6 +110,97 @@ class TestDeletions:
         engine.apply_deletions([Fact("S", (1, 10, "ATG"))])
         engine.apply_insertions([Fact("S", (1, 10, "ATG"))])
         assert ("ecoli", "lacZ", "ATG") in engine.database.relation("OPS")
+
+
+def _state(engine: IncrementalEngine) -> dict[str, frozenset]:
+    database = engine.database
+    return {predicate: database.relation(predicate) for predicate in database.predicates()}
+
+
+class TestDeletionStrategyParity:
+    """Provenance-based deletion and DRed must produce identical databases,
+    especially on programs where tuples have alternative derivations."""
+
+    def _twin_engines(self, program_text, base):
+        program_a = parse_program(program_text)
+        program_b = parse_program(program_text)
+        provenance = IncrementalEngine(
+            program_a, Database.from_dict(base), track_provenance=True
+        )
+        dred = IncrementalEngine(
+            program_b, Database.from_dict(base), track_provenance=False
+        )
+        return provenance, dred
+
+    def test_union_rule_alternative_derivations(self):
+        provenance, dred = self._twin_engines(
+            "T(x) :- R(x).\nT(x) :- Q(x).",
+            {"R": [(1,), (2,)], "Q": [(1,), (3,)]},
+        )
+        for fact in [Fact("R", (1,)), Fact("Q", (3,)), Fact("Q", (1,))]:
+            provenance.apply_deletions([fact])
+            dred.apply_deletions([fact])
+            assert _state(provenance) == _state(dred)
+        assert (1,) not in provenance.database.relation("T")
+
+    def test_diamond_program_keeps_tuple_until_all_paths_die(self):
+        diamond = "B(x) :- A(x).\nC(x) :- A(x).\nD(x) :- B(x).\nD(x) :- C(x).\nE(x) :- D(x)."
+        provenance, dred = self._twin_engines(diamond, {"A": [(1,)], "B": [(1,)]})
+        # A's deletion removes one support; the asserted B fact keeps D and E.
+        provenance.apply_deletions([Fact("A", (1,))])
+        dred.apply_deletions([Fact("A", (1,))])
+        assert _state(provenance) == _state(dred)
+        assert (1,) in provenance.database.relation("E")
+        provenance.apply_deletions([Fact("B", (1,))])
+        dred.apply_deletions([Fact("B", (1,))])
+        assert _state(provenance) == _state(dred)
+        assert (1,) not in provenance.database.relation("E")
+
+    def test_transitive_closure_with_redundant_edges(self):
+        edges = [(1, 2), (2, 3), (1, 3), (3, 4), (2, 4)]
+        provenance, dred = self._twin_engines(TC_PROGRAM, {"Edge": edges})
+        for edge in [(2, 3), (1, 3), (3, 4)]:
+            provenance.apply_deletions([Fact("Edge", edge)])
+            dred.apply_deletions([Fact("Edge", edge)])
+            assert _state(provenance) == _state(dred)
+
+    @pytest.mark.parametrize("seed", range(1, 11))
+    def test_random_interleaved_streams_agree(self, seed):
+        rng = random.Random(seed)
+        provenance, dred = self._twin_engines(TC_PROGRAM, {})
+        alive: list[tuple] = []
+        for _ in range(30):
+            if alive and rng.random() < 0.4:
+                edge = alive.pop(rng.randrange(len(alive)))
+                batch = [Fact("Edge", edge)]
+                provenance.apply_deletions(batch)
+                dred.apply_deletions(batch)
+            else:
+                edge = (rng.randint(1, 5), rng.randint(1, 5))
+                if edge not in alive:
+                    alive.append(edge)
+                batch = [Fact("Edge", edge)]
+                provenance.apply_insertions(batch)
+                dred.apply_insertions(batch)
+            assert _state(provenance) == _state(dred)
+            reference = full_recompute(
+                provenance.program, Database.from_dict({"Edge": alive})
+            )
+            assert provenance.database.relation("Path") == reference.relation("Path")
+
+    def test_reference_database_matches_incremental_state(self):
+        for track in (True, False):
+            engine = IncrementalEngine(
+                parse_program(TC_PROGRAM),
+                Database.from_dict({"Edge": [(1, 2), (2, 3), (1, 3)]}),
+                track_provenance=track,
+            )
+            engine.apply_deletions([Fact("Edge", (2, 3))])
+            engine.apply_insertions([Fact("Edge", (3, 5))])
+            reference = engine.reference_database()
+            assert {
+                p: reference.relation(p) for p in reference.predicates()
+            } == _state(engine)
 
 
 class TestProvenanceAccess:

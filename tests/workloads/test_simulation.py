@@ -1,0 +1,203 @@
+"""The randomized simulation subsystem and its differential oracles.
+
+The parametrized slice runs 25 seeded random networks through all four
+differential oracles (incremental-vs-recompute, provenance-vs-DRed,
+sync-vs-manual, memory-vs-SQLite); the remaining tests pin down the
+generator's guarantees (round-tripping, determinism, validation) and the
+oracles' sensitivity (a deliberately injected divergence is reported with
+its seed and first failing epoch).
+"""
+
+import pytest
+
+from repro.api.spec import parse_network_spec
+from repro.errors import ConfigurationError
+from repro.simulate import main as simulate_main
+from repro.workloads.simulation import (
+    SimulationConfig,
+    SimulationRun,
+    generate_network,
+    run_campaign,
+    run_simulation,
+)
+
+#: The tier-1 fuzz slice: 25 seeds, every oracle, every epoch.
+SLICE_SEEDS = list(range(1, 26))
+
+#: Small-but-representative slice configuration (2-4 peers, 3 epochs).
+SLICE_CONFIG = SimulationConfig(epochs=3, transactions_per_epoch=(2, 5))
+
+
+class TestGeneratedNetworks:
+    @pytest.mark.parametrize("seed", [3, 17, 91, 404])
+    def test_spec_round_trips_through_text(self, seed):
+        spec = generate_network(seed)
+        reparsed = parse_network_spec(spec.to_text())
+        assert reparsed.to_dict() == spec.to_dict()
+
+    @pytest.mark.parametrize("seed", [5, 42])
+    def test_generation_is_deterministic(self, seed):
+        assert generate_network(seed).to_text() == generate_network(seed).to_text()
+
+    def test_different_seeds_differ(self):
+        texts = {generate_network(seed).to_text() for seed in range(1, 9)}
+        assert len(texts) > 1
+
+    def test_mapping_graph_is_acyclic(self):
+        # Edges only ever point from lower- to higher-indexed peers.
+        for seed in range(1, 13):
+            for mapping in generate_network(seed).mappings:
+                source = int(mapping.source_peer.removeprefix("Peer"))
+                target = int(mapping.target_peer.removeprefix("Peer"))
+                assert source < target
+
+    def test_every_non_root_peer_is_reachable(self):
+        for seed in range(1, 13):
+            spec = generate_network(seed)
+            targets = {mapping.target_peer for mapping in spec.mappings}
+            for name in list(spec.peers)[1:]:
+                assert name in targets
+
+    def test_generated_network_builds_and_syncs(self):
+        from repro import CDSS
+
+        spec = generate_network(7)
+        cdss = CDSS.from_spec(spec)
+        first_peer = next(iter(spec.peers.values()))
+        relation, attributes = next(iter(first_peer.relations.items()))
+        cdss.peer(first_peer.name).insert(relation, tuple(range(len(attributes))))
+        report = cdss.sync()
+        assert report.converged
+
+
+class TestSimulationConfig:
+    def test_fraction_sum_is_validated(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(modify_fraction=0.7, delete_fraction=0.4)
+        # conflict_fraction rolls independently, so it is not part of the sum.
+        SimulationConfig(modify_fraction=0.5, delete_fraction=0.4, conflict_fraction=0.9)
+
+    def test_peer_range_is_validated(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(min_peers=5, max_peers=3)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(min_peers=1)
+
+    def test_transactions_range_is_validated(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(transactions_per_epoch=(6, 2))
+
+
+@pytest.mark.parametrize("seed", SLICE_SEEDS)
+def test_differential_oracles_hold(seed):
+    """≥25 seeded random networks pass all four differential oracles."""
+    result = run_simulation(seed, SLICE_CONFIG)
+    assert result.ok, "\n".join(failure.describe() for failure in result.failures)
+    assert result.transactions > 0
+    # spec round-trip + 4 oracles per epoch actually ran.
+    assert result.oracle_checks == 1 + 4 * result.epochs_run
+
+
+def test_simulation_is_deterministic():
+    first = run_simulation(11, SLICE_CONFIG)
+    second = run_simulation(11, SLICE_CONFIG)
+    assert first.to_dict() == second.to_dict()
+
+
+def test_campaign_aggregates_results():
+    campaign = run_campaign([1, 2, 3], SLICE_CONFIG)
+    assert campaign.ok
+    data = campaign.to_dict()
+    assert data["seeds"] == 3
+    assert data["transactions"] == sum(r.transactions for r in campaign.results)
+
+
+class TestOracleSensitivity:
+    """Injected divergences must be caught and pinned to seed + epoch."""
+
+    def _run_one_epoch(self, seed=4):
+        run = SimulationRun(seed, SLICE_CONFIG)
+        run.run_epoch(1, last_epoch=False)
+        assert not run.failures
+        return run
+
+    def test_memory_vs_sqlite_detects_divergence(self):
+        run = self._run_one_epoch()
+        peer = run.sqlite.peer(run.sqlite.catalog.peer_names()[0])
+        relation = next(iter(peer.schema)).name
+        peer.instance.insert(relation, tuple("z" for _ in range(peer.schema.arity(relation))))
+        run._check_memory_vs_sqlite(epoch=2)
+        failure = run.failures[-1]
+        assert failure.oracle == "memory-vs-sqlite"
+        assert failure.seed == 4 and failure.epoch == 2
+        assert "only in sqlite" in failure.detail
+        assert "seed 4" in failure.describe() and "epoch 2" in failure.describe()
+
+    def test_sync_vs_manual_detects_divergence(self):
+        run = self._run_one_epoch()
+        peer = run.manual.peer(run.manual.catalog.peer_names()[0])
+        relation = next(iter(peer.schema)).name
+        peer.instance.insert(relation, tuple("y" for _ in range(peer.schema.arity(relation))))
+        run._check_sync_vs_manual(epoch=2)
+        assert run.failures[-1].oracle == "sync-vs-manual"
+
+    def test_incremental_vs_recompute_detects_divergence(self):
+        run = self._run_one_epoch()
+        database = run.primary.engine.database
+        predicate = next(iter(database.predicates()))
+        values = next(iter(database.relation(predicate)))
+        database.remove(predicate, values)
+        run._check_incremental_vs_recompute(epoch=2)
+        assert run.failures[-1].oracle == "incremental-vs-recompute"
+
+    def test_provenance_vs_dred_detects_divergence(self):
+        run = self._run_one_epoch()
+        database = run.primary.engine.database
+        predicate = next(iter(database.predicates()))
+        database.add(predicate, tuple("x" for _ in range(len(next(iter(database.relation(predicate)))))))
+        run._check_provenance_vs_dred(epoch=2)
+        assert run.failures[-1].oracle == "provenance-vs-dred"
+        assert "only in provenance" in run.failures[-1].detail
+
+
+class TestCli:
+    def test_cli_runs_a_small_campaign(self, capsys):
+        assert simulate_main(["--seeds", "2", "--seed-base", "31", "--epochs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 31: ok" in out and "2 seeds from 31: ok" in out
+
+    def test_cli_quiet_only_prints_summary(self, capsys):
+        assert simulate_main(["--seeds", "1", "--quiet", "--epochs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip().startswith("simulate:")
+
+    def test_cli_rejects_zero_seeds(self, capsys):
+        assert simulate_main(["--seeds", "0"]) == 2
+
+    def test_cli_rejects_bad_config_cleanly(self, capsys):
+        assert simulate_main(["--epochs", "0"]) == 2
+        assert "invalid configuration" in capsys.readouterr().err
+        assert simulate_main(["--transactions", "0"]) == 2
+
+    def test_cli_accepts_single_transaction_epochs(self, capsys):
+        assert simulate_main(["--seeds", "1", "--transactions", "1", "--epochs", "2"]) == 0
+
+    def test_cli_attributes_crashes_to_their_seed(self, capsys, monkeypatch):
+        import repro.simulate as cli
+
+        def boom(seed, config):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(cli, "run_simulation", boom)
+        assert cli.main(["--seeds", "2", "--seed-base", "40"]) == 1
+        err = capsys.readouterr().err
+        assert "seed 40" in err and "seed 41" in err
+        assert "--seed-base 40" in err and "engine exploded" in err
+
+
+@pytest.mark.slow
+def test_extended_fuzz_campaign():
+    """Nightly-sized campaign: larger networks, more epochs, fresh seeds."""
+    config = SimulationConfig(epochs=6, max_peers=6, transactions_per_epoch=(3, 9))
+    campaign = run_campaign(range(500, 560), config)
+    assert campaign.ok, "\n".join(f.describe() for f in campaign.failures)

@@ -91,6 +91,15 @@ class TestSyntheticWorkload:
         with pytest.raises(ConfigurationError):
             WorkloadConfig(updates_per_transaction=0)
 
+    def test_fraction_sum_must_not_exceed_one(self):
+        # Individually valid fractions whose sum exceeds 1 used to be
+        # accepted silently, skewing the generated mix toward deletions.
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(modify_fraction=0.7, delete_fraction=0.6)
+        # The boundary is fine.
+        config = WorkloadConfig(modify_fraction=0.6, delete_fraction=0.4)
+        assert config.modify_fraction + config.delete_fraction == 1.0
+
     def test_generates_requested_number(self, figure2):
         workload = SyntheticWorkload(figure2, WorkloadConfig(transactions=20, seed=5))
         generated = workload.generate()
