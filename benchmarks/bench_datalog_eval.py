@@ -1,0 +1,214 @@
+"""Experiment EVAL-THROUGHPUT: throughput of the compiled rule-execution core.
+
+Every update-exchange round is, at the bottom, datalog rule firings through
+the shared compiled executor (:mod:`repro.datalog.executor`).  These
+benchmarks measure that core directly — rules fired per second and
+sync-round latency — on the paper's Figure-2 network and on randomly
+generated networks from the simulation workload, so plan-cache or executor
+regressions show up as a throughput drop rather than only as slower
+end-to-end suites.
+
+Knobs:
+
+* ``EVAL_BENCH_SMOKE=1`` shrinks every size so the whole module runs in a
+  few seconds (the CI smoke step).
+* ``EVAL_BENCH_RECORD=1`` (re)writes the committed baseline
+  ``BENCH_eval.json`` next to this module with the measured figures.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.system import CDSS
+from repro.datalog.ast import Fact
+from repro.datalog.evaluation import Database, evaluate_program
+from repro.datalog.executor import ExecutionStats
+from repro.datalog.incremental import IncrementalEngine
+from repro.exchange.engine import ExchangeEngine
+from repro.exchange.rules import published_relation
+from repro.workloads.bioinformatics import BioDataGenerator, build_figure2_network
+from repro.workloads.simulation import (
+    RandomWorkload,
+    SimulationConfig,
+    generate_network,
+)
+
+from ._reporting import print_table
+from .bench_exchange_scaling import _figure2_program, _insert_transactions
+
+def _env_flag(name: str) -> bool:
+    """True unless the variable is unset, empty, or an explicit off value."""
+    return os.environ.get(name, "").strip().lower() not in ("", "0", "false", "no", "off")
+
+
+SMOKE = _env_flag("EVAL_BENCH_SMOKE")
+RECORD = _env_flag("EVAL_BENCH_RECORD")
+BASELINE_PATH = Path(__file__).with_name("BENCH_eval.json")
+
+#: Workload sizes; the smoke profile keeps CI under a few seconds.
+TRANSACTIONS = 40 if SMOKE else 200
+GENERATED_SEEDS = range(1, 3) if SMOKE else range(1, 7)
+GENERATED_CONFIG = SimulationConfig(
+    epochs=2 if SMOKE else 4,
+    max_peers=4 if SMOKE else 5,
+    transactions_per_epoch=(2, 4) if SMOKE else (4, 8),
+)
+ROUNDS = 2 if SMOKE else 3
+
+
+def _record(experiment: str, payload: dict) -> None:
+    """Merge one experiment's figures into the committed baseline file."""
+    if not RECORD:
+        return
+    baseline = {}
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+    baseline[experiment] = payload
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+
+
+def test_figure2_exchange_rule_throughput(benchmark):
+    """Rules fired per second while translating a Figure-2 update batch."""
+    transactions = _insert_transactions(TRANSACTIONS)
+
+    def setup():
+        return (ExchangeEngine(_figure2_program()),), {}
+
+    def run(engine: ExchangeEngine):
+        engine.process_transactions(transactions)
+        return engine
+
+    engine = benchmark.pedantic(run, setup=setup, rounds=ROUNDS, iterations=1)
+    elapsed = benchmark.stats.stats.mean
+    fired = engine.statistics()["rules_fired"]
+    assert fired > 0
+    rows = [
+        ["transactions", TRANSACTIONS],
+        ["rules fired", fired],
+        ["mean s", f"{elapsed:.4f}"],
+        ["rules fired / s", f"{fired / elapsed:.0f}"],
+        ["transactions / s", f"{TRANSACTIONS / elapsed:.0f}"],
+    ]
+    print_table("EVAL-THROUGHPUT: Figure-2 exchange", ["metric", "value"], rows)
+    _record(
+        "figure2_exchange",
+        {
+            "transactions": TRANSACTIONS,
+            "rules_fired": fired,
+            "mean_seconds": round(elapsed, 4),
+            "rules_per_second": round(fired / elapsed),
+        },
+    )
+
+
+def test_figure2_sync_round_latency(benchmark):
+    """Latency of one orchestrated ``sync()`` over the loaded Figure-2 CDSS."""
+
+    def setup():
+        network = build_figure2_network()
+        generator = BioDataGenerator(seed=23)
+        generator.load_sigma1(
+            network.alaska, organisms=6, proteins=8, sequences_per_pair=0.4
+        )
+        generator.load_sigma2(network.dresden, pairs=10)
+        network.cdss.import_existing_data("Alaska")
+        network.cdss.import_existing_data("Dresden")
+        return (network.cdss,), {}
+
+    def run(cdss: CDSS):
+        report = cdss.sync()
+        assert report.converged
+        return cdss, report
+
+    cdss, report = benchmark.pedantic(run, setup=setup, rounds=ROUNDS, iterations=1)
+    elapsed = benchmark.stats.stats.mean
+    rounds = len(report.rounds)
+    fired = cdss.engine.statistics()["rules_fired"]
+    rows = [
+        ["sync rounds", rounds],
+        ["rules fired", fired],
+        ["mean sync s", f"{elapsed:.4f}"],
+        ["mean s / round", f"{elapsed / max(rounds, 1):.4f}"],
+    ]
+    print_table("EVAL-THROUGHPUT: Figure-2 sync latency", ["metric", "value"], rows)
+    _record(
+        "figure2_sync",
+        {
+            "sync_rounds": rounds,
+            "rules_fired": fired,
+            "mean_sync_seconds": round(elapsed, 4),
+            "seconds_per_round": round(elapsed / max(rounds, 1), 4),
+        },
+    )
+
+
+def _generated_base(seed: int) -> tuple:
+    """A generated network's mapping program plus insert-only base facts."""
+    import random
+
+    rng = random.Random(seed)
+    spec = generate_network(rng, GENERATED_CONFIG)
+    workload = RandomWorkload(spec, GENERATED_CONFIG, rng)
+    program = CDSS.from_spec(spec).engine.program
+    facts = []
+    for _ in range(GENERATED_CONFIG.epochs):
+        for command in workload.epoch_commands():
+            if command.kind in ("insert", "conflict"):
+                facts.append(
+                    Fact(published_relation(command.peer, command.relation), command.values)
+                )
+    return program, facts
+
+
+def test_generated_network_eval_throughput(benchmark):
+    """From-scratch + incremental firing throughput over generated networks."""
+    cases = [_generated_base(seed) for seed in GENERATED_SEEDS]
+
+    def run():
+        stats = ExecutionStats()
+        for program, facts in cases:
+            base = Database()
+            for fact in facts:
+                base.add(fact.predicate, fact.values)
+            evaluate_program(program, base, stats=stats)
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    elapsed = benchmark.stats.stats.mean
+
+    # Incremental propagation over the same networks (one timed pass).
+    started = time.perf_counter()
+    incremental_stats = ExecutionStats()
+    for program, facts in cases:
+        engine = IncrementalEngine(program, track_provenance=True)
+        engine.apply_insertions(facts)
+        incremental_stats.rules_fired += engine.stats.rules_fired
+    incremental_elapsed = time.perf_counter() - started
+
+    rows = [
+        ["networks", len(cases)],
+        ["from-scratch rules fired", stats.rules_fired],
+        ["from-scratch rules / s", f"{stats.rules_fired / elapsed:.0f}"],
+        ["incremental rules fired", incremental_stats.rules_fired],
+        [
+            "incremental rules / s",
+            f"{incremental_stats.rules_fired / incremental_elapsed:.0f}",
+        ],
+    ]
+    print_table("EVAL-THROUGHPUT: generated networks", ["metric", "value"], rows)
+    _record(
+        "generated_networks",
+        {
+            "networks": len(cases),
+            "from_scratch_rules_fired": stats.rules_fired,
+            "from_scratch_rules_per_second": round(stats.rules_fired / elapsed),
+            "incremental_rules_fired": incremental_stats.rules_fired,
+            "incremental_rules_per_second": round(
+                incremental_stats.rules_fired / incremental_elapsed
+            ),
+        },
+    )

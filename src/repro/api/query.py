@@ -23,6 +23,7 @@ from typing import Optional
 
 from ..datalog.evaluation import Database, evaluate_program
 from ..datalog.parser import parse_program
+from ..datalog.plan import compile_program
 from ..datalog.provenance_eval import evaluate_with_provenance
 from ..errors import SpecError, UnknownRelationError
 
@@ -77,6 +78,10 @@ def run_query(
     program = parse_program(text)
     if not program.rules:
         raise SpecError(f"query {text!r} contains no rules")
+    # Compile (and validate) before snapshotting the instance: unsafe or
+    # unstratifiable queries fail fast, and repeated identical queries reuse
+    # the cached join plans instead of re-planning per evaluation.
+    compile_program(program)
 
     answer = program.rules[0].head.predicate
     defined = program.idb_predicates

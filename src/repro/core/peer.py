@@ -142,6 +142,18 @@ class Peer:
         """Snapshot of one relation of the local instance."""
         return frozenset(self.instance.scan(relation))
 
+    def tuples_matching(
+        self, relation: str, position: int, value: object
+    ) -> frozenset[tuple]:
+        """Local tuples whose column ``position`` equals ``value``.
+
+        Routed through the storage backend's indexed ``lookup`` — a SQLite
+        peer answers through a persistent column index, a memory peer
+        through a maintained hash index — instead of materialising the
+        whole relation the way :meth:`tuples` does.
+        """
+        return frozenset(self.instance.lookup(relation, position, value))
+
     def snapshot(self) -> dict[str, frozenset[tuple]]:
         """Snapshot of the whole local instance (the peer's public view)."""
         return self.instance.snapshot()

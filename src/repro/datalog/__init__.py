@@ -8,6 +8,11 @@ substrate from scratch:
 * :mod:`repro.datalog.ast` — terms, atoms, rules and programs,
 * :mod:`repro.datalog.parser` — a small textual syntax for rules and facts,
 * :mod:`repro.datalog.unification` — substitutions and atom matching,
+* :mod:`repro.datalog.plan` — one-time compilation of rules into executable
+  join plans (greedy atom ordering, pre-resolved index probes, head
+  projection closures), cached by structural identity,
+* :mod:`repro.datalog.executor` — the shared execution engine driving the
+  compiled plans with pluggable firing hooks,
 * :mod:`repro.datalog.evaluation` — naive and semi-naive bottom-up evaluation,
 * :mod:`repro.datalog.provenance_eval` — evaluation that records semiring
   provenance for every derived tuple,
@@ -19,8 +24,10 @@ substrate from scratch:
 
 from .ast import Atom, Constant, Fact, Program, Rule, SkolemTerm, Variable
 from .evaluation import Database, evaluate_program, evaluate_rule_once
+from .executor import ExecutionStats, fire_rule, run_program, run_stratum
 from .incremental import IncrementalEngine
 from .parser import parse_atom, parse_fact, parse_program, parse_rule
+from .plan import CompiledProgram, CompiledRule, compile_program, compile_rule
 from .provenance_eval import ProvenanceDatabase, evaluate_with_provenance
 from .skolem import SkolemFactory
 from .stratification import stratify
@@ -28,8 +35,11 @@ from .unification import Substitution, match_atom, unify_terms
 
 __all__ = [
     "Atom",
+    "CompiledProgram",
+    "CompiledRule",
     "Constant",
     "Database",
+    "ExecutionStats",
     "Fact",
     "IncrementalEngine",
     "Program",
@@ -39,14 +49,19 @@ __all__ = [
     "SkolemTerm",
     "Substitution",
     "Variable",
+    "compile_program",
+    "compile_rule",
     "evaluate_program",
     "evaluate_rule_once",
     "evaluate_with_provenance",
+    "fire_rule",
     "match_atom",
     "parse_atom",
     "parse_fact",
     "parse_program",
     "parse_rule",
+    "run_program",
+    "run_stratum",
     "stratify",
     "unify_terms",
 ]

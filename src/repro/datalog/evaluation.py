@@ -9,6 +9,13 @@ schema mappings.
 Negation is handled by stratifying the program first
 (:mod:`repro.datalog.stratification`) and evaluating strata in order, so that
 a negated atom is only ever evaluated against a fully computed relation.
+
+Since the compiled-execution refactor, this module no longer interprets rule
+bodies itself: rules are compiled once into join plans
+(:mod:`repro.datalog.plan`) and executed by the shared engine
+(:mod:`repro.datalog.executor`) that also powers incremental maintenance and
+provenance recording.  :class:`Database` pre-builds the column indexes a
+compiled program's plans demand instead of waiting for the first probe.
 """
 
 from __future__ import annotations
@@ -16,25 +23,28 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable, Iterator, Mapping, Optional
 
-from ..errors import DatalogError
-from .ast import Atom, Comparison, Fact, Program, Rule, SkolemTerm, Variable
-from .stratification import stratify
-from .unification import Substitution, match_atom
+from .ast import Fact, Program, Rule
+from .executor import ExecutionStats, fire_rule, run_program
+from .indexing import ColumnIndexes, build_column_index, index_discard, index_insert
+from .plan import compile_program, compile_rule
+
+_EMPTY_SET: frozenset = frozenset()
 
 
 class Database:
     """A mutable relational database: predicate name -> set of ground tuples.
 
-    Hash indexes on individual columns are built lazily the first time a join
-    probes a relation on a bound column and are maintained on every
-    insert/delete afterwards, which keeps join evaluation near-linear in the
-    number of matching tuples instead of scanning whole relations.
+    Hash indexes on individual columns keep join probes near-linear in the
+    number of matching tuples.  They are pre-built for every ``(predicate,
+    position)`` a compiled plan can probe (:meth:`ensure_indexes`), built
+    lazily for ad-hoc :meth:`lookup` calls, and maintained on every
+    insert/delete afterwards.
     """
 
     def __init__(self, facts: Optional[Iterable[Fact]] = None) -> None:
         self._relations: dict[str, set[tuple]] = defaultdict(set)
-        #: (predicate, position) -> value -> set of tuples.
-        self._indexes: dict[tuple[str, int], dict[object, set[tuple]]] = {}
+        #: predicate -> position -> value -> set of tuples.
+        self._indexes: dict[str, ColumnIndexes] = {}
         if facts is not None:
             for fact in facts:
                 self.add_fact(fact)
@@ -55,29 +65,64 @@ class Database:
         if values in relation:
             return False
         relation.add(values)
-        for (indexed_predicate, position), buckets in self._indexes.items():
-            if indexed_predicate == predicate and position < len(values):
-                buckets.setdefault(values[position], set()).add(values)
+        positions = self._indexes.get(predicate)
+        if positions:
+            index_insert(positions, values)
         return True
 
     def add_fact(self, fact: Fact) -> bool:
         return self.add(fact.predicate, fact.values)
 
     def remove(self, predicate: str, values: tuple) -> bool:
-        """Remove a tuple; returns True when it was present."""
+        """Remove a tuple; returns True when it was present.
+
+        Index buckets whose tuple set empties are dropped entirely, so
+        long delete-heavy runs do not accumulate empty ``value -> set()``
+        entries per historical key.
+        """
         relation = self._relations.get(predicate)
         if relation is None:
             return False
         values = tuple(values)
-        if values in relation:
-            relation.remove(values)
-            for (indexed_predicate, position), buckets in self._indexes.items():
-                if indexed_predicate == predicate and position < len(values):
-                    bucket = buckets.get(values[position])
-                    if bucket is not None:
-                        bucket.discard(values)
-            return True
-        return False
+        if values not in relation:
+            return False
+        relation.remove(values)
+        positions = self._indexes.get(predicate)
+        if positions:
+            index_discard(positions, values)
+        return True
+
+    def _build_index(self, predicate: str, position: int) -> dict[object, set[tuple]]:
+        buckets = build_column_index(self._relations.get(predicate, ()), position)
+        self._indexes.setdefault(predicate, {})[position] = buckets
+        return buckets
+
+    def ensure_indexes(self, demanded: Iterable[tuple[str, int]]) -> None:
+        """Pre-build the column indexes a compiled program's plans will probe."""
+        for predicate, position in demanded:
+            positions = self._indexes.get(predicate)
+            if positions is None or position not in positions:
+                self._build_index(predicate, position)
+
+    def probe(self, predicate: str, position: int, value: object) -> set[tuple]:
+        """Matching tuples for an index probe, *without* defensive copying.
+
+        Executor-internal: callers must not mutate the database while
+        iterating the returned set (rule firing materialises its results
+        before any insertion, so plan execution never does).
+        """
+        positions = self._indexes.get(predicate)
+        if positions is None:
+            buckets = self._build_index(predicate, position)
+        else:
+            buckets = positions.get(position)
+            if buckets is None:
+                buckets = self._build_index(predicate, position)
+        return buckets.get(value, _EMPTY_SET)
+
+    def rows(self, predicate: str) -> set[tuple]:
+        """The live tuple set of ``predicate`` (executor-internal; do not mutate)."""
+        return self._relations.get(predicate, _EMPTY_SET)
 
     def lookup(self, predicate: str, position: int, value: object) -> frozenset[tuple]:
         """Tuples of ``predicate`` whose column ``position`` equals ``value``.
@@ -85,15 +130,7 @@ class Database:
         Builds (and afterwards maintains) a hash index on that column the
         first time it is probed.
         """
-        key = (predicate, position)
-        buckets = self._indexes.get(key)
-        if buckets is None:
-            buckets = {}
-            for row in self._relations.get(predicate, ()):
-                if position < len(row):
-                    buckets.setdefault(row[position], set()).add(row)
-            self._indexes[key] = buckets
-        return frozenset(buckets.get(value, ()))
+        return frozenset(self.probe(predicate, position, value))
 
     def contains(self, predicate: str, values: tuple) -> bool:
         relation = self._relations.get(predicate)
@@ -159,144 +196,6 @@ class Database:
         return "Database(" + ", ".join(parts) + ")"
 
 
-def _candidate_tuples(
-    atom: Atom, database: Database, subst: Substitution
-) -> Iterable[tuple]:
-    """Candidate tuples for matching ``atom``, using an index when possible.
-
-    If some argument of the atom is already ground under the current
-    substitution (a constant, a bound variable, or a ground skolem term), the
-    relation is probed through a column index on that position instead of
-    being scanned in full.
-    """
-    for position, term in enumerate(atom.terms):
-        value = subst.apply_term(term)
-        if isinstance(value, Variable):
-            continue
-        if isinstance(value, SkolemTerm) and not value.is_ground:
-            continue
-        return database.lookup(atom.predicate, position, value)
-    return database.relation(atom.predicate)
-
-
-def _evaluation_plan(rule: Rule, delta_position: Optional[int]) -> list[tuple[object, bool]]:
-    """Order the body literals for evaluation.
-
-    Returns ``(literal, use_delta)`` pairs.  When a delta position is given,
-    the delta atom is evaluated first so that the (usually tiny) delta binds
-    variables before the other atoms are probed through column indexes; the
-    remaining positive atoms follow in their original order, and negated
-    atoms plus comparisons go last (rule safety guarantees their variables
-    are bound by then).
-    """
-    if delta_position is None:
-        return [(literal, False) for literal in rule.body]
-    plan: list[tuple[object, bool]] = [(rule.body[delta_position], True)]
-    positives: list[Atom] = []
-    guards: list[tuple[object, bool]] = []
-    for index, literal in enumerate(rule.body):
-        if index == delta_position:
-            continue
-        if isinstance(literal, Atom) and not literal.negated:
-            positives.append(literal)
-        else:
-            guards.append((literal, False))
-
-    # Greedy join ordering: repeatedly pick the atom sharing the most
-    # variables with what is already bound, so that every probe can use a
-    # column index instead of a full scan.
-    bound: set[Variable] = set(rule.body[delta_position].variables())
-    while positives:
-        best = max(positives, key=lambda atom: (len(atom.variables() & bound), -rule.body.index(atom)))
-        positives.remove(best)
-        plan.append((best, False))
-        bound.update(best.variables())
-    return plan + guards
-
-
-def _satisfy_body(
-    rule: Rule,
-    database: Database,
-    subst: Substitution,
-    literal_index: int,
-    delta: Optional[dict[str, set[tuple]]] = None,
-    delta_position: Optional[int] = None,
-    plan: Optional[list[tuple[object, bool]]] = None,
-) -> Iterator[Substitution]:
-    """Enumerate substitutions satisfying the rule body from ``literal_index``.
-
-    When ``delta`` and ``delta_position`` are given, the positive atom at that
-    body position is matched against the delta relation instead of the full
-    database (the semi-naive rewriting), and the body is re-ordered so that
-    the delta atom is evaluated first.
-    """
-    if plan is None:
-        plan = _evaluation_plan(rule, delta_position if delta is not None else None)
-    if literal_index >= len(plan):
-        yield subst
-        return
-
-    literal, use_delta = plan[literal_index]
-
-    if isinstance(literal, Comparison):
-        left = subst.apply_term(literal.left)
-        right = subst.apply_term(literal.right)
-        if isinstance(left, Variable) or isinstance(right, Variable):
-            raise DatalogError(
-                f"comparison {literal!r} evaluated with unbound variable in rule {rule!r}"
-            )
-        if literal.evaluate(left, right):
-            yield from _satisfy_body(
-                rule, database, subst, literal_index + 1, delta, delta_position, plan
-            )
-        return
-
-    atom = literal
-    if atom.negated:
-        grounded = subst.apply_atom(atom)
-        if not grounded.is_ground():
-            raise DatalogError(
-                f"negated atom {atom!r} not ground when evaluated in rule {rule!r}"
-            )
-        values = tuple(
-            term.value if hasattr(term, "value") else term for term in grounded.terms
-        )
-        if not database.contains(atom.predicate, values):
-            yield from _satisfy_body(
-                rule, database, subst, literal_index + 1, delta, delta_position, plan
-            )
-        return
-
-    if delta is not None and use_delta:
-        candidates: Iterable[tuple] = delta.get(atom.predicate, ())
-    else:
-        candidates = _candidate_tuples(atom, database, subst)
-
-    for values in candidates:
-        extended = match_atom(atom, values, subst)
-        if extended is not None:
-            yield from _satisfy_body(
-                rule, database, extended, literal_index + 1, delta, delta_position, plan
-            )
-
-
-def _head_values(rule: Rule, subst: Substitution) -> tuple:
-    """Instantiate the head atom of ``rule`` to a ground tuple."""
-    values = []
-    for term in rule.head.terms:
-        value = subst.apply_term(term)
-        if isinstance(value, Variable):
-            raise DatalogError(
-                f"head variable {value.name} unbound when firing rule {rule!r}"
-            )
-        if isinstance(value, SkolemTerm) and not value.is_ground:
-            raise DatalogError(
-                f"head skolem term {value!r} not ground when firing rule {rule!r}"
-            )
-        values.append(value)
-    return tuple(values)
-
-
 def evaluate_rule_once(
     rule: Rule,
     database: Database,
@@ -304,64 +203,7 @@ def evaluate_rule_once(
     delta_position: Optional[int] = None,
 ) -> set[tuple]:
     """Compute the set of head tuples derivable by one application of ``rule``."""
-    derived: set[tuple] = set()
-    for subst in _satisfy_body(rule, database, Substitution(), 0, delta, delta_position):
-        derived.add(_head_values(rule, subst))
-    return derived
-
-
-def _positive_body_positions(rule: Rule, idb_predicates: set[str]) -> list[int]:
-    """Body positions holding positive atoms over IDB (recursive) predicates."""
-    positions = []
-    for index, literal in enumerate(rule.body):
-        if isinstance(literal, Atom) and not literal.negated:
-            if literal.predicate in idb_predicates:
-                positions.append(index)
-    return positions
-
-
-def _evaluate_stratum(
-    rules: list[Rule],
-    database: Database,
-    max_iterations: int = 0,
-) -> dict[str, set[tuple]]:
-    """Semi-naive evaluation of one stratum; mutates ``database`` in place.
-
-    Returns the tuples newly derived in this stratum, per predicate.
-    """
-    idb = {rule.head.predicate for rule in rules}
-    all_new: dict[str, set[tuple]] = defaultdict(set)
-
-    # First round: naive application of every rule.
-    delta: dict[str, set[tuple]] = defaultdict(set)
-    for rule in rules:
-        for values in evaluate_rule_once(rule, database):
-            if database.add(rule.head.predicate, values):
-                delta[rule.head.predicate].add(values)
-                all_new[rule.head.predicate].add(values)
-
-    iterations = 1
-    while delta:
-        if max_iterations and iterations >= max_iterations:
-            raise DatalogError(
-                f"evaluation did not converge within {max_iterations} iterations"
-            )
-        next_delta: dict[str, set[tuple]] = defaultdict(set)
-        for rule in rules:
-            positions = _positive_body_positions(rule, idb)
-            if not positions:
-                continue  # Non-recursive rule: already fully applied above.
-            for position in positions:
-                literal = rule.body[position]
-                if literal.predicate not in delta:
-                    continue
-                for values in evaluate_rule_once(rule, database, delta, position):
-                    if database.add(rule.head.predicate, values):
-                        next_delta[rule.head.predicate].add(values)
-                        all_new[rule.head.predicate].add(values)
-        delta = next_delta
-        iterations += 1
-    return dict(all_new)
+    return fire_rule(compile_rule(rule), database, delta, delta_position)
 
 
 def evaluate_program(
@@ -369,17 +211,19 @@ def evaluate_program(
     database: Database,
     max_iterations: int = 0,
     copy: bool = True,
+    stats: Optional[ExecutionStats] = None,
 ) -> Database:
     """Evaluate ``program`` over ``database`` and return the resulting database.
 
     The input database is not modified unless ``copy=False``.  Negation is
     supported through stratification; an unstratifiable program raises
-    :class:`~repro.errors.StratificationError`.
+    :class:`~repro.errors.StratificationError`.  The program is compiled
+    once (cached across calls by structural identity) and executed through
+    the shared engine in :mod:`repro.datalog.executor`.
     """
-    program.validate()
+    compiled = compile_program(program)
     working = database.copy() if copy else database
-    for stratum in stratify(program):
-        _evaluate_stratum(list(stratum), working, max_iterations=max_iterations)
+    run_program(compiled, working, stats=stats, max_iterations=max_iterations)
     return working
 
 

@@ -1,0 +1,180 @@
+"""Shared execution engine for compiled datalog rules.
+
+All three evaluation modes of the repo — plain bottom-up evaluation
+(:mod:`repro.datalog.evaluation`), incremental delta propagation
+(:mod:`repro.datalog.incremental`), and provenance-recording evaluation
+(:mod:`repro.datalog.provenance_eval`) — drive the functions in this module.
+What differs between them is only the *firing hook*:
+
+* plain derivation collects the projected head tuples;
+* delta-seminaive execution substitutes a delta relation for one body atom
+  (``delta_position``) so a rule only re-fires on new tuples;
+* provenance recording additionally reports, for every satisfying
+  substitution, the matched body rows (in body order) to a recorder such as
+  :meth:`repro.provenance.graph.ProvenanceGraph.add_derivation`.
+
+The semi-naive fixpoint loop itself (:func:`run_stratum` /
+:func:`run_program`) is likewise shared, so the firing semantics of a whole
+evaluation is chosen by passing (or omitting) a ``recorder``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Optional, Sequence
+
+from ..errors import DatalogError
+from .plan import UNBOUND, CompiledProgram, CompiledRule
+
+#: ``recorder(label, (head_predicate, head_values), sources)`` — invoked once
+#: per satisfying substitution, with ``sources`` the matched positive body
+#: rows as ``(predicate, values)`` pairs in original body order.
+Recorder = Callable[[str, tuple[str, tuple], list[tuple[str, tuple]]], object]
+
+
+class ExecutionStats:
+    """Counters accumulated across executor calls (cheap enough to always keep)."""
+
+    __slots__ = ("rules_fired", "tuples_derived", "rounds")
+
+    def __init__(self) -> None:
+        self.rules_fired = 0
+        self.tuples_derived = 0
+        self.rounds = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "rules_fired": self.rules_fired,
+            "tuples_derived": self.tuples_derived,
+            "rounds": self.rounds,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExecutionStats(rules_fired={self.rules_fired}, "
+            f"tuples_derived={self.tuples_derived}, rounds={self.rounds})"
+        )
+
+
+def fire_rule(
+    compiled: CompiledRule,
+    database,
+    delta: Optional[dict[str, set[tuple]]] = None,
+    delta_position: Optional[int] = None,
+    recorder: Optional[Recorder] = None,
+    stats: Optional[ExecutionStats] = None,
+) -> set[tuple]:
+    """Apply one compiled rule and return the set of derivable head tuples.
+
+    With ``delta``/``delta_position`` the atom at that body position matches
+    the delta relation instead of the database (semi-naive firing).  With a
+    ``recorder`` every satisfying substitution is reported as a derivation
+    before its head tuple joins the result set.
+    """
+    plan = compiled.plan_for(delta_position if delta is not None else None)
+    env = [UNBOUND] * compiled.num_slots
+    regs: list = [None] * compiled.reg_count
+    derived: set[tuple] = set()
+    project = plan.project
+    fired = 0
+
+    if recorder is None:
+        def emit(env, regs):
+            nonlocal fired
+            fired += 1
+            derived.add(project(env))
+    else:
+        rule = compiled.rule
+        label = rule.label or f"rule:{rule.head.predicate}"
+        head_predicate = rule.head.predicate
+        source_specs = plan.source_specs
+
+        def emit(env, regs):
+            nonlocal fired
+            fired += 1
+            head_values = project(env)
+            sources = [(predicate, regs[reg]) for predicate, reg in source_specs]
+            recorder(label, (head_predicate, head_values), sources)
+            derived.add(head_values)
+
+    plan.run(database, delta, env, regs, emit)
+    if stats is not None:
+        stats.rules_fired += fired
+    return derived
+
+
+def run_stratum(
+    stratum: Sequence[CompiledRule],
+    database,
+    recorder: Optional[Recorder] = None,
+    stats: Optional[ExecutionStats] = None,
+    max_iterations: int = 0,
+) -> dict[str, set[tuple]]:
+    """Semi-naive fixpoint of one stratum; mutates ``database`` in place.
+
+    Returns the tuples newly derived in this stratum, per predicate.
+    """
+    idb = {compiled.rule.head.predicate for compiled in stratum}
+    all_new: dict[str, set[tuple]] = defaultdict(set)
+
+    # First round: naive application of every rule.
+    delta: dict[str, set[tuple]] = defaultdict(set)
+    for compiled in stratum:
+        head = compiled.rule.head.predicate
+        for values in fire_rule(compiled, database, recorder=recorder, stats=stats):
+            if database.add(head, values):
+                delta[head].add(values)
+                all_new[head].add(values)
+
+    iterations = 1
+    while delta:
+        if max_iterations and iterations >= max_iterations:
+            raise DatalogError(
+                f"evaluation did not converge within {max_iterations} iterations"
+            )
+        if stats is not None:
+            stats.rounds += 1
+        next_delta: dict[str, set[tuple]] = defaultdict(set)
+        for compiled in stratum:
+            head = compiled.rule.head.predicate
+            body = compiled.rule.body
+            for position in compiled.positive_positions:
+                if body[position].predicate not in idb:
+                    continue  # Non-recursive occurrence: fully applied above.
+                if body[position].predicate not in delta:
+                    continue
+                for values in fire_rule(
+                    compiled, database, delta, position, recorder=recorder, stats=stats
+                ):
+                    if database.add(head, values):
+                        next_delta[head].add(values)
+                        all_new[head].add(values)
+        delta = next_delta
+        iterations += 1
+    if stats is not None:
+        for values in all_new.values():
+            stats.tuples_derived += len(values)
+    return dict(all_new)
+
+
+def run_program(
+    compiled: CompiledProgram,
+    database,
+    recorder: Optional[Recorder] = None,
+    stats: Optional[ExecutionStats] = None,
+    max_iterations: int = 0,
+) -> dict[str, set[tuple]]:
+    """Evaluate a compiled program to fixpoint, stratum by stratum.
+
+    Mutates ``database`` in place (callers copy first when needed) after
+    pre-building every column index the compiled plans can probe.  Returns
+    all newly derived tuples per predicate.
+    """
+    database.ensure_indexes(compiled.demanded_indexes)
+    all_new: dict[str, set[tuple]] = {}
+    for stratum in compiled.strata:
+        for predicate, values in run_stratum(
+            stratum, database, recorder=recorder, stats=stats, max_iterations=max_iterations
+        ).items():
+            all_new.setdefault(predicate, set()).update(values)
+    return all_new

@@ -15,6 +15,12 @@ scratch.  This module implements:
   - *DRed* (delete-and-rederive): over-delete everything potentially
     depending on the deleted facts, then re-derive what still has an
     alternative derivation.  Used as the non-provenance ablation baseline.
+
+Both paths fire rules through the shared compiled executor
+(:mod:`repro.datalog.executor`): the program is compiled to join plans once
+at engine construction (cached by structural identity, so every engine over
+the same mapping program shares the plans), and provenance recording is just
+a different firing hook on the same plans.
 """
 
 from __future__ import annotations
@@ -25,15 +31,15 @@ from typing import Iterable, Optional
 
 from ..errors import DatalogError
 from ..provenance.graph import ProvenanceGraph
-from .ast import Atom, Fact, Program, Rule
-from .evaluation import Database, evaluate_program, evaluate_rule_once
+from .ast import Fact, Program
+from .evaluation import Database, evaluate_program
+from .executor import ExecutionStats, fire_rule
+from .plan import CompiledProgram, CompiledRule, compile_program
 from .provenance_eval import (
     ProvenanceDatabase,
-    _fire_rule_with_provenance,
     default_variable_namer,
     evaluate_with_provenance,
 )
-from .stratification import stratify
 
 
 @dataclass
@@ -68,13 +74,16 @@ class IncrementalEngine:
         track_provenance: bool = True,
         variable_namer=default_variable_namer,
     ) -> None:
-        program.validate()
         self._program = program
+        self._compiled: CompiledProgram = compile_program(program)
+        self._compiled_key: tuple = tuple(program.rules)
         self._track_provenance = track_provenance
         self._variable_namer = variable_namer
         self._graph: Optional[ProvenanceGraph] = ProvenanceGraph() if track_provenance else None
         self._database = Database()
+        self._database.ensure_indexes(self._compiled.demanded_indexes)
         self._base = Database()
+        self._stats = ExecutionStats()
         if database is not None:
             self.apply_insertions(
                 Fact(predicate, values)
@@ -100,6 +109,28 @@ class IncrementalEngine:
     @property
     def program(self) -> Program:
         return self._program
+
+    @property
+    def compiled(self) -> CompiledProgram:
+        """The compiled join plans this engine executes.
+
+        ``Program`` is deliberately mutable (rules can be added after
+        construction), so the compilation is refreshed whenever the rule
+        list changed — matching the pre-compilation behavior of
+        re-deriving strata on every propagation.  Unchanged programs pay
+        only a tuple comparison.
+        """
+        key = tuple(self._program.rules)
+        if key != self._compiled_key:
+            self._compiled = compile_program(self._program)
+            self._compiled_key = key
+            self._database.ensure_indexes(self._compiled.demanded_indexes)
+        return self._compiled
+
+    @property
+    def stats(self) -> ExecutionStats:
+        """Cumulative executor counters (rule firings across all maintenance)."""
+        return self._stats
 
     def provenance(self) -> ProvenanceDatabase:
         if self._graph is None:
@@ -137,35 +168,34 @@ class IncrementalEngine:
         self, delta: dict[str, set[tuple]], inserted: dict[str, set[tuple]]
     ) -> None:
         """Semi-naive propagation of a batch of new tuples across all strata."""
-        for stratum in stratify(self._program):
-            rules = list(stratum)
+        for stratum in self.compiled.strata:
             current = {
                 predicate: set(values) for predicate, values in delta.items()
             }
             while current:
                 next_delta: dict[str, set[tuple]] = defaultdict(set)
-                for rule in rules:
-                    for position, literal in enumerate(rule.body):
-                        if not isinstance(literal, Atom) or literal.negated:
+                for compiled in stratum:
+                    head = compiled.rule.head.predicate
+                    body = compiled.rule.body
+                    for position in compiled.positive_positions:
+                        if body[position].predicate not in current:
                             continue
-                        if literal.predicate not in current:
-                            continue
-                        new_values = self._fire(rule, current, position)
+                        new_values = self._fire(compiled, current, position)
                         for values in new_values:
-                            if self._database.add(rule.head.predicate, values):
-                                next_delta[rule.head.predicate].add(values)
-                                inserted[rule.head.predicate].add(values)
-                                delta.setdefault(rule.head.predicate, set()).add(values)
+                            if self._database.add(head, values):
+                                next_delta[head].add(values)
+                                inserted[head].add(values)
+                                delta.setdefault(head, set()).add(values)
                 current = next_delta
 
     def _fire(
-        self, rule: Rule, delta: dict[str, set[tuple]], position: int
+        self, compiled: CompiledRule, delta: dict[str, set[tuple]], position: int
     ) -> set[tuple]:
-        if self._graph is not None:
-            return _fire_rule_with_provenance(
-                rule, self._database, self._graph, delta, position
-            )
-        return evaluate_rule_once(rule, self._database, delta, position)
+        recorder = self._graph.add_derivation if self._graph is not None else None
+        return fire_rule(
+            compiled, self._database, delta, position,
+            recorder=recorder, stats=self._stats,
+        )
 
     # -- deletions -------------------------------------------------------------
     def apply_deletions(self, facts: Iterable[Fact]) -> MaintenanceResult:
@@ -217,7 +247,9 @@ class IncrementalEngine:
                 self._database.remove(predicate, values)
 
         before = self._database.copy()
-        recomputed = evaluate_program(self._program, self._base, copy=True)
+        recomputed = evaluate_program(
+            self._program, self._base, copy=True, stats=self._stats
+        )
         deleted: dict[str, set[tuple]] = defaultdict(set)
         for predicate in before.predicates():
             for values in before.relation(predicate):
@@ -259,10 +291,13 @@ class IncrementalEngine:
                 self._base,
                 graph=self._graph,
                 variable_namer=self._variable_namer,
+                stats=self._stats,
             )
             self._database = result.database
         else:
-            self._database = evaluate_program(self._program, self._base, copy=True)
+            self._database = evaluate_program(
+                self._program, self._base, copy=True, stats=self._stats
+            )
         return self._database
 
 

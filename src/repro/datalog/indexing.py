@@ -1,0 +1,47 @@
+"""Shared per-column hash-index maintenance.
+
+Both the datalog :class:`~repro.datalog.evaluation.Database` (join probes of
+the compiled executor) and the in-memory storage backend
+(:class:`~repro.storage.memory.MemoryInstance`, serving indexed ``lookup``)
+keep the same structure per relation: ``position -> value -> set of
+tuples``.  These helpers are the single implementation of building and
+maintaining that structure — including dropping a bucket the moment its
+tuple set empties, so delete-heavy runs do not accumulate empty ``value ->
+set()`` entries per historical key.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+#: One relation's column indexes: position -> value -> set of tuples.
+ColumnIndexes = dict[int, dict[object, set[tuple]]]
+
+
+def build_column_index(rows: Iterable[tuple], position: int) -> dict[object, set[tuple]]:
+    """Index ``rows`` by the value at ``position`` (shorter rows are skipped)."""
+    buckets: dict[object, set[tuple]] = {}
+    for row in rows:
+        if position < len(row):
+            buckets.setdefault(row[position], set()).add(row)
+    return buckets
+
+
+def index_insert(positions: ColumnIndexes, values: tuple) -> None:
+    """Register a newly inserted tuple with every column index of its relation."""
+    size = len(values)
+    for position, buckets in positions.items():
+        if position < size:
+            buckets.setdefault(values[position], set()).add(values)
+
+
+def index_discard(positions: ColumnIndexes, values: tuple) -> None:
+    """Unregister a deleted tuple, dropping any bucket it leaves empty."""
+    size = len(values)
+    for position, buckets in positions.items():
+        if position < size:
+            bucket = buckets.get(values[position])
+            if bucket is not None:
+                bucket.discard(values)
+                if not bucket:
+                    del buckets[values[position]]

@@ -1,0 +1,631 @@
+"""Compilation of datalog rules into executable join plans.
+
+Historically the repo carried three tuple-at-a-time evaluators (plain,
+incremental, provenance) that each re-planned joins on every rule
+application: every candidate tuple allocated a fresh
+:class:`~repro.datalog.unification.Substitution`, every probe re-derived
+which column index to use, and every semi-naive round re-sorted the body.
+This module does all of that work **once per rule**:
+
+* **Variable slots** — every variable of a rule is assigned an integer slot
+  in a flat environment list, so binding/checking a variable is a list
+  access instead of a dict copy.
+* **Greedy bound-variable atom ordering** — body atoms are ordered so that
+  each atom shares as many already-bound variables as possible with the
+  prefix before it (the delta atom, when compiling a semi-naive variant,
+  always comes first).
+* **Pre-resolved index probes** — for each atom the compiler picks the
+  first position that is statically ground (a constant, an already-bound
+  variable, or a skolem term over bound variables) and emits a
+  ``(predicate, position)`` probe against the database's column index; the
+  set of all probes a plan can issue is exported as
+  :attr:`CompiledProgram.demanded_indexes` so databases can pre-build them.
+* **Early guard placement** — comparisons and negated atoms run at the
+  earliest point where all their variables are bound, instead of trailing
+  the whole join.
+* **Head projection closure** — the head atom compiles to a closure from
+  the environment to the ground output tuple (building labelled nulls for
+  skolem terms).
+
+Plans compile to chains of continuation closures executed by
+:mod:`repro.datalog.executor`; the firing hooks (plain derivation,
+delta-substitution, provenance recording) are supplied at execution time,
+which is what lets all three evaluators share this single backbone.
+
+Compiled rules and programs are cached by *structural identity* (rules are
+frozen dataclasses, so two independently compiled copies of the same
+mapping program share one plan), bounded by a FIFO eviction policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import DatalogError
+from .ast import (
+    Atom,
+    Comparison,
+    Constant,
+    Program,
+    Rule,
+    SkolemTerm,
+    Variable,
+    term_variables,
+)
+from .stratification import stratify
+
+#: Sentinel stored in environment slots that carry no binding yet.
+UNBOUND = object()
+
+_EMPTY: tuple = ()
+
+
+# ---------------------------------------------------------------------------
+# Value getters: env -> ground value (for probes, guards, head projection)
+# ---------------------------------------------------------------------------
+
+def _value_getter(term, slots: dict[Variable, int], bound: set[Variable]):
+    """Compile ``term`` to a closure ``env -> ground value``.
+
+    Every variable the term mentions must already be in ``bound``; rule
+    safety (checked at compile time) guarantees this for heads and guards.
+    """
+    if isinstance(term, Constant):
+        value = term.value
+        return lambda env: value
+    if isinstance(term, Variable):
+        if term not in bound:
+            raise DatalogError(
+                f"variable {term.name} used before it is bound by a positive atom"
+            )
+        slot = slots[term]
+        return lambda env: env[slot]
+    if isinstance(term, SkolemTerm):
+        getters = tuple(
+            _value_getter(argument, slots, bound)
+            if isinstance(argument, (Constant, Variable, SkolemTerm))
+            else (lambda raw: (lambda env: raw))(argument)
+            for argument in term.arguments
+        )
+        function = term.function
+        return lambda env: SkolemTerm(function, tuple(g(env) for g in getters))
+    raise DatalogError(f"cannot compile term {term!r}")
+
+
+def _term_is_ground(term, bound: set[Variable]) -> bool:
+    """Can ``term`` be evaluated to a ground value given ``bound``?"""
+    if isinstance(term, Constant):
+        return True
+    if isinstance(term, Variable):
+        return term in bound
+    if isinstance(term, SkolemTerm):
+        return all(v in bound for v in term_variables(term))
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Atom matching: row x env -> bool (binding fresh slots in place)
+# ---------------------------------------------------------------------------
+
+def _compile_skolem_matcher(
+    term: SkolemTerm,
+    slots: dict[Variable, int],
+    bound: set[Variable],
+    fresh: list[int],
+):
+    """Structural matcher for a skolem term in a body position.
+
+    Mirrors :func:`repro.datalog.unification.match_term`: the candidate
+    value must be a skolem term with the same function and arity, and the
+    arguments match recursively (binding still-free variables).
+    """
+    ops: list[tuple] = []
+    for index, argument in enumerate(term.arguments):
+        if isinstance(argument, Constant):
+            ops.append(("const", index, argument.value))
+        elif isinstance(argument, Variable):
+            if argument in bound:
+                ops.append(("check", index, slots[argument]))
+            else:
+                bound.add(argument)
+                fresh.append(slots[argument])
+                ops.append(("bind", index, slots[argument]))
+        elif isinstance(argument, SkolemTerm):
+            ops.append(
+                ("skolem", index, _compile_skolem_matcher(argument, slots, bound, fresh))
+            )
+        else:  # raw pre-ground value inside a skolem term
+            ops.append(("const", index, argument))
+    function = term.function
+    arity = len(term.arguments)
+
+    def matcher(value, env) -> bool:
+        if (
+            not isinstance(value, SkolemTerm)
+            or value.function != function
+            or len(value.arguments) != arity
+        ):
+            return False
+        arguments = value.arguments
+        for kind, index, payload in ops:
+            if kind == "const":
+                if payload != arguments[index]:
+                    return False
+            elif kind == "check":
+                if env[payload] != arguments[index]:
+                    return False
+            elif kind == "bind":
+                env[payload] = arguments[index]
+            else:  # nested skolem
+                if not payload(arguments[index], env):
+                    return False
+        return True
+
+    return matcher
+
+
+def _compile_atom_match(
+    atom: Atom,
+    slots: dict[Variable, int],
+    bound: set[Variable],
+    skip_position: Optional[int],
+):
+    """Compile the per-row match test of one positive atom.
+
+    Returns ``(match, fresh_slots)`` where ``match(row, env)`` extends the
+    environment in place and ``fresh_slots`` lists the slots this atom may
+    bind (they are reset by the executor after each candidate).  The probed
+    position, if any, is skipped: the index bucket already guarantees it.
+    """
+    arity = len(atom.terms)
+    const_checks: list[tuple[int, object]] = []
+    slot_checks: list[tuple[int, int]] = []  # against slots bound before this atom
+    post_checks: list[tuple[int, int]] = []  # against slots this atom binds
+    binds: list[tuple[int, int]] = []
+    ordered: list[tuple] = []  # generic path preserving position order
+    fresh: list[int] = []
+    fresh_variables: set[Variable] = set()
+    needs_order = False
+
+    for position, term in enumerate(atom.terms):
+        if position == skip_position:
+            continue
+        if isinstance(term, Constant):
+            const_checks.append((position, term.value))
+            ordered.append(("const", position, term.value))
+        elif isinstance(term, Variable):
+            if term in fresh_variables:
+                # Repeated variable within this atom: its binding happens at
+                # an earlier position, so the check must run after the binds.
+                post_checks.append((position, slots[term]))
+                ordered.append(("check", position, slots[term]))
+            elif term in bound:
+                slot_checks.append((position, slots[term]))
+                ordered.append(("check", position, slots[term]))
+            else:
+                bound.add(term)
+                fresh_variables.add(term)
+                fresh.append(slots[term])
+                binds.append((position, slots[term]))
+                ordered.append(("bind", position, slots[term]))
+        elif isinstance(term, SkolemTerm):
+            # A later plain-variable check may depend on a slot this matcher
+            # binds, so the generic ordered path must be used.
+            needs_order = True
+            before = set(bound)
+            matcher = _compile_skolem_matcher(term, slots, bound, fresh)
+            fresh_variables |= bound - before
+            ordered.append(("skolem", position, matcher))
+        else:
+            raise DatalogError(f"cannot compile body term {term!r} of {atom!r}")
+
+    if needs_order:
+        steps = tuple(ordered)
+
+        def match(row, env) -> bool:
+            if len(row) != arity:
+                return False
+            for kind, position, payload in steps:
+                if kind == "const":
+                    if payload != row[position]:
+                        return False
+                elif kind == "check":
+                    if env[payload] != row[position]:
+                        return False
+                elif kind == "bind":
+                    env[payload] = row[position]
+                else:
+                    if not payload(row[position], env):
+                        return False
+            return True
+
+        return match, tuple(fresh)
+
+    consts = tuple(const_checks)
+    checks = tuple(slot_checks)
+    bind_ops = tuple(binds)
+    late_checks = tuple(post_checks)
+
+    def match(row, env) -> bool:
+        if len(row) != arity:
+            return False
+        for position, value in consts:
+            if value != row[position]:
+                return False
+        for position, slot in checks:
+            if env[slot] != row[position]:
+                return False
+        for position, slot in bind_ops:
+            env[slot] = row[position]
+        for position, slot in late_checks:
+            if env[slot] != row[position]:
+                return False
+        return True
+
+    return match, tuple(fresh)
+
+
+# ---------------------------------------------------------------------------
+# Step continuations
+# ---------------------------------------------------------------------------
+
+def _terminal(database, delta, env, regs, emit) -> None:
+    emit(env, regs)
+
+
+def _make_atom_step(
+    atom: Atom,
+    slots: dict[Variable, int],
+    bound: set[Variable],
+    reg: int,
+    use_delta: bool,
+    next_step,
+    describe: list[str],
+):
+    """Compile one positive body atom into a candidate-enumeration step."""
+    predicate = atom.predicate
+
+    probe_position: Optional[int] = None
+    probe_getter = None
+    if not use_delta:
+        for position, term in enumerate(atom.terms):
+            if _term_is_ground(term, bound):
+                probe_position = position
+                probe_getter = _value_getter(term, slots, bound)
+                break
+
+    match, fresh = _compile_atom_match(atom, slots, bound, probe_position)
+    reset = fresh  # slots this step binds; statically unbound before it
+
+    if use_delta:
+        describe.append(f"delta {predicate}")
+
+        def step(database, delta, env, regs, emit):
+            for row in delta.get(predicate, _EMPTY):
+                if match(row, env):
+                    regs[reg] = row
+                    next_step(database, delta, env, regs, emit)
+                for slot in reset:
+                    env[slot] = UNBOUND
+
+    elif probe_position is not None:
+        describe.append(f"probe {predicate}[{probe_position}]")
+        position = probe_position
+        getter = probe_getter
+
+        def step(database, delta, env, regs, emit):
+            for row in database.probe(predicate, position, getter(env)):
+                if match(row, env):
+                    regs[reg] = row
+                    next_step(database, delta, env, regs, emit)
+                for slot in reset:
+                    env[slot] = UNBOUND
+
+    else:
+        describe.append(f"scan {predicate}")
+
+        def step(database, delta, env, regs, emit):
+            for row in database.rows(predicate):
+                if match(row, env):
+                    regs[reg] = row
+                    next_step(database, delta, env, regs, emit)
+                for slot in reset:
+                    env[slot] = UNBOUND
+
+    return step, (predicate, probe_position) if probe_position is not None else None
+
+
+def _make_comparison_step(
+    comparison: Comparison,
+    slots: dict[Variable, int],
+    bound: set[Variable],
+    next_step,
+    describe: list[str],
+):
+    left = _value_getter(comparison.left, slots, bound)
+    right = _value_getter(comparison.right, slots, bound)
+    evaluate = comparison.evaluate
+    describe.append(f"compare {comparison.op}")
+
+    def step(database, delta, env, regs, emit):
+        if evaluate(left(env), right(env)):
+            next_step(database, delta, env, regs, emit)
+
+    return step
+
+
+def _make_negation_step(
+    atom: Atom,
+    slots: dict[Variable, int],
+    bound: set[Variable],
+    next_step,
+    describe: list[str],
+):
+    getters = tuple(_value_getter(term, slots, bound) for term in atom.terms)
+    predicate = atom.predicate
+    describe.append(f"negation {predicate}")
+
+    def step(database, delta, env, regs, emit):
+        if not database.contains(predicate, tuple(g(env) for g in getters)):
+            next_step(database, delta, env, regs, emit)
+
+    return step
+
+
+# ---------------------------------------------------------------------------
+# Literal ordering
+# ---------------------------------------------------------------------------
+
+def _order_literals(
+    rule: Rule, delta_position: Optional[int]
+) -> list[tuple[int, object, bool]]:
+    """Greedy bound-variable ordering of the rule body.
+
+    Returns ``(body_position, literal, use_delta)`` triples.  The delta atom
+    (if any) leads; each following positive atom is the one sharing the most
+    variables with everything bound so far (ties: more statically-ground
+    positions, then original body order); comparisons and negations are
+    flushed as soon as all their variables are bound.
+    """
+    positives: list[tuple[int, Atom]] = []
+    guards: list[tuple[int, object]] = []
+    for position, literal in enumerate(rule.body):
+        if position == delta_position:
+            continue
+        if isinstance(literal, Atom) and not literal.negated:
+            positives.append((position, literal))
+        else:
+            guards.append((position, literal))
+
+    ordered: list[tuple[int, object, bool]] = []
+    bound: set[Variable] = set()
+
+    def flush_guards() -> None:
+        remaining: list[tuple[int, object]] = []
+        for position, literal in guards:
+            if literal.variables() <= bound:
+                ordered.append((position, literal, False))
+            else:
+                remaining.append((position, literal))
+        guards[:] = remaining
+
+    if delta_position is not None:
+        delta_atom = rule.body[delta_position]
+        ordered.append((delta_position, delta_atom, True))
+        bound |= delta_atom.variables()
+
+    flush_guards()
+    while positives:
+        def score(entry: tuple[int, Atom]) -> tuple[int, int, int]:
+            position, atom = entry
+            ground_positions = sum(
+                1 for term in atom.terms if _term_is_ground(term, bound)
+            )
+            return (len(atom.variables() & bound), ground_positions, -position)
+
+        best = max(positives, key=score)
+        positives.remove(best)
+        ordered.append((best[0], best[1], False))
+        bound |= best[1].variables()
+        flush_guards()
+
+    if guards:
+        # Rule.validate (run before compiling) rejects unsafe rules, so any
+        # leftover guard is a compiler bug, not a user error.
+        raise DatalogError(
+            f"internal error: guards {guards!r} of rule {rule!r} never became ground"
+        )
+    return ordered
+
+
+# ---------------------------------------------------------------------------
+# Compiled rule / program
+# ---------------------------------------------------------------------------
+
+class RulePlan:
+    """One executable ordering of a rule body plus its head projection.
+
+    ``run(database, delta, env, regs, emit)`` enumerates every satisfying
+    environment; ``project(env)`` instantiates the head;
+    ``source_specs`` names the ``(predicate, register)`` pairs whose matched
+    rows justify a firing (in original body order, for provenance).
+    """
+
+    __slots__ = ("run", "project", "source_specs", "probes", "description")
+
+    def __init__(self, run, project, source_specs, probes, description) -> None:
+        self.run = run
+        self.project = project
+        self.source_specs = source_specs
+        self.probes = probes
+        self.description = description
+
+
+class CompiledRule:
+    """A rule compiled once: a plain plan plus one delta plan per positive atom."""
+
+    __slots__ = ("rule", "num_slots", "reg_count", "positive_positions", "_plans")
+
+    def __init__(self, rule: Rule) -> None:
+        rule.validate()
+        self.rule = rule
+        variables: set[Variable] = set()
+        variables.update(rule.head.variables())
+        for literal in rule.body:
+            variables.update(literal.variables())
+        slots = {
+            variable: index
+            for index, variable in enumerate(sorted(variables, key=lambda v: v.name))
+        }
+        self.num_slots = len(slots)
+        self.reg_count = len(rule.body)
+        self.positive_positions = tuple(
+            position
+            for position, literal in enumerate(rule.body)
+            if isinstance(literal, Atom) and not literal.negated
+        )
+        self._plans: dict[Optional[int], RulePlan] = {
+            None: self._build_plan(slots, None)
+        }
+        for position in self.positive_positions:
+            self._plans[position] = self._build_plan(slots, position)
+
+    def _build_plan(
+        self, slots: dict[Variable, int], delta_position: Optional[int]
+    ) -> RulePlan:
+        rule = self.rule
+        ordered = _order_literals(rule, delta_position)
+        bound: set[Variable] = set()
+        probes: set[tuple[str, int]] = set()
+        description: list[str] = []
+
+        # Build steps in plan order, each wired to a one-cell forwarder that
+        # is patched to the next step afterwards (so descriptions and the
+        # bound-variable set both evolve forward).
+        steps: list = []
+        cells: list[list] = []
+
+        def make_forwarder(cell: list):
+            def forward(database, delta, env, regs, emit):
+                cell[0](database, delta, env, regs, emit)
+            return forward
+
+        for position, literal, use_delta in ordered:
+            cell = [_terminal]
+            cells.append(cell)
+            nxt = make_forwarder(cell)
+            if isinstance(literal, Comparison):
+                steps.append(
+                    _make_comparison_step(literal, slots, bound, nxt, description)
+                )
+            elif literal.negated:
+                steps.append(
+                    _make_negation_step(literal, slots, bound, nxt, description)
+                )
+            else:
+                step, probe = _make_atom_step(
+                    literal, slots, bound, position, use_delta, nxt, description
+                )
+                if probe is not None:
+                    probes.add(probe)
+                steps.append(step)
+        for index in range(len(steps) - 1):
+            cells[index][0] = steps[index + 1]
+        run = steps[0] if steps else _terminal
+
+        project_getters = tuple(
+            _value_getter(term, slots, bound) for term in rule.head.terms
+        )
+
+        def project(env) -> tuple:
+            return tuple(getter(env) for getter in project_getters)
+
+        source_specs = tuple(
+            (rule.body[position].predicate, position)
+            for position in self.positive_positions
+        )
+        return RulePlan(run, project, source_specs, frozenset(probes), tuple(description))
+
+    def plan_for(self, delta_position: Optional[int] = None) -> RulePlan:
+        try:
+            return self._plans[delta_position]
+        except KeyError:
+            raise DatalogError(
+                f"body position {delta_position} of rule {self.rule!r} is not a "
+                "positive atom; no delta plan exists for it"
+            ) from None
+
+    @property
+    def demanded_indexes(self) -> frozenset[tuple[str, int]]:
+        demanded: set[tuple[str, int]] = set()
+        for plan in self._plans.values():
+            demanded |= plan.probes
+        return frozenset(demanded)
+
+
+class CompiledProgram:
+    """A program compiled once: strata of compiled rules plus demanded indexes."""
+
+    __slots__ = ("program", "strata", "demanded_indexes")
+
+    def __init__(self, program: Program) -> None:
+        program.validate()
+        self.program = program
+        self.strata: tuple[tuple[CompiledRule, ...], ...] = tuple(
+            tuple(compile_rule(rule) for rule in stratum)
+            for stratum in stratify(program)
+        )
+        demanded: set[tuple[str, int]] = set()
+        for stratum in self.strata:
+            for compiled in stratum:
+                demanded |= compiled.demanded_indexes
+        self.demanded_indexes = frozenset(demanded)
+
+    @property
+    def rules(self) -> tuple[CompiledRule, ...]:
+        return tuple(compiled for stratum in self.strata for compiled in stratum)
+
+
+# ---------------------------------------------------------------------------
+# Caches
+# ---------------------------------------------------------------------------
+
+_RULE_CACHE: dict[Rule, CompiledRule] = {}
+_RULE_CACHE_LIMIT = 4096
+_PROGRAM_CACHE: dict[tuple, CompiledProgram] = {}
+_PROGRAM_CACHE_LIMIT = 256
+
+
+def compile_rule(rule: Rule) -> CompiledRule:
+    """Compile (or fetch the cached compilation of) a single rule."""
+    compiled = _RULE_CACHE.get(rule)
+    if compiled is None:
+        compiled = CompiledRule(rule)
+        if len(_RULE_CACHE) >= _RULE_CACHE_LIMIT:
+            _RULE_CACHE.pop(next(iter(_RULE_CACHE)))
+        _RULE_CACHE[rule] = compiled
+    return compiled
+
+
+def compile_program(program: Program) -> CompiledProgram:
+    """Compile (or fetch the cached compilation of) a whole program.
+
+    Keyed by the structural identity of the rule list, so every engine,
+    replica, or simulation epoch evaluating the same mapping program — even
+    through independently constructed ``Program`` objects — shares one set
+    of strata and plans.
+    """
+    key = tuple(program.rules)
+    compiled = _PROGRAM_CACHE.get(key)
+    if compiled is None:
+        compiled = CompiledProgram(program)
+        if len(_PROGRAM_CACHE) >= _PROGRAM_CACHE_LIMIT:
+            _PROGRAM_CACHE.pop(next(iter(_PROGRAM_CACHE)))
+        _PROGRAM_CACHE[key] = compiled
+    return compiled
+
+
+def clear_plan_caches() -> None:
+    """Drop all cached compilations (test isolation helper)."""
+    _RULE_CACHE.clear()
+    _PROGRAM_CACHE.clear()

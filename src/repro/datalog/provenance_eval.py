@@ -1,13 +1,14 @@
 """Datalog evaluation that records semiring provenance.
 
-:func:`evaluate_with_provenance` runs the same semi-naive fixpoint as
-:mod:`repro.datalog.evaluation` but additionally records every rule firing in
-a :class:`~repro.provenance.graph.ProvenanceGraph`: base (EDB) tuples become
-provenance variables, and each firing of a rule becomes a derivation
-hyper-edge from the matched body tuples to the derived head tuple.  The
-resulting :class:`ProvenanceDatabase` bundles the derived database with its
-provenance graph so that callers can ask for polynomials or evaluate trust
-policies afterwards.
+:func:`evaluate_with_provenance` runs the same compiled semi-naive fixpoint
+as :mod:`repro.datalog.evaluation` — both drive the shared execution engine
+in :mod:`repro.datalog.executor` — but plugs in a provenance-recording
+firing hook: base (EDB) tuples become provenance variables, and each firing
+of a rule becomes a derivation hyper-edge from the matched body tuples to
+the derived head tuple in a :class:`~repro.provenance.graph.ProvenanceGraph`.
+The resulting :class:`ProvenanceDatabase` bundles the derived database with
+its provenance graph so that callers can ask for polynomials or evaluate
+trust policies afterwards.
 """
 
 from __future__ import annotations
@@ -17,10 +18,10 @@ from typing import Iterable, Optional
 
 from ..provenance.graph import ProvenanceGraph
 from ..provenance.polynomial import Polynomial
-from .ast import Atom, Program, Rule
-from .evaluation import Database, _satisfy_body
-from .stratification import stratify
-from .unification import Substitution
+from .ast import Program
+from .evaluation import Database
+from .executor import ExecutionStats, run_program
+from .plan import compile_program
 
 
 def default_variable_namer(relation: str, values: tuple) -> str:
@@ -58,37 +59,13 @@ def _record_base_tuples(
             graph.add_base_tuple(predicate, values, namer(predicate, values))
 
 
-def _fire_rule_with_provenance(
-    rule: Rule,
-    database: Database,
-    graph: ProvenanceGraph,
-    delta: Optional[dict[str, set[tuple]]] = None,
-    delta_position: Optional[int] = None,
-) -> set[tuple]:
-    """Apply one rule, recording a derivation per satisfying substitution."""
-    derived: set[tuple] = set()
-    label = rule.label or f"rule:{rule.head.predicate}"
-    for subst in _satisfy_body(rule, database, Substitution(), 0, delta, delta_position):
-        head_values = _ground_head(rule, subst)
-        sources = []
-        for literal in rule.body:
-            if isinstance(literal, Atom) and not literal.negated:
-                sources.append((literal.predicate, subst.ground_values(literal)))
-        graph.add_derivation(label, (rule.head.predicate, head_values), sources)
-        derived.add(head_values)
-    return derived
-
-
-def _ground_head(rule: Rule, subst: Substitution) -> tuple:
-    return subst.ground_values(rule.head)
-
-
 def evaluate_with_provenance(
     program: Program,
     database: Database,
     graph: Optional[ProvenanceGraph] = None,
     variable_namer=default_variable_namer,
     max_iterations: int = 0,
+    stats: Optional[ExecutionStats] = None,
 ) -> ProvenanceDatabase:
     """Evaluate ``program`` over ``database`` recording provenance.
 
@@ -100,51 +77,23 @@ def evaluate_with_provenance(
         variable_namer: Function ``(relation, values) -> str`` naming the
             provenance variable of each base tuple.
         max_iterations: Optional safety bound on fixpoint rounds per stratum.
+        stats: Optional :class:`ExecutionStats` accumulating firing counters.
 
     Returns:
         A :class:`ProvenanceDatabase` with the full derived database and the
         provenance graph covering every derivation discovered.
     """
-    program.validate()
+    compiled = compile_program(program)
     working = database.copy()
     provenance_graph = graph if graph is not None else ProvenanceGraph()
     _record_base_tuples(provenance_graph, working, variable_namer)
-
-    from ..errors import DatalogError
-
-    for stratum in stratify(program):
-        rules = list(stratum)
-        idb = {rule.head.predicate for rule in rules}
-
-        delta: dict[str, set[tuple]] = {}
-        for rule in rules:
-            new_values = _fire_rule_with_provenance(rule, working, provenance_graph)
-            for values in new_values:
-                if working.add(rule.head.predicate, values):
-                    delta.setdefault(rule.head.predicate, set()).add(values)
-
-        iterations = 1
-        while delta:
-            if max_iterations and iterations >= max_iterations:
-                raise DatalogError(
-                    f"provenance evaluation did not converge within {max_iterations} iterations"
-                )
-            next_delta: dict[str, set[tuple]] = {}
-            for rule in rules:
-                for position, literal in enumerate(rule.body):
-                    if not isinstance(literal, Atom) or literal.negated:
-                        continue
-                    if literal.predicate not in idb or literal.predicate not in delta:
-                        continue
-                    new_values = _fire_rule_with_provenance(
-                        rule, working, provenance_graph, delta, position
-                    )
-                    for values in new_values:
-                        if working.add(rule.head.predicate, values):
-                            next_delta.setdefault(rule.head.predicate, set()).add(values)
-            delta = next_delta
-            iterations += 1
-
+    run_program(
+        compiled,
+        working,
+        recorder=provenance_graph.add_derivation,
+        stats=stats,
+        max_iterations=max_iterations,
+    )
     return ProvenanceDatabase(working, provenance_graph)
 
 

@@ -88,6 +88,16 @@ class ExchangeEngine:
         return self._engine.database
 
     @property
+    def compiled_program(self):
+        """The compiled join plans the engine executes (shared via the plan cache)."""
+        return self._engine.compiled
+
+    @property
+    def execution_stats(self):
+        """Cumulative executor counters (rule firings, derived tuples, rounds)."""
+        return self._engine.stats
+
+    @property
     def base_database(self):
         """Only the published (extensional) facts currently asserted."""
         return self._engine.base
@@ -208,4 +218,5 @@ class ExchangeEngine:
             "database_tuples": len(self._engine.database),
             "provenance_tuple_nodes": tuple_nodes,
             "provenance_derivations": derivation_nodes,
+            "rules_fired": self._engine.stats.rules_fired,
         }

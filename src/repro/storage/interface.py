@@ -44,6 +44,17 @@ class StorageBackend(Protocol):
         """Iterate over all tuples of a relation."""
         ...
 
+    def lookup(self, relation: str, position: int, value: object) -> frozenset[tuple]:
+        """Tuples whose column ``position`` equals ``value``.
+
+        Backends answer through a column index built on the first probe of
+        a ``(relation, position)`` pair and maintained afterwards, instead
+        of scanning the relation per call.  Backends that were never probed
+        pay nothing.  Exposed to users via
+        :meth:`repro.core.peer.Peer.tuples_matching`.
+        """
+        ...
+
     def count(self, relation: str | None = None) -> int:
         """Number of tuples in one relation, or in the whole instance."""
         ...

@@ -4,6 +4,12 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping
 
+from ..datalog.indexing import (
+    ColumnIndexes,
+    build_column_index,
+    index_discard,
+    index_insert,
+)
 from ..errors import StorageError, TupleArityError, UnknownRelationError
 
 
@@ -17,6 +23,9 @@ class MemoryInstance:
     def __init__(self) -> None:
         self._relations: dict[str, set[tuple]] = {}
         self._arities: dict[str, int] = {}
+        #: relation -> position -> value -> set of tuples; built on the
+        #: first lookup of a column and maintained by insert/delete.
+        self._indexes: dict[str, ColumnIndexes] = {}
 
     # -- schema -----------------------------------------------------------
     def create_relation(self, name: str, arity: int) -> None:
@@ -57,6 +66,9 @@ class MemoryInstance:
         if values in rows:
             return False
         rows.add(values)
+        positions = self._indexes.get(relation)
+        if positions:
+            index_insert(positions, values)
         return True
 
     def insert_many(self, relation: str, rows: Iterable[tuple]) -> int:
@@ -69,14 +81,30 @@ class MemoryInstance:
     def delete(self, relation: str, values: tuple) -> bool:
         values = self._check(relation, values)
         rows = self._relations[relation]
-        if values in rows:
-            rows.remove(values)
-            return True
-        return False
+        if values not in rows:
+            return False
+        rows.remove(values)
+        positions = self._indexes.get(relation)
+        if positions:
+            index_discard(positions, values)
+        return True
 
     def contains(self, relation: str, values: tuple) -> bool:
         values = self._check(relation, values)
         return values in self._relations[relation]
+
+    def lookup(self, relation: str, position: int, value: object) -> frozenset[tuple]:
+        arity = self.arity(relation)
+        if not 0 <= position < arity:
+            raise StorageError(
+                f"relation {relation!r} has no column {position} (arity {arity})"
+            )
+        positions = self._indexes.setdefault(relation, {})
+        buckets = positions.get(position)
+        if buckets is None:
+            buckets = build_column_index(self._relations[relation], position)
+            positions[position] = buckets
+        return frozenset(buckets.get(value, ()))
 
     def scan(self, relation: str) -> Iterator[tuple]:
         self.arity(relation)
@@ -92,9 +120,11 @@ class MemoryInstance:
         if relation is not None:
             self.arity(relation)
             self._relations[relation].clear()
+            self._indexes.pop(relation, None)
             return
         for rows in self._relations.values():
             rows.clear()
+        self._indexes.clear()
 
     # -- convenience ----------------------------------------------------------
     def snapshot(self) -> dict[str, frozenset[tuple]]:

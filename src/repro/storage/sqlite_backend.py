@@ -74,6 +74,8 @@ class SQLiteInstance:
             name: arity
             for name, arity in self._connection.execute("SELECT name, arity FROM _catalog")
         }
+        #: ``(relation, position)`` pairs for which a column index exists.
+        self._indexed_columns: set[tuple[str, int]] = set()
 
     # -- helpers -------------------------------------------------------------
     @staticmethod
@@ -160,6 +162,36 @@ class SQLiteInstance:
             f"SELECT 1 FROM {self._table(relation)} WHERE {condition} LIMIT 1", encoded
         )
         return cursor.fetchone() is not None
+
+    def lookup(self, relation: str, position: int, value: object) -> frozenset[tuple]:
+        """Tuples whose column ``position`` equals ``value``, via a column index.
+
+        The first probe of a ``(relation, position)`` pair creates a
+        persistent SQL index on that column, so repeated point probes stop
+        full-scanning the table the way :meth:`scan` does.  Relations that
+        are never probed get no index.
+        """
+        arity = self.arity(relation)
+        if not 0 <= position < arity:
+            raise StorageError(
+                f"relation {relation!r} has no column {position} (arity {arity})"
+            )
+        key = (relation, position)
+        if key not in self._indexed_columns:
+            index_name = '"idx_' + relation.replace('"', "") + f'_c{position}"'
+            self._connection.execute(
+                f"CREATE INDEX IF NOT EXISTS {index_name} "
+                f"ON {self._table(relation)} (c{position})"
+            )
+            self._connection.commit()
+            self._indexed_columns.add(key)
+        cursor = self._connection.execute(
+            f"SELECT * FROM {self._table(relation)} WHERE c{position} = ?",
+            (encode_cell(value),),
+        )
+        return frozenset(
+            tuple(decode_cell(cell) for cell in row[:arity]) for row in cursor
+        )
 
     def scan(self, relation: str) -> Iterator[tuple]:
         arity = self.arity(relation)

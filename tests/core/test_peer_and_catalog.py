@@ -68,6 +68,17 @@ class TestPeer:
         assert peer.tuples("O") == frozenset({("E. coli", 1)})
         assert peer.snapshot()["O"] == frozenset({("E. coli", 1)})
 
+    def test_tuples_matching_probes_by_column(self):
+        peer = Peer("Alaska", SIGMA1)
+        peer.insert("S", (1, 10, "ATG"))
+        peer.insert("S", (1, 11, "CCC"))
+        peer.insert("S", (2, 10, "GGG"))
+        assert peer.tuples_matching("S", 0, 1) == frozenset(
+            {(1, 10, "ATG"), (1, 11, "CCC")}
+        )
+        assert peer.tuples_matching("S", 2, "GGG") == frozenset({(2, 10, "GGG")})
+        assert peer.tuples_matching("S", 0, 99) == frozenset()
+
     def test_online_state(self):
         peer = Peer("Alaska", SIGMA1)
         assert peer.online

@@ -77,6 +77,31 @@ class TestDatabase:
         assert db.lookup("R", 0, 1) == frozenset({(1, "a")})
         assert clone.lookup("R", 0, 1) == frozenset({(1, "a"), (1, "b")})
 
+    def test_remove_drops_empty_index_buckets(self):
+        # Regression: delete-heavy runs used to leave one empty `value ->
+        # set()` entry per historical key in every column index.
+        db = Database.from_dict({"R": [(i, "x") for i in range(100)]})
+        db.lookup("R", 0, 0)  # build the column-0 index
+        for i in range(100):
+            db.remove("R", (i, "x"))
+        buckets = db._indexes["R"][0]
+        assert buckets == {}
+        # The index keeps working after draining.
+        db.add("R", (7, "y"))
+        assert db.lookup("R", 0, 7) == frozenset({(7, "y")})
+        assert set(buckets) == {7}
+
+    def test_ensure_indexes_prebuilds_and_maintains(self):
+        db = Database.from_dict({"R": [(1, "a"), (2, "b")]})
+        db.ensure_indexes([("R", 1), ("S", 0)])
+        assert db._indexes["R"][1] == {"a": {(1, "a")}, "b": {(2, "b")}}
+        # Pre-built indexes are maintained by later mutations, including for
+        # relations that were empty at ensure time.
+        db.add("S", ("k", 1))
+        assert db.lookup("S", 0, "k") == frozenset({("k", 1)})
+        db.remove("R", (1, "a"))
+        assert db.lookup("R", 1, "a") == frozenset()
+
 
 class TestEvaluateRuleOnce:
     def test_projection(self):

@@ -62,6 +62,20 @@ class TestInsertions:
             single.apply_insertions([Fact("Edge", edge)])
         assert batched.database.relation("Path") == single.database.relation("Path")
 
+    def test_program_mutation_after_construction_is_honored(self):
+        # Program is mutable; rules added after the engine was built must
+        # fire on subsequently inserted facts (the compilation refreshes).
+        from repro.datalog.parser import parse_rule
+
+        program = parse_program("Copy(x) :- R(x).")
+        engine = IncrementalEngine(program, track_provenance=False)
+        engine.apply_insertions([Fact("R", (1,))])
+        program.add(parse_rule("Twice(x) :- Copy(x), R(x)."))
+        result = engine.apply_insertions([Fact("R", (2,))])
+        assert engine.database.relation("Copy") == frozenset({(1,), (2,)})
+        assert (2,) in engine.database.relation("Twice")
+        assert (2,) in result.inserted.get("Twice", set())
+
 
 class TestDeletions:
     def test_delete_base_removes_derived(self):

@@ -89,6 +89,40 @@ class TestData:
         assert not instance.insert("Empty", ())
 
 
+class TestLookup:
+    def test_lookup_by_column(self, instance):
+        instance.insert_many("R", [(1, "a"), (1, "b"), (2, "c")])
+        assert instance.lookup("R", 0, 1) == frozenset({(1, "a"), (1, "b")})
+        assert instance.lookup("R", 1, "c") == frozenset({(2, "c")})
+        assert instance.lookup("R", 0, 99) == frozenset()
+
+    def test_lookup_index_maintained_by_mutations(self, instance):
+        instance.insert("R", (1, "a"))
+        assert instance.lookup("R", 0, 1) == frozenset({(1, "a")})
+        instance.insert("R", (1, "b"))
+        instance.delete("R", (1, "a"))
+        assert instance.lookup("R", 0, 1) == frozenset({(1, "b")})
+        instance.clear("R")
+        assert instance.lookup("R", 0, 1) == frozenset()
+
+    def test_lookup_position_out_of_range(self, instance):
+        with pytest.raises(StorageError):
+            instance.lookup("R", 2, "x")
+        with pytest.raises(StorageError):
+            instance.lookup("Empty", 0, "x")
+
+    def test_lookup_unknown_relation(self, instance):
+        with pytest.raises(UnknownRelationError):
+            instance.lookup("Missing", 0, "x")
+
+    def test_lookup_labelled_null(self, instance):
+        null = SkolemTerm("SK_oid", ("E. coli",))
+        instance.insert("R", (null, "x"))
+        assert instance.lookup("R", 0, SkolemTerm("SK_oid", ("E. coli",))) == frozenset(
+            {(null, "x")}
+        )
+
+
 class TestSnapshots:
     def test_snapshot_is_frozen(self, instance):
         instance.insert("R", (1, 2))

@@ -105,6 +105,55 @@ class TestSQLiteBackend:
         snapshot = instance.snapshot()
         assert snapshot["R"] == frozenset({(1, "a")})
 
+    def test_lookup_by_column(self, instance):
+        instance.insert_many("R", [(1, "a"), (1, "b"), (2, "c")])
+        assert instance.lookup("R", 0, 1) == frozenset({(1, "a"), (1, "b")})
+        assert instance.lookup("R", 1, "c") == frozenset({(2, "c")})
+        assert instance.lookup("R", 1, "missing") == frozenset()
+
+    def test_lookup_creates_persistent_index(self, instance):
+        instance.insert("R", (1, "a"))
+        instance.lookup("R", 0, 1)
+        indexes = {
+            name
+            for (name,) in instance._connection.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'index' AND name LIKE 'idx_%'"
+            )
+        }
+        assert "idx_R_c0" in indexes
+
+    def test_lookup_sees_later_mutations(self, instance):
+        instance.insert("R", (1, "a"))
+        assert instance.lookup("R", 0, 1) == frozenset({(1, "a")})
+        instance.insert("R", (1, "b"))
+        instance.delete("R", (1, "a"))
+        assert instance.lookup("R", 0, 1) == frozenset({(1, "b")})
+
+    def test_lookup_labelled_null(self, instance):
+        null = SkolemTerm("SK_oid", ("E. coli", 3))
+        instance.insert("R", (null, "seq"))
+        assert instance.lookup("R", 0, SkolemTerm("SK_oid", ("E. coli", 3))) == frozenset(
+            {(null, "seq")}
+        )
+
+    def test_lookup_position_out_of_range(self, instance):
+        with pytest.raises(StorageError):
+            instance.lookup("R", 9, "x")
+
+    def test_lookup_matches_memory_backend(self, instance):
+        from repro.storage.memory import MemoryInstance
+
+        memory = MemoryInstance()
+        memory.create_relation("R", 2)
+        rows = [(1, "a"), (1, "b"), (2, "a"), (3, None)]
+        instance.insert_many("R", rows)
+        memory.insert_many("R", rows)
+        for position in (0, 1):
+            for row in rows:
+                assert instance.lookup("R", position, row[position]) == memory.lookup(
+                    "R", position, row[position]
+                )
+
     def test_persistence_on_disk(self, tmp_path):
         path = str(tmp_path / "peer.db")
         first = SQLiteInstance(path)
