@@ -1,0 +1,238 @@
+"""Experiment PROV-THROUGHPUT: hash-consed provenance vs expanded polynomials.
+
+The provenance refactor stores one hash-consed circuit (DAG) per network and
+answers every trust question by memoized semiring evaluation over it; the
+expanded ``N[X]`` polynomial per tuple is kept only as a lazy view.  These
+benchmarks quantify that trade on the paper's Figure-2 provenance:
+
+* ``trust re-evaluation`` — answering the same trust questions in several
+  semirings (boolean derivability, counting, tropical cheapest-derivation,
+  security clearances) over the stored DAG versus expanding every tuple's
+  polynomial and evaluating it (the pre-refactor representation).  The
+  committed baseline must show a >= 2x speedup across >= 3 semirings.
+* ``provenance sync-round latency`` — the end-to-end cost of folding a
+  transaction batch (inserts, then a deletion wave that exercises the
+  incremental memo/root invalidation) into the exchange engine with circuit
+  provenance on, versus provenance off.
+
+Knobs:
+
+* ``PROV_BENCH_SMOKE=1`` shrinks sizes so the module runs in seconds (CI).
+* ``PROV_BENCH_RECORD=1`` (re)writes the committed baseline
+  ``BENCH_prov.json`` next to this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.config import ExchangeConfig
+from repro.core.transactions import Transaction
+from repro.core.updates import Update
+from repro.exchange.engine import ExchangeEngine
+from repro.provenance import (
+    BooleanSemiring,
+    CountingSemiring,
+    SecuritySemiring,
+    TropicalSemiring,
+    TrustLevel,
+)
+
+from ._reporting import print_table
+from .bench_exchange_scaling import _figure2_program, _insert_transactions
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() not in ("", "0", "false", "no", "off")
+
+
+SMOKE = _env_flag("PROV_BENCH_SMOKE")
+RECORD = _env_flag("PROV_BENCH_RECORD")
+BASELINE_PATH = Path(__file__).with_name("BENCH_prov.json")
+
+BATCH = 40 if SMOKE else 200
+ROUNDS = 2 if SMOKE else 3
+
+
+def _record(experiment: str, payload: dict) -> None:
+    if not RECORD:
+        return
+    baseline = {}
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+    baseline[experiment] = payload
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+
+
+def _loaded_engine(batch: int) -> ExchangeEngine:
+    engine = ExchangeEngine(_figure2_program())
+    engine.process_transactions(_insert_transactions(batch))
+    return engine
+
+
+def _semiring_cases(graph):
+    """Four trust questions over one stored provenance."""
+    by_peer = {
+        variable: variable.split(".", 1)[0] for variable in graph.base_variables()
+    }
+    costs = {"Alaska": 5.0, "Crete": 1.0}
+    clearances = {"Alaska": TrustLevel.SECRET, "Crete": TrustLevel.PUBLIC}
+    return [
+        (BooleanSemiring(), {v: True for v in by_peer}),
+        (CountingSemiring(), {v: 1 for v in by_peer}),
+        (TropicalSemiring(), {v: costs.get(peer, 2.0) for v, peer in by_peer.items()}),
+        (
+            SecuritySemiring(),
+            {v: clearances.get(peer, TrustLevel.CONFIDENTIAL) for v, peer in by_peer.items()},
+        ),
+    ]
+
+
+def test_trust_reevaluation_dag_vs_expanded():
+    """Trust re-evaluation over 4 semirings: memoized DAG vs expanded polynomials."""
+    engine = _loaded_engine(BATCH)
+    graph = engine.provenance
+    assert graph is not None
+    keys = [node.key for node in graph.tuples()]
+    # Warm the circuit roots outside both timings: compiling tuple provenance
+    # into the store is shared work both representations start from.
+    for relation, values in keys:
+        graph.root(relation, values)
+    cases = _semiring_cases(graph)
+
+    def run_expanded():
+        results = []
+        for semiring, assignment in cases:
+            annotations = {}
+            for relation, values in keys:
+                polynomial = graph.polynomial_for(relation, values)
+                completed = {
+                    v: assignment.get(v, semiring.one())
+                    for v in polynomial.variables()
+                }
+                annotations[(relation, values)] = polynomial.evaluate(semiring, completed)
+            results.append(annotations)
+        return results
+
+    def run_dag():
+        return [graph.evaluate(semiring, assignment) for semiring, assignment in cases]
+
+    expanded_seconds = min(
+        _timed(run_expanded)[0] for _ in range(ROUNDS)
+    )
+    dag_elapsed, dag_results = _timed(run_dag)
+    for _ in range(ROUNDS - 1):
+        elapsed, _ = _timed(run_dag)
+        dag_elapsed = min(dag_elapsed, elapsed)
+
+    # Same answers from both representations.
+    _, expanded_results = _timed(run_expanded)
+    assert dag_results == expanded_results
+
+    speedup = expanded_seconds / dag_elapsed if dag_elapsed else float("inf")
+    nodes, edges = graph.circuit_size()
+    monomials = sum(
+        graph.polynomial_for(relation, values).monomial_count()
+        for relation, values in keys
+    )
+    rows = [
+        ["tuples annotated", len(keys)],
+        ["semirings", len(cases)],
+        ["circuit nodes / edges", f"{nodes} / {edges}"],
+        ["total monomials (expanded view)", monomials],
+        ["expanded s", f"{expanded_seconds:.4f}"],
+        ["dag s", f"{dag_elapsed:.4f}"],
+        ["speedup", f"{speedup:.1f}x"],
+    ]
+    print_table("PROV-THROUGHPUT: trust re-evaluation", ["metric", "value"], rows)
+    _record(
+        "trust_reevaluation",
+        {
+            "transactions": BATCH,
+            "tuples": len(keys),
+            "semirings": len(cases),
+            "circuit_nodes": nodes,
+            "circuit_edges": edges,
+            "expanded_monomials": monomials,
+            "expanded_seconds": round(expanded_seconds, 4),
+            "dag_seconds": round(dag_elapsed, 4),
+            "speedup": round(speedup, 1),
+        },
+    )
+    if not SMOKE:
+        assert speedup >= 2.0, f"expected >= 2x over expanded polynomials, got {speedup:.2f}x"
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result
+
+
+def _delete_transactions(count: int) -> list[Transaction]:
+    """Deletion wave undoing the first ``count`` insert transactions."""
+    inserts = _insert_transactions(count)
+    deletions = []
+    for transaction in inserts:
+        updates = tuple(
+            Update.delete(u.relation, u.values, origin=transaction.peer)
+            for u in transaction.updates
+        )
+        deletions.append(
+            Transaction(f"del-{transaction.txn_id}", transaction.peer, updates)
+        )
+    return deletions
+
+
+def test_provenance_sync_round_latency():
+    """Exchange-batch latency with circuit provenance on vs off, incl. deletions."""
+    inserts = _insert_transactions(BATCH)
+    deletions = _delete_transactions(BATCH // 2)
+
+    def run(track: bool) -> tuple[float, ExchangeEngine]:
+        engine = ExchangeEngine(
+            _figure2_program(), ExchangeConfig(track_provenance=track)
+        )
+        started = time.perf_counter()
+        engine.process_transactions(inserts)
+        engine.process_transactions(deletions)
+        return time.perf_counter() - started, engine
+
+    provenance_seconds, provenance_engine = min(
+        (run(True) for _ in range(ROUNDS)), key=lambda item: item[0]
+    )
+    plain_seconds, plain_engine = min(
+        (run(False) for _ in range(ROUNDS)), key=lambda item: item[0]
+    )
+    # Both deletion strategies (provenance vs DRed) must land on the same state.
+    assert (
+        plain_engine.statistics()["database_tuples"]
+        == provenance_engine.statistics()["database_tuples"]
+    )
+    stats = provenance_engine.statistics()
+    overhead = provenance_seconds / plain_seconds if plain_seconds else float("inf")
+    rows = [
+        ["transactions (insert + delete)", f"{BATCH} + {BATCH // 2}"],
+        ["database tuples", stats["database_tuples"]],
+        ["circuit nodes / edges", f"{stats['provenance_circuit_nodes']} / {stats['provenance_circuit_edges']}"],
+        ["provenance batch s", f"{provenance_seconds:.4f}"],
+        ["no-provenance batch s", f"{plain_seconds:.4f}"],
+        ["provenance overhead", f"{overhead:.1f}x"],
+    ]
+    print_table("PROV-THROUGHPUT: sync-round latency", ["metric", "value"], rows)
+    _record(
+        "sync_round_latency",
+        {
+            "insert_transactions": BATCH,
+            "delete_transactions": BATCH // 2,
+            "database_tuples": stats["database_tuples"],
+            "circuit_nodes": stats["provenance_circuit_nodes"],
+            "circuit_edges": stats["provenance_circuit_edges"],
+            "provenance_seconds": round(provenance_seconds, 4),
+            "no_provenance_seconds": round(plain_seconds, 4),
+            "overhead_factor": round(overhead, 1),
+        },
+    )

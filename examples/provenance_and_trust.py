@@ -15,6 +15,7 @@ Run with:  python examples/provenance_and_trust.py
 from __future__ import annotations
 
 from repro.provenance import BooleanSemiring, SecuritySemiring, TropicalSemiring, TrustLevel
+from repro.provenance.homomorphism import specialize_assignment
 from repro.workloads.bioinformatics import build_figure2_network
 
 
@@ -40,7 +41,13 @@ def main() -> None:
     polynomial = graph.polynomial_for(*target)
     print("provenance polynomial of Dresden's OPS('E. coli', 'recA', ...):")
     print(f"  {polynomial}")
-    print(f"  distinct derivations (monomials): {polynomial.monomial_count()}")
+    nodes, edges = graph.dag_size(*target)
+    store_nodes, store_edges = graph.circuit_size()
+    print(
+        f"  distinct derivations (monomials): {polynomial.monomial_count()}  "
+        f"|  stored DAG: {nodes} nodes / {edges} edges "
+        f"(whole store: {store_nodes} / {store_edges}, shared across tuples)"
+    )
 
     # Boolean trust: derivable from Alaska alone?  From Beijing alone?
     by_peer = {
@@ -68,6 +75,21 @@ def main() -> None:
     print(f"  clearance required: {annotations[target].name}")
 
     assert annotations[target] == TrustLevel.PUBLIC
+
+    # A trust policy itself induces a semiring assignment: Crete's priority
+    # table (Beijing=2, Dresden=1, everyone else distrusted) becomes tropical
+    # costs — higher priority, cheaper hop; distrusted peers cost infinity.
+    priorities = network.crete.trust.priorities_by_peer(
+        ["Alaska", "Beijing", "Crete", "Dresden"]
+    )
+    costs_by_peer = {
+        peer: (1.0 / priority if priority else float("inf"))
+        for peer, priority in priorities.items()
+    }
+    assignment = specialize_assignment(by_peer, costs_by_peer, float("inf"))
+    crete_cost = graph.evaluate(TropicalSemiring(), assignment)[target]
+    print(f"  cheapest derivation using only peers Crete trusts: {crete_cost}")
+    assert crete_cost != float("inf")  # Beijing's copy alone supports it
 
     # The same provenance machinery backs ad-hoc queries over a peer's
     # instance: every answer row carries its polynomial over local tuples.

@@ -67,6 +67,7 @@ def run_query(
     text: str,
     provenance: bool = False,
     max_depth: int = 16,
+    max_monomials: Optional[int] = 10_000,
 ) -> QueryResult:
     """Evaluate ``text`` (one or more datalog rules) over a peer's instance.
 
@@ -98,8 +99,15 @@ def run_query(
     if provenance:
         result = evaluate_with_provenance(program, database)
         rows = result.database.relation(answer)
+        # The expansion budget keeps the per-row polynomial view bounded:
+        # provenance is stored as a compact hash-consed DAG, and a row whose
+        # expansion would exceed the budget raises a ProvenanceError naming
+        # it instead of materialising a combinatorial polynomial.
         polynomials = {
-            row: result.polynomial(answer, row, max_depth=max_depth) for row in rows
+            row: result.polynomial(
+                answer, row, max_depth=max_depth, max_monomials=max_monomials
+            )
+            for row in rows
         }
         return QueryResult(peer_name, answer, rows, polynomials)
 

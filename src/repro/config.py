@@ -18,7 +18,11 @@ class ExchangeConfig:
 
     Attributes:
         incremental: Use delta rules / DRed instead of full recomputation.
-        track_provenance: Maintain provenance polynomials for derived tuples.
+        track_provenance: Maintain provenance for derived tuples.
+        provenance_mode: How stored provenance is evaluated — ``"circuit"``
+            (the hash-consed DAG with memoized semiring evaluation, the
+            default) or ``"expanded"`` (per-tuple polynomial expansion, the
+            slow ablation representation the DAG replaces).
         max_iterations: Safety bound on semi-naive iterations (0 = unbounded).
         skolem_prefix: Prefix used for labelled nulls created by existential
             variables in mappings.
@@ -26,6 +30,7 @@ class ExchangeConfig:
 
     incremental: bool = True
     track_provenance: bool = True
+    provenance_mode: str = "circuit"
     max_iterations: int = 0
     skolem_prefix: str = "SK"
 
@@ -34,6 +39,10 @@ class ExchangeConfig:
             raise ConfigurationError("max_iterations must be >= 0")
         if not self.skolem_prefix:
             raise ConfigurationError("skolem_prefix must be non-empty")
+        if self.provenance_mode not in ("circuit", "expanded"):
+            raise ConfigurationError(
+                f"provenance_mode must be 'circuit' or 'expanded', got {self.provenance_mode!r}"
+            )
 
 
 @dataclass(frozen=True)

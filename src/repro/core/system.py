@@ -376,17 +376,29 @@ class CDSS:
         text: str,
         provenance: bool = False,
         max_depth: int = 16,
+        max_monomials: Optional[int] = 10_000,
     ):
         """Evaluate an ad-hoc datalog query over one peer's local instance.
 
         The head predicate of the first rule in ``text`` is the answer
         relation; with ``provenance=True`` every answer row is annotated
-        with its provenance polynomial over the peer's base tuples.  Returns
-        a :class:`~repro.api.query.QueryResult`.
+        with its provenance polynomial over the peer's base tuples (expanded
+        lazily from the hash-consed provenance DAG; ``max_monomials`` bounds
+        the expansion and a row exceeding it raises
+        :class:`~repro.errors.ProvenanceError` rather than materialising a
+        combinatorial polynomial — pass ``None`` to lift the budget).
+        Returns a :class:`~repro.api.query.QueryResult`.
         """
         from ..api.query import run_query
 
-        return run_query(self, peer_name, text, provenance=provenance, max_depth=max_depth)
+        return run_query(
+            self,
+            peer_name,
+            text,
+            provenance=provenance,
+            max_depth=max_depth,
+            max_monomials=max_monomials,
+        )
 
     def resolve_conflict(self, peer_name: str, winner_txn_id: str) -> ResolutionResult:
         """Manually resolve a deferred conflict at a peer (administrator action)."""

@@ -169,6 +169,35 @@ class TrustPolicy:
     def trusted_peers(self, all_peers: Iterable[str]) -> set[str]:
         return {peer for peer in all_peers if self.trusts_peer(peer)}
 
+    def priorities_by_peer(self, all_peers: Iterable[str]) -> dict[str, int]:
+        """The priority each peer's plain updates receive under this policy.
+
+        Mirrors :meth:`trusts_peer` but keeps the magnitude, which is what
+        semiring-valued trust questions need: combined with
+        :func:`repro.provenance.homomorphism.specialize_assignment`, the
+        returned table turns a stored provenance DAG into, e.g., tropical
+        costs (cheapest trusted derivation) or counting weights — evaluated
+        once per shared sub-derivation through the memoized circuit.
+        """
+        priorities: dict[str, int] = {}
+        for peer in all_peers:
+            if peer == self.owner:
+                priorities[peer] = self.own_priority
+                continue
+            priority = None
+            for condition in self.conditions:
+                if (
+                    condition.origin_peer == peer
+                    and condition.relation is None
+                    and condition.predicate is None
+                ):
+                    priority = condition.priority
+                    break
+            if priority is None:
+                priority = self.peer_priorities.get(peer, self.default_priority)
+            priorities[peer] = priority
+        return priorities
+
     def describe(self) -> str:
         lines = [f"Trust policy of {self.owner}:"]
         for condition in self.conditions:

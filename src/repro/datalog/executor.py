@@ -11,7 +11,10 @@ What differs between them is only the *firing hook*:
   (``delta_position``) so a rule only re-fires on new tuples;
 * provenance recording additionally reports, for every satisfying
   substitution, the matched body rows (in body order) to a recorder such as
-  :meth:`repro.provenance.graph.ProvenanceGraph.add_derivation`.
+  :meth:`repro.provenance.graph.ProvenanceGraph.add_derivation`, which
+  records the firing as a derivation hyper-edge and later compiles it into
+  the hash-consed provenance circuit (:mod:`repro.provenance.circuit`)
+  instead of multiplying out polynomials per derived tuple.
 
 The semi-naive fixpoint loop itself (:func:`run_stratum` /
 :func:`run_program`) is likewise shared, so the firing semantics of a whole

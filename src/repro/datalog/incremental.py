@@ -34,7 +34,7 @@ from ..provenance.graph import ProvenanceGraph
 from .ast import Fact, Program
 from .evaluation import Database, evaluate_program
 from .executor import ExecutionStats, fire_rule
-from .plan import CompiledProgram, CompiledRule, compile_program
+from .plan import CompiledProgram, CompiledRule, compile_program, evict_program
 from .provenance_eval import (
     ProvenanceDatabase,
     default_variable_namer,
@@ -73,13 +73,17 @@ class IncrementalEngine:
         database: Optional[Database] = None,
         track_provenance: bool = True,
         variable_namer=default_variable_namer,
+        provenance_mode: str = "circuit",
     ) -> None:
         self._program = program
         self._compiled: CompiledProgram = compile_program(program)
         self._compiled_key: tuple = tuple(program.rules)
         self._track_provenance = track_provenance
         self._variable_namer = variable_namer
-        self._graph: Optional[ProvenanceGraph] = ProvenanceGraph() if track_provenance else None
+        self._provenance_mode = provenance_mode
+        self._graph: Optional[ProvenanceGraph] = (
+            ProvenanceGraph(evaluation_mode=provenance_mode) if track_provenance else None
+        )
         self._database = Database()
         self._database.ensure_indexes(self._compiled.demanded_indexes)
         self._base = Database()
@@ -122,6 +126,12 @@ class IncrementalEngine:
         """
         key = tuple(self._program.rules)
         if key != self._compiled_key:
+            # Schema change: the program this engine maintains gained or lost
+            # rules (possibly re-registering a predicate at a new arity).
+            # Evict the superseded structure's cache entry defensively so an
+            # eviction-churned cache can never rotate the stale compilation
+            # back in for this engine's old key.
+            evict_program(self._compiled_key)
             self._compiled = compile_program(self._program)
             self._compiled_key = key
             self._database.ensure_indexes(self._compiled.demanded_indexes)
@@ -285,7 +295,12 @@ class IncrementalEngine:
     def recompute(self) -> Database:
         """Recompute the fixpoint from scratch (used for ablation benchmarks)."""
         if self._graph is not None:
-            self._graph = ProvenanceGraph()
+            # Reuse the circuit store: sub-derivations interned by earlier
+            # epochs are shared with the rebuilt graph instead of re-stored.
+            self._graph = ProvenanceGraph(
+                store=self._graph.circuit,
+                evaluation_mode=self._provenance_mode,
+            )
             result = evaluate_with_provenance(
                 self._program,
                 self._base,

@@ -570,7 +570,12 @@ class CompiledProgram:
 
     def __init__(self, program: Program) -> None:
         program.validate()
-        self.program = program
+        # Snapshot the rule list: Program is mutable, and cached compilations
+        # are shared across callers.  Without the copy, a caller mutating its
+        # program after compiling (e.g. registering an extra rule that gives
+        # a predicate a new arity) would silently rewrite the ``program``
+        # attribute of the cache entry other callers receive.
+        self.program = Program(list(program.rules))
         self.strata: tuple[tuple[CompiledRule, ...], ...] = tuple(
             tuple(compile_rule(rule) for rule in stratum)
             for stratum in stratify(program)
@@ -623,6 +628,28 @@ def compile_program(program: Program) -> CompiledProgram:
             _PROGRAM_CACHE.pop(next(iter(_PROGRAM_CACHE)))
         _PROGRAM_CACHE[key] = compiled
     return compiled
+
+
+def evict_program(program_or_key) -> bool:
+    """Defensively evict one program's cached compilation.
+
+    Called on schema change (e.g. when an engine's mapping program gains
+    rules that register a predicate at a new arity): the previously cached
+    entry for the old structure is dropped so no caller can be served a plan
+    compiled against the superseded schema.  Accepts a :class:`Program` or a
+    rule-tuple cache key; returns True when an entry was evicted.
+    """
+    key = (
+        tuple(program_or_key.rules)
+        if isinstance(program_or_key, Program)
+        else tuple(program_or_key)
+    )
+    return _PROGRAM_CACHE.pop(key, None) is not None
+
+
+def cached_program_count() -> int:
+    """Number of cached program compilations (introspection for tests)."""
+    return len(_PROGRAM_CACHE)
 
 
 def clear_plan_caches() -> None:

@@ -64,7 +64,9 @@ class ExchangeEngine:
         self._config = config or ExchangeConfig()
         self._program = program
         self._engine = IncrementalEngine(
-            program, track_provenance=self._config.track_provenance
+            program,
+            track_provenance=self._config.track_provenance,
+            provenance_mode=self._config.provenance_mode,
         )
         self._deltas: dict[str, TranslationDelta] = {}
         self._processed_order: list[str] = []
@@ -213,10 +215,15 @@ class ExchangeEngine:
         """Engine-level counters used by the benchmarks."""
         graph = self._engine.graph
         tuple_nodes, derivation_nodes = graph.size() if graph is not None else (0, 0)
+        circuit_nodes, circuit_edges = (
+            graph.circuit_size() if graph is not None else (0, 0)
+        )
         return {
             "processed_transactions": len(self._processed_order),
             "database_tuples": len(self._engine.database),
             "provenance_tuple_nodes": tuple_nodes,
             "provenance_derivations": derivation_nodes,
+            "provenance_circuit_nodes": circuit_nodes,
+            "provenance_circuit_edges": circuit_edges,
             "rules_fired": self._engine.stats.rules_fired,
         }

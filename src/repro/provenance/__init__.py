@@ -11,15 +11,24 @@ per-peer trust policies:
 * :mod:`repro.provenance.polynomial` — provenance polynomials ``N[X]``, the
   most general (universal) annotation,
 * :mod:`repro.provenance.expressions` — compact provenance expression DAGs,
+* :mod:`repro.provenance.circuit` — the hash-consed circuit store (interned
+  sum/product/variable nodes) with memoized semiring evaluators,
 * :mod:`repro.provenance.graph` — the provenance graph maintained during
-  update exchange (tuples + mapping-rule derivations),
+  update exchange (tuples + mapping-rule derivations), compiled lazily into
+  the circuit store,
 * :mod:`repro.provenance.homomorphism` — evaluation of polynomials,
-  expressions and graphs into arbitrary commutative semirings.
+  expressions, circuits and graphs into arbitrary commutative semirings.
 """
 
+from .circuit import CircuitEvaluator, CircuitStore, MembershipAssignment
 from .expressions import ProvenanceExpression, prov_one, prov_plus, prov_times, prov_var, prov_zero
-from .graph import DerivationNode, ProvenanceGraph, TupleNode
-from .homomorphism import evaluate_expression, evaluate_graph, evaluate_polynomial
+from .graph import DerivationNode, ProvenanceGraph, TupleNode, reference_polynomial
+from .homomorphism import (
+    evaluate_circuit,
+    evaluate_expression,
+    evaluate_graph,
+    evaluate_polynomial,
+)
 from .polynomial import Monomial, Polynomial
 from .semiring import (
     BooleanSemiring,
@@ -36,8 +45,11 @@ from .semiring import (
 
 __all__ = [
     "BooleanSemiring",
+    "CircuitEvaluator",
+    "CircuitStore",
     "CountingSemiring",
     "DerivationNode",
+    "MembershipAssignment",
     "FuzzySemiring",
     "LineageSemiring",
     "Monomial",
@@ -51,9 +63,11 @@ __all__ = [
     "TropicalSemiring",
     "TupleNode",
     "WhySemiring",
+    "evaluate_circuit",
     "evaluate_expression",
     "evaluate_graph",
     "evaluate_polynomial",
+    "reference_polynomial",
     "prov_one",
     "prov_plus",
     "prov_times",

@@ -3,29 +3,79 @@
 During update exchange ORCHESTRA does not materialise provenance polynomials
 for every derived tuple; it maintains a *provenance graph* whose nodes are
 tuples and whose hyper-edges are mapping-rule firings connecting the source
-tuples of a firing to the tuple it derives.  The graph supports:
+tuples of a firing to the tuple it derives.  Internally each tuple's
+provenance is compiled — lazily, and cached — into a hash-consed circuit
+(:mod:`repro.provenance.circuit`): sum/product/variable nodes interned by
+structural identity, so sub-derivations shared across tuples, epochs and
+replicas are stored once.  The graph supports:
 
-* lazily expanding a tuple's provenance into an expression or polynomial,
-* evaluating a tuple's annotation in any commutative semiring by a least
-  fixpoint computation (needed because peer mapping graphs may be cyclic,
-  e.g. the Figure-2 network maps Σ1 → Σ2 → Σ1), and
+* lazily expanding a tuple's provenance into an expression or polynomial
+  (budget-bounded; kept for oracles and display),
+* evaluating annotations in any commutative semiring directly on the DAG
+  with per-(semiring, assignment) memo tables — cycles in the derivation
+  graph (e.g. the Figure-2 network maps Σ1 → Σ2 → Σ1) are cut so every
+  tuple's annotation is the sum over its *acyclic* derivations, matching
+  the expanded-polynomial semantics exactly, and
 * deletion propagation: after removing base tuples, finding which derived
-  tuples have lost all their support.
+  tuples have lost all support.  Deletions invalidate only the circuit
+  roots of transitively affected tuples; memoized node evaluations stay
+  valid because circuit nodes are immutable.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Mapping, Optional
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
 
 from ..errors import ProvenanceError
-from .expressions import ProvenanceExpression, prov_plus, prov_times, prov_var, prov_zero
+from .circuit import ZERO, CircuitEvaluator, CircuitStore, MembershipAssignment
+from .expressions import ProvenanceExpression
 from .polynomial import Polynomial
 from .semiring import BooleanSemiring
 
 #: A tuple node is identified by its relation name and its ground values.
 TupleKey = tuple[str, tuple]
+
+#: Evaluation representations: ``"circuit"`` evaluates the hash-consed DAG
+#: with memo tables; ``"expanded"`` evaluates fully expanded polynomials per
+#: tuple (the slow ablation representation the DAG replaces).
+EVALUATION_MODES = ("circuit", "expanded")
+
+_UNREACHED = float("inf")
+
+
+class _ExpandFrame:
+    """One in-progress tuple expansion of the iterative circuit compiler."""
+
+    __slots__ = (
+        "key", "depth", "scc_id", "alternatives", "derivations",
+        "d_index", "s_index", "factors", "low",
+    )
+
+    def __init__(self, key, depth, scc_id, alternatives, derivations) -> None:
+        self.key = key
+        self.depth = depth
+        self.scc_id = scc_id
+        self.alternatives = alternatives
+        self.derivations = derivations
+        self.d_index = 0
+        self.s_index = 0
+        #: Circuit nodes of the current derivation's matched sources; None
+        #: between derivations (and after a dead branch).
+        self.factors = None
+        self.low = _UNREACHED
+
+    def absorb(self, child: int, child_low: float) -> None:
+        """Fold one source's compiled ``(node, low)`` into the frame."""
+        if child_low < self.low:
+            self.low = child_low
+        if child == ZERO:  # the whole derivation branch is dead
+            self.factors = None
+            self.d_index += 1
+        else:
+            self.factors.append(child)
+            self.s_index += 1
 
 
 @dataclass(frozen=True)
@@ -57,14 +107,52 @@ class DerivationNode:
 
 
 class ProvenanceGraph:
-    """A mutable provenance graph for one peer's (or the whole system's) data."""
+    """A mutable provenance graph for one peer's (or the whole system's) data.
 
-    def __init__(self, annotate_mappings: bool = False) -> None:
+    Args:
+        annotate_mappings: Give each mapping rule its own provenance variable
+            (``m:<mapping_id>``) so trust policies can discount mapping hops.
+        store: An existing :class:`CircuitStore` to intern circuit nodes in;
+            sharing one store across graphs (e.g. across epochs or replicas
+            of the same network) maximises structural sharing.  A fresh store
+            is created when omitted.
+        evaluation_mode: ``"circuit"`` (default) or ``"expanded"``; see
+            :data:`EVALUATION_MODES`.
+    """
+
+    #: Bound on cached per-(semiring, assignment) evaluators (FIFO evicted).
+    _EVALUATOR_CACHE_LIMIT = 64
+
+    def __init__(
+        self,
+        annotate_mappings: bool = False,
+        store: Optional[CircuitStore] = None,
+        evaluation_mode: str = "circuit",
+    ) -> None:
+        if evaluation_mode not in EVALUATION_MODES:
+            raise ProvenanceError(
+                f"unknown provenance evaluation mode {evaluation_mode!r}; "
+                f"expected one of {EVALUATION_MODES}"
+            )
         self._tuples: dict[TupleKey, TupleNode] = {}
         self._derivations: dict[tuple, DerivationNode] = {}
         self._derivations_by_target: dict[TupleKey, list[DerivationNode]] = defaultdict(list)
         self._derivations_by_source: dict[TupleKey, list[DerivationNode]] = defaultdict(list)
         self._annotate_mappings = annotate_mappings
+        self.evaluation_mode = evaluation_mode
+        self._store = store if store is not None else CircuitStore()
+        #: Cached circuit root per tuple; invalidated transitively on change.
+        self._roots: dict[TupleKey, int] = {}
+        #: Tuples whose support changed since the last root query.
+        self._dirty: set[TupleKey] = set()
+        #: Strongly-connected-component id per tuple of the dependency graph
+        #: (targets depend on sources); rebuilt lazily after mutations.
+        self._scc: Optional[dict[TupleKey, int]] = None
+        #: Cached evaluators keyed by (semiring, assignment, default).
+        self._evaluators: dict[tuple, CircuitEvaluator] = {}
+        #: Every rule variable ever attached to a derivation (trust questions
+        #: treat them as unconditionally trusted unless assigned explicitly).
+        self._rule_variables: set[str] = set()
 
     # -- construction -----------------------------------------------------
     def add_base_tuple(
@@ -82,11 +170,13 @@ class ProvenanceGraph:
                 relation, key[1], is_base=True, variable=variable or self._fresh_variable(key)
             )
             self._tuples[key] = promoted
+            self._dirty.add(key)
             return promoted
         node = TupleNode(
             relation, key[1], is_base=True, variable=variable or self._fresh_variable(key)
         )
         self._tuples[key] = node
+        self._dirty.add(key)
         return node
 
     def add_derived_tuple(self, relation: str, values: tuple) -> TupleNode:
@@ -127,6 +217,9 @@ class ProvenanceGraph:
         self._derivations_by_target[target_key].append(derivation)
         for source_key in source_keys:
             self._derivations_by_source[source_key].append(derivation)
+        if rule_variable:
+            self._rule_variables.add(rule_variable)
+        self._dirty.add(target_key)
         return derivation
 
     def remove_base_tuple(self, relation: str, values: tuple) -> bool:
@@ -142,7 +235,13 @@ class ProvenanceGraph:
         if node is None or not node.is_base:
             return False
         self._tuples[key] = TupleNode(relation, key[1], is_base=False)
+        self._dirty.add(key)
         return True
+
+    def _fresh_variable(self, key: TupleKey) -> str:
+        relation, values = key
+        rendered = ",".join(str(value) for value in values)
+        return f"{relation}({rendered})"
 
     # -- inspection ----------------------------------------------------------
     def node(self, relation: str, values: tuple) -> Optional[TupleNode]:
@@ -172,55 +271,326 @@ class ProvenanceGraph:
         """Return ``(tuple nodes, derivation nodes)``."""
         return (len(self._tuples), len(self._derivations))
 
+    # -- circuit compilation --------------------------------------------------
+    @property
+    def circuit(self) -> CircuitStore:
+        """The hash-consed circuit store backing this graph."""
+        return self._store
+
+    def circuit_size(self) -> tuple[int, int]:
+        """``(interned nodes, child edges)`` of the backing circuit store."""
+        return (self._store.node_count(), self._store.edge_count())
+
+    def dag_size(self, relation: str, values: tuple) -> tuple[int, int]:
+        """``(nodes, edges)`` of one tuple's provenance sub-DAG."""
+        return self._store.reachable_size([self.root(relation, values)])
+
+    def root(self, relation: str, values: tuple) -> int:
+        """The circuit node denoting a tuple's provenance (``ZERO`` if unknown)."""
+        return self._root_for((relation, tuple(values)))
+
+    def _flush_dirty(self) -> None:
+        """Drop cached roots of every tuple transitively affected by changes."""
+        if not self._dirty:
+            return
+        queue = list(self._dirty)
+        seen = set(queue)
+        roots = self._roots
+        while queue:
+            key = queue.pop()
+            roots.pop(key, None)
+            for derivation in self._derivations_by_source.get(key, ()):
+                target = derivation.target
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+        self._dirty.clear()
+        self._scc = None
+
+    def _scc_ids(self) -> dict[TupleKey, int]:
+        """Component id per tuple of the dependency graph (iterative Tarjan).
+
+        Two tuples share an id exactly when each (transitively) derives the
+        other; the circuit compiler uses this to decide when a cached root is
+        safe to reuse mid-expansion.
+        """
+        if self._scc is not None:
+            return self._scc
+        tuples = self._tuples
+        by_target = self._derivations_by_target
+        sccs: dict[TupleKey, int] = {}
+        index: dict[TupleKey, int] = {}
+        low: dict[TupleKey, int] = {}
+        on_stack: set[TupleKey] = set()
+        component_stack: list[TupleKey] = []
+        counter = 0
+        scc_counter = 0
+
+        def successors(node: TupleKey):
+            return iter(
+                [
+                    source
+                    for derivation in by_target.get(node, ())
+                    for source in derivation.sources
+                    if source in tuples
+                ]
+            )
+
+        for start in tuples:
+            if start in index:
+                continue
+            index[start] = low[start] = counter
+            counter += 1
+            component_stack.append(start)
+            on_stack.add(start)
+            work: list[tuple[TupleKey, object]] = [(start, successors(start))]
+            while work:
+                node, iterator = work[-1]
+                descended = False
+                for succ in iterator:
+                    if succ not in index:
+                        index[succ] = low[succ] = counter
+                        counter += 1
+                        component_stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, successors(succ)))
+                        descended = True
+                        break
+                    if succ in on_stack and index[succ] < low[node]:
+                        low[node] = index[succ]
+                if descended:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    if low[node] < low[parent]:
+                        low[parent] = low[node]
+                if low[node] == index[node]:
+                    while True:
+                        member = component_stack.pop()
+                        on_stack.discard(member)
+                        sccs[member] = scc_counter
+                        if member == node:
+                            break
+                    scc_counter += 1
+        self._scc = sccs
+        return sccs
+
+    def _root_for(self, key: TupleKey) -> int:
+        self._flush_dirty()
+        cached = self._roots.get(key)
+        if cached is not None:
+            return cached
+        return self._compile_root(key)
+
+    def _compile_root(self, start: TupleKey) -> int:
+        """Compile one tuple's acyclic provenance into the circuit store.
+
+        Explicit-frame depth-first expansion (no Python recursion, so
+        arbitrarily deep derivation chains compile without hitting the
+        interpreter's recursion limit).  Each frame tracks ``low``, the
+        smallest on-path depth its expansion touched (Tarjan-style): an
+        expansion is only memoized in ``self._roots`` when it did not depend
+        on any tuple *above* it on the current path, i.e. when the result is
+        path-independent.  A cached root is only *reused* when no member of
+        its strongly connected component sits on the current path — a root
+        cached for one entry point of a cycle sums over paths through the
+        other members, which must stay cut while those members are being
+        expanded.  Tuples already on the current path contribute only their
+        base variable (cycle cut), which yields the sum over all acyclic
+        derivations — the finite part of the least fixpoint.
+        """
+        sccs = self._scc_ids()
+        store = self._store
+        tuples = self._tuples
+        by_target = self._derivations_by_target
+        roots = self._roots
+        on_path: dict[TupleKey, int] = {}
+        path_sccs: dict = {}
+        frames: list[_ExpandFrame] = []
+
+        def resolve(key: TupleKey, depth: int):
+            """Immediate ``(node, low)`` when no descent is needed, else
+            ``None`` after pushing a frame for the tuple."""
+            cached = roots.get(key)
+            if cached is not None and sccs.get(key) not in path_sccs:
+                return (cached, _UNREACHED)
+            node = tuples.get(key)
+            path_depth = on_path.get(key)
+            if path_depth is not None:
+                if node is not None and node.is_base and node.variable:
+                    return (store.var(node.variable), path_depth)
+                return (ZERO, path_depth)
+            if node is None:
+                return (ZERO, _UNREACHED)
+            alternatives: list[int] = []
+            if node.is_base and node.variable:
+                alternatives.append(store.var(node.variable))
+            on_path[key] = depth
+            scc_id = sccs.get(key)
+            path_sccs[scc_id] = path_sccs.get(scc_id, 0) + 1
+            frames.append(
+                _ExpandFrame(key, depth, scc_id, alternatives, by_target.get(key, ()))
+            )
+            return None
+
+        immediate = resolve(start, 0)
+        if immediate is not None:
+            return immediate[0]
+        completed = None  # (node, low) of the frame that just finished
+        while frames:
+            frame = frames[-1]
+            if completed is not None:
+                frame.absorb(*completed)
+                completed = None
+            descended = False
+            while frame.d_index < len(frame.derivations):
+                derivation = frame.derivations[frame.d_index]
+                if frame.factors is None:
+                    frame.factors = []
+                    frame.s_index = 0
+                sources = derivation.sources
+                if frame.s_index < len(sources):
+                    value = resolve(sources[frame.s_index], frame.depth + 1)
+                    if value is None:
+                        descended = True
+                        break
+                    frame.absorb(*value)
+                    continue
+                # Every source matched: close out this derivation.
+                factors = frame.factors
+                if derivation.rule_variable:
+                    factors.append(store.var(derivation.rule_variable))
+                frame.alternatives.append(store.product_of(factors))
+                frame.factors = None
+                frame.d_index += 1
+            if descended:
+                continue
+            frames.pop()
+            del on_path[frame.key]
+            if path_sccs[frame.scc_id] == 1:
+                del path_sccs[frame.scc_id]
+            else:
+                path_sccs[frame.scc_id] -= 1
+            result = store.sum_of(frame.alternatives)
+            if frame.low >= frame.depth:
+                # The expansion depended on nothing above this tuple on the
+                # path, so it is path-independent and safe to cache.
+                roots[frame.key] = result
+            completed = (result, frame.low)
+        return completed[0]
+
     # -- provenance expansion -------------------------------------------------
     def expression_for(
         self, relation: str, values: tuple, max_depth: int = 32
     ) -> ProvenanceExpression:
-        """Expand a tuple's provenance into an expression.
+        """Expand a tuple's provenance into an expression DAG.
 
-        Cycles in the derivation graph (possible when the peer mapping graph
-        is cyclic) are cut by returning 0 for a tuple already being expanded
-        on the current path, which yields the sum over all *acyclic*
-        derivations — exactly the finite part of the least fixpoint.
+        Cycles in the derivation graph are cut during circuit compilation,
+        yielding the sum over all *acyclic* derivations.  ``max_depth`` is
+        kept for API compatibility; the circuit expansion is exact and no
+        longer needs a depth bound.
         """
         key = (relation, tuple(values))
-        return self._expand(key, frozenset(), max_depth)
+        return self._store.to_expression(self._root_for(key))
 
-    def _expand(
-        self, key: TupleKey, on_path: frozenset, remaining_depth: int
-    ) -> ProvenanceExpression:
-        node = self._tuples.get(key)
-        if node is None:
-            return prov_zero()
-        alternatives: list[ProvenanceExpression] = []
-        if node.is_base and node.variable:
-            alternatives.append(prov_var(node.variable))
-        if remaining_depth > 0 and key not in on_path:
-            extended_path = on_path | {key}
-            for derivation in self._derivations_by_target.get(key, ()):
-                factors: list[ProvenanceExpression] = []
-                if derivation.rule_variable:
-                    factors.append(prov_var(derivation.rule_variable))
-                dead_branch = False
-                for source_key in derivation.sources:
-                    source_expression = self._expand(
-                        source_key, extended_path, remaining_depth - 1
-                    )
-                    if source_expression.kind == "zero":
-                        dead_branch = True
-                        break
-                    factors.append(source_expression)
-                if not dead_branch:
-                    alternatives.append(prov_times(factors))
-        return prov_plus(alternatives)
+    #: Default bound on expanded-polynomial size.  The pre-circuit expander
+    #: was (weakly) bounded by a depth cutoff; with exact expansion the
+    #: budget is the safety knob, on by default so a combinatorial
+    #: provenance raises instead of silently exhausting memory.
+    DEFAULT_EXPANSION_BUDGET = 100_000
 
     def polynomial_for(
-        self, relation: str, values: tuple, max_depth: int = 32
+        self,
+        relation: str,
+        values: tuple,
+        max_depth: int = 32,
+        max_monomials: Optional[int] = DEFAULT_EXPANSION_BUDGET,
     ) -> Polynomial:
-        """The provenance polynomial of a tuple (acyclic derivations only)."""
-        return self.expression_for(relation, values, max_depth).to_polynomial()
+        """The provenance polynomial of a tuple (acyclic derivations only).
+
+        The polynomial is a lazy view expanded from the hash-consed circuit;
+        ``max_monomials`` bounds the expansion (exceeding it raises
+        :class:`ProvenanceError`; pass ``None`` to lift the bound).
+        ``max_depth`` is kept for API compatibility and no longer limits the
+        (exact) expansion — the budget replaced it as the safety knob.
+        """
+        key = (relation, tuple(values))
+        return self._store.to_polynomial(self._root_for(key), max_monomials=max_monomials)
 
     # -- semiring evaluation --------------------------------------------------
+    def _evaluator_cache_key(self, semiring, assignment, default) -> Optional[tuple]:
+        if isinstance(assignment, MembershipAssignment):
+            signature: object = assignment.cache_key
+        else:
+            try:
+                signature = frozenset((assignment or {}).items())
+            except TypeError:
+                return None
+        key = (semiring, signature, default)
+        try:
+            hash(key)  # unhashable semiring/assignment values/default
+        except TypeError:
+            return None
+        return key
+
+    def evaluator(
+        self,
+        semiring,
+        assignment: Optional[Mapping[str, object]] = None,
+        default: Optional[object] = None,
+    ) -> CircuitEvaluator:
+        """A memoized circuit evaluator for ``semiring`` under ``assignment``.
+
+        Evaluators are cached per (semiring, assignment, default) so repeated
+        trust questions share memo tables; node memo entries stay valid
+        across insertions and deletions because circuit nodes are immutable.
+        """
+        key = self._evaluator_cache_key(semiring, assignment, default)
+        if key is None:
+            return CircuitEvaluator(self._store, semiring, assignment, default)
+        evaluator = self._evaluators.get(key)
+        if evaluator is None:
+            evaluator = CircuitEvaluator(self._store, semiring, assignment, default)
+            if len(self._evaluators) >= self._EVALUATOR_CACHE_LIMIT:
+                self._evaluators.pop(next(iter(self._evaluators)))
+            self._evaluators[key] = evaluator
+        return evaluator
+
+    def annotation(
+        self,
+        relation: str,
+        values: tuple,
+        semiring,
+        assignment: Optional[Mapping[str, object]] = None,
+        default: Optional[object] = None,
+    ):
+        """One tuple's annotation in ``semiring`` under ``assignment``."""
+        key = (relation, tuple(values))
+        if self.evaluation_mode == "expanded":
+            return self._expanded_annotation(key, semiring, assignment or {}, default)
+        return self.evaluator(semiring, assignment, default).value(self._root_for(key))
+
+    def _expanded_annotation(self, key: TupleKey, semiring, assignment, default):
+        """Expanded-representation path: materialise the tuple's ``N[X]``
+        polynomial and evaluate it with :meth:`Polynomial.evaluate`.
+
+        This is the ablation representation the DAG replaces: per-tuple
+        expanded polynomials, paying their (potentially combinatorial) size
+        on every question instead of sharing memoized node evaluations.  For
+        a *fully independent* cross-check of circuit compilation itself, use
+        :func:`reference_polynomial`, which re-walks the derivation
+        hyper-graph without touching the circuit (the simulation's
+        dag-vs-expanded oracle does).
+        """
+        polynomial = self._store.to_polynomial(self._root_for(key))
+        fallback = semiring.one() if default is None else default
+        completed = {
+            variable: assignment.get(variable, fallback)
+            for variable in polynomial.variables()
+        }
+        return polynomial.evaluate(semiring, completed)
+
     def evaluate(
         self,
         semiring,
@@ -228,49 +598,25 @@ class ProvenanceGraph:
         default: Optional[object] = None,
         max_iterations: int = 1000,
     ) -> dict[TupleKey, object]:
-        """Evaluate every tuple's annotation in ``semiring`` by least fixpoint.
+        """Evaluate every tuple's annotation in ``semiring``.
 
         ``assignment`` maps provenance variables (base tuples and, when
         enabled, mapping rules) to semiring values; variables missing from the
         assignment take ``default`` (or the semiring's one if ``default`` is
-        ``None``).  The iteration converges for the idempotent semirings used
-        by trust policies (boolean, tropical, security, fuzzy); for
-        non-idempotent semirings over a cyclic graph the iteration is cut off
-        after ``max_iterations`` rounds and a :class:`ProvenanceError` is
-        raised.
+        ``None``).  Each annotation is the tuple's acyclic-derivation
+        provenance evaluated through the memoized circuit — identical to
+        evaluating the tuple's expanded polynomial, but computed in one
+        shared pass over the DAG.  ``max_iterations`` is retained for API
+        compatibility; circuit evaluation always terminates, even for
+        non-idempotent semirings over cyclic derivation graphs.
         """
-        fallback = semiring.one() if default is None else default
-
-        def variable_value(variable: Optional[str]):
-            if variable is None:
-                return semiring.one()
-            return assignment.get(variable, fallback)
-
-        annotations: dict[TupleKey, object] = {
-            key: semiring.zero() for key in self._tuples
-        }
-        for _round in range(max_iterations):
-            changed = False
-            for key, node in self._tuples.items():
-                value = semiring.zero()
-                if node.is_base:
-                    value = semiring.plus(value, variable_value(node.variable))
-                for derivation in self._derivations_by_target.get(key, ()):
-                    term = variable_value(derivation.rule_variable)
-                    for source_key in derivation.sources:
-                        term = semiring.times(
-                            term, annotations.get(source_key, semiring.zero())
-                        )
-                    value = semiring.plus(value, term)
-                if value != annotations[key]:
-                    annotations[key] = value
-                    changed = True
-            if not changed:
-                return annotations
-        raise ProvenanceError(
-            f"semiring evaluation did not converge within {max_iterations} iterations; "
-            "the provenance graph is cyclic and the target semiring is not idempotent"
-        )
+        if self.evaluation_mode == "expanded":
+            return {
+                key: self._expanded_annotation(key, semiring, assignment, default)
+                for key in self._tuples
+            }
+        evaluator = self.evaluator(semiring, assignment, default)
+        return {key: evaluator.value(self._root_for(key)) for key in self._tuples}
 
     def is_derivable(
         self,
@@ -284,40 +630,124 @@ class ProvenanceGraph:
         variable is in the set count as support (the boolean-semiring trust
         evaluation of the paper).
         """
+        key = (relation, tuple(values))
         boolean = BooleanSemiring()
         if trusted_variables is None:
-            assignment = {
-                node.variable: True
-                for node in self._tuples.values()
-                if node.is_base and node.variable
-            }
+            assignment: Mapping[str, object] = {}
+            default: object = True
         else:
-            assignment = {
-                node.variable: (node.variable in trusted_variables)
-                for node in self._tuples.values()
-                if node.is_base and node.variable
-            }
-        annotations = self.evaluate(boolean, assignment, default=True)
-        return bool(annotations.get((relation, tuple(values)), False))
+            assignment = MembershipAssignment(trusted_variables, self._rule_variables)
+            default = False
+        if self.evaluation_mode == "expanded":
+            return bool(self._expanded_annotation(key, boolean, assignment, default))
+        evaluator = self.evaluator(boolean, assignment, default)
+        return bool(evaluator.value(self._root_for(key)))
 
     def unsupported_tuples(self) -> list[TupleKey]:
         """Tuples that are no longer derivable from any base tuple.
 
         Used by deletion propagation: after base deletions, these are the
-        derived tuples that must be removed from the target instances.
+        derived tuples that must be removed from the target instances.  Only
+        the circuit roots of transitively affected tuples are recompiled;
+        every other tuple answers from its cached root and the shared
+        all-trusted memo table.
         """
-        boolean = BooleanSemiring()
-        assignment = {
-            node.variable: True
-            for node in self._tuples.values()
-            if node.is_base and node.variable
-        }
-        annotations = self.evaluate(boolean, assignment, default=True)
-        return [key for key, supported in annotations.items() if not supported]
+        if self.evaluation_mode == "expanded":
+            return [
+                key
+                for key in self._tuples
+                if self._store.to_polynomial(self._root_for(key)).is_zero()
+            ]
+        evaluator = self.evaluator(BooleanSemiring(), {}, default=True)
+        return [
+            key for key in self._tuples if not evaluator.value(self._root_for(key))
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         tuples, derivations = self.size()
-        return f"ProvenanceGraph(tuples={tuples}, derivations={derivations})"
+        nodes, edges = self.circuit_size()
+        return (
+            f"ProvenanceGraph(tuples={tuples}, derivations={derivations}, "
+            f"circuit_nodes={nodes}, circuit_edges={edges})"
+        )
+
+
+def reference_polynomial(
+    graph: ProvenanceGraph,
+    relation: str,
+    values: tuple,
+    max_monomials: Optional[int] = None,
+    max_visits: int = 500_000,
+    max_depth: int = 500,
+) -> Polynomial:
+    """Expand a tuple's provenance by walking the derivation hyper-graph.
+
+    This is the *independent reference implementation*: it never touches the
+    hash-consed circuit store, so differential oracles can pit circuit
+    compilation and memoized evaluation against it.  Cycles are cut exactly
+    as in circuit compilation (a tuple already being expanded on the current
+    path contributes only its base variable), yielding the sum over all
+    acyclic derivations.
+
+    The walk shares nothing, so it can revisit shared sub-derivations
+    exponentially often; ``max_visits`` bounds the traversal,
+    ``max_monomials`` bounds intermediate polynomial sizes, and ``max_depth``
+    bounds the derivation-chain depth (the walk recurses one frame per hop),
+    each raising :class:`ProvenanceError` when exceeded.
+    """
+    visits = [0]
+
+    def guard(worst_case: int) -> None:
+        """Raise before a fold whose worst-case size exceeds the budget."""
+        if max_monomials is not None and worst_case > max_monomials:
+            raise ProvenanceError(
+                f"reference expansion exceeded the budget of {max_monomials} monomials"
+            )
+
+    def check(polynomial: Polynomial) -> Polynomial:
+        guard(polynomial.monomial_count())
+        return polynomial
+
+    def expand(key: TupleKey, on_path: frozenset) -> Polynomial:
+        visits[0] += 1
+        if visits[0] > max_visits:
+            raise ProvenanceError(
+                f"reference expansion exceeded {max_visits} node visits; "
+                "use the circuit representation for provenance this shared"
+            )
+        if len(on_path) >= max_depth:
+            raise ProvenanceError(
+                f"reference expansion exceeded the depth bound of {max_depth} "
+                "derivation hops; use the circuit representation for chains this deep"
+            )
+        node = graph.node(*key)
+        if node is None:
+            return Polynomial.zero()
+        total = Polynomial.zero()
+        if node.is_base and node.variable:
+            total = Polynomial.variable(node.variable)
+        if key in on_path:
+            return total
+        extended = on_path | {key}
+        for derivation in graph.derivations_of(*key):
+            product = Polynomial.one()
+            dead_branch = False
+            for source_key in derivation.sources:
+                source_polynomial = expand(source_key, extended)
+                if source_polynomial.is_zero():
+                    dead_branch = True
+                    break
+                guard(product.monomial_count() * source_polynomial.monomial_count())
+                product = check(product * source_polynomial)
+            if dead_branch:
+                continue
+            if derivation.rule_variable:
+                product = product * Polynomial.variable(derivation.rule_variable)
+            guard(total.monomial_count() + product.monomial_count())
+            total = check(total + product)
+        return total
+
+    return check(expand((relation, tuple(values)), frozenset()))
 
 
 def merge_graphs(graphs: Iterable[ProvenanceGraph]) -> ProvenanceGraph:

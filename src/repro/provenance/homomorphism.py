@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Mapping, Optional
 
+from .circuit import CircuitEvaluator, CircuitStore
 from .expressions import ProvenanceExpression
 from .graph import ProvenanceGraph, TupleKey
 from .polynomial import Polynomial
@@ -38,6 +39,22 @@ def evaluate_expression(
     return expression.evaluate(semiring, assignment)
 
 
+def evaluate_circuit(
+    store: CircuitStore,
+    node: int,
+    semiring,
+    assignment: Mapping[str, object],
+    default: Optional[object] = None,
+):
+    """Evaluate one hash-consed circuit node in ``semiring``.
+
+    For repeated questions over the same assignment prefer keeping a
+    :class:`CircuitEvaluator` (or use :meth:`ProvenanceGraph.evaluator`),
+    whose memo table persists across calls.
+    """
+    return CircuitEvaluator(store, semiring, assignment, default).value(node)
+
+
 def evaluate_graph(
     graph: ProvenanceGraph,
     semiring,
@@ -47,7 +64,9 @@ def evaluate_graph(
     """Evaluate every tuple of a provenance graph in ``semiring``.
 
     A thin wrapper over :meth:`ProvenanceGraph.evaluate` kept here so the
-    three provenance representations share one entry point.
+    provenance representations (polynomials, expressions, circuits, graphs)
+    share one entry point.  Evaluation runs over the graph's memoized
+    hash-consed circuit; shared sub-derivations are computed once.
     """
     return graph.evaluate(semiring, assignment, default=default)
 

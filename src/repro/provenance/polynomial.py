@@ -27,7 +27,10 @@ class Monomial:
 
     @staticmethod
     def from_variables(variables: Iterable[str]) -> "Monomial":
-        """Build a monomial from an iterable of variable names (with repetition)."""
+        """Build a monomial from an iterable of variable names (with repetition).
+
+        An empty iterable yields the unit monomial (``1``).
+        """
         counts = Counter(variables)
         return Monomial(tuple(sorted(counts.items())))
 
@@ -37,11 +40,17 @@ class Monomial:
         return Monomial(())
 
     def __post_init__(self) -> None:
+        merged: Counter = Counter()
         for variable, power in self.powers:
             if power <= 0:
                 raise ProvenanceError(
                     f"monomial power for {variable!r} must be positive, got {power}"
                 )
+            merged[variable] += power
+        # Canonicalise so equality and hashing are independent of the order
+        # (and grouping) in which powers were supplied: x*y, y*x and x,x -> x^2
+        # all normalise to the same tuple.
+        object.__setattr__(self, "powers", tuple(sorted(merged.items())))
 
     @property
     def degree(self) -> int:

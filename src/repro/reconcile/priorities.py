@@ -50,14 +50,12 @@ def _supported_by_trusted_peers(
     (``Peer.R!pub(values)``), so the set of trusted variables is exactly the
     variables of trusted peers' contributions.  Deletions are not checked:
     removing data never requires trusting its content.
+
+    Derivability is answered on the provenance DAG: repeated checks against
+    the same trusted set share one memoized boolean evaluator, so only the
+    first question per sub-derivation pays for evaluation.
     """
-    trusted_variables = {
-        node.variable
-        for node in provenance.tuples()
-        if node.is_base
-        and node.variable
-        and _variable_peer(node.relation) in trusted_peers
-    }
+    trusted_variables = trusted_variable_set(provenance, trusted_peers)
     target = group.candidate.target_peer
     for update in group.candidate.updates:
         for values in update.inserted_tuples():

@@ -60,6 +60,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--transactions", type=int, default=6,
         help="upper bound on transactions per epoch (default: 6, min: 1)",
     )
+    provenance = parser.add_mutually_exclusive_group()
+    provenance.add_argument(
+        "--provenance-dag", dest="provenance_mode", action="store_const",
+        const="circuit", default="circuit",
+        help="evaluate provenance on the hash-consed DAG store (default)",
+    )
+    provenance.add_argument(
+        "--provenance-expanded", dest="provenance_mode", action="store_const",
+        const="expanded",
+        help="evaluate provenance via per-tuple expanded polynomials "
+             "(the slow ablation representation the DAG replaces)",
+    )
     parser.add_argument(
         "--quiet", action="store_true",
         help="only print failures and the final summary",
@@ -77,6 +89,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             epochs=args.epochs,
             max_peers=args.max_peers,
             transactions_per_epoch=(min(2, args.transactions), args.transactions),
+            provenance_mode=args.provenance_mode,
         )
     except ConfigurationError as error:
         print(f"invalid configuration: {error}", file=sys.stderr)
@@ -88,9 +101,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for seed in range(args.seed_base, args.seed_base + args.seeds):
         # The config feeds the shared RNG stream, so a reproduction must use
         # the same flags, not just the seed.
+        mode_flag = (
+            " --provenance-expanded" if args.provenance_mode == "expanded" else ""
+        )
         repro = (
             f"--seeds 1 --seed-base {seed} --epochs {args.epochs} "
             f"--max-peers {args.max_peers} --transactions {args.transactions}"
+            f"{mode_flag}"
         )
         try:
             result = run_simulation(seed, config)

@@ -17,7 +17,20 @@ from typing import Iterable, Iterator
 from ..datalog.ast import SkolemTerm
 from ..errors import StorageError, TupleArityError, UnknownRelationError
 
-_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.@-]*\Z")
+#: Characters that can never appear in an identifier, even quoted: NUL is
+#: rejected by SQLite itself and control characters only invite confusion.
+_FORBIDDEN_RE = re.compile(r"[\x00-\x1f]")
+
+
+def _quote_identifier(name: str) -> str:
+    """Safely quote an arbitrary identifier for interpolation into SQL.
+
+    Double-quoted identifiers may contain any character (embedded quotes are
+    escaped by doubling), so relation names that are SQL reserved words
+    (``order``, ``select``), contain hyphens/dots, or use non-ASCII letters
+    (``Σ1.R``) all work.
+    """
+    return '"' + name.replace('"', '""') + '"'
 
 
 def encode_cell(value: object) -> str:
@@ -74,15 +87,34 @@ class SQLiteInstance:
             name: arity
             for name, arity in self._connection.execute("SELECT name, arity FROM _catalog")
         }
+        #: casefolded name -> canonical name.  SQLite identifiers are
+        #: ASCII-case-insensitive even when quoted, so two relations whose
+        #: names differ only by case would silently share one table.
+        self._names_by_fold: dict[str, str] = {
+            name.casefold(): name for name in self._arities
+        }
         #: ``(relation, position)`` pairs for which a column index exists.
         self._indexed_columns: set[tuple[str, int]] = set()
 
     # -- helpers -------------------------------------------------------------
     @staticmethod
-    def _table(name: str) -> str:
-        if not _NAME_RE.match(name):
-            raise StorageError(f"invalid relation name {name!r}")
-        return '"rel_' + name.replace('"', "") + '"'
+    def _validate_name(name: str) -> str:
+        if not isinstance(name, str) or not name:
+            raise StorageError(f"invalid relation name {name!r}: must be a non-empty string")
+        if _FORBIDDEN_RE.search(name):
+            raise StorageError(
+                f"invalid relation name {name!r}: control characters are not allowed"
+            )
+        return name
+
+    @classmethod
+    def _table(cls, name: str) -> str:
+        # The ``rel_`` prefix plus quote-doubling makes the table name safe
+        # for reserved words, hyphens, dots, and embedded quotes alike;
+        # ``create_relation`` separately rejects names that differ only by
+        # ASCII case, which SQLite's case-insensitive identifiers would
+        # otherwise alias onto one table.
+        return _quote_identifier("rel_" + cls._validate_name(name))
 
     def _check(self, relation: str, values: tuple) -> tuple:
         arity = self.arity(relation)
@@ -104,6 +136,14 @@ class SQLiteInstance:
                     f"relation {name!r} already exists with arity {existing}, not {arity}"
                 )
             return
+        collision = self._names_by_fold.get(name.casefold())
+        if collision is not None and collision != name:
+            # SQLite compares (even quoted) identifiers case-insensitively,
+            # so this name would alias the other relation's table.
+            raise StorageError(
+                f"relation name {name!r} collides with existing relation "
+                f"{collision!r}: SQLite identifiers are case-insensitive"
+            )
         columns = ", ".join(f"c{i} TEXT NOT NULL" for i in range(arity)) or "c0 TEXT"
         unique = ", ".join(f"c{i}" for i in range(max(arity, 1)))
         self._connection.execute(
@@ -114,6 +154,7 @@ class SQLiteInstance:
         )
         self._connection.commit()
         self._arities[name] = arity
+        self._names_by_fold[name.casefold()] = name
 
     def relations(self) -> set[str]:
         return set(self._arities)
@@ -178,7 +219,7 @@ class SQLiteInstance:
             )
         key = (relation, position)
         if key not in self._indexed_columns:
-            index_name = '"idx_' + relation.replace('"', "") + f'_c{position}"'
+            index_name = _quote_identifier(f"idx_{relation}_c{position}")
             self._connection.execute(
                 f"CREATE INDEX IF NOT EXISTS {index_name} "
                 f"ON {self._table(relation)} (c{position})"

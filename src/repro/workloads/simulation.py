@@ -48,7 +48,7 @@ from typing import Iterable, Optional, Sequence
 
 from ..api.builder import NetworkBuilder
 from ..api.spec import NetworkSpec, parse_network_spec
-from ..config import ExchangeConfig
+from ..config import ExchangeConfig, SystemConfig
 from ..core.system import CDSS
 from ..datalog.ast import Atom, Variable
 from ..core.mapping import Mapping
@@ -98,6 +98,19 @@ class SimulationConfig:
     #: key columns use a halved domain so same-key conflicts actually occur.
     domain_size: int = 6
     max_sync_rounds: int = 30
+    #: Provenance representation of the primary replica's exchange engine:
+    #: ``"circuit"`` (hash-consed DAG, default) or ``"expanded"`` (per-tuple
+    #: polynomial expansion, the ablation the DAG replaces).  The nightly
+    #: fuzz job runs both.
+    provenance_mode: str = "circuit"
+    #: Per-epoch sample bound for the dag-vs-expanded oracle (0 disables);
+    #: the oracle compares DAG evaluation with expanded-polynomial evaluation
+    #: for sampled derived tuples under several semirings.
+    provenance_oracle_samples: int = 25
+    #: Expansion budget for the oracle's polynomial side; sampled tuples
+    #: whose expansion exceeds it are skipped (the DAG is the whole point
+    #: for those).
+    provenance_oracle_max_monomials: int = 4096
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -131,6 +144,14 @@ class SimulationConfig:
             raise ConfigurationError("domain_size must be at least 2")
         if self.max_sync_rounds < 1:
             raise ConfigurationError("max_sync_rounds must be at least 1")
+        if self.provenance_mode not in ("circuit", "expanded"):
+            raise ConfigurationError(
+                f"provenance_mode must be 'circuit' or 'expanded', got {self.provenance_mode!r}"
+            )
+        if self.provenance_oracle_samples < 0:
+            raise ConfigurationError("provenance_oracle_samples must be >= 0")
+        if self.provenance_oracle_max_monomials < 1:
+            raise ConfigurationError("provenance_oracle_max_monomials must be >= 1")
 
 
 # ---------------------------------------------------------------------------
@@ -608,7 +629,16 @@ class SimulationRun:
         self.transactions = 0
         self.epochs_run = 0
 
-        self.primary = CDSS.from_spec(self.spec)
+        #: Dedicated RNG for oracle sampling: deterministic per seed, but
+        #: isolated from the workload stream so sampling config cannot
+        #: perturb the generated networks or transactions.
+        self._oracle_rng = random.Random(f"{seed}-dag-oracle")
+        self.primary = CDSS.from_spec(
+            self.spec,
+            config=SystemConfig(
+                exchange=ExchangeConfig(provenance_mode=self.config.provenance_mode)
+            ),
+        )
         self._check_spec_roundtrip()
         self.manual = CDSS.from_spec(self.spec)
         self.sqlite = CDSS.from_spec(
@@ -684,6 +714,74 @@ class SimulationRun:
         if diff:
             self._fail(epoch, "memory-vs-sqlite", diff)
 
+    def _check_dag_vs_expanded(self, epoch: int) -> None:
+        """Sampled derived tuples: DAG evaluation == expanded-polynomial evaluation.
+
+        Checks the hash-consed circuit (memoized semiring evaluation, after
+        whatever insertions/deletions/invalidations this epoch performed)
+        against :func:`~repro.provenance.graph.reference_polynomial`, which
+        expands by walking the derivation hyper-graph directly and never
+        touches the circuit — a genuinely independent implementation — under
+        a boolean, a counting, and a tropical assignment.
+        """
+        if self.config.provenance_oracle_samples == 0:
+            return
+        graph = self.primary.engine.provenance
+        if graph is None:
+            return
+        self.oracle_checks += 1
+        from ..errors import ProvenanceError
+        from ..provenance.graph import reference_polynomial
+        from ..provenance.semiring import (
+            BooleanSemiring,
+            CountingSemiring,
+            TropicalSemiring,
+        )
+
+        derived = sorted(
+            (node.key for node in graph.tuples() if not node.is_base), key=repr
+        )
+        # Seeded random sample (not a fixed prefix): different epochs and
+        # seeds cross-check different tuples while staying reproducible.
+        sample_size = min(len(derived), self.config.provenance_oracle_samples)
+        sample = self._oracle_rng.sample(derived, sample_size)
+        variables = list(graph.base_variables())
+        semirings = [
+            (BooleanSemiring(), {variable: True for variable in variables}),
+            (CountingSemiring(), {variable: 1 for variable in variables}),
+            (TropicalSemiring(), {variable: 1.0 for variable in variables}),
+        ]
+        for relation, values in sample:
+            try:
+                polynomial = reference_polynomial(
+                    graph,
+                    relation,
+                    values,
+                    max_monomials=self.config.provenance_oracle_max_monomials,
+                )
+            except ProvenanceError:
+                continue  # expansion over budget: exactly what the DAG avoids
+            for semiring, assignment in semirings:
+                # Evaluate the circuit explicitly (root + memoized evaluator)
+                # rather than through graph.annotation, which in expanded
+                # mode would route both sides through the same expansion.
+                dag_value = graph.evaluator(semiring, assignment).value(
+                    graph.root(relation, values)
+                )
+                completed = {
+                    variable: assignment.get(variable, semiring.one())
+                    for variable in polynomial.variables()
+                }
+                expanded_value = polynomial.evaluate(semiring, completed)
+                if dag_value != expanded_value:
+                    self._fail(
+                        epoch,
+                        "dag-vs-expanded",
+                        f"{relation}{values!r} under {semiring.name}: "
+                        f"dag={dag_value!r} expanded={expanded_value!r}",
+                    )
+                    return
+
     # -- driving ------------------------------------------------------------
     def _commit_everywhere(self, command: WorkloadCommand) -> None:
         for cdss in (self.primary, self.manual, self.sqlite):
@@ -740,6 +838,7 @@ class SimulationRun:
 
         self._check_incremental_vs_recompute(epoch)
         self._check_provenance_vs_dred(epoch)
+        self._check_dag_vs_expanded(epoch)
         primary_snapshot = _snapshot_all(self.primary)
         self._check_sync_vs_manual(epoch, primary_snapshot)
         self._check_memory_vs_sqlite(epoch, primary_snapshot)

@@ -105,6 +105,28 @@ class TestTrustPolicy:
             "Dresden",
         }
 
+    def test_priorities_by_peer(self):
+        policy = TrustPolicy.trust_only("Crete", {"Beijing": 2, "Dresden": 1}, others=0)
+        priorities = policy.priorities_by_peer(["Alaska", "Beijing", "Crete", "Dresden"])
+        assert priorities == {
+            "Alaska": 0,
+            "Beijing": 2,
+            "Crete": policy.own_priority,
+            "Dresden": 1,
+        }
+        # Consistent with the boolean view used everywhere else.
+        for peer, priority in priorities.items():
+            assert (priority > 0) == policy.trusts_peer(peer)
+
+    def test_priorities_by_peer_honors_plain_conditions(self):
+        policy = TrustPolicy(owner="Crete", default_priority=1)
+        policy.add_condition(TrustCondition(priority=0, origin_peer="Alaska"))
+        policy.add_condition(TrustCondition(priority=5, origin_peer="Beijing", relation="OPS"))
+        priorities = policy.priorities_by_peer(["Alaska", "Beijing"])
+        # The relation-scoped Beijing condition does not apply to plain
+        # updates, so Beijing falls back to the default priority.
+        assert priorities == {"Alaska": 0, "Beijing": 1}
+
     def test_describe(self):
         policy = TrustPolicy.trust_only("Crete", {"Beijing": 2}, others=0)
         policy.add_condition(TrustCondition(priority=3, relation="OPS"))

@@ -129,13 +129,21 @@ class TestEvaluation:
         assert annotations[("A", (1,))] is True
         assert annotations[("B", (1,))] is True
 
-    def test_cyclic_counting_raises(self):
+    def test_cyclic_counting_counts_acyclic_derivations(self):
+        # The pre-circuit fixpoint diverged (and raised) for non-idempotent
+        # semirings over cyclic graphs; the DAG evaluation counts the finite
+        # set of acyclic derivations, matching the expanded polynomial.
         graph = ProvenanceGraph()
         graph.add_base_tuple("A", (1,), "a")
         graph.add_derivation("m1", ("B", (1,)), [("A", (1,))])
         graph.add_derivation("m2", ("A", (1,)), [("B", (1,))])
-        with pytest.raises(ProvenanceError):
-            graph.evaluate(CountingSemiring(), {"a": 1}, max_iterations=20)
+        annotations = graph.evaluate(CountingSemiring(), {"a": 1}, max_iterations=20)
+        for key in (("A", (1,)), ("B", (1,))):
+            expanded = graph.polynomial_for(*key).evaluate(CountingSemiring(), {"a": 1})
+            assert annotations[key] == expanded
+        # A has its base fact plus the derivation through B; B only the latter.
+        assert annotations[("A", (1,))] == 2
+        assert annotations[("B", (1,))] == 1
 
 
 class TestDeletion:

@@ -44,6 +44,30 @@ class TestMonomial:
     def test_invalid_power_rejected(self):
         with pytest.raises(ProvenanceError):
             Monomial((("x", 0),))
+        with pytest.raises(ProvenanceError):
+            Monomial((("x", -2),))
+
+    def test_from_variables_empty_is_unit(self):
+        assert Monomial.from_variables([]) == Monomial.unit()
+        assert Monomial.from_variables(iter(())) == Monomial.unit()
+
+    def test_construction_order_is_canonicalised(self):
+        # x*y and y*x are the same monomial regardless of tuple order.
+        forward = Monomial((("x", 1), ("y", 2)))
+        backward = Monomial((("y", 2), ("x", 1)))
+        assert forward == backward
+        assert hash(forward) == hash(backward)
+        assert forward == Monomial.from_variables(["y", "x", "y"])
+
+    def test_duplicate_entries_are_merged(self):
+        split = Monomial((("x", 1), ("x", 1)))
+        assert split == Monomial.from_variables(["x", "x"])
+        assert split.degree == 2
+
+    def test_list_powers_are_coerced_hashable(self):
+        monomial = Monomial([("y", 1), ("x", 1)])
+        assert isinstance(monomial.powers, tuple)
+        assert hash(monomial) == hash(Monomial((("x", 1), ("y", 1))))
 
 
 class TestPolynomialBasics:
@@ -86,6 +110,32 @@ class TestPolynomialBasics:
         x, y = Polynomial.variable("x"), Polynomial.variable("y")
         assert str(Polynomial.zero()) == "0"
         assert "x" in str(x * y + x)
+
+    def test_zero_coefficients_never_survive_normalisation(self):
+        x = Polynomial.variable("x")
+        explicit = Polynomial({Monomial.from_variables(["x"]): 0})
+        assert explicit.is_zero()
+        assert explicit == Polynomial.zero()
+        assert hash(explicit) == hash(Polynomial.zero())
+        # Subtract-style path: dropping a variable removes its monomials
+        # entirely instead of leaving zero-coefficient terms behind.
+        dropped = (x * Polynomial.variable("y") + x).drop_variables({"x"})
+        assert dropped.is_zero()
+        assert Monomial.from_variables(["x"]) not in dropped.terms()
+
+    def test_equality_independent_of_construction_order(self):
+        xy_then_x = Polynomial.variable("x") * Polynomial.variable("y") + Polynomial.variable("x")
+        x_then_yx = Polynomial.variable("x") + Polynomial.variable("y") * Polynomial.variable("x")
+        assert xy_then_x == x_then_yx
+        assert hash(xy_then_x) == hash(x_then_yx)
+        direct = Polynomial(
+            {
+                Monomial((("y", 1), ("x", 1))): 1,
+                Monomial((("x", 1),)): 1,
+            }
+        )
+        assert direct == xy_then_x
+        assert hash(direct) == hash(xy_then_x)
 
 
 class TestPolynomialLaws:

@@ -83,7 +83,46 @@ class TestSQLiteBackend:
 
     def test_invalid_relation_name_rejected(self, instance):
         with pytest.raises(StorageError):
-            instance.create_relation("bad name; drop", 1)
+            instance.create_relation("", 1)
+        with pytest.raises(StorageError):
+            instance.create_relation("evil\x00name", 1)
+
+    def test_case_colliding_relation_names_rejected(self, instance):
+        # Quoted SQLite identifiers are still ASCII-case-insensitive, so
+        # 'Orders' and 'orders' would silently share one table.
+        instance.create_relation("Orders", 2)
+        with pytest.raises(StorageError):
+            instance.create_relation("orders", 1)
+        # Same name, same arity stays idempotent.
+        instance.create_relation("Orders", 2)
+        assert instance.relations() >= {"Orders"}
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "order",          # SQL reserved word
+            "select",         # SQL reserved word
+            "weird-name",     # hyphen
+            "Peer.R!pub",     # qualified published-relation style
+            'has"quote',      # embedded double quote
+            "bad name; drop", # spaces and statement separators, quoted away
+            "Σ1.R",           # non-ASCII relation name
+        ],
+    )
+    def test_awkward_relation_names_roundtrip(self, instance, name):
+        # Identifiers are quoted (with quote-doubling), so reserved words,
+        # hyphens, and punctuation must work through the full CRUD + indexed
+        # lookup() surface rather than breaking CREATE INDEX / query SQL.
+        instance.create_relation(name, 2)
+        instance.insert(name, ("k1", "v1"))
+        instance.insert(name, ("k2", "v2"))
+        assert instance.contains(name, ("k1", "v1"))
+        assert instance.lookup(name, 0, "k2") == frozenset({("k2", "v2")})
+        # A second lookup hits the already-created index.
+        assert instance.lookup(name, 0, "k1") == frozenset({("k1", "v1")})
+        assert instance.delete(name, ("k1", "v1"))
+        assert set(instance.scan(name)) == {("k2", "v2")}
+        assert instance.count(name) == 1
 
     def test_labelled_null_roundtrip(self, instance):
         null = SkolemTerm("SK_oid", ("E. coli", 3))

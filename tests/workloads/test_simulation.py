@@ -1,8 +1,9 @@
 """The randomized simulation subsystem and its differential oracles.
 
-The parametrized slice runs 25 seeded random networks through all four
+The parametrized slice runs 25 seeded random networks through all five
 differential oracles (incremental-vs-recompute, provenance-vs-DRed,
-sync-vs-manual, memory-vs-SQLite); the remaining tests pin down the
+dag-vs-expanded, sync-vs-manual, memory-vs-SQLite); the remaining tests
+pin down the
 generator's guarantees (round-tripping, determinism, validation) and the
 oracles' sensitivity (a deliberately injected divergence is reported with
 its seed and first failing epoch).
@@ -83,6 +84,11 @@ class TestSimulationConfig:
         with pytest.raises(ConfigurationError):
             SimulationConfig(min_peers=1)
 
+    def test_provenance_mode_is_validated(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(provenance_mode="polynomial-soup")
+        assert SimulationConfig(provenance_mode="expanded").provenance_mode == "expanded"
+
     def test_transactions_range_is_validated(self):
         with pytest.raises(ConfigurationError):
             SimulationConfig(transactions_per_epoch=(6, 2))
@@ -90,12 +96,12 @@ class TestSimulationConfig:
 
 @pytest.mark.parametrize("seed", SLICE_SEEDS)
 def test_differential_oracles_hold(seed):
-    """≥25 seeded random networks pass all four differential oracles."""
+    """≥25 seeded random networks pass all five differential oracles."""
     result = run_simulation(seed, SLICE_CONFIG)
     assert result.ok, "\n".join(failure.describe() for failure in result.failures)
     assert result.transactions > 0
-    # spec round-trip + 4 oracles per epoch actually ran.
-    assert result.oracle_checks == 1 + 4 * result.epochs_run
+    # spec round-trip + 5 oracles per epoch actually ran.
+    assert result.oracle_checks == 1 + 5 * result.epochs_run
 
 
 def test_simulation_is_deterministic():
@@ -181,6 +187,27 @@ class TestCli:
 
     def test_cli_accepts_single_transaction_epochs(self, capsys):
         assert simulate_main(["--seeds", "1", "--transactions", "1", "--epochs", "2"]) == 0
+
+    def test_cli_provenance_representation_flags(self, capsys):
+        assert simulate_main(
+            ["--seeds", "1", "--epochs", "2", "--provenance-expanded", "--quiet"]
+        ) == 0
+        assert simulate_main(
+            ["--seeds", "1", "--epochs", "2", "--provenance-dag", "--quiet"]
+        ) == 0
+        with pytest.raises(SystemExit):
+            simulate_main(["--provenance-dag", "--provenance-expanded"])
+
+    def test_cli_repro_line_names_expanded_mode(self, capsys, monkeypatch):
+        import repro.simulate as cli
+
+        def boom(seed, config):
+            assert config.provenance_mode == "expanded"
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(cli, "run_simulation", boom)
+        assert cli.main(["--seeds", "1", "--provenance-expanded"]) == 1
+        assert "--provenance-expanded" in capsys.readouterr().err
 
     def test_cli_attributes_crashes_to_their_seed(self, capsys, monkeypatch):
         import repro.simulate as cli
