@@ -1,0 +1,190 @@
+"""Experiment STORE-THROUGHPUT: the distributed update store under load.
+
+Measures the cost of the availability layer the distributed archive adds
+under the exchange pipeline:
+
+* ``publish`` — archiving transaction batches into the store (writes fan
+  out to every reachable replica of the target shard), versus the
+  centralized in-memory archive, at shard counts 1 / 4 / 16.
+* ``catch-up`` — a reconciling peer's ``published_since(watermark)`` quorum
+  read (per-shard epoch-bisected cursors merged to the canonical order),
+  for a peer half an archive behind and for a cold full read.
+* ``churn`` — the same workload with seeded disconnect/reconnect cycles
+  between batches, reporting the re-replication and anti-entropy work the
+  store performed to keep every shard at its replication factor.
+
+Knobs:
+
+* ``STORE_BENCH_SMOKE=1`` shrinks sizes so the module runs in seconds (CI).
+* ``STORE_BENCH_RECORD=1`` (re)writes the committed baseline
+  ``BENCH_store.json`` next to this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro.core.transactions import Transaction
+from repro.core.updates import Update
+from repro.p2p.distributed import DistributedUpdateStore
+from repro.p2p.network import Network
+from repro.p2p.store import UpdateStore
+
+from ._reporting import print_table
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() not in ("", "0", "false", "no", "off")
+
+
+SMOKE = _env_flag("STORE_BENCH_SMOKE")
+RECORD = _env_flag("STORE_BENCH_RECORD")
+BASELINE_PATH = Path(__file__).with_name("BENCH_store.json")
+
+PEERS = [f"P{index}" for index in range(8)]
+BATCHES = 80 if SMOKE else 1500
+SHARD_COUNTS = (1, 4, 16)
+CATCHUP_READS = 5 if SMOKE else 25
+
+
+def _record(experiment: str, payload) -> None:
+    if not RECORD:
+        return
+    baseline = {}
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+    baseline[experiment] = payload
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+
+
+def _batches(count: int, seed: int = 17) -> list[tuple[str, list[Transaction]]]:
+    """A deterministic publication workload: (publisher, transactions) pairs."""
+    rng = random.Random(seed)
+    batches = []
+    for index in range(count):
+        publisher = rng.choice(PEERS)
+        transactions = [
+            Transaction(
+                f"b{index}-t{offset}",
+                publisher,
+                (Update.insert("R", (index, offset), origin=publisher),),
+            )
+            for offset in range(rng.randint(1, 3))
+        ]
+        batches.append((publisher, transactions))
+    return batches
+
+
+def _drive(store, batches, network=None, churn_rate=0.0, seed=23) -> dict:
+    """Publish every batch; returns publish/catch-up timings and counts."""
+    rng = random.Random(seed)
+    offline: list[str] = []
+    publish_seconds = 0.0
+    for epoch, (publisher, transactions) in enumerate(batches, start=1):
+        if network is not None and churn_rate:
+            if offline and rng.random() < 0.5:
+                network.connect(offline.pop())
+            if rng.random() < churn_rate:
+                candidates = [
+                    peer for peer in PEERS if peer != publisher and peer not in offline
+                ]
+                victim = rng.choice(candidates)
+                offline.append(victim)
+                network.disconnect(victim)
+        started = time.perf_counter()
+        store.archive(transactions, epoch, publisher)
+        publish_seconds += time.perf_counter() - started
+    for peer in offline:
+        network.connect(peer)
+
+    total = len(store)
+    halfway_epoch = len(batches) // 2
+    started = time.perf_counter()
+    for _ in range(CATCHUP_READS):
+        behind = store.published_since(halfway_epoch)
+    catchup_seconds = (time.perf_counter() - started) / CATCHUP_READS
+    started = time.perf_counter()
+    full = store.published_since(0)
+    full_seconds = time.perf_counter() - started
+    assert len(full) == total
+    transactions = sum(len(batch) for _, batch in batches)
+    assert total == transactions
+    return {
+        "batches": len(batches),
+        "transactions": transactions,
+        "publish_seconds": round(publish_seconds, 4),
+        "publishes_per_second": round(len(batches) / publish_seconds, 0),
+        "catchup_entries": len(behind),
+        "catchup_seconds": round(catchup_seconds, 5),
+        "full_read_seconds": round(full_seconds, 5),
+    }
+
+
+def test_publish_and_catchup_vs_shard_count():
+    """Publish + catch-up throughput: centralized vs 1/4/16-shard distributed."""
+    batches = _batches(BATCHES)
+    rows = []
+    results = {}
+
+    measurement = _drive(UpdateStore(), batches)
+    results["centralized"] = measurement
+    rows.append(["centralized", "-", *_row_cells(measurement)])
+
+    for shard_count in SHARD_COUNTS:
+        network = Network(PEERS)
+        store = DistributedUpdateStore(
+            network, shard_count=shard_count, replication_factor=2, segment_size=4
+        )
+        measurement = _drive(store, batches, network)
+        assert store.under_replicated() == {}
+        results[f"shards_{shard_count}"] = measurement
+        rows.append([f"distributed x{shard_count}", shard_count, *_row_cells(measurement)])
+
+    print_table(
+        "STORE-THROUGHPUT: publish + catch-up vs shard count",
+        ["store", "shards", "txns", "publish s", "pub/s", "catch-up s", "full read s"],
+        rows,
+    )
+    _record("shard_scaling", results)
+
+
+def _row_cells(measurement: dict) -> list:
+    return [
+        measurement["transactions"],
+        f"{measurement['publish_seconds']:.4f}",
+        f"{measurement['publishes_per_second']:.0f}",
+        f"{measurement['catchup_seconds']:.5f}",
+        f"{measurement['full_read_seconds']:.5f}",
+    ]
+
+
+def test_throughput_under_churn():
+    """The same workload with seeded churn: repairs happen, nothing is lost."""
+    batches = _batches(BATCHES)
+    network = Network(PEERS)
+    store = DistributedUpdateStore(
+        network, shard_count=4, replication_factor=2, segment_size=4
+    )
+    measurement = _drive(store, batches, network, churn_rate=0.3)
+    store.anti_entropy()
+    assert store.under_replicated() == {}
+    health = store.health()
+    churn = network.churn_stats()
+    measurement.update(
+        {
+            "churn_events": churn["events"],
+            "re_replications": health["re_replications"],
+            "entries_transferred": health["entries_transferred"],
+            "degraded_writes": health["degraded_writes"],
+        }
+    )
+    print_table(
+        "STORE-THROUGHPUT: churned configuration (4 shards x2)",
+        ["metric", "value"],
+        [[key, value] for key, value in measurement.items()],
+    )
+    _record("churned", measurement)

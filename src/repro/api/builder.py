@@ -19,12 +19,13 @@ state is created — so a half-built network never leaks out.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ..config import SystemConfig
 from ..core.mapping import Mapping, identity_mapping, mapping_from_tgd
 from ..errors import SpecError
-from .spec import NetworkSpec, PeerSpec, TRUST_DEFAULT
+from .spec import NetworkSpec, PeerSpec, StoreSpec, TRUST_DEFAULT
 
 
 class PeerBuilder:
@@ -94,11 +95,18 @@ class PeerBuilder:
     ) -> "NetworkBuilder":
         return self._network.identity(mapping_id, source_peer, target_peer, relations)
 
+    def store(self, kind: str = "distributed", **knobs) -> "NetworkBuilder":
+        return self._network.store(kind, **knobs)
+
     def spec(self) -> NetworkSpec:
         return self._network.spec()
 
-    def build(self, storage_factory: Optional[Callable[[str], object]] = None):
-        return self._network.build(storage_factory)
+    def build(
+        self,
+        storage_factory: Optional[Callable[[str], object]] = None,
+        store_factory=None,
+    ):
+        return self._network.build(storage_factory, store_factory)
 
 
 class NetworkBuilder:
@@ -119,6 +127,23 @@ class NetworkBuilder:
         peer_spec = PeerSpec(name=name, schema_name=schema_name)
         self._spec.peers[name] = peer_spec
         return PeerBuilder(self, peer_spec)
+
+    def store(self, kind: str = "distributed", **knobs) -> "NetworkBuilder":
+        """Select the update-store backend (``centralized``/``distributed``).
+
+        Knobs: ``shards``, ``replication``, ``write_quorum``, ``read_quorum``,
+        ``segment_size`` — unset ones defer to
+        :class:`~repro.config.StoreConfig` defaults.
+        """
+        if self._spec.store is not None:
+            raise SpecError("the store backend is declared twice")
+        try:
+            store = StoreSpec(kind=kind, **knobs)
+        except TypeError as error:
+            raise SpecError(f"bad store declaration: {error}") from None
+        store.validate()
+        self._spec.store = store
+        return self
 
     def mapping(
         self, source: Union[str, Mapping], mapping_id: Optional[str] = None
@@ -202,7 +227,11 @@ class NetworkBuilder:
         self._spec.validate()
         return self._spec
 
-    def build(self, storage_factory: Optional[Callable[[str], object]] = None):
+    def build(
+        self,
+        storage_factory: Optional[Callable[[str], object]] = None,
+        store_factory=None,
+    ):
         """Validate the whole description and construct the CDSS.
 
         Args:
@@ -210,11 +239,32 @@ class NetworkBuilder:
                 callable; when given, every peer's local instance is created
                 by it (e.g. ``lambda name: SQLiteInstance(f"{name}.db")``)
                 instead of the in-memory default.
+            store_factory: Optional ``(network, store_config) -> store``
+                callable overriding the shared update archive; without it
+                the spec's ``store`` section (merged over the config's
+                :class:`~repro.config.StoreConfig`) picks centralized vs
+                distributed.
         """
         from ..core.system import CDSS
 
         spec = self.spec()
-        cdss = CDSS(self._config)
+        config = self._config
+        if spec.store is not None:
+            base = config or SystemConfig.default()
+            overrides = {
+                config_field: value
+                for config_field, value in (
+                    ("backend", spec.store.kind),
+                    ("shard_count", spec.store.shards),
+                    ("replication_factor", spec.store.replication),
+                    ("write_quorum", spec.store.write_quorum),
+                    ("read_quorum", spec.store.read_quorum),
+                    ("segment_size", spec.store.segment_size),
+                )
+                if value is not None
+            }
+            config = replace(base, store=replace(base.store, **overrides))
+        cdss = CDSS(config, store_factory=store_factory)
         cdss.name = spec.name
         for peer_spec in spec.peers.values():
             storage = storage_factory(peer_spec.name) if storage_factory else None
@@ -231,6 +281,7 @@ def build_network(
     source,
     config: Optional[SystemConfig] = None,
     storage_factory: Optional[Callable[[str], object]] = None,
+    store_factory=None,
 ):
     """Build a CDSS directly from a textual/dict/:class:`NetworkSpec` description."""
     from .spec import parse_network_spec
@@ -238,4 +289,4 @@ def build_network(
     spec = parse_network_spec(source)
     builder = NetworkBuilder(spec.name, config)
     builder._spec = spec
-    return builder.build(storage_factory)
+    return builder.build(storage_factory, store_factory)

@@ -15,6 +15,10 @@ paper itself uses::
 The format is line-oriented:
 
 * ``network <name>`` (optional) names the network;
+* ``store <kind> [<knob> <value> ...]`` (optional) selects the update-store
+  backend: ``store centralized`` or ``store distributed shards 4
+  replication 2 write_quorum 2 read_quorum 1 segment_size 8`` (every knob
+  optional);
 * ``peer <Name> [schema <SchemaName>]`` opens a peer section;
 * ``relation Rel(attr, ...) [key(attr, ...)]`` declares a relation of the
   current peer; without a ``key`` clause the whole tuple is the key;
@@ -47,6 +51,7 @@ from ..errors import SpecError
 TRUST_DEFAULT = "*"
 
 _PEER_RE = re.compile(r"peer\s+(?P<name>\w+)(?:\s+schema\s+(?P<schema>\w+))?\s*$")
+_STORE_RE = re.compile(r"store\s+(?P<kind>\w+)(?P<knobs>(?:\s+\w+\s+\d+)*)\s*$")
 _RELATION_RE = re.compile(
     r"relation\s+(?P<name>\w+)\s*\((?P<attrs>[^)]*)\)(?:\s*key\s*\((?P<key>[^)]*)\))?\s*$"
 )
@@ -89,6 +94,63 @@ class PeerSpec:
         return spec
 
 
+#: Knobs a ``store`` declaration accepts, in canonical rendering order.
+_STORE_KNOBS = ("shards", "replication", "write_quorum", "read_quorum", "segment_size")
+
+
+@dataclass
+class StoreSpec:
+    """Declarative description of the shared update-store backend.
+
+    Unset knobs (``None``) defer to :class:`~repro.config.StoreConfig`
+    defaults, so a spec only pins what it cares about.
+    """
+
+    kind: str = "centralized"
+    shards: Optional[int] = None
+    replication: Optional[int] = None
+    write_quorum: Optional[int] = None
+    read_quorum: Optional[int] = None
+    segment_size: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.kind not in ("centralized", "distributed"):
+            raise SpecError(
+                f"store kind must be 'centralized' or 'distributed', got {self.kind!r}"
+            )
+        for knob in _STORE_KNOBS:
+            value = getattr(self, knob)
+            if value is not None and value < 1:
+                raise SpecError(f"store {knob} must be >= 1, got {value}")
+        # Quorums are only cross-checked against a replication factor the
+        # spec itself pins; when the knob is unset the effective factor comes
+        # from the StoreConfig the spec is merged over, which re-validates.
+        if self.replication is not None:
+            for knob in ("write_quorum", "read_quorum"):
+                value = getattr(self, knob)
+                if value is not None and value > self.replication:
+                    raise SpecError(
+                        f"store {knob} ({value}) cannot exceed the replication "
+                        f"factor ({self.replication})"
+                    )
+
+    def to_dict(self) -> dict:
+        spec: dict = {"kind": self.kind}
+        for knob in _STORE_KNOBS:
+            value = getattr(self, knob)
+            if value is not None:
+                spec[knob] = value
+        return spec
+
+    def to_text_line(self) -> str:
+        parts = [f"store {self.kind}"]
+        for knob in _STORE_KNOBS:
+            value = getattr(self, knob)
+            if value is not None:
+                parts.append(f"{knob} {value}")
+        return " ".join(parts)
+
+
 @dataclass
 class NetworkSpec:
     """A complete declarative description of a CDSS network."""
@@ -96,12 +158,16 @@ class NetworkSpec:
     name: str = "network"
     peers: dict[str, PeerSpec] = field(default_factory=dict)
     mappings: list[Mapping] = field(default_factory=list)
+    #: Optional update-store backend selection (centralized vs distributed).
+    store: Optional[StoreSpec] = None
 
     # -- validation ----------------------------------------------------------
     def validate(self) -> None:
         """Cross-check the spec before any system state is built."""
         if not self.peers:
             raise SpecError("a network spec needs at least one peer")
+        if self.store is not None:
+            self.store.validate()
         for peer in self.peers.values():
             if not peer.relations:
                 raise SpecError(f"peer {peer.name!r} declares no relations")
@@ -136,14 +202,19 @@ class NetworkSpec:
 
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        data = {
             "name": self.name,
             "peers": {name: peer.to_dict() for name, peer in self.peers.items()},
             "mappings": [mapping_to_tgd(mapping) for mapping in self.mappings],
         }
+        if self.store is not None:
+            data["store"] = self.store.to_dict()
+        return data
 
     def to_text(self) -> str:
         lines = [f"network {self.name}"]
+        if self.store is not None:
+            lines.append(self.store.to_text_line())
         for peer in self.peers.values():
             header = f"peer {peer.name}"
             if peer.schema_name:
@@ -205,6 +276,22 @@ def _parse_text_spec(text: str) -> NetworkSpec:
 
         if line.startswith("network "):
             spec.name = line.split(None, 1)[1].strip()
+            continue
+
+        if line.startswith("store"):
+            if current is not None:
+                raise SpecError(
+                    f"line {number}: the store declaration belongs at the top "
+                    "of the spec, before any peer section"
+                )
+            if spec.store is not None:
+                raise SpecError(f"line {number}: the store is declared twice")
+            match = _STORE_RE.match(line)
+            if match is None:
+                raise SpecError(f"line {number}: malformed store declaration {raw.strip()!r}")
+            spec.store = _store_from_knobs(
+                match.group("kind"), match.group("knobs").split(), f"line {number}"
+            )
             continue
 
         if line.startswith("peer"):
@@ -272,8 +359,41 @@ def _mapping_from_lines(lines: Sequence[str], context: str) -> Mapping:
         raise SpecError(f"{context}: bad mapping {text!r}: {error}") from error
 
 
+def _store_from_knobs(kind: str, tokens: Sequence[str], context: str) -> StoreSpec:
+    """Build a :class:`StoreSpec` from ``knob value`` token pairs."""
+    store = StoreSpec(kind=kind)
+    for position in range(0, len(tokens), 2):
+        knob = tokens[position]
+        if knob not in _STORE_KNOBS:
+            raise SpecError(
+                f"{context}: unknown store knob {knob!r}; expected one of "
+                + ", ".join(_STORE_KNOBS)
+            )
+        if getattr(store, knob) is not None:
+            raise SpecError(f"{context}: store knob {knob!r} is given twice")
+        setattr(store, knob, int(tokens[position + 1]))
+    return store
+
+
 def _parse_dict_spec(data: MappingType) -> NetworkSpec:
     spec = NetworkSpec(name=str(data.get("name", "network")))
+    store_entry = data.get("store")
+    if store_entry is not None:
+        if not isinstance(store_entry, MappingType):
+            raise SpecError(
+                f"the 'store' entry must be a mapping, got {type(store_entry).__name__}"
+            )
+        unknown = set(store_entry) - {"kind", *_STORE_KNOBS}
+        if unknown:
+            raise SpecError(f"unknown store entries: {sorted(unknown)}")
+        spec.store = StoreSpec(
+            kind=str(store_entry.get("kind", "centralized")),
+            **{
+                knob: int(store_entry[knob])
+                for knob in _STORE_KNOBS
+                if store_entry.get(knob) is not None
+            },
+        )
     peers = data.get("peers")
     if not isinstance(peers, MappingType) or not peers:
         raise SpecError("dict specs need a non-empty 'peers' mapping")
@@ -331,6 +451,7 @@ def spec_of(cdss) -> NetworkSpec:
     form.
     """
     spec = NetworkSpec(name=getattr(cdss, "name", None) or "network")
+    spec.store = store_spec_of(cdss.store)
     for peer in cdss.catalog.peers():
         policy = peer.trust
         if policy.conditions:
@@ -356,3 +477,24 @@ def spec_of(cdss) -> NetworkSpec:
         )
     spec.mappings = list(cdss.catalog.mappings())
     return spec
+
+
+def store_spec_of(store) -> Optional[StoreSpec]:
+    """The :class:`StoreSpec` describing a running store.
+
+    The centralized default maps to ``None`` (no ``store`` line), so specs
+    that never mentioned a store round-trip unchanged; a distributed store
+    is recovered with all its knobs pinned.
+    """
+    from ..p2p.distributed import DistributedUpdateStore
+
+    if isinstance(store, DistributedUpdateStore):
+        return StoreSpec(
+            kind="distributed",
+            shards=store.shard_count,
+            replication=store.replication_factor,
+            write_quorum=store.write_quorum,
+            read_quorum=store.read_quorum,
+            segment_size=store.segment_size,
+        )
+    return None

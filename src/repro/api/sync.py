@@ -71,6 +71,9 @@ class SyncReport:
     converged: bool = False
     #: Per-peer count of conflicts still awaiting the administrator.
     open_conflicts: dict[str, int] = field(default_factory=dict)
+    #: Shard/replica health of a distributed update store (``None`` for the
+    #: centralized archive): replication status, degraded writes, repairs.
+    store_health: Optional[dict] = None
 
     # -- aggregate views ------------------------------------------------------
     @property
@@ -133,7 +136,7 @@ class SyncReport:
         }
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "peers": list(self.peers),
             "rounds": [round_.to_dict() for round_ in self.rounds],
             "round_count": self.round_count,
@@ -144,6 +147,9 @@ class SyncReport:
             "open_conflicts": dict(self.open_conflicts),
             "decisions": {peer: self.decision_summary(peer) for peer in self.peers},
         }
+        if self.store_health is not None:
+            data["store_health"] = self.store_health
+        return data
 
 
 def _selected_peers(cdss, peers: Optional[Sequence[str]]) -> list[str]:
@@ -202,4 +208,7 @@ def synchronize(
             f"synchronization did not reach quiescence within {max_rounds} rounds"
         )
     report.open_conflicts = {name: len(cdss.open_conflicts(name)) for name in names}
+    health = getattr(cdss.store, "health", None)
+    if callable(health):
+        report.store_health = health()
     return report

@@ -73,23 +73,55 @@ class ReconciliationConfig:
 
 @dataclass(frozen=True)
 class StoreConfig:
-    """Configuration of the simulated peer-to-peer update store.
+    """Configuration of the peer-to-peer update store.
 
     Attributes:
-        replication_factor: Number of replica slots each published transaction
-            is assigned to in the simulated overlay.
+        backend: ``"centralized"`` (single in-memory archive, the default) or
+            ``"distributed"`` (sharded, replicated archive hosted on the
+            peers themselves; see :mod:`repro.p2p.distributed`).
+        replication_factor: Number of replicas of each shard (distributed
+            backend) or replica slots per transaction in the overlay
+            accounting (centralized backend).
+        shard_count: Number of shards of the distributed archive.
+        write_quorum: Acks required for a non-degraded write; ``None`` means
+            a majority of the replication factor.
+        read_quorum: Replicas consulted per shard on reads.
+        segment_size: Epochs per log segment (the unit of shard placement).
         require_online_to_publish: Publishing requires the peer to be online.
         require_online_to_reconcile: Reconciling requires the peer to be
             online (it must reach the archive).
     """
 
+    backend: str = "centralized"
     replication_factor: int = 2
+    shard_count: int = 4
+    write_quorum: int | None = None
+    read_quorum: int = 1
+    segment_size: int = 8
     require_online_to_publish: bool = True
     require_online_to_reconcile: bool = True
 
     def __post_init__(self) -> None:
+        if self.backend not in ("centralized", "distributed"):
+            raise ConfigurationError(
+                f"store backend must be 'centralized' or 'distributed', got {self.backend!r}"
+            )
         if self.replication_factor < 1:
             raise ConfigurationError("replication_factor must be >= 1")
+        if self.shard_count < 1:
+            raise ConfigurationError("shard_count must be >= 1")
+        if self.segment_size < 1:
+            raise ConfigurationError("segment_size must be >= 1")
+        if not 1 <= self.read_quorum <= self.replication_factor:
+            raise ConfigurationError(
+                "read_quorum must lie in [1, replication_factor]"
+            )
+        if self.write_quorum is not None and not (
+            1 <= self.write_quorum <= self.replication_factor
+        ):
+            raise ConfigurationError(
+                "write_quorum must be None (majority) or in [1, replication_factor]"
+            )
 
 
 @dataclass(frozen=True)

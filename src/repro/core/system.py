@@ -35,6 +35,7 @@ from ..exchange.engine import ExchangeEngine
 from ..exchange.migration import migrate_instance
 from ..exchange.rules import compile_mappings
 from ..exchange.translation import CandidateTransaction, UpdateTranslator
+from ..p2p.distributed import store_from_config
 from ..p2p.network import Network
 from ..p2p.replication import ReplicationManager
 from ..p2p.store import UpdateStore
@@ -138,13 +139,25 @@ class PublishAllOutcome:
 class CDSS:
     """A complete collaborative data sharing system."""
 
-    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        store_factory=None,
+    ) -> None:
+        """Create an empty system.
+
+        ``store_factory`` (``(network, store_config) -> store``) overrides
+        how the shared update archive is built; by default
+        :func:`~repro.p2p.distributed.store_from_config` selects the
+        centralized or distributed backend named by ``config.store.backend``.
+        """
         self.config = config or SystemConfig.default()
         self.name = "network"
         self.catalog = Catalog()
         self.clock = LogicalClock()
-        self.store = UpdateStore()
         self.network = Network()
+        factory = store_factory if store_factory is not None else store_from_config
+        self.store = factory(self.network, self.config.store)
         self.replication = ReplicationManager(
             self.network, self.config.store.replication_factor
         )
@@ -159,6 +172,7 @@ class CDSS:
         source,
         config: Optional[SystemConfig] = None,
         storage_factory=None,
+        store_factory=None,
     ) -> "CDSS":
         """Build a complete system from a declarative network description.
 
@@ -168,10 +182,13 @@ class CDSS:
         before any peer is registered.  ``storage_factory`` (``peer name ->
         storage backend``) selects a non-default backend for every peer's
         local instance, e.g. ``lambda name: SQLiteInstance()``.
+        ``store_factory`` (``(network, store_config) -> store``) overrides
+        the shared archive; without it the spec's ``store`` section (or
+        ``config.store.backend``) picks centralized vs distributed.
         """
         from ..api.builder import build_network
 
-        return build_network(source, config, storage_factory)
+        return build_network(source, config, storage_factory, store_factory)
 
     def to_spec(self):
         """The declarative :class:`~repro.api.spec.NetworkSpec` of this system.

@@ -66,6 +66,12 @@ class PublicationError(ReproError):
     """Publishing transactions to the shared update store failed."""
 
 
+class QuorumError(PublicationError):
+    """The distributed update store could not reach enough shard replicas to
+    serve a read or accept a write (every replica host of a shard is
+    offline)."""
+
+
 class ReconciliationError(ReproError):
     """The reconciliation algorithm was given inconsistent inputs or asked to
     resolve a conflict that does not exist."""

@@ -1,25 +1,43 @@
-"""Simulated peer-to-peer substrate for the published-update archive.
+"""Peer-to-peer substrate for the published-update archive.
 
 Figure 1 of the paper stores published transactions in a peer-to-peer
 distributed database so that a peer's updates remain retrievable after it
-disconnects.  This package simulates that substrate:
+disconnects.  This package provides that substrate:
 
-* :mod:`repro.p2p.store` — the durable, append-only archive of published
-  transactions, ordered by epoch,
+* :mod:`repro.p2p.store` — the centralized, append-only archive of published
+  transactions, ordered by epoch and indexed for the reconcile hot path,
 * :mod:`repro.p2p.network` — per-peer connectivity (peers are intermittently
-  connected; offline peers can neither publish nor reconcile),
+  connected; offline peers can neither publish nor reconcile), with
+  listeners, a bounded availability trace, and churn statistics,
 * :mod:`repro.p2p.replication` — replica placement of published transactions
-  onto the currently online peers and availability accounting under churn.
+  onto the currently online peers, availability accounting under churn, and
+  re-replication after holders disconnect,
+* :mod:`repro.p2p.distributed` — the sharded, k-way-replicated distributed
+  archive: consistent hashing of epoch-ordered log segments onto peer-hosted
+  shard servers, quorum reads/writes, re-replication, and gossip-based
+  catch-up for reconnecting peers.
 """
 
-from .network import Network
+from .distributed import (
+    ConsistentHashRing,
+    DistributedUpdateStore,
+    ShardReplica,
+    store_from_config,
+)
+from .network import ConnectivityEvent, Network
 from .replication import ReplicaPlacement, ReplicationManager
-from .store import PublishedTransaction, UpdateStore
+from .store import EpochLog, PublishedTransaction, UpdateStore
 
 __all__ = [
+    "ConnectivityEvent",
+    "ConsistentHashRing",
+    "DistributedUpdateStore",
+    "EpochLog",
     "Network",
     "PublishedTransaction",
     "ReplicaPlacement",
     "ReplicationManager",
+    "ShardReplica",
     "UpdateStore",
+    "store_from_config",
 ]

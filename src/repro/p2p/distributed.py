@@ -1,0 +1,624 @@
+"""Sharded, k-way-replicated distributed update store.
+
+The paper's CDSS keeps published transactions in a *peer-to-peer update
+store*: the archive is partitioned and replicated across the participants
+themselves, so updates stay retrievable while their publishers are
+disconnected.  This module is that availability layer.
+:class:`DistributedUpdateStore` presents the exact
+:class:`~repro.p2p.store.UpdateStore` API the rest of the system consumes,
+but physically partitions the epoch-ordered log:
+
+* **Placement** — the log is cut into epoch-ordered *segments* of
+  ``segment_size`` epochs; each segment is mapped onto one of ``shard_count``
+  shards by consistent hashing (:class:`ConsistentHashRing`), and each shard
+  is hosted as :class:`ShardReplica` copies on ``replication_factor`` peers
+  chosen by rendezvous hashing among the registered participants.
+* **Writes** — ``archive`` validates the whole batch atomically (the same
+  contract as the centralized store), then sends every entry to **all**
+  reachable replicas of its shard.  Success requires at least one ack;
+  landing fewer than ``write_quorum`` acks is recorded as a *degraded
+  write* in :meth:`DistributedUpdateStore.health` rather than refused, so a
+  mostly-offline network keeps the availability profile of the centralized
+  archive (Dynamo-style sloppy quorum; anti-entropy repairs the missing
+  copies later).
+* **Quorum reads** — ``published_since`` performs a per-shard quorum read:
+  the ``read_quorum`` most complete reachable replicas of every shard are
+  consulted, their epoch-bisected tails unioned (a stale quorum member
+  cannot hide entries a fresher one holds), and the per-shard results merged
+  back into the canonical total order by global sequence number.
+* **Churn tolerance** — the store subscribes to
+  :class:`~repro.p2p.network.Network` connectivity events.  When a hosting
+  peer disconnects, a re-replication pass copies the shard from a surviving
+  replica onto the best-ranked online peer, restoring the replication
+  factor.  When a peer reconnects, a gossip/anti-entropy round exchanges
+  per-shard epoch vectors and back-fills whatever its replicas missed while
+  offline; fully caught-up surplus replicas are then pruned back to the
+  replication factor.
+
+Because writes fan out to every reachable replica (not just a quorum),
+losing up to ``replication_factor - 1`` replicas of a shard never loses a
+published transaction, and sequential churn with repair in between never
+degrades below the replication factor while enough peers remain online.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Iterable, Optional
+
+from ..core.transactions import Transaction
+from ..errors import ConfigurationError, PublicationError, QuorumError
+from .network import ConnectivityEvent, Network
+from .store import (
+    EpochLog,
+    PublishedTransaction,
+    UpdateStore,
+    validate_publication_batch,
+)
+
+
+def _hash(text: str) -> int:
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+
+
+class ConsistentHashRing:
+    """Maps epoch-ordered log segments onto shards via consistent hashing.
+
+    Each shard contributes ``points`` virtual nodes to the ring; a segment
+    hashes to a position and is owned by the next shard clockwise.  The
+    mapping is deterministic across processes and replicas (it depends only
+    on ``shard_count`` and ``points``), which the differential oracles rely
+    on.
+    """
+
+    def __init__(self, shard_count: int, points: int = 32) -> None:
+        if shard_count < 1:
+            raise ConfigurationError("shard_count must be >= 1")
+        if points < 1:
+            raise ConfigurationError("ring points must be >= 1")
+        self._shard_count = shard_count
+        ring = sorted(
+            (_hash(f"shard:{shard}:{point}"), shard)
+            for shard in range(shard_count)
+            for point in range(points)
+        )
+        self._keys = [key for key, _ in ring]
+        self._shards = [shard for _, shard in ring]
+
+    @property
+    def shard_count(self) -> int:
+        return self._shard_count
+
+    def shard_for(self, segment: int) -> int:
+        position = bisect_right(self._keys, _hash(f"segment:{segment}"))
+        if position == len(self._shards):
+            position = 0
+        return self._shards[position]
+
+
+class ShardReplica:
+    """One peer-hosted copy of a shard: an epoch-ordered log plus cursors.
+
+    The replica tracks which global sequences it holds per segment; the
+    summary of that bookkeeping (:meth:`epoch_vector`) is what anti-entropy
+    rounds exchange before deciding whether any entries need to move.
+    """
+
+    def __init__(self, shard: int, host: str) -> None:
+        self.shard = shard
+        self.host = host
+        self.log = EpochLog()
+        self._segments: dict[int, set[int]] = {}
+        self._by_sequence: dict[int, PublishedTransaction] = {}
+
+    def add(self, entry: PublishedTransaction, segment: int) -> bool:
+        """Store one entry; returns False when it was already held."""
+        held = self._segments.setdefault(segment, set())
+        if entry.sequence in held:
+            return False
+        held.add(entry.sequence)
+        self._by_sequence[entry.sequence] = entry
+        self.log.add(entry)
+        return True
+
+    def __len__(self) -> int:
+        return len(self.log)
+
+    def sequences(self, segment: int) -> set[int]:
+        return set(self._segments.get(segment, ()))
+
+    def segments(self) -> list[int]:
+        return sorted(self._segments)
+
+    def entry_for(self, sequence: int) -> Optional[PublishedTransaction]:
+        return self._by_sequence.get(sequence)
+
+    def holds(self, sequence: int) -> bool:
+        return sequence in self._by_sequence
+
+    def epoch_vector(self) -> dict[int, tuple[int, int]]:
+        """``{segment: (entry count, max sequence)}`` — the gossip summary."""
+        return {
+            segment: (len(held), max(held))
+            for segment, held in sorted(self._segments.items())
+            if held
+        }
+
+
+class DistributedUpdateStore:
+    """Sharded, replicated archive with the :class:`UpdateStore` interface."""
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        shard_count: int = 4,
+        replication_factor: int = 2,
+        write_quorum: Optional[int] = None,
+        read_quorum: int = 1,
+        segment_size: int = 8,
+        ring_points: int = 32,
+    ) -> None:
+        if replication_factor < 1:
+            raise ConfigurationError("replication_factor must be >= 1")
+        if segment_size < 1:
+            raise ConfigurationError("segment_size must be >= 1")
+        if write_quorum is None:
+            write_quorum = replication_factor // 2 + 1
+        if not 1 <= write_quorum <= replication_factor:
+            raise ConfigurationError(
+                f"write_quorum must lie in [1, replication_factor], got {write_quorum}"
+            )
+        if not 1 <= read_quorum <= replication_factor:
+            raise ConfigurationError(
+                f"read_quorum must lie in [1, replication_factor], got {read_quorum}"
+            )
+        self._network = network
+        self._ring = ConsistentHashRing(shard_count, ring_points)
+        self._replication_factor = replication_factor
+        self._write_quorum = write_quorum
+        self._read_quorum = read_quorum
+        self._segment_size = segment_size
+        self._replicas: dict[int, list[ShardReplica]] = {}
+        #: Coordinator-side routing metadata: which sequences were assigned
+        #: to each shard (what a complete replica of the shard must hold),
+        #: and which transaction ids were ever archived (exact duplicate
+        #: detection must not depend on which replicas are reachable).
+        self._shard_sequences: dict[int, set[int]] = {}
+        self._ids: set[str] = set()
+        self._next_sequence = 0
+        self._latest_epoch = 0
+        self._degraded_writes = 0
+        self._re_replications = 0
+        self._anti_entropy_rounds = 0
+        self._entries_transferred = 0
+        network.subscribe(self._on_connectivity)
+
+    # -- knobs -------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return self._ring.shard_count
+
+    @property
+    def replication_factor(self) -> int:
+        return self._replication_factor
+
+    @property
+    def write_quorum(self) -> int:
+        return self._write_quorum
+
+    @property
+    def read_quorum(self) -> int:
+        return self._read_quorum
+
+    @property
+    def segment_size(self) -> int:
+        return self._segment_size
+
+    # -- placement ---------------------------------------------------------------
+    def _segment_of(self, epoch: int) -> int:
+        return (max(epoch, 1) - 1) // self._segment_size
+
+    def shard_of_epoch(self, epoch: int) -> int:
+        return self._ring.shard_for(self._segment_of(epoch))
+
+    @staticmethod
+    def _rank(shard: int, peer: str) -> int:
+        return _hash(f"replica:{shard}:{peer}")
+
+    def _reachable(self, replica: ShardReplica) -> bool:
+        return self._network.is_online(replica.host)
+
+    def _replica_set(self, shard: int) -> list[ShardReplica]:
+        """The shard's replicas, created on first use among online peers."""
+        replicas = self._replicas.get(shard)
+        if replicas:
+            return replicas
+        candidates = sorted(self._network.online_peers(), key=lambda p: self._rank(shard, p))
+        if not candidates:
+            candidates = sorted(self._network.peers(), key=lambda p: self._rank(shard, p))
+        hosts = candidates[: self._replication_factor]
+        replicas = [ShardReplica(shard, host) for host in hosts]
+        self._replicas[shard] = replicas
+        return replicas
+
+    def host_shards(self, peer: str) -> list[int]:
+        """Shards with a replica hosted on ``peer`` (inspection aid)."""
+        return sorted(
+            shard
+            for shard, replicas in self._replicas.items()
+            if any(replica.host == peer for replica in replicas)
+        )
+
+    def replica_hosts(self, shard: int) -> list[str]:
+        return [replica.host for replica in self._replicas.get(shard, [])]
+
+    # -- churn handling ----------------------------------------------------------
+    def _on_connectivity(self, event: ConnectivityEvent) -> None:
+        if event.online:
+            self._handle_reconnect(event.peer)
+        else:
+            self._handle_disconnect(event.peer)
+
+    def _handle_disconnect(self, peer: str) -> None:
+        """Restore the replication factor of every shard the peer hosted."""
+        for shard, replicas in self._replicas.items():
+            if any(replica.host == peer for replica in replicas):
+                self._repair_shard(shard)
+
+    def _handle_reconnect(self, peer: str) -> None:
+        """Catch the returning peer's replicas up, then rebalance.
+
+        Shards the peer hosts run an anti-entropy round (back-filling what
+        its replicas missed while offline); every shard is then repaired, so
+        replica sets that were created while part of the network was offline
+        grow back to the replication factor as capacity returns.
+        """
+        for shard in sorted(self._replicas):
+            if any(replica.host == peer for replica in self._replicas[shard]):
+                self._anti_entropy_shard(shard)
+            self._repair_shard(shard)
+
+    def _is_complete(self, shard: int, replica: ShardReplica) -> bool:
+        assigned = self._shard_sequences.get(shard, set())
+        return all(replica.holds(sequence) for sequence in assigned)
+
+    def _repair_shard(self, shard: int) -> None:
+        """Re-replicate from surviving copies until enough replicas are online."""
+        replicas = self._replicas.get(shard)
+        if not replicas:
+            return
+        online = [replica for replica in replicas if self._reachable(replica)]
+        target = min(self._replication_factor, len(self._network.online_peers()))
+        if len(online) >= target:
+            self._prune_shard(shard)
+            return
+        donor = max(online, key=len, default=None)
+        if donor is None:
+            # Every holder is offline: nothing to copy from. The data is not
+            # lost — the offline replicas keep their logs — but the shard is
+            # unreachable until one of them reconnects.
+            return
+        hosts = {replica.host for replica in replicas}
+        candidates = sorted(
+            self._network.online_peers() - hosts,
+            key=lambda peer: self._rank(shard, peer),
+        )
+        for peer in candidates[: target - len(online)]:
+            replica = ShardReplica(shard, peer)
+            for segment in donor.segments():
+                for sequence in sorted(donor.sequences(segment)):
+                    entry = donor.entry_for(sequence)
+                    if entry is not None and replica.add(entry, segment):
+                        self._entries_transferred += 1
+            replicas.append(replica)
+            self._re_replications += 1
+        self._prune_shard(shard)
+
+    def _prune_shard(self, shard: int) -> None:
+        """Trim surplus replicas once enough complete online copies exist.
+
+        Only replicas whose every entry is already held by the kept set are
+        dropped, so pruning can never reduce any transaction's copy count
+        below the replication factor.
+        """
+        replicas = self._replicas.get(shard, [])
+        if len(replicas) <= self._replication_factor:
+            return
+        complete_online = [
+            replica
+            for replica in replicas
+            if self._reachable(replica) and self._is_complete(shard, replica)
+        ]
+        if len(complete_online) < self._replication_factor:
+            return
+        keep = sorted(
+            complete_online, key=lambda replica: self._rank(shard, replica.host)
+        )[: self._replication_factor]
+        self._replicas[shard] = keep
+
+    # -- anti-entropy ------------------------------------------------------------
+    def _anti_entropy_shard(self, shard: int) -> int:
+        """One gossip round among the shard's reachable replicas.
+
+        Replicas first exchange per-shard epoch vectors; only segments whose
+        vectors disagree exchange actual entries.  Returns the number of
+        entries transferred.
+        """
+        replicas = [
+            replica
+            for replica in self._replicas.get(shard, [])
+            if self._reachable(replica)
+        ]
+        if len(replicas) < 2:
+            return 0
+        vectors = [replica.epoch_vector() for replica in replicas]
+        if all(vector == vectors[0] for vector in vectors[1:]):
+            return 0
+        transferred = 0
+        segments = sorted({segment for vector in vectors for segment in vector})
+        for segment in segments:
+            summaries = {vector.get(segment) for vector in vectors}
+            if len(summaries) == 1:
+                continue
+            union: dict[int, PublishedTransaction] = {}
+            for replica in replicas:
+                for sequence in replica.sequences(segment):
+                    entry = replica.entry_for(sequence)
+                    if entry is not None:
+                        union[sequence] = entry
+            for replica in replicas:
+                missing = set(union) - replica.sequences(segment)
+                for sequence in sorted(missing):
+                    if replica.add(union[sequence], segment):
+                        transferred += 1
+        self._entries_transferred += transferred
+        return transferred
+
+    def anti_entropy(self) -> int:
+        """Run a gossip round over every shard; returns entries transferred."""
+        self._anti_entropy_rounds += 1
+        return sum(
+            self._anti_entropy_shard(shard) for shard in sorted(self._replicas)
+        )
+
+    # -- publication -------------------------------------------------------------
+    def archive(
+        self, transactions: Iterable[Transaction], epoch: int, publisher: str
+    ) -> list[PublishedTransaction]:
+        """Archive a batch, writing every entry to all reachable shard replicas.
+
+        The batch is validated as a whole before any replica is touched, so
+        publication stays atomic.  Fewer than ``write_quorum`` acks is a
+        degraded (but successful) write; zero reachable replicas raises
+        :class:`~repro.errors.QuorumError`.
+        """
+        batch = list(transactions)
+        validate_publication_batch(
+            batch, epoch, publisher, self._latest_epoch, self._ids.__contains__
+        )
+        segment = self._segment_of(epoch)
+        shard = self._ring.shard_for(segment)
+        replicas = self._replica_set(shard)
+        if sum(1 for replica in replicas if self._reachable(replica)) < min(
+            self._replication_factor, len(self._network.online_peers())
+        ):
+            self._repair_shard(shard)
+            replicas = self._replicas[shard]
+        archived = []
+        for transaction in batch:
+            stamped = transaction.with_epoch(epoch)
+            entry = PublishedTransaction(
+                transaction=stamped,
+                epoch=epoch,
+                sequence=self._next_sequence,
+                publisher=publisher,
+            )
+            acks = 0
+            for replica in replicas:
+                if self._reachable(replica) and replica.add(entry, segment):
+                    acks += 1
+            if acks == 0:
+                raise QuorumError(
+                    f"no replica of shard {shard} is reachable; cannot archive "
+                    f"transaction {transaction.txn_id!r}"
+                )
+            if acks < self._write_quorum:
+                self._degraded_writes += 1
+            self._next_sequence += 1
+            self._latest_epoch = max(self._latest_epoch, epoch)
+            self._shard_sequences.setdefault(shard, set()).add(entry.sequence)
+            self._ids.add(transaction.txn_id)
+            archived.append(entry)
+        return archived
+
+    # -- quorum reads ------------------------------------------------------------
+    def _read_shard(
+        self,
+        shard: int,
+        epoch: int = -1,
+        exclude_publisher: Optional[str] = None,
+    ) -> list[PublishedTransaction]:
+        """Quorum read of one shard's entries published after ``epoch``."""
+        replicas = self._replicas.get(shard, [])
+        if not replicas:
+            return []
+        reachable = [replica for replica in replicas if self._reachable(replica)]
+        if not reachable:
+            raise QuorumError(
+                f"shard {shard} has no reachable replica "
+                f"(hosts: {sorted(replica.host for replica in replicas)})"
+            )
+        # Read the most complete replicas first so a freshly re-added (still
+        # catching-up) quorum member cannot shadow a complete one.
+        reachable.sort(key=lambda replica: (-len(replica), self._rank(shard, replica.host)))
+        merged: dict[int, PublishedTransaction] = {}
+        for replica in reachable[: self._read_quorum]:
+            for entry in replica.log.since(epoch, exclude_publisher):
+                merged[entry.sequence] = entry
+        return list(merged.values())
+
+    def _read_all_shards(
+        self, epoch: int = -1, exclude_publisher: Optional[str] = None
+    ) -> list[PublishedTransaction]:
+        entries: list[PublishedTransaction] = []
+        for shard in sorted(self._replicas):
+            entries.extend(self._read_shard(shard, epoch, exclude_publisher))
+        entries.sort(key=lambda entry: entry.sequence)
+        return entries
+
+    # -- UpdateStore interface ---------------------------------------------------
+    def __len__(self) -> int:
+        return self._next_sequence
+
+    def all_entries(self) -> list[PublishedTransaction]:
+        return self._read_all_shards()
+
+    def transactions(self) -> list[Transaction]:
+        return [entry.transaction for entry in self._read_all_shards()]
+
+    def entry(self, txn_id: str) -> PublishedTransaction:
+        if txn_id not in self._ids:
+            raise PublicationError(f"transaction {txn_id!r} was never published")
+        for shard in sorted(self._replicas):
+            for replica in self._replicas[shard]:
+                if not self._reachable(replica):
+                    continue
+                found = replica.log.get(txn_id)
+                if found is not None:
+                    return found
+        raise QuorumError(
+            f"transaction {txn_id!r} is archived but every replica holding it "
+            "is offline"
+        )
+
+    def contains(self, txn_id: str) -> bool:
+        """Was the transaction ever archived?  (Exact, like the centralized
+        store — independent of which replicas are currently reachable.)"""
+        return txn_id in self._ids
+
+    def retrievable(self, txn_id: str) -> bool:
+        """Is the transaction's data reachable on some online replica now?"""
+        return any(
+            self._reachable(replica) and txn_id in replica.log
+            for replicas in self._replicas.values()
+            for replica in replicas
+        )
+
+    def published_since(
+        self, epoch: int, exclude_publisher: Optional[str] = None
+    ) -> list[PublishedTransaction]:
+        """Quorum read of everything published strictly after ``epoch``."""
+        return self._read_all_shards(epoch, exclude_publisher)
+
+    def published_by(self, publisher: str) -> list[PublishedTransaction]:
+        entries: dict[int, PublishedTransaction] = {}
+        for shard in sorted(self._replicas):
+            replicas = [
+                replica
+                for replica in self._replicas[shard]
+                if self._reachable(replica)
+            ]
+            replicas.sort(
+                key=lambda replica: (-len(replica), self._rank(shard, replica.host))
+            )
+            for replica in replicas[: self._read_quorum]:
+                for entry in replica.log.by_publisher(publisher):
+                    entries[entry.sequence] = entry
+        return [entries[sequence] for sequence in sorted(entries)]
+
+    def latest_epoch(self) -> int:
+        return self._latest_epoch
+
+    def antecedents_map(self) -> dict[str, frozenset[str]]:
+        return {
+            entry.txn_id: entry.transaction.antecedents
+            for entry in self._read_all_shards()
+        }
+
+    # -- introspection -----------------------------------------------------------
+    def under_replicated(self) -> dict[int, list[int]]:
+        """``{shard: [sequences]}`` held by fewer copies than the target.
+
+        The target is ``min(replication_factor, registered peers)``; offline
+        holders count (their logs persist), so this measures true redundancy,
+        not reachability.
+        """
+        target = min(self._replication_factor, len(self._network.peers()))
+        problems: dict[int, list[int]] = {}
+        for shard, assigned in self._shard_sequences.items():
+            replicas = self._replicas.get(shard, [])
+            short = [
+                sequence
+                for sequence in sorted(assigned)
+                if sum(1 for replica in replicas if replica.entry_for(sequence)) < target
+            ]
+            if short:
+                problems[shard] = short
+        return problems
+
+    def health(self) -> dict:
+        """Shard/replica health counters for reports and benchmarks."""
+        per_shard = []
+        for shard in sorted(self._replicas):
+            replicas = self._replicas[shard]
+            per_shard.append(
+                {
+                    "shard": shard,
+                    "replicas": len(replicas),
+                    "online_replicas": sum(
+                        1 for replica in replicas if self._reachable(replica)
+                    ),
+                    "entries": len(self._shard_sequences.get(shard, ())),
+                    "hosts": sorted(replica.host for replica in replicas),
+                }
+            )
+        under = self.under_replicated()
+        return {
+            "backend": "distributed",
+            "shards": self.shard_count,
+            "active_shards": len(self._replicas),
+            "replication_factor": self._replication_factor,
+            "write_quorum": self._write_quorum,
+            "read_quorum": self._read_quorum,
+            "segment_size": self._segment_size,
+            "transactions": self._next_sequence,
+            "degraded_writes": self._degraded_writes,
+            "re_replications": self._re_replications,
+            "anti_entropy_rounds": self._anti_entropy_rounds,
+            "entries_transferred": self._entries_transferred,
+            "under_replicated_shards": len(under),
+            "per_shard": per_shard,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DistributedUpdateStore({self._next_sequence} transactions, "
+            f"{self.shard_count} shards x{self._replication_factor}, "
+            f"epoch {self._latest_epoch})"
+        )
+
+
+def store_from_config(network: Network, store_config) -> object:
+    """Build the archive selected by a :class:`~repro.config.StoreConfig`.
+
+    ``backend="centralized"`` (the default) returns the plain
+    :class:`UpdateStore`; ``backend="distributed"`` wires a
+    :class:`DistributedUpdateStore` to the given network.
+    """
+    backend = getattr(store_config, "backend", "centralized")
+    if backend == "distributed":
+        return DistributedUpdateStore(
+            network,
+            shard_count=store_config.shard_count,
+            replication_factor=store_config.replication_factor,
+            write_quorum=store_config.write_quorum,
+            read_quorum=store_config.read_quorum,
+            segment_size=store_config.segment_size,
+        )
+    if backend != "centralized":
+        raise ConfigurationError(
+            f"unknown store backend {backend!r}; expected 'centralized' or 'distributed'"
+        )
+    return UpdateStore()

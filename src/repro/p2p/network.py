@@ -2,16 +2,28 @@
 
 Peers operate autonomously and are only intermittently connected.  The
 network tracks which peers are currently online, refuses store operations
-from offline peers (configurable), and records a simple availability trace
-used by the benchmarks to report behaviour under churn.
+from offline peers (configurable), and records an availability trace used by
+the benchmarks to report behaviour under churn.
+
+The trace is bounded (``trace_limit``, default 4096 events) so long fuzz
+campaigns don't grow memory linearly with connectivity events; aggregate
+churn statistics (:meth:`Network.churn_stats`) keep counting past the cap.
+Subsystems that must react to churn — the distributed update store's
+re-replication and anti-entropy passes — register listeners with
+:meth:`Network.subscribe` and are invoked synchronously on every state
+change.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
 
 from ..errors import NetworkError
+
+#: Default bound on the in-memory connectivity trace.
+DEFAULT_TRACE_LIMIT = 4096
 
 
 @dataclass
@@ -26,10 +38,20 @@ class ConnectivityEvent:
 class Network:
     """Tracks online/offline state of every registered peer."""
 
-    def __init__(self, peers: Iterable[str] = ()) -> None:
+    def __init__(
+        self,
+        peers: Iterable[str] = (),
+        trace_limit: Optional[int] = DEFAULT_TRACE_LIMIT,
+    ) -> None:
+        if trace_limit is not None and trace_limit < 0:
+            raise NetworkError("trace_limit must be None (unbounded) or >= 0")
         self._online: dict[str, bool] = {}
         self._step = 0
-        self._trace: list[ConnectivityEvent] = []
+        self._trace: deque[ConnectivityEvent] = deque(maxlen=trace_limit)
+        self._listeners: list[Callable[[ConnectivityEvent], None]] = []
+        # Rolling churn counters, unaffected by the trace cap.
+        self._connects: dict[str, int] = {}
+        self._disconnects: dict[str, int] = {}
         for peer in peers:
             self.register(peer)
 
@@ -61,7 +83,12 @@ class Network:
             return
         self._online[peer] = online
         self._step += 1
-        self._trace.append(ConnectivityEvent(self._step, peer, online))
+        event = ConnectivityEvent(self._step, peer, online)
+        self._trace.append(event)
+        counters = self._connects if online else self._disconnects
+        counters[peer] = counters.get(peer, 0) + 1
+        for listener in self._listeners:
+            listener(event)
 
     def connect(self, peer: str) -> None:
         self.set_online(peer, True)
@@ -73,9 +100,39 @@ class Network:
         if not self.is_online(peer):
             raise NetworkError(f"peer {peer!r} is offline and cannot {operation}")
 
+    # -- listeners --------------------------------------------------------------
+    def subscribe(self, listener: Callable[[ConnectivityEvent], None]) -> None:
+        """Invoke ``listener`` synchronously on every connectivity change."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[ConnectivityEvent], None]) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
     # -- tracing ---------------------------------------------------------------
     def trace(self) -> list[ConnectivityEvent]:
+        """The most recent connectivity events (bounded by ``trace_limit``)."""
         return list(self._trace)
+
+    def churn_stats(self) -> dict:
+        """Aggregate churn counters; these keep counting past the trace cap."""
+        connects = sum(self._connects.values())
+        disconnects = sum(self._disconnects.values())
+        per_peer = {
+            peer: {
+                "connects": self._connects.get(peer, 0),
+                "disconnects": self._disconnects.get(peer, 0),
+            }
+            for peer in sorted(set(self._connects) | set(self._disconnects))
+        }
+        return {
+            "events": self._step,
+            "connects": connects,
+            "disconnects": disconnects,
+            "trace_retained": len(self._trace),
+            "trace_dropped": self._step - len(self._trace),
+            "per_peer": per_peer,
+        }
 
     def availability(self) -> dict[str, bool]:
         return dict(self._online)

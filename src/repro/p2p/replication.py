@@ -69,6 +69,46 @@ class ReplicationManager:
     def _rank(txn_id: str, peer: str) -> str:
         return hashlib.sha256(f"{txn_id}:{peer}".encode()).hexdigest()
 
+    # -- re-replication -----------------------------------------------------------
+    def repair(self, txn_id: str) -> Optional[ReplicaPlacement]:
+        """Restore the replication factor of one placement after churn.
+
+        Offline holders are replaced by online peers (chosen by the same
+        deterministic ranking as :meth:`place`), preferring to keep surviving
+        holders so data is copied, not re-created.  When fewer online peers
+        exist than the replication factor the placement is left as large as
+        the network allows.  Returns the (possibly updated) placement, or
+        ``None`` for transactions that were never placed.
+        """
+        placement = self._placements.get(txn_id)
+        if placement is None:
+            return None
+        survivors = [peer for peer in placement.holders if self._network.is_online(peer)]
+        if len(survivors) >= self._replication_factor:
+            return placement
+        candidates = sorted(
+            self._network.online_peers() - set(survivors),
+            key=lambda peer: self._rank(txn_id, peer),
+        )
+        needed = self._replication_factor - len(survivors)
+        holders = tuple(survivors + candidates[:needed])
+        if not holders:
+            # Every peer is offline: keep the stale placement so the data's
+            # location is still known when holders reconnect.
+            return placement
+        repaired = ReplicaPlacement(txn_id=txn_id, holders=holders)
+        self._placements[txn_id] = repaired
+        return repaired
+
+    def repair_all(self) -> int:
+        """Run :meth:`repair` over every placement; returns how many changed."""
+        changed = 0
+        for txn_id in list(self._placements):
+            before = self._placements[txn_id]
+            if self.repair(txn_id) is not before:
+                changed += 1
+        return changed
+
     # -- availability -------------------------------------------------------------
     def placement(self, txn_id: str) -> Optional[ReplicaPlacement]:
         return self._placements.get(txn_id)

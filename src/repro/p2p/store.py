@@ -5,12 +5,26 @@ Publishing archives a peer's transactions so they stay available to everyone
 even when the publisher disconnects (demonstration Scenario 5); reconciling
 peers ask the store for every transaction published after the epoch they last
 reconciled at.
+
+Publication of a batch is atomic: the whole batch is validated (ownership,
+duplicate ids, epoch monotonicity) before the first entry is appended, so a
+:class:`~repro.errors.PublicationError` never leaves a partially archived
+batch behind.  Retrieval is indexed — ``published_since`` bisects on the
+epoch-ordered log instead of scanning it, and ``published_by`` answers from a
+per-publisher index — because the reconcile hot path calls both once per
+peer per epoch.
+
+:class:`EpochLog` is the reusable epoch-ordered indexed log; the distributed
+store (:mod:`repro.p2p.distributed`) hosts one per shard replica, so the
+centralized archive and every peer-hosted shard server share one storage
+idiom.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Iterator, Optional
 
 from ..core.transactions import Transaction
 from ..errors import PublicationError
@@ -30,82 +44,171 @@ class PublishedTransaction:
         return self.transaction.txn_id
 
 
+class EpochLog:
+    """An epoch-ordered, sequence-keyed log of published transactions.
+
+    Entries are kept sorted by ``(epoch, sequence)`` — the canonical total
+    order of the archive — with a parallel epoch array for ``since`` bisection
+    and per-publisher/per-id indexes.  Entries normally arrive in order
+    (appends are O(1)); out-of-order arrival (anti-entropy back-fill on a
+    stale shard replica) degrades gracefully to an O(n) insort.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[PublishedTransaction] = []
+        self._order: list[tuple[int, int]] = []  # (epoch, sequence), sorted
+        self._by_id: dict[str, PublishedTransaction] = {}
+        self._by_publisher: dict[str, list[PublishedTransaction]] = {}
+
+    # -- mutation -----------------------------------------------------------
+    def add(self, entry: PublishedTransaction) -> None:
+        key = (entry.epoch, entry.sequence)
+        if self._order and key < self._order[-1]:
+            position = bisect_right(self._order, key)
+            insort(self._order, key)
+            self._entries.insert(position, entry)
+        else:
+            self._order.append(key)
+            self._entries.append(entry)
+        self._by_id[entry.txn_id] = entry
+        self._by_publisher.setdefault(entry.publisher, []).append(entry)
+
+    # -- lookup -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[PublishedTransaction]:
+        return iter(self._entries)
+
+    def __contains__(self, txn_id: str) -> bool:
+        return txn_id in self._by_id
+
+    def get(self, txn_id: str) -> Optional[PublishedTransaction]:
+        return self._by_id.get(txn_id)
+
+    def entries(self) -> list[PublishedTransaction]:
+        return list(self._entries)
+
+    def since(
+        self, epoch: int, exclude_publisher: Optional[str] = None
+    ) -> list[PublishedTransaction]:
+        """Entries published strictly after ``epoch``, in canonical order."""
+        # Every sequence is > -1, so this finds the first entry with a
+        # strictly greater epoch.
+        start = bisect_right(self._order, (epoch, float("inf")))
+        tail = self._entries[start:]
+        if exclude_publisher is None:
+            return tail
+        return [entry for entry in tail if entry.publisher != exclude_publisher]
+
+    def by_publisher(self, publisher: str) -> list[PublishedTransaction]:
+        return list(self._by_publisher.get(publisher, ()))
+
+    def latest_epoch(self) -> int:
+        return self._order[-1][0] if self._order else 0
+
+
+def validate_publication_batch(
+    transactions: list[Transaction],
+    epoch: int,
+    publisher: str,
+    latest_epoch: int,
+    already_published,
+) -> None:
+    """The shared publication contract, checked before anything is appended.
+
+    Rejects the whole batch (epoch regression, duplicate ids — within the
+    batch or against ``already_published(txn_id)`` — and foreign
+    transactions) so that publication is atomic for every store backend.
+    """
+    if epoch < latest_epoch:
+        raise PublicationError(
+            f"cannot archive at epoch {epoch}: the store is already at "
+            f"epoch {latest_epoch} and the log is epoch-ordered"
+        )
+    batch_ids: set[str] = set()
+    for transaction in transactions:
+        if transaction.txn_id in batch_ids or already_published(transaction.txn_id):
+            raise PublicationError(
+                f"transaction {transaction.txn_id!r} was already published"
+            )
+        if transaction.peer != publisher:
+            raise PublicationError(
+                f"peer {publisher!r} cannot publish transaction "
+                f"{transaction.txn_id!r} owned by {transaction.peer!r}"
+            )
+        batch_ids.add(transaction.txn_id)
+
+
 class UpdateStore:
     """Append-only, epoch-ordered archive of published transactions."""
 
     def __init__(self) -> None:
-        self._entries: list[PublishedTransaction] = []
-        self._by_id: dict[str, PublishedTransaction] = {}
+        self._log = EpochLog()
 
     # -- publication ------------------------------------------------------------
     def archive(
         self, transactions: Iterable[Transaction], epoch: int, publisher: str
     ) -> list[PublishedTransaction]:
-        """Archive a batch of transactions published at ``epoch``."""
+        """Archive a batch of transactions published at ``epoch``.
+
+        The batch is validated as a whole first: either every transaction is
+        archived or none is.
+        """
+        batch = list(transactions)
+        validate_publication_batch(
+            batch, epoch, publisher, self._log.latest_epoch(),
+            lambda txn_id: txn_id in self._log,
+        )
         archived = []
-        for transaction in transactions:
-            if transaction.txn_id in self._by_id:
-                raise PublicationError(
-                    f"transaction {transaction.txn_id!r} was already published"
-                )
-            if transaction.peer != publisher:
-                raise PublicationError(
-                    f"peer {publisher!r} cannot publish transaction "
-                    f"{transaction.txn_id!r} owned by {transaction.peer!r}"
-                )
+        for transaction in batch:
             stamped = transaction.with_epoch(epoch)
             entry = PublishedTransaction(
                 transaction=stamped,
                 epoch=epoch,
-                sequence=len(self._entries),
+                sequence=len(self._log),
                 publisher=publisher,
             )
-            self._entries.append(entry)
-            self._by_id[transaction.txn_id] = entry
+            self._log.add(entry)
             archived.append(entry)
         return archived
 
     # -- retrieval ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._log)
 
     def all_entries(self) -> list[PublishedTransaction]:
-        return list(self._entries)
+        return self._log.entries()
 
     def transactions(self) -> list[Transaction]:
-        return [entry.transaction for entry in self._entries]
+        return [entry.transaction for entry in self._log]
 
     def entry(self, txn_id: str) -> PublishedTransaction:
-        try:
-            return self._by_id[txn_id]
-        except KeyError:
-            raise PublicationError(f"transaction {txn_id!r} was never published") from None
+        entry = self._log.get(txn_id)
+        if entry is None:
+            raise PublicationError(f"transaction {txn_id!r} was never published")
+        return entry
 
     def contains(self, txn_id: str) -> bool:
-        return txn_id in self._by_id
+        return txn_id in self._log
 
     def published_since(
         self, epoch: int, exclude_publisher: Optional[str] = None
     ) -> list[PublishedTransaction]:
         """Entries published strictly after ``epoch`` (optionally excluding a peer)."""
-        return [
-            entry
-            for entry in self._entries
-            if entry.epoch > epoch
-            and (exclude_publisher is None or entry.publisher != exclude_publisher)
-        ]
+        return self._log.since(epoch, exclude_publisher)
 
     def published_by(self, publisher: str) -> list[PublishedTransaction]:
-        return [entry for entry in self._entries if entry.publisher == publisher]
+        return self._log.by_publisher(publisher)
 
     def latest_epoch(self) -> int:
-        return self._entries[-1].epoch if self._entries else 0
+        return self._log.latest_epoch()
 
     def antecedents_map(self) -> dict[str, frozenset[str]]:
         """``{txn_id: antecedents}`` for every archived transaction."""
         return {
-            entry.txn_id: entry.transaction.antecedents for entry in self._entries
+            entry.txn_id: entry.transaction.antecedents for entry in self._log
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"UpdateStore({len(self._entries)} transactions, epoch {self.latest_epoch()})"
+        return f"UpdateStore({len(self._log)} transactions, epoch {self.latest_epoch()})"

@@ -12,8 +12,14 @@ workload over several replicas, and asserts after every epoch that
 
 * incremental maintenance matches from-scratch recomputation,
 * provenance-based deletion matches DRed,
-* ``cdss.sync()`` matches a hand-rolled publish/reconcile loop, and
-* memory-backed peers match SQLite-backed peers.
+* ``cdss.sync()`` matches a hand-rolled publish/reconcile loop,
+* memory-backed peers match SQLite-backed peers,
+* the sharded, replicated distributed update store produces reconcile
+  outcomes and instances identical to the centralized archive
+  (``--store-centralized``/``--store-distributed`` choose which backend the
+  primary replica runs; the mirror runs the other), and
+* every archived transaction stays k-way replicated under churn, so losing
+  up to k-1 replicas of a shard never loses published data.
 
 Exit status is 0 when every oracle holds for every seed, 1 otherwise; each
 mismatch prints the failing seed, the (minimal) epoch at which it first
@@ -72,6 +78,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate provenance via per-tuple expanded polynomials "
              "(the slow ablation representation the DAG replaces)",
     )
+    store = parser.add_mutually_exclusive_group()
+    store.add_argument(
+        "--store-centralized", dest="store_backend", action="store_const",
+        const="centralized", default="centralized",
+        help="primary replica archives into the centralized update store "
+             "(default); a distributed-store mirror checks it",
+    )
+    store.add_argument(
+        "--store-distributed", dest="store_backend", action="store_const",
+        const="distributed",
+        help="primary replica archives into the sharded, replicated "
+             "distributed update store; a centralized mirror checks it",
+    )
     parser.add_argument(
         "--quiet", action="store_true",
         help="only print failures and the final summary",
@@ -90,6 +109,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             max_peers=args.max_peers,
             transactions_per_epoch=(min(2, args.transactions), args.transactions),
             provenance_mode=args.provenance_mode,
+            store_backend=args.store_backend,
         )
     except ConfigurationError as error:
         print(f"invalid configuration: {error}", file=sys.stderr)
@@ -104,10 +124,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         mode_flag = (
             " --provenance-expanded" if args.provenance_mode == "expanded" else ""
         )
+        store_flag = (
+            " --store-distributed" if args.store_backend == "distributed" else ""
+        )
         repro = (
             f"--seeds 1 --seed-base {seed} --epochs {args.epochs} "
             f"--max-peers {args.max_peers} --transactions {args.transactions}"
-            f"{mode_flag}"
+            f"{mode_flag}{store_flag}"
         )
         try:
             result = run_simulation(seed, config)

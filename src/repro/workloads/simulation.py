@@ -28,7 +28,15 @@ that single scenario into a *scenario engine*:
      instance identical to a hand-rolled publish/reconcile loop built from
      the imperative primitives;
   4. ``memory-vs-sqlite`` — a replica whose peers live in SQLite reaches
-     instances identical to the in-memory replica.
+     instances identical to the in-memory replica;
+  5. ``distributed-vs-centralized`` — a replica archiving into the sharded,
+     replicated :class:`~repro.p2p.distributed.DistributedUpdateStore`
+     produces sync reports and peer instances identical to the centralized
+     archive, round for round, under the same churn schedule;
+  6. ``replica-durability`` — every transaction archived in the distributed
+     store is held by at least ``min(replication_factor, peers)`` shard
+     replicas after churn settles, so losing any ``k - 1`` replicas of a
+     shard cannot lose published data.
 
 Because the oracles run after every epoch, the epoch reported by a failing
 oracle is already minimal: it is the first epoch at which the divergence is
@@ -48,7 +56,7 @@ from typing import Iterable, Optional, Sequence
 
 from ..api.builder import NetworkBuilder
 from ..api.spec import NetworkSpec, parse_network_spec
-from ..config import ExchangeConfig, SystemConfig
+from ..config import ExchangeConfig, StoreConfig, SystemConfig
 from ..core.system import CDSS
 from ..datalog.ast import Atom, Variable
 from ..core.mapping import Mapping
@@ -111,6 +119,18 @@ class SimulationConfig:
     #: whose expansion exceeds it are skipped (the DAG is the whole point
     #: for those).
     provenance_oracle_max_monomials: int = 4096
+    #: Update-store backend of the primary replica: ``"centralized"`` (the
+    #: single in-memory archive) or ``"distributed"`` (sharded + replicated
+    #: across the peers).  The nightly fuzz job runs both.
+    store_backend: str = "centralized"
+    #: Shards / replication factor of whichever replica runs the distributed
+    #: store (see ``distributed_oracle``).
+    store_shards: int = 3
+    store_replication: int = 2
+    #: Maintain a mirror replica on the *other* store backend and assert
+    #: per-epoch that its reconcile outcomes, final instances, and replica
+    #: redundancy match the primary (the distributed-vs-centralized oracle).
+    distributed_oracle: bool = True
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -152,6 +172,13 @@ class SimulationConfig:
             raise ConfigurationError("provenance_oracle_samples must be >= 0")
         if self.provenance_oracle_max_monomials < 1:
             raise ConfigurationError("provenance_oracle_max_monomials must be >= 1")
+        if self.store_backend not in ("centralized", "distributed"):
+            raise ConfigurationError(
+                f"store_backend must be 'centralized' or 'distributed', "
+                f"got {self.store_backend!r}"
+            )
+        if self.store_shards < 1 or self.store_replication < 1:
+            raise ConfigurationError("store_shards and store_replication must be >= 1")
 
 
 # ---------------------------------------------------------------------------
@@ -636,7 +663,8 @@ class SimulationRun:
         self.primary = CDSS.from_spec(
             self.spec,
             config=SystemConfig(
-                exchange=ExchangeConfig(provenance_mode=self.config.provenance_mode)
+                exchange=ExchangeConfig(provenance_mode=self.config.provenance_mode),
+                store=self._store_config(self.config.store_backend),
             ),
         )
         self._check_spec_roundtrip()
@@ -644,6 +672,20 @@ class SimulationRun:
         self.sqlite = CDSS.from_spec(
             self.spec, storage_factory=lambda name: SQLiteInstance()
         )
+        #: Mirror replica on the *other* store backend: with a centralized
+        #: primary this is the distributed-store replica (and vice versa),
+        #: backing the distributed-vs-centralized oracle.
+        self.storecheck: Optional[CDSS] = None
+        if self.config.distributed_oracle:
+            other = (
+                "centralized"
+                if self.config.store_backend == "distributed"
+                else "distributed"
+            )
+            self.storecheck = CDSS.from_spec(
+                self.spec, config=SystemConfig(store=self._store_config(other))
+            )
+        self._last_reports: dict[str, object] = {}
         #: DRed mirror: same program, provenance disabled, fed the primary's
         #: archived transaction stream.
         self.mirror = ExchangeEngine(
@@ -652,6 +694,19 @@ class SimulationRun:
         self._mirror_fed = 0
 
     # -- oracle helpers -----------------------------------------------------
+    def _store_config(self, backend: str) -> StoreConfig:
+        return StoreConfig(
+            backend=backend,
+            shard_count=self.config.store_shards,
+            replication_factor=self.config.store_replication,
+        )
+
+    def _distributed_replica(self) -> Optional[CDSS]:
+        """Whichever replica runs the distributed store (primary or mirror)."""
+        if self.config.store_backend == "distributed":
+            return self.primary
+        return self.storecheck
+
     def _fail(self, epoch: int, oracle: str, detail: str) -> None:
         self.failures.append(OracleFailure(self.seed, epoch, oracle, detail))
 
@@ -664,10 +719,16 @@ class SimulationRun:
         # Full system round-trip: the spec recovered from the *built* CDSS
         # must match the generated one.  The recovered form names each
         # schema explicitly, which for generated peers defaults to the peer
-        # name.
+        # name, and pins the store section when the primary's archive is
+        # distributed (the generated spec leaves the backend to the config).
         expected = self.spec.to_dict()
         for name, entry in expected["peers"].items():
             entry.setdefault("schema", name)
+        from ..api.spec import store_spec_of
+
+        recovered_store = store_spec_of(self.primary.store)
+        if recovered_store is not None:
+            expected["store"] = recovered_store.to_dict()
         if self.primary.to_spec().to_dict() != expected:
             self._fail(0, "spec-roundtrip", "from_spec -> to_spec does not round-trip")
 
@@ -713,6 +774,82 @@ class SimulationRun:
         )
         if diff:
             self._fail(epoch, "memory-vs-sqlite", diff)
+
+    def _check_distributed_vs_centralized(
+        self,
+        epoch: int,
+        primary_report=None,
+        storecheck_report=None,
+        primary_snapshot=None,
+    ) -> None:
+        """Distributed-store and centralized-store runs must be identical.
+
+        Round for round, the two replicas' sync reports (published ids,
+        translated changes, per-peer accept/reject/defer decisions) and the
+        resulting peer instances must match exactly — sharding, quorum reads
+        and re-replication may never change a reconcile outcome.
+        """
+        if self.storecheck is None:
+            return
+        self.oracle_checks += 1
+        primary_report = primary_report or self._last_reports.get("primary")
+        storecheck_report = storecheck_report or self._last_reports.get("storecheck")
+        if primary_report is not None and storecheck_report is not None:
+            left = [round_.to_dict() for round_ in primary_report.rounds]
+            right = [round_.to_dict() for round_ in storecheck_report.rounds]
+            if left != right:
+                for index, (a, b) in enumerate(zip(left, right)):
+                    if a != b:
+                        detail = f"sync round {index + 1} diverges: {a} != {b}"
+                        break
+                else:
+                    detail = (
+                        f"round counts diverge: {len(left)} vs {len(right)} rounds"
+                    )
+                self._fail(epoch, "distributed-vs-centralized", detail)
+                return
+        primary_snapshot = primary_snapshot or _snapshot_all(self.primary)
+        diff = _diff_snapshots(
+            primary_snapshot,
+            _snapshot_all(self.storecheck),
+            self.config.store_backend,
+            "mirror-store",
+        )
+        if diff:
+            self._fail(epoch, "distributed-vs-centralized", diff)
+
+    def _check_replica_durability(self, epoch: int) -> None:
+        """Every archived transaction must survive losing k-1 shard replicas.
+
+        After the epoch's churn has settled (and one anti-entropy round has
+        run, as a reconnecting peer would trigger anyway), every sequence
+        assigned to a shard must be held by at least
+        ``min(replication_factor, peers)`` replicas — so losing any
+        ``replication_factor - 1`` of them still leaves a copy — and a full
+        quorum read must return every transaction ever archived.
+        """
+        replica = self._distributed_replica()
+        if replica is None:
+            return
+        self.oracle_checks += 1
+        store = replica.store
+        store.anti_entropy()
+        under = store.under_replicated()
+        if under:
+            self._fail(
+                epoch,
+                "replica-durability",
+                f"under-replicated sequences per shard: {under}",
+            )
+            return
+        expected = len(store)
+        readable = len(store.all_entries())
+        if readable != expected:
+            self._fail(
+                epoch,
+                "replica-durability",
+                f"quorum read returned {readable} of {expected} archived transactions",
+            )
 
     def _check_dag_vs_expanded(self, epoch: int) -> None:
         """Sampled derived tuples: DAG evaluation == expanded-polynomial evaluation.
@@ -783,8 +920,14 @@ class SimulationRun:
                     return
 
     # -- driving ------------------------------------------------------------
+    def _replicas(self) -> tuple[CDSS, ...]:
+        replicas = [self.primary, self.manual, self.sqlite]
+        if self.storecheck is not None:
+            replicas.append(self.storecheck)
+        return tuple(replicas)
+
     def _commit_everywhere(self, command: WorkloadCommand) -> None:
-        for cdss in (self.primary, self.manual, self.sqlite):
+        for cdss in self._replicas():
             peer = cdss.peer(command.peer)
             builder = peer.new_transaction(command.txn_id)
             if command.kind == "delete":
@@ -823,14 +966,23 @@ class SimulationRun:
         self.transactions += len(commands)
 
         offline = self.workload.offline_peer(last_epoch)
-        replicas = (self.primary, self.manual, self.sqlite)
+        replicas = self._replicas()
         if offline is not None:
             for cdss in replicas:
                 cdss.set_online(offline, False)
 
-        self.primary.sync(max_rounds=self.config.max_sync_rounds)
+        primary_report = self.primary.sync(max_rounds=self.config.max_sync_rounds)
         self.sqlite.sync(max_rounds=self.config.max_sync_rounds)
+        storecheck_report = None
+        if self.storecheck is not None:
+            storecheck_report = self.storecheck.sync(
+                max_rounds=self.config.max_sync_rounds
+            )
         self._manual_exchange_loop()
+        self._last_reports = {
+            "primary": primary_report,
+            "storecheck": storecheck_report,
+        }
 
         if offline is not None:
             for cdss in replicas:
@@ -842,6 +994,10 @@ class SimulationRun:
         primary_snapshot = _snapshot_all(self.primary)
         self._check_sync_vs_manual(epoch, primary_snapshot)
         self._check_memory_vs_sqlite(epoch, primary_snapshot)
+        self._check_distributed_vs_centralized(
+            epoch, primary_report, storecheck_report, primary_snapshot
+        )
+        self._check_replica_durability(epoch)
         self.epochs_run = epoch
 
     def run(self) -> SimulationResult:

@@ -149,3 +149,35 @@ class TestFacadeValidation:
         serialized = result.to_dict()
         assert serialized["skipped_offline"] == ["Target"]
         assert serialized["outcomes"][0]["peer"] == "Source"
+
+
+class TestStoreBackendSelection:
+    def test_fluent_store_declaration(self):
+        from repro.p2p.distributed import DistributedUpdateStore
+
+        cdss = (
+            two_peer_builder()
+            .store("distributed", shards=2, replication=2, read_quorum=2)
+            .build()
+        )
+        assert isinstance(cdss.store, DistributedUpdateStore)
+        assert cdss.store.shard_count == 2
+        assert cdss.store.read_quorum == 2
+
+    def test_store_factory_overrides_spec(self):
+        sentinel = object()
+        cdss = two_peer_builder().build(
+            store_factory=lambda network, store_config: sentinel
+        )
+        assert cdss.store is sentinel
+
+    def test_duplicate_store_declaration_rejected(self):
+        builder = two_peer_builder().store("distributed")
+        with pytest.raises(SpecError):
+            builder.store("centralized")
+
+    def test_bad_store_knobs_rejected(self):
+        with pytest.raises(SpecError):
+            two_peer_builder().store("distributed", sharding=8)
+        with pytest.raises(SpecError):
+            two_peer_builder().store("clustered")

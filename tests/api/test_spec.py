@@ -193,3 +193,94 @@ class TestTgdHelpers:
         )
         rebuilt = CDSS.from_spec(cdss.to_spec().to_text())
         assert rebuilt.catalog.mapping("M") == cdss.catalog.mapping("M")
+
+
+class TestStoreSection:
+    DISTRIBUTED_SPEC = TWO_PEER_SPEC.replace(
+        "network two-peer",
+        "network two-peer\nstore distributed shards 4 replication 2 write_quorum 2",
+    )
+
+    def test_parses_store_declaration(self):
+        spec = parse_network_spec(self.DISTRIBUTED_SPEC)
+        assert spec.store is not None
+        assert spec.store.kind == "distributed"
+        assert spec.store.shards == 4
+        assert spec.store.replication == 2
+        assert spec.store.write_quorum == 2
+        assert spec.store.read_quorum is None  # unset knobs defer to config
+
+    def test_store_round_trips_through_text_and_dict(self):
+        spec = parse_network_spec(self.DISTRIBUTED_SPEC)
+        assert "store distributed shards 4 replication 2 write_quorum 2" in spec.to_text()
+        reparsed = parse_network_spec(spec.to_text())
+        assert reparsed.to_dict() == spec.to_dict()
+        assert parse_network_spec(spec.to_dict()).to_dict() == spec.to_dict()
+
+    def test_dict_spec_accepts_store_entry(self):
+        spec = parse_network_spec(
+            {
+                "peers": {"P": {"relations": {"R": ["a"]}}},
+                "store": {"kind": "distributed", "shards": 2},
+            }
+        )
+        assert spec.store.kind == "distributed" and spec.store.shards == 2
+
+    def test_from_spec_builds_a_distributed_store(self):
+        from repro.p2p.distributed import DistributedUpdateStore
+
+        cdss = CDSS.from_spec(self.DISTRIBUTED_SPEC)
+        assert isinstance(cdss.store, DistributedUpdateStore)
+        assert cdss.store.shard_count == 4
+        assert cdss.store.write_quorum == 2
+
+    def test_to_spec_recovers_store_section(self):
+        cdss = CDSS.from_spec(self.DISTRIBUTED_SPEC)
+        recovered = cdss.to_spec()
+        assert recovered.store is not None
+        assert recovered.store.kind == "distributed"
+        assert recovered.store.shards == 4
+        # A centralized system has no store line at all.
+        assert CDSS.from_spec(TWO_PEER_SPEC).to_spec().store is None
+
+    def test_store_validation(self):
+        with pytest.raises(SpecError):
+            parse_network_spec(
+                TWO_PEER_SPEC.replace("network two-peer", "network two-peer\nstore clustered")
+            )
+        with pytest.raises(SpecError):
+            parse_network_spec(
+                TWO_PEER_SPEC.replace(
+                    "network two-peer",
+                    "network two-peer\nstore distributed replication 2 read_quorum 3",
+                )
+            )
+        with pytest.raises(SpecError):
+            parse_network_spec(
+                TWO_PEER_SPEC.replace(
+                    "network two-peer",
+                    "network two-peer\nstore distributed shards 4\nstore centralized",
+                )
+            )
+
+    def test_store_must_precede_peer_sections(self):
+        with pytest.raises(SpecError):
+            parse_network_spec(TWO_PEER_SPEC + "\nstore distributed\n")
+
+    def test_quorum_without_replication_defers_to_config(self):
+        """A quorum knob without a replication knob is not judged against the
+        default factor at parse time; the merged StoreConfig decides."""
+        from repro.config import ConfigurationError, StoreConfig, SystemConfig
+
+        text = TWO_PEER_SPEC.replace(
+            "network two-peer",
+            "network two-peer\nstore distributed write_quorum 3",
+        )
+        spec = parse_network_spec(text)  # parses fine
+        cdss = CDSS.from_spec(
+            spec, config=SystemConfig(store=StoreConfig(replication_factor=4))
+        )
+        assert cdss.store.write_quorum == 3
+        assert cdss.store.replication_factor == 4
+        with pytest.raises(ConfigurationError):
+            CDSS.from_spec(spec)  # default factor 2 cannot satisfy quorum 3

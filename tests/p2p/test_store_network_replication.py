@@ -64,6 +64,66 @@ class TestUpdateStore:
         store.archive([txn("t1"), dependent], epoch=1, publisher="Alaska")
         assert store.antecedents_map() == {"t1": frozenset(), "t2": frozenset({"t1"})}
 
+    def test_failed_batch_archives_nothing(self):
+        """Regression: a PublicationError mid-batch must not leave earlier
+        transactions of the batch behind — publication is atomic."""
+        store = UpdateStore()
+        store.archive([txn("t0")], epoch=1, publisher="Alaska")
+        with pytest.raises(PublicationError):
+            # t1 is fine, t0 is a duplicate: the whole batch must be refused.
+            store.archive([txn("t1"), txn("t0")], epoch=2, publisher="Alaska")
+        assert len(store) == 1
+        assert not store.contains("t1")
+        with pytest.raises(PublicationError):
+            # Wrong-publisher transaction after a valid one: same contract.
+            store.archive([txn("t2"), txn("t3", peer="Beijing")], epoch=2, publisher="Alaska")
+        assert len(store) == 1
+        assert not store.contains("t2")
+
+    def test_duplicate_within_batch_rejected_atomically(self):
+        store = UpdateStore()
+        with pytest.raises(PublicationError):
+            store.archive([txn("t1"), txn("t1")], epoch=1, publisher="Alaska")
+        assert len(store) == 0
+
+    def test_epoch_must_not_regress(self):
+        store = UpdateStore()
+        store.archive([txn("t1")], epoch=5, publisher="Alaska")
+        with pytest.raises(PublicationError):
+            store.archive([txn("t2")], epoch=4, publisher="Alaska")
+        # Equal epochs are fine (several publishers can share one epoch).
+        store.archive([txn("t3")], epoch=5, publisher="Alaska")
+
+    def test_indexed_queries_match_naive_scans(self):
+        """Parity: the bisect/per-publisher indexes answer exactly like the
+        original O(n) list scans, across a randomized archive."""
+        import random
+
+        rng = random.Random(7)
+        store = UpdateStore()
+        entries = []
+        epoch = 0
+        publishers = ["Alaska", "Beijing", "Crete"]
+        for batch in range(40):
+            epoch += rng.randint(0, 2)
+            publisher = rng.choice(publishers)
+            batch_txns = [
+                txn(f"b{batch}-t{i}", publisher) for i in range(rng.randint(1, 3))
+            ]
+            entries.extend(store.archive(batch_txns, epoch=epoch, publisher=publisher))
+        assert [e.txn_id for e in store.all_entries()] == [e.txn_id for e in entries]
+        for probe in range(-1, epoch + 2):
+            for exclude in [None, *publishers]:
+                naive = [
+                    e for e in entries
+                    if e.epoch > probe and (exclude is None or e.publisher != exclude)
+                ]
+                assert store.published_since(probe, exclude) == naive
+        for publisher in publishers:
+            assert store.published_by(publisher) == [
+                e for e in entries if e.publisher == publisher
+            ]
+
 
 class TestNetwork:
     def test_register_and_connectivity(self):
@@ -99,6 +159,48 @@ class TestNetwork:
         network.disconnect("A")  # no change: no event
         assert len(network.trace()) == 1
         assert network.availability() == {"A": False}
+
+    def test_trace_is_bounded_but_churn_stats_keep_counting(self):
+        network = Network(["A", "B"], trace_limit=3)
+        for _ in range(5):
+            network.disconnect("A")
+            network.connect("A")
+        network.disconnect("B")
+        assert len(network.trace()) == 3  # only the most recent events
+        stats = network.churn_stats()
+        assert stats["events"] == 11
+        assert stats["connects"] == 5
+        assert stats["disconnects"] == 6
+        assert stats["trace_retained"] == 3
+        assert stats["trace_dropped"] == 8
+        assert stats["per_peer"]["A"] == {"connects": 5, "disconnects": 5}
+        assert stats["per_peer"]["B"] == {"connects": 0, "disconnects": 1}
+
+    def test_trace_limit_is_validated(self):
+        with pytest.raises(NetworkError):
+            Network(trace_limit=-1)
+        # None means unbounded.
+        network = Network(["A"], trace_limit=None)
+        for _ in range(10):
+            network.disconnect("A")
+            network.connect("A")
+        assert len(network.trace()) == 20
+
+    def test_listeners_observe_connectivity_changes(self):
+        network = Network(["A", "B"])
+        seen = []
+
+        def listener(event):
+            seen.append((event.peer, event.online))
+
+        network.subscribe(listener)
+        network.disconnect("A")
+        network.disconnect("A")  # no change: no notification
+        network.connect("A")
+        assert seen == [("A", False), ("A", True)]
+        network.unsubscribe(listener)
+        network.disconnect("B")
+        assert len(seen) == 2
 
 
 class TestReplication:
@@ -143,3 +245,68 @@ class TestReplication:
         manager = ReplicationManager(network, replication_factor=2)
         placement = manager.place("t1", publisher="A")
         assert placement.holders == ("A",)
+
+    def test_placement_determinism_across_managers(self):
+        """Same membership + transaction id => same holders, independent of
+        the manager instance or the order transactions were placed in."""
+        first = ReplicationManager(Network(["A", "B", "C", "D"]), replication_factor=2)
+        second = ReplicationManager(Network(["A", "B", "C", "D"]), replication_factor=2)
+        first.place("t1", publisher="A")
+        first.place("t2", publisher="B")
+        second.place("t2", publisher="B")
+        second.place("t1", publisher="A")
+        assert first.placement("t1") == second.placement("t1")
+        assert first.placement("t2") == second.placement("t2")
+
+    def test_replication_factor_invariant_under_join(self):
+        """Peers that join after placement don't disturb it; new placements
+        use the enlarged membership, old ones keep their holders."""
+        network = Network(["A", "B", "C"])
+        manager = ReplicationManager(network, replication_factor=2)
+        before = manager.place("t1", publisher="A")
+        network.register("E")
+        assert manager.place("t1", publisher="A") is before
+        assert len(manager.place("t2", publisher="A").holders) == 2
+
+    def test_repair_restores_replication_factor_after_leave(self):
+        network = Network(["A", "B", "C", "D"])
+        manager = ReplicationManager(network, replication_factor=2)
+        placement = manager.place("t1", publisher="A")
+        lost = placement.holders[0]
+        survivor = placement.holders[1]
+        network.disconnect(lost)
+        repaired = manager.repair("t1")
+        assert len(repaired.holders) == 2
+        assert survivor in repaired.holders  # surviving copy kept (data is copied)
+        assert lost not in repaired.holders
+        assert all(network.is_online(peer) for peer in repaired.holders)
+
+    def test_repair_is_a_noop_while_holders_are_online(self):
+        network = Network(["A", "B", "C"])
+        manager = ReplicationManager(network, replication_factor=2)
+        placement = manager.place("t1", publisher="A")
+        assert manager.repair("t1") is placement
+        assert manager.repair("unknown") is None
+
+    def test_repair_all_counts_changed_placements(self):
+        network = Network(["A", "B", "C", "D"])
+        manager = ReplicationManager(network, replication_factor=2)
+        manager.place("t1", publisher="A")
+        manager.place("t2", publisher="A")
+        affected = {
+            txn_id
+            for txn_id in ("t1", "t2")
+            if "B" in manager.placement(txn_id).holders
+        }
+        network.disconnect("B")
+        assert manager.repair_all() == len(affected)
+        for txn_id in ("t1", "t2"):
+            assert "B" not in manager.placement(txn_id).holders
+
+    def test_repair_keeps_stale_placement_when_everyone_is_offline(self):
+        network = Network(["A", "B"])
+        manager = ReplicationManager(network, replication_factor=2)
+        placement = manager.place("t1", publisher="A")
+        for peer in ("A", "B"):
+            network.disconnect(peer)
+        assert manager.repair("t1") is placement  # location still known

@@ -1,12 +1,12 @@
 """The randomized simulation subsystem and its differential oracles.
 
-The parametrized slice runs 25 seeded random networks through all five
+The parametrized slice runs 25 seeded random networks through all seven
 differential oracles (incremental-vs-recompute, provenance-vs-DRed,
-dag-vs-expanded, sync-vs-manual, memory-vs-SQLite); the remaining tests
-pin down the
-generator's guarantees (round-tripping, determinism, validation) and the
-oracles' sensitivity (a deliberately injected divergence is reported with
-its seed and first failing epoch).
+dag-vs-expanded, sync-vs-manual, memory-vs-SQLite,
+distributed-vs-centralized, replica-durability); the remaining tests pin
+down the generator's guarantees (round-tripping, determinism, validation)
+and the oracles' sensitivity (a deliberately injected divergence is
+reported with its seed and first failing epoch).
 """
 
 import pytest
@@ -96,12 +96,25 @@ class TestSimulationConfig:
 
 @pytest.mark.parametrize("seed", SLICE_SEEDS)
 def test_differential_oracles_hold(seed):
-    """≥25 seeded random networks pass all five differential oracles."""
+    """≥25 seeded random networks pass all seven differential oracles."""
     result = run_simulation(seed, SLICE_CONFIG)
     assert result.ok, "\n".join(failure.describe() for failure in result.failures)
     assert result.transactions > 0
-    # spec round-trip + 5 oracles per epoch actually ran.
-    assert result.oracle_checks == 1 + 5 * result.epochs_run
+    # spec round-trip + 7 oracles per epoch actually ran.
+    assert result.oracle_checks == 1 + 7 * result.epochs_run
+
+
+@pytest.mark.parametrize("seed", [2, 9, 23])
+def test_differential_oracles_hold_with_distributed_primary(seed):
+    """The whole oracle suite also passes with a distributed-store primary."""
+    config = SimulationConfig(
+        epochs=3,
+        transactions_per_epoch=(2, 5),
+        store_backend="distributed",
+        offline_probability=0.5,
+    )
+    result = run_simulation(seed, config)
+    assert result.ok, "\n".join(failure.describe() for failure in result.failures)
 
 
 def test_simulation_is_deterministic():
@@ -165,6 +178,39 @@ class TestOracleSensitivity:
         assert run.failures[-1].oracle == "provenance-vs-dred"
         assert "only in provenance" in run.failures[-1].detail
 
+    def test_distributed_vs_centralized_detects_divergence(self):
+        run = self._run_one_epoch()
+        peer = run.storecheck.peer(run.storecheck.catalog.peer_names()[0])
+        relation = next(iter(peer.schema)).name
+        peer.instance.insert(relation, tuple("w" for _ in range(peer.schema.arity(relation))))
+        run._check_distributed_vs_centralized(epoch=2)
+        failure = run.failures[-1]
+        assert failure.oracle == "distributed-vs-centralized"
+        assert "only in mirror-store" in failure.detail
+
+    def test_distributed_vs_centralized_detects_report_divergence(self):
+        run = self._run_one_epoch()
+        report = run._last_reports["storecheck"]
+        report.rounds[0].published = []
+        run._check_distributed_vs_centralized(epoch=2)
+        failure = run.failures[-1]
+        assert failure.oracle == "distributed-vs-centralized"
+        assert "sync round 1 diverges" in failure.detail
+
+    def test_replica_durability_detects_lost_copies(self):
+        run = self._run_one_epoch()
+        store = run._distributed_replica().store
+        # Drop one copy of every entry from the first populated shard while
+        # leaving its gossip summary intact — a holder that still claims the
+        # data but lost the bytes, which anti-entropy cannot repair.
+        shard = next(iter(store._shard_sequences))
+        victim = store._replicas[shard][0]
+        victim._by_sequence.clear()
+        run._check_replica_durability(epoch=2)
+        failure = run.failures[-1]
+        assert failure.oracle == "replica-durability"
+        assert "under-replicated" in failure.detail
+
 
 class TestCli:
     def test_cli_runs_a_small_campaign(self, capsys):
@@ -187,6 +233,27 @@ class TestCli:
 
     def test_cli_accepts_single_transaction_epochs(self, capsys):
         assert simulate_main(["--seeds", "1", "--transactions", "1", "--epochs", "2"]) == 0
+
+    def test_cli_store_backend_flags(self, capsys):
+        assert simulate_main(
+            ["--seeds", "1", "--epochs", "2", "--store-distributed", "--quiet"]
+        ) == 0
+        assert simulate_main(
+            ["--seeds", "1", "--epochs", "2", "--store-centralized", "--quiet"]
+        ) == 0
+        with pytest.raises(SystemExit):
+            simulate_main(["--store-centralized", "--store-distributed"])
+
+    def test_cli_repro_line_names_distributed_store(self, capsys, monkeypatch):
+        import repro.simulate as cli
+
+        def boom(seed, config):
+            assert config.store_backend == "distributed"
+            raise RuntimeError("store exploded")
+
+        monkeypatch.setattr(cli, "run_simulation", boom)
+        assert cli.main(["--seeds", "1", "--store-distributed"]) == 1
+        assert "--store-distributed" in capsys.readouterr().err
 
     def test_cli_provenance_representation_flags(self, capsys):
         assert simulate_main(
