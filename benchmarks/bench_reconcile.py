@@ -1,0 +1,218 @@
+"""Experiment RECONCILE: sketch reconciliation vs cursor replay at scale.
+
+Measures the wire cost of the :mod:`repro.p2p.reconcile` subsystem on
+networks of 100+ peers:
+
+* ``patchwork`` — a reconnecting peer holds the archive's log minus a
+  scattered diff (it was intermittently online, so its scalar cursor is
+  pinned at its *earliest* hole).  Cursor replay ships nearly the whole
+  log tail; an IBLT session ships O(diff) bytes no matter how long the
+  shared history is.  Bloom is measured too, as the ablation: its sketch
+  grows with the set, not the diff, which is why IBLT is the default.
+* ``flash-crowd`` — half of a 128-peer gossip network disconnects, the
+  archive keeps publishing, and the crowd reconnects at once.  Reports
+  total/per-peer bytes and messages, rounds to convergence, and how much
+  of the traffic the archive itself had to serve, against the baseline of
+  every rejoiner replaying its cursor straight from the store.
+
+Knobs:
+
+* ``RECONCILE_BENCH_SMOKE=1`` shrinks sizes so the module runs in seconds
+  (CI).
+* ``RECONCILE_BENCH_RECORD=1`` (re)writes the committed baseline
+  ``BENCH_reconcile.json`` next to this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from pathlib import Path
+
+from repro.core.transactions import Transaction
+from repro.core.updates import Update
+from repro.p2p.gossip import GossipCoordinator
+from repro.p2p.network import Network
+from repro.p2p.reconcile import (
+    EntryCache,
+    ReconcileConfig,
+    SetReconciler,
+    StoreView,
+    cursor_transfer_bytes,
+)
+from repro.p2p.store import UpdateStore
+
+from ._reporting import print_table
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() not in ("", "0", "false", "no", "off")
+
+
+SMOKE = _env_flag("RECONCILE_BENCH_SMOKE")
+RECORD = _env_flag("RECONCILE_BENCH_RECORD")
+BASELINE_PATH = Path(__file__).with_name("BENCH_reconcile.json")
+
+LOG_LENGTH = 600 if SMOKE else 3000
+DIFF_SIZES = (10, 40, 160) if SMOKE else (25, 100, 400)
+CROWD_PEERS = 128
+CROWD_HISTORY = 120 if SMOKE else 400
+CROWD_DIFF = 60 if SMOKE else 200
+
+
+def _record(experiment: str, payload) -> None:
+    if not RECORD:
+        return
+    baseline = {}
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+    baseline[experiment] = payload
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+
+
+def _filled_store(count: int, publisher: str = "P0") -> UpdateStore:
+    store = UpdateStore()
+    for epoch in range(1, count + 1):
+        txn = Transaction(
+            f"{publisher}-e{epoch}",
+            publisher,
+            (Update.insert("R", (epoch, "payload"), origin=publisher),),
+        )
+        store.archive([txn], epoch=epoch, publisher=publisher)
+    return store
+
+
+def _patchwork_peer(store: UpdateStore, holes: int, seed: int) -> tuple[EntryCache, int]:
+    """A peer cache holding everything except ``holes`` scattered entries.
+
+    Returns the cache and the peer's scalar cursor: the epoch just below its
+    earliest hole, which is where cursor replay would have to restart.
+    """
+    entries = store.published_since(0)
+    rng = random.Random(seed)
+    missing = set(rng.sample(range(len(entries)), holes))
+    cache = EntryCache("rejoiner")
+    cache.add_entries(e for i, e in enumerate(entries) if i not in missing)
+    cursor = min(entries[i].epoch for i in missing) - 1
+    return cache, cursor
+
+
+def test_patchwork_catchup_bytes_scale_with_diff():
+    """Sketch bytes track the diff; cursor bytes track the log tail."""
+    store = _filled_store(LOG_LENGTH)
+    rows = []
+    results = {"log_length": LOG_LENGTH, "diffs": []}
+    for diff in DIFF_SIZES:
+        cache, cursor = _patchwork_peer(store, diff, seed=diff)
+        cursor_bytes = cursor_transfer_bytes(store.published_since(cursor))
+        measurements = {}
+        for algorithm in ("iblt", "bloom"):
+            view = StoreView(store)
+            view.refresh()
+            reconciler = SetReconciler(ReconcileConfig(algorithm=algorithm))
+            peer, _ = _patchwork_peer(store, diff, seed=diff)
+            result = reconciler.reconcile(peer, view)
+            assert result.converged
+            assert peer.count == len(store)
+            measurements[algorithm] = reconciler.stats.to_dict()
+        record = {
+            "diff": diff,
+            "cursor_replay_bytes": cursor_bytes,
+            "iblt_bytes": measurements["iblt"]["bytes"],
+            "iblt_sketch_bytes": measurements["iblt"]["sketch_bytes"],
+            "iblt_messages": measurements["iblt"]["messages"],
+            "bloom_bytes": measurements["bloom"]["bytes"],
+        }
+        results["diffs"].append(record)
+        rows.append([
+            diff,
+            cursor_bytes,
+            record["iblt_bytes"],
+            record["iblt_sketch_bytes"],
+            record["iblt_messages"],
+            record["bloom_bytes"],
+            f"{cursor_bytes / record['iblt_bytes']:.1f}x",
+        ])
+
+    print_table(
+        f"RECONCILE: patchwork rejoiner over a {LOG_LENGTH}-entry log",
+        ["diff", "cursor B", "iblt B", "iblt sketch B", "iblt msgs", "bloom B", "cursor/iblt"],
+        rows,
+    )
+    # The acceptance property: catch-up cost follows the diff, not the log.
+    small, large = results["diffs"][0], results["diffs"][-1]
+    growth = DIFF_SIZES[-1] / DIFF_SIZES[0]
+    assert large["iblt_bytes"] < small["iblt_bytes"] * growth * 2
+    # Every IBLT session beats replaying the scattered peer's cursor tail.
+    for record in results["diffs"]:
+        assert record["iblt_bytes"] < record["cursor_replay_bytes"]
+    _record("patchwork", results)
+
+
+def test_flash_crowd_gossip_on_128_peers():
+    """Half a 128-peer network rejoins at once; gossip spreads the diff."""
+    peers = [f"P{index}" for index in range(CROWD_PEERS)]
+    network = Network(peers)
+    store = _filled_store(CROWD_HISTORY)
+    coordinator = GossipCoordinator(network, store, fanout=2)
+    for peer in peers:
+        coordinator.register_peer(peer)
+    coordinator.run_until_converged()
+
+    crowd = peers[: CROWD_PEERS // 2]
+    for peer in crowd:
+        network.set_online(peer, False)
+    for epoch in range(CROWD_HISTORY + 1, CROWD_HISTORY + CROWD_DIFF + 1):
+        txn = Transaction(
+            f"P0-e{epoch}", "P0",
+            (Update.insert("R", (epoch, "payload"), origin="P0"),),
+        )
+        store.archive([txn], epoch=epoch, publisher="P0")
+    coordinator.run_until_converged()
+
+    for peer in crowd:
+        network.set_online(peer, True)
+    before = coordinator.stats.snapshot()
+    traffic_before = network.message_stats()
+    report = coordinator.run_until_converged()
+    assert report.converged
+    delta = coordinator.stats.since(before)
+    traffic = network.message_stats()
+
+    # Baseline: every rejoiner replays its cursor straight from the store.
+    diff_entries = store.published_since(CROWD_HISTORY)
+    cursor_baseline = len(crowd) * cursor_transfer_bytes(diff_entries)
+    archive_bytes = (
+        traffic["per_peer"]["#archive"]["bytes_sent"]
+        + traffic["per_peer"]["#archive"]["bytes_received"]
+        - traffic_before["per_peer"]["#archive"]["bytes_sent"]
+        - traffic_before["per_peer"]["#archive"]["bytes_received"]
+    )
+    measurement = {
+        "peers": CROWD_PEERS,
+        "rejoining_peers": len(crowd),
+        "history_entries": CROWD_HISTORY,
+        "diff_entries": CROWD_DIFF,
+        "rounds": report.round_count,
+        "sessions": delta.sessions,
+        "messages": delta.messages,
+        "bytes": delta.bytes,
+        "bytes_per_rejoiner": delta.bytes // len(crowd),
+        "entries_delivered": delta.entries_delivered,
+        "decode_failures": delta.decode_failures,
+        "fallbacks": delta.fallbacks,
+        "archive_served_bytes": archive_bytes,
+        "cursor_baseline_bytes": cursor_baseline,
+    }
+    print_table(
+        f"RECONCILE: flash crowd, {len(crowd)}/{CROWD_PEERS} peers rejoin",
+        ["metric", "value"],
+        [[key, value] for key, value in measurement.items()],
+    )
+    # Every rejoiner got exactly the diff (plus sketch overhead), and the
+    # archive served only a fraction of the traffic — the crowd carried the
+    # rest peer-to-peer.
+    assert delta.entries_delivered >= CROWD_DIFF * len(crowd)
+    assert archive_bytes < measurement["bytes"]
+    _record("flash_crowd", measurement)

@@ -17,7 +17,15 @@ remains fully supported underneath; everything here composes it.
 
 from .builder import NetworkBuilder, PeerBuilder, build_network
 from .query import QueryResult, run_query
-from .spec import NetworkSpec, PeerSpec, parse_network_spec, spec_of
+from .spec import (
+    NetworkSpec,
+    PeerSpec,
+    StoreSpec,
+    SyncSpec,
+    parse_network_spec,
+    spec_of,
+    sync_spec_of,
+)
 from .sync import DEFAULT_MAX_ROUNDS, SyncReport, SyncRound, sync_round, synchronize
 
 __all__ = [
@@ -27,12 +35,15 @@ __all__ = [
     "PeerBuilder",
     "PeerSpec",
     "QueryResult",
+    "StoreSpec",
     "SyncReport",
     "SyncRound",
+    "SyncSpec",
     "build_network",
     "parse_network_spec",
     "run_query",
     "spec_of",
     "sync_round",
+    "sync_spec_of",
     "synchronize",
 ]

@@ -25,7 +25,7 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 from ..config import SystemConfig
 from ..core.mapping import Mapping, identity_mapping, mapping_from_tgd
 from ..errors import SpecError
-from .spec import NetworkSpec, PeerSpec, StoreSpec, TRUST_DEFAULT
+from .spec import NetworkSpec, PeerSpec, StoreSpec, SyncSpec, TRUST_DEFAULT
 
 
 class PeerBuilder:
@@ -98,6 +98,9 @@ class PeerBuilder:
     def store(self, kind: str = "distributed", **knobs) -> "NetworkBuilder":
         return self._network.store(kind, **knobs)
 
+    def sync(self, mode: str = "gossip", **knobs) -> "NetworkBuilder":
+        return self._network.sync(mode, **knobs)
+
     def spec(self) -> NetworkSpec:
         return self._network.spec()
 
@@ -143,6 +146,23 @@ class NetworkBuilder:
             raise SpecError(f"bad store declaration: {error}") from None
         store.validate()
         self._spec.store = store
+        return self
+
+    def sync(self, mode: str = "gossip", **knobs) -> "NetworkBuilder":
+        """Select the peer catch-up strategy (``cursor``/``gossip``).
+
+        Knobs (gossip only): ``fanout``, ``sketch`` (``iblt``/``bloom``),
+        ``capacity``, ``growth``, ``attempts`` — unset ones defer to
+        :class:`~repro.config.StoreConfig` defaults.
+        """
+        if self._spec.sync is not None:
+            raise SpecError("the sync mode is declared twice")
+        try:
+            sync = SyncSpec(mode=mode, **knobs)
+        except TypeError as error:
+            raise SpecError(f"bad sync declaration: {error}") from None
+        sync.validate()
+        self._spec.sync = sync
         return self
 
     def mapping(
@@ -249,20 +269,39 @@ class NetworkBuilder:
 
         spec = self.spec()
         config = self._config
+        overrides: dict = {}
         if spec.store is not None:
+            overrides.update(
+                {
+                    config_field: value
+                    for config_field, value in (
+                        ("backend", spec.store.kind),
+                        ("shard_count", spec.store.shards),
+                        ("replication_factor", spec.store.replication),
+                        ("write_quorum", spec.store.write_quorum),
+                        ("read_quorum", spec.store.read_quorum),
+                        ("segment_size", spec.store.segment_size),
+                    )
+                    if value is not None
+                }
+            )
+        if spec.sync is not None:
+            overrides.update(
+                {
+                    config_field: value
+                    for config_field, value in (
+                        ("sync_mode", spec.sync.mode),
+                        ("gossip_fanout", spec.sync.fanout),
+                        ("sketch", spec.sync.sketch),
+                        ("sketch_capacity", spec.sync.capacity),
+                        ("sketch_growth", spec.sync.growth),
+                        ("sketch_attempts", spec.sync.attempts),
+                    )
+                    if value is not None
+                }
+            )
+        if overrides:
             base = config or SystemConfig.default()
-            overrides = {
-                config_field: value
-                for config_field, value in (
-                    ("backend", spec.store.kind),
-                    ("shard_count", spec.store.shards),
-                    ("replication_factor", spec.store.replication),
-                    ("write_quorum", spec.store.write_quorum),
-                    ("read_quorum", spec.store.read_quorum),
-                    ("segment_size", spec.store.segment_size),
-                )
-                if value is not None
-            }
             config = replace(base, store=replace(base.store, **overrides))
         cdss = CDSS(config, store_factory=store_factory)
         cdss.name = spec.name

@@ -19,6 +19,10 @@ The format is line-oriented:
   backend: ``store centralized`` or ``store distributed shards 4
   replication 2 write_quorum 2 read_quorum 1 segment_size 8`` (every knob
   optional);
+* ``sync <mode> [<knob> <value> ...]`` (optional) selects how reconnecting
+  peers catch up: ``sync cursor`` (the default scalar-cursor replay) or
+  ``sync gossip fanout 2 sketch iblt capacity 32 growth 4 attempts 3``
+  (epidemic anti-entropy over sketch reconciliation; every knob optional);
 * ``peer <Name> [schema <SchemaName>]`` opens a peer section;
 * ``relation Rel(attr, ...) [key(attr, ...)]`` declares a relation of the
   current peer; without a ``key`` clause the whole tuple is the key;
@@ -52,6 +56,8 @@ TRUST_DEFAULT = "*"
 
 _PEER_RE = re.compile(r"peer\s+(?P<name>\w+)(?:\s+schema\s+(?P<schema>\w+))?\s*$")
 _STORE_RE = re.compile(r"store\s+(?P<kind>\w+)(?P<knobs>(?:\s+\w+\s+\d+)*)\s*$")
+# Unlike store knobs, sync knobs take word values too ("sketch iblt").
+_SYNC_RE = re.compile(r"sync\s+(?P<mode>\w+)(?P<knobs>(?:\s+\w+\s+\w+)*)\s*$")
 _RELATION_RE = re.compile(
     r"relation\s+(?P<name>\w+)\s*\((?P<attrs>[^)]*)\)(?:\s*key\s*\((?P<key>[^)]*)\))?\s*$"
 )
@@ -151,6 +157,66 @@ class StoreSpec:
         return " ".join(parts)
 
 
+#: Knobs a ``sync`` declaration accepts, in canonical rendering order.
+#: ``sketch`` takes a word value (the algorithm name); the rest take ints.
+_SYNC_KNOBS = ("fanout", "sketch", "capacity", "growth", "attempts")
+_SYNC_WORD_KNOBS = frozenset({"sketch"})
+
+
+@dataclass
+class SyncSpec:
+    """Declarative description of the peer catch-up strategy.
+
+    ``sync cursor`` is the default scalar-cursor replay and takes no knobs;
+    ``sync gossip`` enables epidemic sketch reconciliation, with unset knobs
+    (``None``) deferring to :class:`~repro.config.StoreConfig` defaults.
+    """
+
+    mode: str = "cursor"
+    fanout: Optional[int] = None
+    sketch: Optional[str] = None
+    capacity: Optional[int] = None
+    growth: Optional[int] = None
+    attempts: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.mode not in ("cursor", "gossip"):
+            raise SpecError(
+                f"sync mode must be 'cursor' or 'gossip', got {self.mode!r}"
+            )
+        if self.mode == "cursor":
+            for knob in _SYNC_KNOBS:
+                if getattr(self, knob) is not None:
+                    raise SpecError(
+                        f"sync cursor takes no knobs, but {knob!r} is given"
+                    )
+            return
+        if self.sketch is not None and self.sketch not in ("iblt", "bloom"):
+            raise SpecError(
+                f"sync sketch must be 'iblt' or 'bloom', got {self.sketch!r}"
+            )
+        for knob, floor in (("fanout", 1), ("capacity", 1), ("growth", 2), ("attempts", 1)):
+            value = getattr(self, knob)
+            if value is not None and value < floor:
+                raise SpecError(f"sync {knob} must be >= {floor}, got {value}")
+
+    def to_dict(self) -> dict:
+        spec: dict = {"mode": self.mode}
+        for knob in _SYNC_KNOBS:
+            value = getattr(self, knob)
+            if value is not None:
+                spec[knob] = value
+        return spec
+
+    def to_text_line(self) -> str:
+        parts = [f"sync {self.mode}"]
+        for knob in _SYNC_KNOBS:
+            value = getattr(self, knob)
+            if value is not None:
+                parts.append(f"{knob} {value}")
+        return " ".join(parts)
+
+
 @dataclass
 class NetworkSpec:
     """A complete declarative description of a CDSS network."""
@@ -160,6 +226,8 @@ class NetworkSpec:
     mappings: list[Mapping] = field(default_factory=list)
     #: Optional update-store backend selection (centralized vs distributed).
     store: Optional[StoreSpec] = None
+    #: Optional peer catch-up strategy (cursor replay vs sketch gossip).
+    sync: Optional[SyncSpec] = None
 
     # -- validation ----------------------------------------------------------
     def validate(self) -> None:
@@ -168,6 +236,8 @@ class NetworkSpec:
             raise SpecError("a network spec needs at least one peer")
         if self.store is not None:
             self.store.validate()
+        if self.sync is not None:
+            self.sync.validate()
         for peer in self.peers.values():
             if not peer.relations:
                 raise SpecError(f"peer {peer.name!r} declares no relations")
@@ -209,12 +279,16 @@ class NetworkSpec:
         }
         if self.store is not None:
             data["store"] = self.store.to_dict()
+        if self.sync is not None:
+            data["sync"] = self.sync.to_dict()
         return data
 
     def to_text(self) -> str:
         lines = [f"network {self.name}"]
         if self.store is not None:
             lines.append(self.store.to_text_line())
+        if self.sync is not None:
+            lines.append(self.sync.to_text_line())
         for peer in self.peers.values():
             header = f"peer {peer.name}"
             if peer.schema_name:
@@ -291,6 +365,22 @@ def _parse_text_spec(text: str) -> NetworkSpec:
                 raise SpecError(f"line {number}: malformed store declaration {raw.strip()!r}")
             spec.store = _store_from_knobs(
                 match.group("kind"), match.group("knobs").split(), f"line {number}"
+            )
+            continue
+
+        if line.startswith("sync"):
+            if current is not None:
+                raise SpecError(
+                    f"line {number}: the sync declaration belongs at the top "
+                    "of the spec, before any peer section"
+                )
+            if spec.sync is not None:
+                raise SpecError(f"line {number}: the sync mode is declared twice")
+            match = _SYNC_RE.match(line)
+            if match is None:
+                raise SpecError(f"line {number}: malformed sync declaration {raw.strip()!r}")
+            spec.sync = _sync_from_knobs(
+                match.group("mode"), match.group("knobs").split(), f"line {number}"
             )
             continue
 
@@ -375,6 +465,31 @@ def _store_from_knobs(kind: str, tokens: Sequence[str], context: str) -> StoreSp
     return store
 
 
+def _sync_from_knobs(mode: str, tokens: Sequence[str], context: str) -> SyncSpec:
+    """Build a :class:`SyncSpec` from ``knob value`` token pairs."""
+    sync = SyncSpec(mode=mode)
+    for position in range(0, len(tokens), 2):
+        knob = tokens[position]
+        if knob not in _SYNC_KNOBS:
+            raise SpecError(
+                f"{context}: unknown sync knob {knob!r}; expected one of "
+                + ", ".join(_SYNC_KNOBS)
+            )
+        if getattr(sync, knob) is not None:
+            raise SpecError(f"{context}: sync knob {knob!r} is given twice")
+        value = tokens[position + 1]
+        if knob in _SYNC_WORD_KNOBS:
+            setattr(sync, knob, value)
+        else:
+            try:
+                setattr(sync, knob, int(value))
+            except ValueError:
+                raise SpecError(
+                    f"{context}: sync knob {knob!r} needs an integer, got {value!r}"
+                ) from None
+    return sync
+
+
 def _parse_dict_spec(data: MappingType) -> NetworkSpec:
     spec = NetworkSpec(name=str(data.get("name", "network")))
     store_entry = data.get("store")
@@ -392,6 +507,27 @@ def _parse_dict_spec(data: MappingType) -> NetworkSpec:
                 knob: int(store_entry[knob])
                 for knob in _STORE_KNOBS
                 if store_entry.get(knob) is not None
+            },
+        )
+    sync_entry = data.get("sync")
+    if sync_entry is not None:
+        if not isinstance(sync_entry, MappingType):
+            raise SpecError(
+                f"the 'sync' entry must be a mapping, got {type(sync_entry).__name__}"
+            )
+        unknown = set(sync_entry) - {"mode", *_SYNC_KNOBS}
+        if unknown:
+            raise SpecError(f"unknown sync entries: {sorted(unknown)}")
+        spec.sync = SyncSpec(
+            mode=str(sync_entry.get("mode", "cursor")),
+            **{
+                knob: (
+                    str(sync_entry[knob])
+                    if knob in _SYNC_WORD_KNOBS
+                    else int(sync_entry[knob])
+                )
+                for knob in _SYNC_KNOBS
+                if sync_entry.get(knob) is not None
             },
         )
     peers = data.get("peers")
@@ -452,6 +588,7 @@ def spec_of(cdss) -> NetworkSpec:
     """
     spec = NetworkSpec(name=getattr(cdss, "name", None) or "network")
     spec.store = store_spec_of(cdss.store)
+    spec.sync = sync_spec_of(cdss)
     for peer in cdss.catalog.peers():
         policy = peer.trust
         if policy.conditions:
@@ -498,3 +635,23 @@ def store_spec_of(store) -> Optional[StoreSpec]:
             segment_size=store.segment_size,
         )
     return None
+
+
+def sync_spec_of(cdss) -> Optional[SyncSpec]:
+    """The :class:`SyncSpec` describing a running system's catch-up mode.
+
+    The cursor default maps to ``None`` (no ``sync`` line), so specs that
+    never mentioned sync round-trip unchanged; gossip mode is recovered with
+    all its knobs pinned.
+    """
+    store_config = cdss.config.store
+    if store_config.sync_mode != "gossip":
+        return None
+    return SyncSpec(
+        mode="gossip",
+        fanout=store_config.gossip_fanout,
+        sketch=store_config.sketch,
+        capacity=store_config.sketch_capacity,
+        growth=store_config.sketch_growth,
+        attempts=store_config.sketch_attempts,
+    )

@@ -11,6 +11,14 @@ returned :class:`SyncReport`.
 Centralizing the loop here gives later performance work (batching,
 async publication, sharded reconciliation) a single seam to optimize
 without touching user code.
+
+When the system runs in gossip sync mode (``StoreConfig.sync_mode ==
+"gossip"``), each round inserts an epidemic anti-entropy phase between the
+publish and reconcile passes: freshly published entries spread peer-to-peer
+via sketch reconciliation sessions (:mod:`repro.p2p.gossip`) so the
+reconcile pass answers "what did I miss" from each peer's local cache.
+:attr:`SyncReport.gossip` then carries the phase's traffic accounting —
+rounds, sessions, messages, bytes, decode failures, fallbacks.
 """
 
 from __future__ import annotations
@@ -74,6 +82,10 @@ class SyncReport:
     #: Shard/replica health of a distributed update store (``None`` for the
     #: centralized archive): replication status, degraded writes, repairs.
     store_health: Optional[dict] = None
+    #: Gossip anti-entropy traffic accounting (``None`` in cursor mode):
+    #: epidemic rounds run, sessions, messages, bytes (split into sketch and
+    #: entry bytes), entries delivered, decode failures, cursor fallbacks.
+    gossip: Optional[dict] = None
 
     # -- aggregate views ------------------------------------------------------
     @property
@@ -149,6 +161,8 @@ class SyncReport:
         }
         if self.store_health is not None:
             data["store_health"] = self.store_health
+        if self.gossip is not None:
+            data["gossip"] = dict(self.gossip)
         return data
 
 
@@ -169,6 +183,12 @@ def sync_round(cdss, peers: Optional[Sequence[str]] = None, index: int = 1) -> S
     publish = cdss.publish_all(names)
     round_.published = publish.outcomes
     round_.skipped_offline = publish.skipped_offline
+    gossip = getattr(cdss, "gossip", None)
+    if gossip is not None:
+        # Epidemic anti-entropy phase: spread the round's publications
+        # peer-to-peer before anyone reconciles, so the reconcile pass below
+        # reads from converged local caches instead of the archive.
+        gossip.run_until_converged()
     for name in names:
         if name not in publish.skipped_offline:
             round_.reconciled.append(cdss.reconcile(name))
@@ -197,6 +217,9 @@ def synchronize(
     """
     names = _selected_peers(cdss, peers)
     report = SyncReport(peers=names)
+    gossip = getattr(cdss, "gossip", None)
+    gossip_before = gossip.stats.snapshot() if gossip is not None else None
+    gossip_rounds_before = gossip.rounds_run if gossip is not None else 0
     for index in range(1, max_rounds + 1):
         round_ = sync_round(cdss, names, index=index)
         report.rounds.append(round_)
@@ -211,4 +234,14 @@ def synchronize(
     health = getattr(cdss.store, "health", None)
     if callable(health):
         report.store_health = health()
+    if gossip is not None:
+        store_config = cdss.config.store
+        report.gossip = {
+            "mode": "gossip",
+            "sketch": store_config.sketch,
+            "fanout": store_config.gossip_fanout,
+        }
+        report.gossip.update(
+            gossip.summary(since=gossip_before, rounds_before=gossip_rounds_before)
+        )
     return report

@@ -90,6 +90,19 @@ class StoreConfig:
         require_online_to_publish: Publishing requires the peer to be online.
         require_online_to_reconcile: Reconciling requires the peer to be
             online (it must reach the archive).
+        sync_mode: How peers catch up on published transactions —
+            ``"cursor"`` (each peer replays its log tail straight from the
+            archive, the default) or ``"gossip"`` (fanout-f epidemic
+            anti-entropy over set-reconciliation sketches; see
+            :mod:`repro.p2p.gossip`).
+        gossip_fanout: Partners each online peer reconciles with per gossip
+            round (gossip mode only).
+        sketch: Which set-reconciliation sketch sessions use — ``"iblt"``
+            (subtractable invertible Bloom lookup table, decodes the exact
+            symmetric difference) or ``"bloom"`` (counting Bloom filter).
+        sketch_capacity: Initial sketch capacity in difference elements.
+        sketch_growth: Capacity multiplier applied on each decode failure.
+        sketch_attempts: Sketch attempts before falling back to cursor replay.
     """
 
     backend: str = "centralized"
@@ -100,6 +113,12 @@ class StoreConfig:
     segment_size: int = 8
     require_online_to_publish: bool = True
     require_online_to_reconcile: bool = True
+    sync_mode: str = "cursor"
+    gossip_fanout: int = 2
+    sketch: str = "iblt"
+    sketch_capacity: int = 32
+    sketch_growth: int = 4
+    sketch_attempts: int = 3
 
     def __post_init__(self) -> None:
         if self.backend not in ("centralized", "distributed"):
@@ -122,6 +141,22 @@ class StoreConfig:
             raise ConfigurationError(
                 "write_quorum must be None (majority) or in [1, replication_factor]"
             )
+        if self.sync_mode not in ("cursor", "gossip"):
+            raise ConfigurationError(
+                f"sync_mode must be 'cursor' or 'gossip', got {self.sync_mode!r}"
+            )
+        if self.sketch not in ("iblt", "bloom"):
+            raise ConfigurationError(
+                f"sketch must be 'iblt' or 'bloom', got {self.sketch!r}"
+            )
+        if self.gossip_fanout < 1:
+            raise ConfigurationError("gossip_fanout must be >= 1")
+        if self.sketch_capacity < 1:
+            raise ConfigurationError("sketch_capacity must be >= 1")
+        if self.sketch_growth < 2:
+            raise ConfigurationError("sketch_growth must be >= 2")
+        if self.sketch_attempts < 1:
+            raise ConfigurationError("sketch_attempts must be >= 1")
 
 
 @dataclass(frozen=True)

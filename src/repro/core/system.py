@@ -36,7 +36,9 @@ from ..exchange.migration import migrate_instance
 from ..exchange.rules import compile_mappings
 from ..exchange.translation import CandidateTransaction, UpdateTranslator
 from ..p2p.distributed import store_from_config
+from ..p2p.gossip import GossipCoordinator
 from ..p2p.network import Network
+from ..p2p.reconcile import ReconcileConfig
 from ..p2p.replication import ReplicationManager
 from ..p2p.store import UpdateStore
 from ..reconcile.algorithm import ReconcileResult, Reconciler
@@ -161,6 +163,20 @@ class CDSS:
         self.replication = ReplicationManager(
             self.network, self.config.store.replication_factor
         )
+        store_config = self.config.store
+        self.gossip: Optional[GossipCoordinator] = None
+        if store_config.sync_mode == "gossip":
+            self.gossip = GossipCoordinator(
+                self.network,
+                self.store,
+                config=ReconcileConfig(
+                    algorithm=store_config.sketch,
+                    capacity=store_config.sketch_capacity,
+                    growth=store_config.sketch_growth,
+                    max_attempts=store_config.sketch_attempts,
+                ),
+                fanout=store_config.gossip_fanout,
+            )
         self._engine: Optional[ExchangeEngine] = None
         self._translators: dict[str, UpdateTranslator] = {}
         self._reconcilers: dict[str, Reconciler] = {}
@@ -225,6 +241,8 @@ class CDSS:
         self._reconcilers[name] = Reconciler(
             peer, ReconciliationState(peer=name), self.config.reconciliation
         )
+        if self.gossip is not None:
+            self.gossip.register_peer(name)
         self._invalidate_engine()
         return peer
 
@@ -301,6 +319,9 @@ class CDSS:
         peer.log.mark_published(len(pending))
         peer.clock.record_publication(epoch)
 
+        if self.gossip is not None:
+            self.gossip.record_published(peer_name, entries)
+
         for entry in entries:
             self.replication.place(entry.txn_id, peer_name)
             delta = engine.process_transaction(entry.transaction)
@@ -333,7 +354,17 @@ class CDSS:
 
         engine = self.engine
         watermark = peer.clock.last_reconciled_epoch
-        entries = self.store.published_since(watermark)
+        if self.gossip is not None:
+            # Gossip mode: catch the peer's local entry cache up with the
+            # archive (a two-message no-op when the epidemic rounds already
+            # converged it) and answer "what did I miss" from the cache.
+            # After catch-up the cache equals the archive, so this list is
+            # identical to the cursor-mode pull below — the sketch-vs-cursor
+            # oracle checks exactly that.
+            self.gossip.catch_up(peer_name)
+            entries = self.gossip.entries_since(peer_name, watermark)
+        else:
+            entries = self.store.published_since(watermark)
         translator = self._translators[peer_name]
 
         candidates: list[CandidateTransaction] = []

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 from ..errors import TransactionError
+from .hashing import stable_hash
 from .updates import Update, UpdateKind
 
 
@@ -77,6 +78,30 @@ class Transaction:
         """Return a copy stamped with the publication epoch."""
         return Transaction(self.txn_id, self.peer, self.updates, self.antecedents, epoch)
 
+    # -- content addressing ------------------------------------------------------
+    def content_payload(self) -> tuple:
+        """The canonical value this transaction's content digest covers.
+
+        Excludes ``txn_id`` (so ids can be *derived from* the digest) and
+        ``epoch`` (assigned later, at publication): the digest identifies
+        what the transaction does, not where it ended up in the log.
+        """
+        return (
+            "txn",
+            self.peer,
+            tuple(
+                (str(update.kind.value), update.relation, update.values,
+                 update.old_values, update.origin)
+                for update in self.updates
+            ),
+            frozenset(self.antecedents),
+        )
+
+    def content_digest(self, seed: int = 0) -> int:
+        """Process-stable 64-bit content digest (independent of
+        ``PYTHONHASHSEED``; identical across interpreter runs)."""
+        return stable_hash(self.content_payload(), seed=seed)
+
     def describe(self) -> str:
         parts = "; ".join(update.describe() for update in self.updates)
         deps = f" after {sorted(self.antecedents)}" if self.antecedents else ""
@@ -93,6 +118,14 @@ class TransactionBuilder:
     deletes or modifies a tuple, the builder looks up, in the supplied
     ``producers`` index, which earlier transaction produced that tuple and
     records it as an antecedent.
+
+    When no explicit ``txn_id`` is given the final id is *content-addressed*:
+    ``{peer}-txn-{digest}`` where the digest is the process-stable hash of the
+    transaction's content plus a per-process nonce (so two identical-content
+    transactions still get distinct ids).  Content-addressed ids are identical
+    across interpreter runs — they never depend on builtin ``hash()`` or
+    ``PYTHONHASHSEED`` — which the replica placement and reconciliation
+    sketches rely on.
     """
 
     _counter = itertools.count(1)
@@ -104,7 +137,9 @@ class TransactionBuilder:
         producers: Optional[Mapping[tuple[str, tuple], str]] = None,
     ) -> None:
         self._peer = peer
-        self._txn_id = txn_id or f"{peer}-txn-{next(self._counter)}"
+        self._auto_id = txn_id is None
+        self._nonce = next(self._counter)
+        self._txn_id = txn_id or f"{peer}-txn-{self._nonce}"
         self._updates: list[Update] = []
         self._antecedents: set[str] = set()
         self._producers = dict(producers or {})
@@ -142,12 +177,21 @@ class TransactionBuilder:
         return self
 
     def build(self) -> Transaction:
-        return Transaction(
+        transaction = Transaction(
             self._txn_id,
             self._peer,
             tuple(self._updates),
             frozenset(self._antecedents),
         )
+        if self._auto_id:
+            digest = stable_hash(("txn-id", self._nonce, transaction.content_payload()))
+            transaction = Transaction(
+                f"{self._peer}-txn-{digest:016x}",
+                self._peer,
+                transaction.updates,
+                transaction.antecedents,
+            )
+        return transaction
 
 
 # -- dependency graph utilities ------------------------------------------------------

@@ -72,6 +72,13 @@ class QuorumError(PublicationError):
     offline)."""
 
 
+class SketchError(ReproError):
+    """A set-reconciliation sketch could not decode the symmetric difference
+    (more differing elements than its capacity, or a cell-hash collision).
+    Callers grow the sketch and retry, then fall back to cursor replay —
+    decode failure is a cost signal, never a correctness problem."""
+
+
 class ReconciliationError(ReproError):
     """The reconciliation algorithm was given inconsistent inputs or asked to
     resolve a conflict that does not exist."""

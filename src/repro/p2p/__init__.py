@@ -15,7 +15,15 @@ disconnects.  This package provides that substrate:
 * :mod:`repro.p2p.distributed` — the sharded, k-way-replicated distributed
   archive: consistent hashing of epoch-ordered log segments onto peer-hosted
   shard servers, quorum reads/writes, re-replication, and gossip-based
-  catch-up for reconnecting peers.
+  catch-up for reconnecting peers,
+* :mod:`repro.p2p.sketch` — process-stable content digests, counting Bloom
+  filters, invertible Bloom lookup tables and compact epoch clocks for
+  set reconciliation,
+* :mod:`repro.p2p.reconcile` — the challenge → sketch → diff → batch
+  reconciliation protocol with per-message byte accounting and cursor-replay
+  fallback,
+* :mod:`repro.p2p.gossip` — the fanout-f epidemic anti-entropy scheduler
+  that spreads published transactions peer-to-peer.
 """
 
 from .distributed import (
@@ -24,20 +32,56 @@ from .distributed import (
     ShardReplica,
     store_from_config,
 )
-from .network import ConnectivityEvent, Network
+from .gossip import GossipCoordinator, GossipReport
+from .network import ConnectivityEvent, MessageEvent, Network
+from .reconcile import (
+    EntryCache,
+    ReconcileConfig,
+    ReconcileStats,
+    SessionResult,
+    SetReconciler,
+    StoreView,
+    cursor_transfer_bytes,
+)
 from .replication import ReplicaPlacement, ReplicationManager
+from .sketch import (
+    CompactClock,
+    CountingBloomSketch,
+    IBLTSketch,
+    PeerClock,
+    entry_digest,
+    entry_wire_size,
+    transaction_digest,
+)
 from .store import EpochLog, PublishedTransaction, UpdateStore
 
 __all__ = [
+    "CompactClock",
     "ConnectivityEvent",
     "ConsistentHashRing",
+    "CountingBloomSketch",
     "DistributedUpdateStore",
+    "EntryCache",
     "EpochLog",
+    "GossipCoordinator",
+    "GossipReport",
+    "IBLTSketch",
+    "MessageEvent",
     "Network",
+    "PeerClock",
     "PublishedTransaction",
+    "ReconcileConfig",
+    "ReconcileStats",
     "ReplicaPlacement",
     "ReplicationManager",
+    "SessionResult",
+    "SetReconciler",
     "ShardReplica",
+    "StoreView",
     "UpdateStore",
+    "cursor_transfer_bytes",
+    "entry_digest",
+    "entry_wire_size",
     "store_from_config",
+    "transaction_digest",
 ]

@@ -43,13 +43,14 @@ degrades below the replication factor while enough peers remain online.
 
 from __future__ import annotations
 
-import hashlib
 from bisect import bisect_right
 from typing import Iterable, Optional
 
+from ..core.hashing import mix64, stable_text_hash
 from ..core.transactions import Transaction
 from ..errors import ConfigurationError, PublicationError, QuorumError
 from .network import ConnectivityEvent, Network
+from .sketch import CompactClock
 from .store import (
     EpochLog,
     PublishedTransaction,
@@ -57,9 +58,14 @@ from .store import (
     validate_publication_batch,
 )
 
+# Placement hashing must be identical across processes and releases: shard
+# routing is the shared stable-text digest (SHA-256 prefix), kept verbatim
+# in repro.core.hashing.
+_hash = stable_text_hash
 
-def _hash(text: str) -> int:
-    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+#: Offset fed to :func:`mix64` when hashing sequences into replica clock
+#: checksums — mix64(0) == 0 would make sequence 0 invisible to the XOR.
+_SEQUENCE_SALT = 0x9E3779B97F4A7C15
 
 
 class ConsistentHashRing:
@@ -100,9 +106,11 @@ class ConsistentHashRing:
 class ShardReplica:
     """One peer-hosted copy of a shard: an epoch-ordered log plus cursors.
 
-    The replica tracks which global sequences it holds per segment; the
-    summary of that bookkeeping (:meth:`epoch_vector`) is what anti-entropy
-    rounds exchange before deciding whether any entries need to move.
+    The replica tracks which global sequences it holds per segment and
+    maintains incremental :class:`~repro.p2p.sketch.CompactClock` summaries
+    (count + XOR checksum of sequence digests) at replica and segment
+    granularity — the constant-size payloads anti-entropy rounds exchange
+    before deciding whether any entries need to move.
     """
 
     def __init__(self, shard: int, host: str) -> None:
@@ -111,6 +119,11 @@ class ShardReplica:
         self.log = EpochLog()
         self._segments: dict[int, set[int]] = {}
         self._by_sequence: dict[int, PublishedTransaction] = {}
+        self._checksum = 0
+        self._segment_checksums: dict[int, int] = {}
+        #: Value of the store's anti-entropy clock when this replica last
+        #: took part in a round; the store's health() reports the age.
+        self.last_anti_entropy_round = 0
 
     def add(self, entry: PublishedTransaction, segment: int) -> bool:
         """Store one entry; returns False when it was already held."""
@@ -120,6 +133,11 @@ class ShardReplica:
         held.add(entry.sequence)
         self._by_sequence[entry.sequence] = entry
         self.log.add(entry)
+        digest = mix64(entry.sequence + _SEQUENCE_SALT)
+        self._checksum ^= digest
+        self._segment_checksums[segment] = (
+            self._segment_checksums.get(segment, 0) ^ digest
+        )
         return True
 
     def __len__(self) -> int:
@@ -138,12 +156,33 @@ class ShardReplica:
         return sequence in self._by_sequence
 
     def epoch_vector(self) -> dict[int, tuple[int, int]]:
-        """``{segment: (entry count, max sequence)}`` — the gossip summary."""
+        """``{segment: (entry count, max sequence)}`` — the full per-shard
+        vector the anti-entropy rounds used to ship; kept for inspection,
+        superseded on the wire by the compact clocks below."""
         return {
             segment: (len(held), max(held))
             for segment, held in sorted(self._segments.items())
             if held
         }
+
+    def clock(self) -> CompactClock:
+        """Constant-size summary of everything this replica holds.  Unlike
+        ``(count, max sequence)``, the checksum detects interior holes: two
+        replicas with the same count and max but different sequence sets
+        get different clocks."""
+        return CompactClock(
+            count=len(self._by_sequence),
+            checksum=self._checksum,
+            latest=max(self._by_sequence, default=-1),
+        )
+
+    def segment_clock(self, segment: int) -> CompactClock:
+        held = self._segments.get(segment, ())
+        return CompactClock(
+            count=len(held),
+            checksum=self._segment_checksums.get(segment, 0),
+            latest=max(held, default=-1),
+        )
 
 
 class DistributedUpdateStore:
@@ -192,6 +231,9 @@ class DistributedUpdateStore:
         self._degraded_writes = 0
         self._re_replications = 0
         self._anti_entropy_rounds = 0
+        #: Monotone per-shard-pass clock; replicas record its value when they
+        #: take part in a round, and health() reports each replica's age.
+        self._anti_entropy_clock = 0
         self._entries_transferred = 0
         network.subscribe(self._on_connectivity)
 
@@ -312,6 +354,8 @@ class DistributedUpdateStore:
                     entry = donor.entry_for(sequence)
                     if entry is not None and replica.add(entry, segment):
                         self._entries_transferred += 1
+            # A freshly copied replica is as caught-up as a round would make it.
+            replica.last_anti_entropy_round = self._anti_entropy_clock
             replicas.append(replica)
             self._re_replications += 1
         self._prune_shard(shard)
@@ -342,25 +386,35 @@ class DistributedUpdateStore:
     def _anti_entropy_shard(self, shard: int) -> int:
         """One gossip round among the shard's reachable replicas.
 
-        Replicas first exchange per-shard epoch vectors; only segments whose
-        vectors disagree exchange actual entries.  Returns the number of
+        Replicas first exchange whole-replica compact clocks (24 bytes each
+        — the reconciliation subsystem's epoch-clock payload, replacing the
+        full per-shard epoch vectors this round used to ship); only when
+        those disagree do they compare per-segment clocks, and only segments
+        whose clocks disagree exchange actual entries.  The checksums also
+        catch same-count/same-max divergence (interior holes) that the old
+        ``(count, max)`` vectors were blind to.  Returns the number of
         entries transferred.
         """
+        self._anti_entropy_clock += 1
         replicas = [
             replica
             for replica in self._replicas.get(shard, [])
             if self._reachable(replica)
         ]
+        for replica in replicas:
+            replica.last_anti_entropy_round = self._anti_entropy_clock
         if len(replicas) < 2:
             return 0
-        vectors = [replica.epoch_vector() for replica in replicas]
-        if all(vector == vectors[0] for vector in vectors[1:]):
+        clocks = [replica.clock() for replica in replicas]
+        if all(clock.agrees_with(clocks[0]) for clock in clocks[1:]):
             return 0
         transferred = 0
-        segments = sorted({segment for vector in vectors for segment in vector})
+        segments = sorted({
+            segment for replica in replicas for segment in replica.segments()
+        })
         for segment in segments:
-            summaries = {vector.get(segment) for vector in vectors}
-            if len(summaries) == 1:
+            segment_clocks = [replica.segment_clock(segment) for replica in replicas]
+            if all(clock.agrees_with(segment_clocks[0]) for clock in segment_clocks[1:]):
                 continue
             union: dict[int, PublishedTransaction] = {}
             for replica in replicas:
@@ -572,6 +626,14 @@ class DistributedUpdateStore:
                     ),
                     "entries": len(self._shard_sequences.get(shard, ())),
                     "hosts": sorted(replica.host for replica in replicas),
+                    # How many shard anti-entropy passes ago each replica
+                    # last took part in a round (0 = current).
+                    "anti_entropy_age": {
+                        replica.host: (
+                            self._anti_entropy_clock - replica.last_anti_entropy_round
+                        )
+                        for replica in sorted(replicas, key=lambda r: r.host)
+                    },
                 }
             )
         under = self.under_replicated()

@@ -1,0 +1,214 @@
+"""Fanout-f epidemic anti-entropy over reconciliation sessions.
+
+In cursor mode every peer catches up by pulling its log tail straight from
+the archive — N peers, N full cursor replays, all served by one store.  The
+gossip scheduler replaces that with epidemic exchange: each round, every
+online peer runs a reconciliation session (:mod:`repro.p2p.reconcile`) with
+``fanout`` partners chosen deterministically from the online peers plus the
+archive itself.  Entries spread peer-to-peer in O(log N) rounds, the store
+serves only its share of sessions, and each session moves O(diff) bytes.
+
+Partner choice hashes ``(round, peer, candidate)`` with the process-stable
+hash, so a run is reproducible across processes and store backends — the
+differential oracles rely on gossip making *identical* decisions whether
+the archive underneath is centralized or distributed.
+
+Convergence is detected by comparing each online peer's compact clock with
+the archive's.  Epidemic spread converges with overwhelming probability,
+but the scheduler does not gamble: any round that delivers nothing while
+stale peers remain forces those peers through a direct session with the
+archive, so :meth:`GossipCoordinator.run_until_converged` terminates within
+its round budget deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..errors import SyncError
+from .network import Network
+from .reconcile import (
+    ARCHIVE_NAME,
+    EntryCache,
+    ReconcileConfig,
+    ReconcileStats,
+    SessionResult,
+    SetReconciler,
+    StoreView,
+)
+from .sketch import stable_hash
+from .store import PublishedTransaction
+
+
+@dataclass
+class GossipReport:
+    """What one anti-entropy phase (one ``run_until_converged``) did."""
+
+    rounds: list[dict] = field(default_factory=list)
+    converged: bool = True
+    stats: Optional[ReconcileStats] = None
+
+    @property
+    def round_count(self) -> int:
+        return len(self.rounds)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "rounds": list(self.rounds),
+            "round_count": self.round_count,
+            "converged": self.converged,
+        }
+        if self.stats is not None:
+            payload.update(self.stats.to_dict())
+        return payload
+
+
+class GossipCoordinator:
+    """Schedules epidemic reconciliation sessions for a CDSS network."""
+
+    def __init__(
+        self,
+        network: Network,
+        store,
+        config: ReconcileConfig = ReconcileConfig(),
+        fanout: int = 2,
+    ) -> None:
+        if fanout < 1:
+            raise SyncError("gossip fanout must be at least 1")
+        self.fanout = fanout
+        self._network = network
+        self._store_view = StoreView(store)
+        self._reconciler = SetReconciler(config, network=network)
+        self._caches: dict[str, EntryCache] = {}
+        self._round = 0
+
+    # -- membership and feeds ----------------------------------------------------
+    def register_peer(self, name: str) -> None:
+        self._caches.setdefault(name, EntryCache(name))
+
+    def cache(self, name: str) -> EntryCache:
+        return self._caches[name]
+
+    def record_published(self, publisher: str, entries: Iterable[PublishedTransaction]) -> None:
+        """Seed the publisher's own cache with entries it just archived."""
+        if publisher in self._caches:
+            self._caches[publisher].add_entries(entries)
+
+    # -- observability -----------------------------------------------------------
+    @property
+    def stats(self) -> ReconcileStats:
+        return self._reconciler.stats
+
+    @property
+    def rounds_run(self) -> int:
+        return self._round
+
+    def summary(
+        self, since: Optional[ReconcileStats] = None, rounds_before: int = 0
+    ) -> dict:
+        stats = self.stats if since is None else self.stats.since(since)
+        payload = {"rounds": self._round - rounds_before}
+        payload.update(stats.to_dict())
+        return payload
+
+    # -- scheduling --------------------------------------------------------------
+    def _online_members(self) -> list[str]:
+        return sorted(self._network.online_peers() & set(self._caches))
+
+    def _partners(self, peer: str, online: list[str]) -> list[str]:
+        candidates = [ARCHIVE_NAME] + [other for other in online if other != peer]
+        candidates.sort(
+            key=lambda name: stable_hash(("gossip-partner", self._round, peer, name))
+        )
+        return candidates[: self.fanout]
+
+    def _session(self, peer: str, partner: str) -> SessionResult:
+        target = self._store_view if partner == ARCHIVE_NAME else self._caches[partner]
+        return self._reconciler.reconcile(self._caches[peer], target)
+
+    def _stale_peers(self, online: list[str]) -> list[str]:
+        archive_clock = self._store_view.compact_clock()
+        return [
+            peer
+            for peer in online
+            if not self._caches[peer].compact_clock().agrees_with(archive_clock)
+        ]
+
+    def run_round(self) -> dict:
+        """One epidemic round: every online peer sessions with ``fanout``
+        deterministically chosen partners.  Returns the round's counters."""
+        self._round += 1
+        self._store_view.refresh()
+        online = self._online_members()
+        before = self.stats.snapshot()
+        delivered = 0
+        for peer in online:
+            for partner in self._partners(peer, online):
+                delivered += self._session(peer, partner).delivered
+        delta = self.stats.since(before)
+        return {
+            "round": self._round,
+            "participants": len(online),
+            "sessions": delta.sessions,
+            "messages": delta.messages,
+            "bytes": delta.bytes,
+            "entries_delivered": delta.entries_delivered,
+            "decode_failures": delta.decode_failures,
+            "fallbacks": delta.fallbacks,
+        }
+
+    def run_until_converged(self, max_rounds: Optional[int] = None) -> GossipReport:
+        """Run rounds until every online peer's cache matches the archive.
+
+        The budget defaults to comfortably above the O(log N) epidemic
+        expectation; a zero-progress round triggers direct archive sessions
+        for the remaining stale peers, so the budget is never the thing
+        correctness hangs on.
+        """
+        self._store_view.refresh()
+        online = self._online_members()
+        before = self.stats.snapshot()
+        report = GossipReport()
+        if not online:
+            report.stats = self.stats.since(before)
+            return report
+        if max_rounds is None:
+            budget = 8
+            population = len(online)
+            while population > 1:
+                population //= 2
+                budget += 4
+            max_rounds = budget
+        for _ in range(max_rounds):
+            if not self._stale_peers(online):
+                break
+            round_info = self.run_round()
+            report.rounds.append(round_info)
+            stale = self._stale_peers(online)
+            if stale and round_info["entries_delivered"] == 0:
+                # Deterministic repair: rumor-mongering made no progress, so
+                # put every stale peer directly in front of the archive.
+                for peer in stale:
+                    self._session(peer, ARCHIVE_NAME)
+        report.converged = not self._stale_peers(online)
+        report.stats = self.stats.since(before)
+        if not report.converged:
+            raise SyncError(
+                f"gossip anti-entropy failed to converge within {max_rounds} rounds "
+                f"(stale: {', '.join(self._stale_peers(online))})"
+            )
+        return report
+
+    # -- catch-up for the reconcile path ----------------------------------------
+    def catch_up(self, peer: str) -> SessionResult:
+        """Bring one peer's cache fully up to date with the archive (a cheap
+        two-message challenge when gossip already converged it)."""
+        self._store_view.refresh()
+        return self._reconciler.reconcile(self._caches[peer], self._store_view)
+
+    def entries_since(self, peer: str, epoch: int) -> list[PublishedTransaction]:
+        """The peer-local answer to ``store.published_since`` — identical to
+        it once :meth:`catch_up` has run (the sketch-vs-cursor oracle checks
+        exactly this equivalence end to end)."""
+        return self._caches[peer].entries_since(epoch)

@@ -35,6 +35,17 @@ class ConnectivityEvent:
     online: bool
 
 
+@dataclass
+class MessageEvent:
+    """One point-to-point message recorded by the reconciliation layer."""
+
+    step: int
+    sender: str
+    receiver: str
+    kind: str
+    size: int
+
+
 class Network:
     """Tracks online/offline state of every registered peer."""
 
@@ -52,6 +63,13 @@ class Network:
         # Rolling churn counters, unaffected by the trace cap.
         self._connects: dict[str, int] = {}
         self._disconnects: dict[str, int] = {}
+        # Message accounting, fed by the reconciliation layer.  The event
+        # trace is bounded like the connectivity trace; the aggregate
+        # counters keep counting past the cap.
+        self._message_step = 0
+        self._message_trace: deque[MessageEvent] = deque(maxlen=trace_limit)
+        self._sent: dict[str, list[int]] = {}      # peer -> [messages, bytes]
+        self._received: dict[str, list[int]] = {}
         for peer in peers:
             self.register(peer)
 
@@ -131,6 +149,56 @@ class Network:
             "disconnects": disconnects,
             "trace_retained": len(self._trace),
             "trace_dropped": self._step - len(self._trace),
+            "per_peer": per_peer,
+        }
+
+    # -- message accounting -----------------------------------------------------
+    def record_message(self, sender: str, receiver: str, kind: str, size: int) -> None:
+        """Record one point-to-point message for the traffic counters.
+
+        Senders/receivers need not be registered peers: the reconciliation
+        layer also accounts traffic to the durable archive (``#archive``),
+        which is a store, not a peer.
+        """
+        if size < 0:
+            raise NetworkError("message size cannot be negative")
+        self._message_step += 1
+        self._message_trace.append(
+            MessageEvent(self._message_step, sender, receiver, kind, size)
+        )
+        self._sent.setdefault(sender, [0, 0])
+        self._sent[sender][0] += 1
+        self._sent[sender][1] += size
+        self._received.setdefault(receiver, [0, 0])
+        self._received[receiver][0] += 1
+        self._received[receiver][1] += size
+
+    def message_trace(self) -> list[MessageEvent]:
+        """The most recent messages (bounded by ``trace_limit``)."""
+        return list(self._message_trace)
+
+    def message_stats(self) -> dict:
+        """Aggregate per-peer message/byte counters.
+
+        Like :meth:`churn_stats`, the totals keep counting after the bounded
+        event trace rolls over; ``trace_dropped`` says how many events the
+        cap discarded.
+        """
+        participants = sorted(set(self._sent) | set(self._received))
+        per_peer = {
+            name: {
+                "sent": self._sent.get(name, [0, 0])[0],
+                "received": self._received.get(name, [0, 0])[0],
+                "bytes_sent": self._sent.get(name, [0, 0])[1],
+                "bytes_received": self._received.get(name, [0, 0])[1],
+            }
+            for name in participants
+        }
+        return {
+            "messages": self._message_step,
+            "bytes": sum(slot[1] for slot in self._sent.values()),
+            "trace_retained": len(self._message_trace),
+            "trace_dropped": self._message_step - len(self._message_trace),
             "per_peer": per_peer,
         }
 

@@ -1,0 +1,547 @@
+"""The sketch-based set-reconciliation protocol.
+
+A *session* makes two entry sets equal while moving bytes proportional to
+their symmetric difference, not their size:
+
+1. **challenge** — both sides exchange a tiny summary (count, XOR checksum,
+   completeness watermark, per-publisher epoch clock).  Equal summaries end
+   the session after two messages: already converged.
+2. **sketch exchange** — one side ships a sketch of its entries *above the
+   shared completeness watermark* (everything below it is provably held by
+   both sides and cancels for free).  IBLT sketches are subtracted and
+   decoded into the exact symmetric difference; Bloom sketches let the
+   receiver enumerate what the sender is definitely missing.
+3. **diff transfer** — the decoded missing entries travel as explicit
+   batches; a request message fetches the entries only the other side can
+   supply.
+4. **verify / grow / fall back** — the session re-exchanges checksums.  If
+   the sets still differ (sketch capacity exceeded, Bloom false positives)
+   the sketch is regrown by ``growth``× with a fresh seed and the exchange
+   retried, up to ``max_attempts``; after that the session falls back to
+   cursor replay from the completeness watermark.  Fallback ships the whole
+   log tail — the cost the sketches exist to avoid — but it is always
+   correct: decode failure is a performance event, never a wrongness event.
+
+Every message is an explicit dataclass with a ``byte_size()``, and every
+send is accounted in :class:`ReconcileStats` (and, when a
+:class:`~repro.p2p.network.Network` is attached, in its per-peer
+``message_stats()``), so benchmarks report bytes moved rather than just
+wall-clock latency.
+
+Completeness watermarks make the fallback sound: ``complete_until`` is the
+epoch up to which a side provably holds *every* archived entry.  It starts
+at a side's last verified session against the authoritative archive and
+propagates through sessions (if you now hold a superset of a side complete
+through epoch e, you are complete through e too).  Any entry a side is
+missing therefore lies strictly above its watermark, so replaying the
+partner's log tail from that watermark misses nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Iterable, Optional, Union
+
+from ..errors import SketchError
+from .network import Network
+from .sketch import (
+    CompactClock,
+    CountingBloomSketch,
+    IBLTSketch,
+    PeerClock,
+    stable_hash,
+)
+from .store import EpochLog, PublishedTransaction
+
+#: Fixed per-message envelope cost (sender/receiver/kind framing).
+MESSAGE_HEADER_BYTES = 16
+
+ARCHIVE_NAME = "#archive"
+
+
+# -- protocol messages ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SessionChallenge:
+    """Opening summary: enough to detect convergence in one round trip."""
+
+    kind = "challenge"
+    sender: str
+    count: int
+    checksum: int
+    latest_epoch: int
+    complete_until: int
+    clock_items: tuple[tuple[str, int], ...]
+
+    def byte_size(self) -> int:
+        clock_bytes = sum(len(name.encode("utf-8")) + 8 for name, _ in self.clock_items)
+        return MESSAGE_HEADER_BYTES + 32 + clock_bytes
+
+
+@dataclass(frozen=True)
+class SketchMessage:
+    """One side's sketch of its entries above the shared watermark."""
+
+    kind = "sketch"
+    sender: str
+    algorithm: str
+    capacity: int
+    attempt: int
+    sketch: Union[IBLTSketch, CountingBloomSketch]
+
+    def byte_size(self) -> int:
+        return MESSAGE_HEADER_BYTES + 12 + self.sketch.byte_size()
+
+
+@dataclass(frozen=True)
+class EntryRequest:
+    """Digests of entries the sender wants shipped back."""
+
+    kind = "request"
+    sender: str
+    digests: tuple[int, ...]
+
+    def byte_size(self) -> int:
+        return MESSAGE_HEADER_BYTES + 8 * len(self.digests)
+
+
+@dataclass(frozen=True)
+class EntryBatch:
+    """The actual transaction transfer: archived entries, canonical encoding."""
+
+    kind = "batch"
+    sender: str
+    entries: tuple[PublishedTransaction, ...]
+
+    def byte_size(self) -> int:
+        return MESSAGE_HEADER_BYTES + sum(entry.wire_size for entry in self.entries)
+
+
+@dataclass(frozen=True)
+class CursorRequest:
+    """Fallback: replay everything after the sender's completeness watermark."""
+
+    kind = "cursor"
+    sender: str
+    since_epoch: int
+
+    def byte_size(self) -> int:
+        return MESSAGE_HEADER_BYTES + 8
+
+
+@dataclass(frozen=True)
+class ClockMessage:
+    """Post-transfer verification: a constant-size set summary."""
+
+    kind = "clock"
+    sender: str
+    clock: CompactClock
+
+    def byte_size(self) -> int:
+        return MESSAGE_HEADER_BYTES + self.clock.byte_size()
+
+
+# -- traffic accounting --------------------------------------------------------------
+
+@dataclass
+class ReconcileStats:
+    """Cumulative traffic/outcome counters across reconciliation sessions."""
+
+    sessions: int = 0
+    unchanged_sessions: int = 0
+    converged_sessions: int = 0
+    messages: int = 0
+    bytes: int = 0
+    sketch_bytes: int = 0
+    entry_bytes: int = 0
+    entries_delivered: int = 0
+    decode_failures: int = 0
+    fallbacks: int = 0
+
+    def snapshot(self) -> "ReconcileStats":
+        return ReconcileStats(**self.to_dict())
+
+    def since(self, earlier: "ReconcileStats") -> "ReconcileStats":
+        """Counter deltas accumulated after ``earlier`` was snapshotted."""
+        return ReconcileStats(
+            **{
+                item.name: getattr(self, item.name) - getattr(earlier, item.name)
+                for item in fields(self)
+            }
+        )
+
+    def to_dict(self) -> dict:
+        return {item.name: getattr(self, item.name) for item in fields(self)}
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """Outcome of one reconciliation session between two entry sets."""
+
+    converged: bool
+    delivered_left: int
+    delivered_right: int
+    attempts: int
+    fell_back: bool
+
+    @property
+    def delivered(self) -> int:
+        return self.delivered_left + self.delivered_right
+
+
+# -- entry sets ----------------------------------------------------------------------
+
+class EntryCache:
+    """A peer's local set of archived entries, indexed for reconciliation.
+
+    Keeps the entries in canonical ``(epoch, sequence)`` order (the same
+    total order every store backend serves), a digest index, an incremental
+    XOR checksum, a per-publisher epoch clock, and the completeness
+    watermark ``complete_until`` documented in the module docstring.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._log = EpochLog()
+        self._by_digest: dict[int, PublishedTransaction] = {}
+        self._checksum = 0
+        self._clock = PeerClock()
+        self._complete_until = 0
+
+    # -- summaries ---------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self._by_digest)
+
+    @property
+    def checksum(self) -> int:
+        return self._checksum
+
+    @property
+    def complete_until(self) -> int:
+        return self._complete_until
+
+    def latest_epoch(self) -> int:
+        return self._log.latest_epoch()
+
+    def clock(self) -> PeerClock:
+        return self._clock
+
+    def compact_clock(self) -> CompactClock:
+        return CompactClock(self.count, self._checksum, self.latest_epoch())
+
+    # -- content -----------------------------------------------------------------
+    def digests(self) -> Iterable[int]:
+        return self._by_digest.keys()
+
+    def digests_since(self, epoch: int) -> list[int]:
+        return [entry.digest for entry in self._log.since(epoch)]
+
+    def entries(self) -> list[PublishedTransaction]:
+        return self._log.entries()
+
+    def entries_since(self, epoch: int) -> list[PublishedTransaction]:
+        return self._log.since(epoch)
+
+    def entries_for(self, digests: Iterable[int]) -> list[PublishedTransaction]:
+        found = (self._by_digest.get(digest) for digest in sorted(digests))
+        return [entry for entry in found if entry is not None]
+
+    # -- mutation ----------------------------------------------------------------
+    def add_entries(self, entries: Iterable[PublishedTransaction]) -> int:
+        added = 0
+        for entry in entries:
+            digest = entry.digest
+            if digest in self._by_digest:
+                continue
+            self._by_digest[digest] = entry
+            self._log.add(entry)
+            self._checksum ^= digest
+            self._clock.observe(entry.publisher, entry.epoch)
+            added += 1
+        return added
+
+    def mark_complete(self, epoch: int) -> None:
+        if epoch > self._complete_until:
+            self._complete_until = epoch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EntryCache({self.name!r}, {self.count} entries, "
+            f"complete<={self._complete_until})"
+        )
+
+
+class StoreView:
+    """The authoritative archive as a reconciliation participant.
+
+    Mirrors the store into an :class:`EntryCache` incrementally (pulling only
+    epochs at or above the mirror's latest on each :meth:`refresh`) so
+    sketch sessions against the store cost O(tail), not O(log).  The store
+    is the source of truth: it never accepts entries from peers — every
+    entry reaches it through ``archive()`` at publication — so
+    :meth:`add_entries` ignores its input, and the view is complete through
+    the store's latest epoch by definition.
+    """
+
+    def __init__(self, store, name: str = ARCHIVE_NAME) -> None:
+        self._store = store
+        self._cache = EntryCache(name)
+        self.name = name
+
+    def refresh(self) -> None:
+        # Re-pull from one epoch below the mirror's latest: a second batch
+        # archived at the same epoch would otherwise be missed.  add_entries
+        # dedupes the refetched overlap by digest.
+        fresh = self._store.published_since(self._cache.latest_epoch() - 1)
+        self._cache.add_entries(fresh)
+        self._cache.mark_complete(self._store.latest_epoch())
+
+    # -- EntryCache protocol, delegated to the mirror ----------------------------
+    @property
+    def count(self) -> int:
+        return self._cache.count
+
+    @property
+    def checksum(self) -> int:
+        return self._cache.checksum
+
+    @property
+    def complete_until(self) -> int:
+        return self._cache.complete_until
+
+    def latest_epoch(self) -> int:
+        return self._cache.latest_epoch()
+
+    def clock(self) -> PeerClock:
+        return self._cache.clock()
+
+    def compact_clock(self) -> CompactClock:
+        return self._cache.compact_clock()
+
+    def digests(self) -> Iterable[int]:
+        return self._cache.digests()
+
+    def digests_since(self, epoch: int) -> list[int]:
+        return self._cache.digests_since(epoch)
+
+    def entries_since(self, epoch: int) -> list[PublishedTransaction]:
+        return self._cache.entries_since(epoch)
+
+    def entries_for(self, digests: Iterable[int]) -> list[PublishedTransaction]:
+        return self._cache.entries_for(digests)
+
+    def add_entries(self, entries: Iterable[PublishedTransaction]) -> int:
+        return 0
+
+    def mark_complete(self, epoch: int) -> None:
+        self._cache.mark_complete(epoch)
+
+
+# -- the reconciler ------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReconcileConfig:
+    """Knobs of the sketch protocol (mirrored from ``StoreConfig``)."""
+
+    algorithm: str = "iblt"           # "iblt" | "bloom"
+    capacity: int = 32                # initial sketch capacity (diff elements)
+    growth: int = 4                   # capacity multiplier per retry
+    max_attempts: int = 3             # sketch attempts before cursor fallback
+
+
+class SetReconciler:
+    """Runs reconciliation sessions and accounts every message."""
+
+    def __init__(
+        self,
+        config: ReconcileConfig = ReconcileConfig(),
+        network: Optional[Network] = None,
+        stats: Optional[ReconcileStats] = None,
+    ) -> None:
+        self._config = config
+        self._network = network
+        self.stats = stats if stats is not None else ReconcileStats()
+
+    # -- transport ---------------------------------------------------------------
+    def _send(self, sender: str, receiver: str, message) -> None:
+        size = message.byte_size()
+        self.stats.messages += 1
+        self.stats.bytes += size
+        if message.kind == "sketch":
+            self.stats.sketch_bytes += size
+        elif message.kind == "batch":
+            self.stats.entry_bytes += size
+        if self._network is not None:
+            self._network.record_message(sender, receiver, message.kind, size)
+
+    def _challenge(self, side) -> SessionChallenge:
+        return SessionChallenge(
+            sender=side.name,
+            count=side.count,
+            checksum=side.checksum,
+            latest_epoch=side.latest_epoch(),
+            complete_until=side.complete_until,
+            clock_items=side.clock().items(),
+        )
+
+    # -- session -----------------------------------------------------------------
+    def reconcile(self, left, right) -> SessionResult:
+        """Make ``left`` and ``right`` hold the same entries; returns what
+        the session delivered and how it got there."""
+        self.stats.sessions += 1
+        challenge_left = self._challenge(left)
+        self._send(left.name, right.name, challenge_left)
+        challenge_right = self._challenge(right)
+        self._send(right.name, left.name, challenge_right)
+        if (
+            challenge_left.count == challenge_right.count
+            and challenge_left.checksum == challenge_right.checksum
+        ):
+            self.stats.unchanged_sessions += 1
+            self._propagate_completeness(left, right)
+            return SessionResult(True, 0, 0, 0, False)
+
+        delivered_left = delivered_right = 0
+        base_capacity = max(
+            self._config.capacity,
+            2 * abs(challenge_left.count - challenge_right.count),
+        )
+        watermark = min(left.complete_until, right.complete_until)
+        for attempt in range(self._config.max_attempts):
+            capacity = base_capacity * (self._config.growth ** attempt)
+            seed = stable_hash(("reconcile-attempt", attempt, capacity))
+            if self._config.algorithm == "iblt":
+                got_left, got_right, converged = self._iblt_attempt(
+                    left, right, watermark, capacity, attempt, seed
+                )
+            else:
+                got_left, got_right, converged = self._bloom_attempt(
+                    left, right, watermark, capacity, attempt, seed
+                )
+            delivered_left += got_left
+            delivered_right += got_right
+            self.stats.entries_delivered += got_left + got_right
+            if converged:
+                self.stats.converged_sessions += 1
+                self._propagate_completeness(left, right)
+                return SessionResult(True, delivered_left, delivered_right, attempt + 1, False)
+            self.stats.decode_failures += 1
+
+        self.stats.fallbacks += 1
+        got_left, got_right = self._cursor_fallback(left, right)
+        delivered_left += got_left
+        delivered_right += got_right
+        self.stats.entries_delivered += got_left + got_right
+        converged = self._verify(left, right)
+        if converged:
+            self.stats.converged_sessions += 1
+            self._propagate_completeness(left, right)
+        return SessionResult(
+            converged, delivered_left, delivered_right, self._config.max_attempts, True
+        )
+
+    # -- sketch attempts ---------------------------------------------------------
+    def _iblt_attempt(
+        self, left, right, watermark: int, capacity: int, attempt: int, seed: int
+    ) -> tuple[int, int, bool]:
+        sketch_left = IBLTSketch(capacity, seed=seed)
+        for digest in left.digests_since(watermark):
+            sketch_left.add(digest)
+        self._send(
+            left.name, right.name,
+            SketchMessage(left.name, "iblt", capacity, attempt, sketch_left),
+        )
+        sketch_right = IBLTSketch(capacity, seed=seed)
+        for digest in right.digests_since(watermark):
+            sketch_right.add(digest)
+        try:
+            only_left, only_right = sketch_left.subtract(sketch_right).decode()
+        except SketchError:
+            return 0, 0, False
+        batch_to_left = EntryBatch(right.name, tuple(right.entries_for(only_right)))
+        self._send(right.name, left.name, batch_to_left)
+        request = EntryRequest(right.name, tuple(sorted(only_left)))
+        self._send(right.name, left.name, request)
+        delivered_left = left.add_entries(batch_to_left.entries)
+        batch_to_right = EntryBatch(left.name, tuple(left.entries_for(request.digests)))
+        self._send(left.name, right.name, batch_to_right)
+        delivered_right = right.add_entries(batch_to_right.entries)
+        return delivered_left, delivered_right, self._verify(left, right)
+
+    def _bloom_attempt(
+        self, left, right, watermark: int, capacity: int, attempt: int, seed: int
+    ) -> tuple[int, int, bool]:
+        bloom_left = CountingBloomSketch(capacity, seed=seed)
+        for digest in left.digests_since(watermark):
+            bloom_left.add(digest)
+        self._send(
+            left.name, right.name,
+            SketchMessage(left.name, "bloom", capacity, attempt, bloom_left),
+        )
+        # The receiver answers with everything the sender definitely lacks,
+        # plus its own filter so the sender can reciprocate.
+        missing_at_left = [
+            entry
+            for entry in right.entries_since(watermark)
+            if entry.digest not in bloom_left
+        ]
+        bloom_right = CountingBloomSketch(capacity, seed=seed)
+        for digest in right.digests_since(watermark):
+            bloom_right.add(digest)
+        self._send(right.name, left.name, EntryBatch(right.name, tuple(missing_at_left)))
+        self._send(
+            right.name, left.name,
+            SketchMessage(right.name, "bloom", capacity, attempt, bloom_right),
+        )
+        delivered_left = left.add_entries(missing_at_left)
+        missing_at_right = [
+            entry
+            for entry in left.entries_since(watermark)
+            if entry.digest not in bloom_right
+        ]
+        self._send(left.name, right.name, EntryBatch(left.name, tuple(missing_at_right)))
+        delivered_right = right.add_entries(missing_at_right)
+        return delivered_left, delivered_right, self._verify(left, right)
+
+    # -- fallback and verification -----------------------------------------------
+    def _cursor_fallback(self, left, right) -> tuple[int, int]:
+        """Cursor replay: each side ships its whole tail above the *other*
+        side's completeness watermark.  O(tail) bytes, unconditionally
+        correct (see the module docstring)."""
+        request_left = CursorRequest(left.name, left.complete_until)
+        self._send(left.name, right.name, request_left)
+        batch_to_left = EntryBatch(
+            right.name, tuple(right.entries_since(request_left.since_epoch))
+        )
+        self._send(right.name, left.name, batch_to_left)
+        delivered_left = left.add_entries(batch_to_left.entries)
+        request_right = CursorRequest(right.name, right.complete_until)
+        self._send(right.name, left.name, request_right)
+        batch_to_right = EntryBatch(
+            left.name, tuple(left.entries_since(request_right.since_epoch))
+        )
+        self._send(left.name, right.name, batch_to_right)
+        delivered_right = right.add_entries(batch_to_right.entries)
+        return delivered_left, delivered_right
+
+    def _verify(self, left, right) -> bool:
+        clock_left = left.compact_clock()
+        clock_right = right.compact_clock()
+        self._send(left.name, right.name, ClockMessage(left.name, clock_left))
+        self._send(right.name, left.name, ClockMessage(right.name, clock_right))
+        return clock_left.agrees_with(clock_right)
+
+    def _propagate_completeness(self, left, right) -> None:
+        # The sides now hold equal sets; each is complete at least as far as
+        # the better-informed of the two was.
+        watermark = max(left.complete_until, right.complete_until)
+        left.mark_complete(watermark)
+        right.mark_complete(watermark)
+
+
+def cursor_transfer_bytes(entries: Iterable[PublishedTransaction]) -> int:
+    """Bytes a plain cursor replay of ``entries`` would move (request +
+    batch), for baseline comparisons in benchmarks and examples."""
+    batch = MESSAGE_HEADER_BYTES + sum(entry.wire_size for entry in entries)
+    return (MESSAGE_HEADER_BYTES + 8) + batch

@@ -12,10 +12,10 @@ time (always including the durable archive itself, so the paper's Scenario 5
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from ..core.hashing import stable_text_hash
 from ..errors import NetworkError
 from .network import Network
 
@@ -66,8 +66,10 @@ class ReplicationManager:
         return placement
 
     @staticmethod
-    def _rank(txn_id: str, peer: str) -> str:
-        return hashlib.sha256(f"{txn_id}:{peer}".encode()).hexdigest()
+    def _rank(txn_id: str, peer: str) -> int:
+        # The shared process-stable digest (SHA-256 prefix): placement never
+        # depends on builtin hash() and is identical across interpreter runs.
+        return stable_text_hash(f"{txn_id}:{peer}")
 
     # -- re-replication -----------------------------------------------------------
     def repair(self, txn_id: str) -> Optional[ReplicaPlacement]:

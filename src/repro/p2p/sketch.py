@@ -1,0 +1,350 @@
+"""Set-reconciliation sketches and compact epoch clocks.
+
+Two reconnecting peers want to learn "which published transactions does one
+of us hold that the other lacks" without shipping their whole logs.  This
+module provides the data structures for that exchange:
+
+* :func:`transaction_digest` / :func:`entry_digest` — process-stable 64-bit
+  content digests (built on :mod:`repro.core.hashing`; independent of
+  ``PYTHONHASHSEED``, so both ends of a session agree on every digest).
+* :class:`CountingBloomSketch` — a counting Bloom filter over digests.  One
+  side ships its filter; the other sends back every entry whose digest the
+  filter does not contain.  False positives make the transfer incomplete
+  (never wrong), which the protocol detects by checksum and repairs by
+  retrying with a larger, differently-seeded filter.
+* :class:`IBLTSketch` — an invertible Bloom lookup table.  Subtracting two
+  peers' tables cancels the shared elements, and peeling the difference
+  *decodes* the exact symmetric difference when it fits the table's
+  capacity; overflow raises :class:`~repro.errors.SketchError` and the
+  protocol grows the table and retries.
+* :class:`PeerClock` — a compact per-publisher epoch vector ("I have seen
+  publisher P through epoch e"), used in session challenges.
+* :class:`CompactClock` — a constant-size (count, checksum, latest) summary
+  of an entry set.  Two equal clocks mean equal sets (64-bit-whp), which
+  short-circuits sessions between already-converged peers at the cost of
+  one tiny message each way; the distributed store's anti-entropy uses the
+  same payload instead of shipping full per-shard epoch vectors.
+
+Sketch sizes are deliberate: a Bloom filter is ~8 counters per element of
+capacity, an IBLT ~1.5 cells of 14 bytes per element of *difference* — so
+the bytes a session moves scale with the diff, not the log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+
+from ..core.hashing import (
+    MASK64,
+    canonical_encode,
+    encoded_size,
+    mix64,
+    stable_hash,
+    stable_text_hash,
+    xor_checksum,
+)
+from ..errors import SketchError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..core.transactions import Transaction
+    from .store import PublishedTransaction
+
+__all__ = [
+    "CompactClock",
+    "CountingBloomSketch",
+    "IBLTSketch",
+    "PeerClock",
+    "entry_digest",
+    "entry_wire_size",
+    "transaction_digest",
+]
+
+
+# -- content digests -----------------------------------------------------------------
+
+def transaction_digest(transaction: "Transaction", seed: int = 0) -> int:
+    """Process-stable 64-bit content digest of a transaction (see
+    :meth:`repro.core.transactions.Transaction.content_digest`)."""
+    return transaction.content_digest(seed=seed)
+
+
+def entry_payload(entry: "PublishedTransaction") -> tuple:
+    """Canonical value identifying one archived entry (epoch and sequence
+    included: the same transaction republished at a different position is a
+    different archive entry)."""
+    return (
+        "entry",
+        entry.publisher,
+        entry.epoch,
+        entry.sequence,
+        entry.transaction.txn_id,
+        entry.transaction.content_payload(),
+    )
+
+
+def entry_digest(entry: "PublishedTransaction", seed: int = 0) -> int:
+    """Process-stable 64-bit digest of one archived entry."""
+    return stable_hash(entry_payload(entry), seed=seed)
+
+
+def entry_wire_size(entry: "PublishedTransaction") -> int:
+    """Bytes needed to ship one entry: the size of its canonical encoding."""
+    return len(canonical_encode(entry_payload(entry)))
+
+
+# -- per-publisher epoch clocks ------------------------------------------------------
+
+@dataclass
+class PeerClock:
+    """Compact per-publisher epoch vector: publisher name -> highest epoch
+    at which this side holds one of that publisher's transactions."""
+
+    versions: dict[str, int] = field(default_factory=dict)
+
+    def observe(self, publisher: str, epoch: int) -> None:
+        if epoch > self.versions.get(publisher, -1):
+            self.versions[publisher] = epoch
+
+    def merge(self, other: "PeerClock") -> "PeerClock":
+        merged = dict(self.versions)
+        for publisher, epoch in other.versions.items():
+            if epoch > merged.get(publisher, -1):
+                merged[publisher] = epoch
+        return PeerClock(merged)
+
+    def dominates(self, other: "PeerClock") -> bool:
+        """Does this clock know at least as much as ``other`` everywhere?"""
+        return all(
+            self.versions.get(publisher, -1) >= epoch
+            for publisher, epoch in other.versions.items()
+        )
+
+    def behind(self, other: "PeerClock") -> list[str]:
+        """Publishers for which ``other`` has seen newer epochs than us."""
+        return sorted(
+            publisher
+            for publisher, epoch in other.versions.items()
+            if self.versions.get(publisher, -1) < epoch
+        )
+
+    def items(self) -> tuple[tuple[str, int], ...]:
+        return tuple(sorted(self.versions.items()))
+
+    def byte_size(self) -> int:
+        # name bytes + one varint-ish epoch slot per publisher
+        return sum(len(name.encode("utf-8")) + 8 for name in self.versions)
+
+
+@dataclass(frozen=True)
+class CompactClock:
+    """Constant-size summary of an entry set: element count, XOR-of-digests
+    checksum, and the latest epoch (or sequence) held.
+
+    Equal clocks mean equal sets with 64-bit-whp confidence, so exchanging
+    two of these (24 bytes each) is enough to skip a full session between
+    converged peers — and enough for the distributed store's anti-entropy to
+    notice divergence without shipping per-segment epoch vectors.
+    """
+
+    count: int
+    checksum: int
+    latest: int
+
+    BYTE_SIZE = 24  # three 64-bit slots
+
+    def byte_size(self) -> int:
+        return self.BYTE_SIZE
+
+    def agrees_with(self, other: "CompactClock") -> bool:
+        return self.count == other.count and self.checksum == other.checksum
+
+    @staticmethod
+    def of_digests(digests: Iterable[int], latest: int = -1) -> "CompactClock":
+        materialized = list(digests)
+        return CompactClock(
+            count=len(materialized),
+            checksum=xor_checksum(materialized),
+            latest=latest,
+        )
+
+
+# -- counting Bloom filter -----------------------------------------------------------
+
+class CountingBloomSketch:
+    """Counting Bloom filter over 64-bit digests.
+
+    ``capacity`` is the number of elements the filter is sized for (about 8
+    counters and 5 probes per element, giving a ~2% false-positive rate at
+    capacity).  The ``seed`` salts the probe sequence so a retry with a new
+    seed sees an independent set of false positives.  Counters make the
+    filter subtractable (``remove``), which the protocol does not strictly
+    need but keeps the two sketch types interchangeable.
+    """
+
+    PROBES = 5
+    COUNTERS_PER_ELEMENT = 8
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity < 1:
+            raise SketchError("bloom sketch capacity must be positive")
+        self.capacity = capacity
+        self.seed = seed & MASK64
+        self._cells = [0] * max(16, capacity * self.COUNTERS_PER_ELEMENT)
+        self._count = 0
+
+    def _probes(self, key: int) -> Iterator[int]:
+        size = len(self._cells)
+        h1 = mix64(key ^ self.seed)
+        h2 = mix64(h1 ^ 0x9E3779B97F4A7C15) | 1
+        for i in range(self.PROBES):
+            yield (h1 + i * h2) % size
+
+    def add(self, key: int) -> None:
+        for index in self._probes(key):
+            self._cells[index] += 1
+        self._count += 1
+
+    def remove(self, key: int) -> None:
+        for index in self._probes(key):
+            if self._cells[index] <= 0:
+                raise SketchError("bloom counter underflow: key was never added")
+            self._cells[index] -= 1
+        self._count -= 1
+
+    def __contains__(self, key: int) -> bool:
+        return all(self._cells[index] > 0 for index in self._probes(key))
+
+    def __len__(self) -> int:
+        return self._count
+
+    def byte_size(self) -> int:
+        # one byte per counter (saturating-at-255 on a real wire)
+        return len(self._cells)
+
+    def missing_from(self, candidates: Iterable[tuple[int, object]]) -> list[object]:
+        """Of ``(digest, payload)`` candidates, the payloads whose digest is
+        definitely not in the filter (false positives are skipped — the
+        caller detects incompleteness by checksum and retries)."""
+        return [payload for digest, payload in candidates if digest not in self]
+
+
+# -- invertible Bloom lookup table ---------------------------------------------------
+
+class IBLTSketch:
+    """Invertible Bloom lookup table over 64-bit digests.
+
+    Sized at ~1.5 cells per element of expected *difference*; 3 probes per
+    key.  ``subtract`` cancels elements present in both tables, and
+    :meth:`decode` peels the remainder into the two one-sided difference
+    sets, raising :class:`SketchError` when the difference exceeded what the
+    table can peel.
+    """
+
+    PROBES = 3
+    CELLS_PER_ELEMENT = 1.5
+    CELL_BYTES = 14  # 2-byte signed count + 8-byte key XOR + 4-byte check XOR
+
+    def __init__(self, capacity: int, seed: int = 0, _cells: Optional[int] = None) -> None:
+        if capacity < 1:
+            raise SketchError("iblt capacity must be positive")
+        self.capacity = capacity
+        self.seed = seed & MASK64
+        if _cells is not None:
+            size = _cells
+        else:
+            size = max(self.PROBES, int(capacity * self.CELLS_PER_ELEMENT + 0.5))
+            size += (-size) % self.PROBES  # equal partition per probe
+        self._counts = [0] * size
+        self._keys = [0] * size
+        self._checks = [0] * size
+
+    def _check_of(self, key: int) -> int:
+        return mix64(key ^ self.seed ^ 0xC2B2AE3D27D4EB4F) & 0xFFFFFFFF
+
+    def _probes(self, key: int) -> list[int]:
+        # One probe per equal partition of the table, each independently
+        # hashed.  Double hashing ((h1 + i*h2) % size) is tempting but wrong
+        # here: whenever h2 shares a factor with the composite table size,
+        # probe triples collapse onto small sublattices, and at realistic
+        # loads two keys land on the *same* cell set often enough to stall
+        # the peeling decoder.  Partitioning keeps cells distinct by
+        # construction and probe choices independent.
+        span = len(self._counts) // self.PROBES
+        return [
+            index * span
+            + mix64(key ^ self.seed ^ ((index + 1) * 0x9E3779B97F4A7C15 & MASK64)) % span
+            for index in range(self.PROBES)
+        ]
+
+    def _apply(self, key: int, delta: int) -> None:
+        check = self._check_of(key)
+        for index in self._probes(key):
+            self._counts[index] += delta
+            self._keys[index] ^= key
+            self._checks[index] ^= check
+
+    def add(self, key: int) -> None:
+        self._apply(key & MASK64, +1)
+
+    def remove(self, key: int) -> None:
+        self._apply(key & MASK64, -1)
+
+    def subtract(self, other: "IBLTSketch") -> "IBLTSketch":
+        """Cell-wise difference ``self - other``; both tables must share
+        size and seed (i.e. come from the same session attempt)."""
+        if len(self._counts) != len(other._counts) or self.seed != other.seed:
+            raise SketchError("cannot subtract sketches of different shapes or seeds")
+        result = IBLTSketch(self.capacity, seed=self.seed, _cells=len(self._counts))
+        result._counts = [a - b for a, b in zip(self._counts, other._counts)]
+        result._keys = [a ^ b for a, b in zip(self._keys, other._keys)]
+        result._checks = [a ^ b for a, b in zip(self._checks, other._checks)]
+        return result
+
+    def decode(self) -> tuple[set[int], set[int]]:
+        """Peel a subtracted table into ``(only_left, only_right)`` digest
+        sets, where *left* is the minuend of :meth:`subtract`.
+
+        Raises :class:`SketchError` when peeling stalls (difference larger
+        than capacity, or a check-hash collision) — the caller grows the
+        table and retries, then falls back to cursor replay.
+        """
+        counts = list(self._counts)
+        keys = list(self._keys)
+        checks = list(self._checks)
+        only_left: set[int] = set()
+        only_right: set[int] = set()
+
+        def pure(index: int) -> bool:
+            return counts[index] in (1, -1) and checks[index] == self._check_of(keys[index])
+
+        frontier = [index for index in range(len(counts)) if pure(index)]
+        while frontier:
+            index = frontier.pop()
+            if not pure(index):
+                continue
+            key = keys[index]
+            side = only_left if counts[index] == 1 else only_right
+            delta = -counts[index]
+            side.add(key)
+            check = self._check_of(key)
+            for cell in self._probes(key):
+                counts[cell] += delta
+                keys[cell] ^= key
+                checks[cell] ^= check
+                if pure(cell):
+                    frontier.append(cell)
+        if any(counts) or any(keys) or any(checks):
+            raise SketchError(
+                f"iblt decode stalled (capacity {self.capacity}, "
+                f"{sum(1 for c in counts if c)} undrained cells)"
+            )
+        return only_left, only_right
+
+    def byte_size(self) -> int:
+        return len(self._counts) * self.CELL_BYTES
+
+
+# re-exported for convenience: the reconcile layer treats this module as the
+# home of everything hash-related.
+__all__ += ["canonical_encode", "encoded_size", "stable_hash", "stable_text_hash", "xor_checksum", "mix64"]

@@ -41,7 +41,35 @@ class PublishedTransaction:
 
     @property
     def txn_id(self) -> str:
+        """The transaction's id — content-addressed when auto-generated (see
+        :class:`~repro.core.transactions.TransactionBuilder`), so identical
+        across interpreter runs and never dependent on builtin ``hash()``."""
         return self.transaction.txn_id
+
+    @property
+    def digest(self) -> int:
+        """Process-stable 64-bit content digest of this archive entry, the
+        identity the reconciliation sketches operate on.  Cached: sketches
+        hash every entry once per gossip session."""
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            from .sketch import entry_digest
+
+            cached = entry_digest(self)
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes needed to ship this entry in a reconciliation batch (the
+        length of its canonical encoding), cached like :attr:`digest`."""
+        cached = self.__dict__.get("_wire_size")
+        if cached is None:
+            from .sketch import entry_wire_size
+
+            cached = entry_wire_size(self)
+            object.__setattr__(self, "_wire_size", cached)
+        return cached
 
 
 class EpochLog:

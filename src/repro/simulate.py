@@ -19,7 +19,10 @@ workload over several replicas, and asserts after every epoch that
   (``--store-centralized``/``--store-distributed`` choose which backend the
   primary replica runs; the mirror runs the other), and
 * every archived transaction stays k-way replicated under churn, so losing
-  up to k-1 replicas of a shard never loses published data.
+  up to k-1 replicas of a shard never loses published data, and
+* gossip sketch reconciliation produces reconcile outcomes and instances
+  identical to scalar-cursor catch-up (``--sync-cursor``/``--sync-gossip``
+  choose which mode the primary replica runs; the mirror runs the other).
 
 Exit status is 0 when every oracle holds for every seed, 1 otherwise; each
 mismatch prints the failing seed, the (minimal) epoch at which it first
@@ -91,6 +94,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="primary replica archives into the sharded, replicated "
              "distributed update store; a centralized mirror checks it",
     )
+    sync = parser.add_mutually_exclusive_group()
+    sync.add_argument(
+        "--sync-cursor", dest="sync_mode", action="store_const",
+        const="cursor", default="cursor",
+        help="primary replica catches peers up via scalar-cursor replay "
+             "(default); a gossip-sync mirror checks it",
+    )
+    sync.add_argument(
+        "--sync-gossip", dest="sync_mode", action="store_const",
+        const="gossip",
+        help="primary replica catches peers up via epidemic sketch "
+             "reconciliation; a cursor-sync mirror checks it",
+    )
+    parser.add_argument(
+        "--sketch", choices=("iblt", "bloom"), default="iblt",
+        help="sketch algorithm of the gossip-sync replica (default: iblt)",
+    )
     parser.add_argument(
         "--quiet", action="store_true",
         help="only print failures and the final summary",
@@ -110,6 +130,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             transactions_per_epoch=(min(2, args.transactions), args.transactions),
             provenance_mode=args.provenance_mode,
             store_backend=args.store_backend,
+            sync_mode=args.sync_mode,
+            sync_sketch=args.sketch,
         )
     except ConfigurationError as error:
         print(f"invalid configuration: {error}", file=sys.stderr)
@@ -127,10 +149,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         store_flag = (
             " --store-distributed" if args.store_backend == "distributed" else ""
         )
+        sync_flag = " --sync-gossip" if args.sync_mode == "gossip" else ""
+        sketch_flag = f" --sketch {args.sketch}" if args.sketch != "iblt" else ""
         repro = (
             f"--seeds 1 --seed-base {seed} --epochs {args.epochs} "
             f"--max-peers {args.max_peers} --transactions {args.transactions}"
-            f"{mode_flag}{store_flag}"
+            f"{mode_flag}{store_flag}{sync_flag}{sketch_flag}"
         )
         try:
             result = run_simulation(seed, config)

@@ -36,7 +36,12 @@ that single scenario into a *scenario engine*:
   6. ``replica-durability`` — every transaction archived in the distributed
      store is held by at least ``min(replication_factor, peers)`` shard
      replicas after churn settles, so losing any ``k - 1`` replicas of a
-     shard cannot lose published data.
+     shard cannot lose published data;
+  7. ``sketch-vs-cursor`` — a replica whose peers catch up via gossip
+     sketch reconciliation (:mod:`repro.p2p.gossip`) produces sync reports
+     and peer instances identical to scalar-cursor catch-up, round for
+     round, under the same churn schedule — sketch decode failures and
+     cursor fallbacks may cost bytes, never correctness.
 
 Because the oracles run after every epoch, the epoch reported by a failing
 oracle is already minimal: it is the first epoch at which the divergence is
@@ -131,6 +136,17 @@ class SimulationConfig:
     #: per-epoch that its reconcile outcomes, final instances, and replica
     #: redundancy match the primary (the distributed-vs-centralized oracle).
     distributed_oracle: bool = True
+    #: Catch-up strategy of the primary replica: ``"cursor"`` (scalar-cursor
+    #: replay from the archive) or ``"gossip"`` (epidemic sketch
+    #: reconciliation).  The nightly fuzz job runs both.
+    sync_mode: str = "cursor"
+    #: Sketch algorithm of whichever replica runs gossip sync
+    #: (see ``sketch_oracle``): ``"iblt"`` or ``"bloom"``.
+    sync_sketch: str = "iblt"
+    #: Maintain a mirror replica on the *other* sync mode (same store
+    #: backend) and assert per-epoch that its reconcile outcomes and final
+    #: instances match the primary (the sketch-vs-cursor oracle).
+    sketch_oracle: bool = True
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -179,6 +195,14 @@ class SimulationConfig:
             )
         if self.store_shards < 1 or self.store_replication < 1:
             raise ConfigurationError("store_shards and store_replication must be >= 1")
+        if self.sync_mode not in ("cursor", "gossip"):
+            raise ConfigurationError(
+                f"sync_mode must be 'cursor' or 'gossip', got {self.sync_mode!r}"
+            )
+        if self.sync_sketch not in ("iblt", "bloom"):
+            raise ConfigurationError(
+                f"sync_sketch must be 'iblt' or 'bloom', got {self.sync_sketch!r}"
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -664,7 +688,9 @@ class SimulationRun:
             self.spec,
             config=SystemConfig(
                 exchange=ExchangeConfig(provenance_mode=self.config.provenance_mode),
-                store=self._store_config(self.config.store_backend),
+                store=self._store_config(
+                    self.config.store_backend, self.config.sync_mode
+                ),
             ),
         )
         self._check_spec_roundtrip()
@@ -682,8 +708,25 @@ class SimulationRun:
                 if self.config.store_backend == "distributed"
                 else "distributed"
             )
+            # Same sync mode as the primary, so the store backends are the
+            # only variable the distributed-vs-centralized oracle compares.
             self.storecheck = CDSS.from_spec(
-                self.spec, config=SystemConfig(store=self._store_config(other))
+                self.spec,
+                config=SystemConfig(
+                    store=self._store_config(other, self.config.sync_mode)
+                ),
+            )
+        #: Mirror replica on the *other* sync mode (same store backend):
+        #: with a cursor primary this is the gossip replica (and vice
+        #: versa), backing the sketch-vs-cursor oracle.
+        self.synccheck: Optional[CDSS] = None
+        if self.config.sketch_oracle:
+            other_sync = "gossip" if self.config.sync_mode == "cursor" else "cursor"
+            self.synccheck = CDSS.from_spec(
+                self.spec,
+                config=SystemConfig(
+                    store=self._store_config(self.config.store_backend, other_sync)
+                ),
             )
         self._last_reports: dict[str, object] = {}
         #: DRed mirror: same program, provenance disabled, fed the primary's
@@ -694,11 +737,13 @@ class SimulationRun:
         self._mirror_fed = 0
 
     # -- oracle helpers -----------------------------------------------------
-    def _store_config(self, backend: str) -> StoreConfig:
+    def _store_config(self, backend: str, sync_mode: str = "cursor") -> StoreConfig:
         return StoreConfig(
             backend=backend,
             shard_count=self.config.store_shards,
             replication_factor=self.config.store_replication,
+            sync_mode=sync_mode,
+            sketch=self.config.sync_sketch,
         )
 
     def _distributed_replica(self) -> Optional[CDSS]:
@@ -724,11 +769,16 @@ class SimulationRun:
         expected = self.spec.to_dict()
         for name, entry in expected["peers"].items():
             entry.setdefault("schema", name)
-        from ..api.spec import store_spec_of
+        from ..api.spec import store_spec_of, sync_spec_of
 
         recovered_store = store_spec_of(self.primary.store)
         if recovered_store is not None:
             expected["store"] = recovered_store.to_dict()
+        # Likewise for the sync section when the primary gossips (the
+        # generated spec leaves the catch-up strategy to the config).
+        recovered_sync = sync_spec_of(self.primary)
+        if recovered_sync is not None:
+            expected["sync"] = recovered_sync.to_dict()
         if self.primary.to_spec().to_dict() != expected:
             self._fail(0, "spec-roundtrip", "from_spec -> to_spec does not round-trip")
 
@@ -817,6 +867,52 @@ class SimulationRun:
         )
         if diff:
             self._fail(epoch, "distributed-vs-centralized", diff)
+
+    def _check_sketch_vs_cursor(
+        self,
+        epoch: int,
+        primary_report=None,
+        synccheck_report=None,
+        primary_snapshot=None,
+    ) -> None:
+        """Gossip-sketch and cursor-replay catch-up must be indistinguishable.
+
+        Round for round, the two replicas' sync reports (published ids,
+        translated changes, per-peer accept/reject/defer decisions) and the
+        resulting peer instances must match exactly — sketch decode
+        failures and cursor fallbacks may cost bytes and messages, never
+        reconcile outcomes.  Gossip traffic accounting deliberately lives in
+        :attr:`~repro.api.sync.SyncReport.gossip`, not the round dicts, so
+        this comparison stays byte-for-byte.
+        """
+        if self.synccheck is None:
+            return
+        self.oracle_checks += 1
+        primary_report = primary_report or self._last_reports.get("primary")
+        synccheck_report = synccheck_report or self._last_reports.get("synccheck")
+        if primary_report is not None and synccheck_report is not None:
+            left = [round_.to_dict() for round_ in primary_report.rounds]
+            right = [round_.to_dict() for round_ in synccheck_report.rounds]
+            if left != right:
+                for index, (a, b) in enumerate(zip(left, right)):
+                    if a != b:
+                        detail = f"sync round {index + 1} diverges: {a} != {b}"
+                        break
+                else:
+                    detail = (
+                        f"round counts diverge: {len(left)} vs {len(right)} rounds"
+                    )
+                self._fail(epoch, "sketch-vs-cursor", detail)
+                return
+        primary_snapshot = primary_snapshot or _snapshot_all(self.primary)
+        diff = _diff_snapshots(
+            primary_snapshot,
+            _snapshot_all(self.synccheck),
+            self.config.sync_mode,
+            "mirror-sync",
+        )
+        if diff:
+            self._fail(epoch, "sketch-vs-cursor", diff)
 
     def _check_replica_durability(self, epoch: int) -> None:
         """Every archived transaction must survive losing k-1 shard replicas.
@@ -924,6 +1020,8 @@ class SimulationRun:
         replicas = [self.primary, self.manual, self.sqlite]
         if self.storecheck is not None:
             replicas.append(self.storecheck)
+        if self.synccheck is not None:
+            replicas.append(self.synccheck)
         return tuple(replicas)
 
     def _commit_everywhere(self, command: WorkloadCommand) -> None:
@@ -978,10 +1076,16 @@ class SimulationRun:
             storecheck_report = self.storecheck.sync(
                 max_rounds=self.config.max_sync_rounds
             )
+        synccheck_report = None
+        if self.synccheck is not None:
+            synccheck_report = self.synccheck.sync(
+                max_rounds=self.config.max_sync_rounds
+            )
         self._manual_exchange_loop()
         self._last_reports = {
             "primary": primary_report,
             "storecheck": storecheck_report,
+            "synccheck": synccheck_report,
         }
 
         if offline is not None:
@@ -996,6 +1100,9 @@ class SimulationRun:
         self._check_memory_vs_sqlite(epoch, primary_snapshot)
         self._check_distributed_vs_centralized(
             epoch, primary_report, storecheck_report, primary_snapshot
+        )
+        self._check_sketch_vs_cursor(
+            epoch, primary_report, synccheck_report, primary_snapshot
         )
         self._check_replica_durability(epoch)
         self.epochs_run = epoch

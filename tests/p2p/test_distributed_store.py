@@ -313,3 +313,98 @@ class TestHealth:
         for info in health["per_shard"]:
             assert info["replicas"] == 2
             assert len(info["hosts"]) == 2
+
+
+class TestAntiEntropyClocks:
+    """Compact-clock anti-entropy: cheap agreement, hole detection, ages."""
+
+    def _filled(self, peers, count=8, **kwargs):
+        network, store = make_store(peers, **kwargs)
+        for epoch in range(1, count + 1):
+            store.archive([txn(f"t{epoch}")], epoch=epoch, publisher="A")
+        return network, store
+
+    def test_agreeing_replicas_transfer_nothing(self):
+        _, store = self._filled(["A", "B", "C"], shard_count=2, replication_factor=2)
+        assert store.anti_entropy() == 0
+
+    def test_replica_clock_detects_interior_holes(self):
+        """Two replicas with equal counts and equal max sequence but
+        different members must disagree — the blind spot of the old
+        (count, max) epoch vectors."""
+        _, store = self._filled(
+            ["A", "B"], count=6, shard_count=1, replication_factor=2, segment_size=2
+        )
+        replicas = store._replicas[next(iter(store._replicas))]
+        left, right = replicas[0], replicas[1]
+        assert left.clock().agrees_with(right.clock())
+        # Knock a *different* interior sequence out of each replica, then
+        # rebuild the incremental checksums from scratch for the surgery.
+        def drop(replica, sequence):
+            for segment in replica.segments():
+                if sequence in replica.sequences(segment):
+                    replica._segments[segment].discard(sequence)
+                    del replica._by_sequence[sequence]
+            from repro.p2p.distributed import _SEQUENCE_SALT
+            from repro.core.hashing import mix64
+            replica._checksum = 0
+            replica._segment_checksums = {}
+            for segment in replica.segments():
+                for seq in replica.sequences(segment):
+                    d = mix64(seq + _SEQUENCE_SALT)
+                    replica._checksum ^= d
+                    replica._segment_checksums[segment] = (
+                        replica._segment_checksums.get(segment, 0) ^ d
+                    )
+
+        drop(left, 2)
+        drop(right, 3)
+        assert len(left) != 0 and left.clock().count == right.clock().count
+        assert left.clock().latest == right.clock().latest
+        assert not left.clock().agrees_with(right.clock())
+        transferred = store.anti_entropy()
+        assert transferred == 2
+        assert left.clock().agrees_with(right.clock())
+
+    def test_epoch_vector_is_superseded_but_consistent(self):
+        _, store = self._filled(["A", "B"], count=4, shard_count=1, segment_size=2)
+        replica = store._replicas[next(iter(store._replicas))][0]
+        vector = replica.epoch_vector()
+        assert sum(count for count, _ in vector.values()) == len(replica)
+        assert replica.clock().count == len(replica)
+        assert replica.clock().byte_size() == 24
+
+    def test_health_reports_anti_entropy_age(self):
+        network, store = self._filled(
+            ["A", "B", "C"], shard_count=2, replication_factor=2
+        )
+        store.anti_entropy()
+        for info in store.health()["per_shard"]:
+            assert set(info["anti_entropy_age"]) == set(info["hosts"])
+            assert all(age == 0 for age in info["anti_entropy_age"].values())
+
+    def test_offline_replicas_age_until_they_rejoin(self):
+        network, store = self._filled(
+            ["A", "B", "C"], count=4, shard_count=1, replication_factor=3
+        )
+        store.anti_entropy()
+        network.disconnect("C")
+        for epoch in range(5, 9):
+            store.archive([txn(f"t{epoch}")], epoch=epoch, publisher="A")
+        store.anti_entropy()
+        ages = {
+            host: age
+            for info in store.health()["per_shard"]
+            for host, age in info["anti_entropy_age"].items()
+        }
+        if "C" in ages:  # C's stale replica may have been pruned away
+            assert ages["C"] > 0
+        assert ages["A"] == 0 and ages["B"] == 0
+        network.connect("C")  # reconnect runs catch-up anti-entropy
+        ages = {
+            host: age
+            for info in store.health()["per_shard"]
+            for host, age in info["anti_entropy_age"].items()
+        }
+        assert all(age == 0 for age in ages.values())
+        assert store.under_replicated() == {}

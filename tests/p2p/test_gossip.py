@@ -1,0 +1,213 @@
+"""The epidemic gossip scheduler: convergence, determinism, repair."""
+
+import pytest
+
+from repro.core.transactions import Transaction
+from repro.core.updates import Update
+from repro.errors import SyncError
+from repro.p2p.gossip import GossipCoordinator, GossipReport
+from repro.p2p.network import Network
+from repro.p2p.reconcile import ARCHIVE_NAME, ReconcileConfig, SessionResult
+from repro.p2p.store import UpdateStore
+
+PEERS = ["Alaska", "Beijing", "Crete", "Dakar", "Essen", "Fiji", "Galway", "Hanoi"]
+
+
+def archive_batch(store: UpdateStore, count: int, publisher: str = "Alaska") -> list:
+    published = []
+    for _ in range(count):
+        epoch = store.latest_epoch() + 1
+        txn = Transaction(
+            f"{publisher}-e{epoch}", publisher,
+            (Update.insert("R", (epoch,), origin=publisher),),
+            epoch=epoch,
+        )
+        published.extend(store.archive([txn], epoch=epoch, publisher=publisher))
+    return published
+
+
+def build(peers=PEERS, fanout=2, **config_knobs):
+    network = Network(peers)
+    store = UpdateStore()
+    coordinator = GossipCoordinator(
+        network, store, config=ReconcileConfig(**config_knobs), fanout=fanout
+    )
+    for peer in peers:
+        coordinator.register_peer(peer)
+    return network, store, coordinator
+
+
+def assert_matches_archive(coordinator: GossipCoordinator, store: UpdateStore, peers):
+    expected = sorted(e.digest for e in store.published_since(0))
+    for peer in peers:
+        got = sorted(e.digest for e in coordinator.cache(peer).entries())
+        assert got == expected, f"{peer} diverges from the archive"
+
+
+class TestScheduling:
+    def test_fanout_must_be_positive(self):
+        with pytest.raises(SyncError):
+            GossipCoordinator(Network(["A"]), UpdateStore(), fanout=0)
+
+    def test_partner_choice_is_deterministic_and_bounded(self):
+        _, _, coordinator = build(fanout=2)
+        online = sorted(PEERS)
+        first = coordinator._partners("Alaska", online)
+        assert first == coordinator._partners("Alaska", online)
+        assert len(first) == 2
+        assert "Alaska" not in first
+
+    def test_partner_pool_includes_the_archive(self):
+        _, _, coordinator = build(fanout=len(PEERS))
+        partners = coordinator._partners("Alaska", sorted(PEERS))
+        assert ARCHIVE_NAME in partners
+
+    def test_record_published_seeds_only_known_publishers(self):
+        _, store, coordinator = build()
+        published = archive_batch(store, 2)
+        coordinator.record_published("Alaska", published)
+        coordinator.record_published("Nowhere", published)
+        assert coordinator.cache("Alaska").count == 2
+
+
+class TestConvergence:
+    def test_all_online_peers_converge_to_the_archive(self):
+        _, store, coordinator = build()
+        archive_batch(store, 12)
+        report = coordinator.run_until_converged()
+        assert report.converged
+        assert report.round_count >= 1
+        assert_matches_archive(coordinator, store, PEERS)
+
+    def test_flash_crowd_rejoin_converges_every_peer(self):
+        """Half the network disconnects, the rest keeps publishing; when the
+        crowd reconnects at once, anti-entropy must bring every returning
+        peer up to date."""
+        network, store, coordinator = build()
+        offline, online = PEERS[: len(PEERS) // 2], PEERS[len(PEERS) // 2:]
+        archive_batch(store, 5)
+        coordinator.run_until_converged()
+        for peer in offline:
+            network.set_online(peer, False)
+        archive_batch(store, 15, publisher=online[0])
+        coordinator.run_until_converged()
+        assert_matches_archive(coordinator, store, online)
+        stale = sorted(e.digest for e in coordinator.cache(offline[0]).entries())
+        assert len(stale) == 5  # disconnected peers saw nothing new
+        for peer in offline:
+            network.set_online(peer, True)
+        report = coordinator.run_until_converged()
+        assert report.converged
+        assert_matches_archive(coordinator, store, PEERS)
+        assert report.stats.entries_delivered >= 15 * len(offline)
+
+    def test_offline_peers_are_left_alone(self):
+        network, store, coordinator = build()
+        network.set_online("Hanoi", False)
+        archive_batch(store, 4)
+        report = coordinator.run_until_converged()
+        assert report.converged
+        assert coordinator.cache("Hanoi").count == 0
+
+    def test_empty_network_converges_trivially(self):
+        network, store, coordinator = build()
+        for peer in PEERS:
+            network.set_online(peer, False)
+        archive_batch(store, 3)
+        report = coordinator.run_until_converged()
+        assert report.converged and report.round_count == 0
+
+    def test_runs_are_deterministic_across_coordinators(self):
+        def campaign():
+            network, store, coordinator = build()
+            archive_batch(store, 10)
+            for peer in PEERS[:3]:
+                network.set_online(peer, False)
+            report = coordinator.run_until_converged()
+            return report.rounds, report.stats.to_dict()
+
+        assert campaign() == campaign()
+
+
+class TestRepairAndFailure:
+    def test_zero_progress_round_forces_direct_archive_sessions(self):
+        """If rumor-mongering delivers nothing while stale peers remain (here:
+        partner choice rigged to never pick the archive among equally stale
+        peers), the scheduler must repair by direct archive sessions instead
+        of spinning through its round budget."""
+        _, store, coordinator = build(peers=PEERS[:4], fanout=1)
+        archive_batch(store, 6)
+        coordinator._partners = lambda peer, online: [
+            other for other in online if other != peer
+        ][:1]
+        report = coordinator.run_until_converged()
+        assert report.converged
+        assert report.round_count == 1
+        assert_matches_archive(coordinator, store, PEERS[:4])
+
+    def test_unconverged_budget_raises_sync_error(self):
+        _, store, coordinator = build(peers=PEERS[:2])
+        archive_batch(store, 3)
+        idle = SessionResult(
+            converged=False, delivered_left=0, delivered_right=0,
+            attempts=0, fell_back=False,
+        )
+        coordinator._session = lambda peer, partner: idle
+        with pytest.raises(SyncError, match="failed to converge"):
+            coordinator.run_until_converged(max_rounds=2)
+
+    def test_catch_up_is_cheap_after_convergence(self):
+        _, store, coordinator = build()
+        archive_batch(store, 8)
+        coordinator.run_until_converged()
+        before = coordinator.stats.snapshot()
+        result = coordinator.catch_up("Beijing")
+        delta = coordinator.stats.since(before)
+        assert result.converged and result.delivered == 0
+        assert delta.messages == 2  # challenge both ways, nothing else
+
+    def test_entries_since_matches_store_cursor_after_catch_up(self):
+        _, store, coordinator = build()
+        archive_batch(store, 9)
+        coordinator.run_until_converged()
+        coordinator.catch_up("Crete")
+        for epoch in (0, 4, store.latest_epoch()):
+            local = [e.digest for e in coordinator.entries_since("Crete", epoch)]
+            remote = [e.digest for e in store.published_since(epoch)]
+            assert local == remote
+
+
+class TestReporting:
+    def test_round_counters_add_up(self):
+        _, store, coordinator = build()
+        archive_batch(store, 7)
+        report = coordinator.run_until_converged()
+        assert report.stats.sessions == sum(r["sessions"] for r in report.rounds)
+        assert report.stats.bytes == sum(r["bytes"] for r in report.rounds)
+        assert report.stats.entries_delivered == sum(
+            r["entries_delivered"] for r in report.rounds
+        )
+
+    def test_report_to_dict_carries_rounds_and_stats(self):
+        _, store, coordinator = build()
+        archive_batch(store, 3)
+        payload = coordinator.run_until_converged().to_dict()
+        assert payload["converged"] is True
+        assert payload["round_count"] == len(payload["rounds"])
+        assert payload["sessions"] > 0 and payload["bytes"] > 0
+
+    def test_empty_report_defaults(self):
+        report = GossipReport()
+        assert report.to_dict() == {"rounds": [], "round_count": 0, "converged": True}
+
+    def test_summary_reports_deltas(self):
+        _, store, coordinator = build()
+        archive_batch(store, 4)
+        coordinator.run_until_converged()
+        before = coordinator.stats.snapshot()
+        rounds_before = coordinator.rounds_run
+        archive_batch(store, 2)
+        coordinator.run_until_converged()
+        summary = coordinator.summary(since=before, rounds_before=rounds_before)
+        assert summary["rounds"] >= 1
+        assert summary["entries_delivered"] >= 2 * len(PEERS)

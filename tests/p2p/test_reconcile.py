@@ -1,0 +1,288 @@
+"""The sketch-based reconciliation protocol: sessions, bytes, fallback."""
+
+import pytest
+
+from repro.core.transactions import Transaction
+from repro.core.updates import Update
+from repro.p2p.network import Network
+from repro.p2p.reconcile import (
+    MESSAGE_HEADER_BYTES,
+    EntryCache,
+    ReconcileConfig,
+    ReconcileStats,
+    SetReconciler,
+    StoreView,
+    cursor_transfer_bytes,
+)
+from repro.p2p.store import PublishedTransaction, UpdateStore
+
+
+def entry(txn_id: str, epoch: int, sequence: int, peer: str = "Alaska") -> PublishedTransaction:
+    txn = Transaction(txn_id, peer, (Update.insert("R", (txn_id,), origin=peer),), epoch=epoch)
+    return PublishedTransaction(txn, epoch, sequence, peer)
+
+
+def entries(count: int, start: int = 0, peer: str = "Alaska") -> list[PublishedTransaction]:
+    # Epochs are 1-based in the archive; keep the helper in-domain.
+    return [
+        entry(f"{peer}-t{start + i}", epoch=start + i + 1, sequence=start + i, peer=peer)
+        for i in range(count)
+    ]
+
+
+class TestEntryCache:
+    def test_add_is_idempotent_by_digest(self):
+        cache = EntryCache("A")
+        batch = entries(3)
+        assert cache.add_entries(batch) == 3
+        assert cache.add_entries(batch) == 0
+        assert cache.count == 3
+
+    def test_checksum_is_incremental_xor(self):
+        cache = EntryCache("A")
+        batch = entries(4)
+        cache.add_entries(batch)
+        expected = 0
+        for item in batch:
+            expected ^= item.digest
+        assert cache.checksum == expected
+
+    def test_entries_since_matches_epoch_order(self):
+        cache = EntryCache("A")
+        cache.add_entries(entries(5))
+        assert [e.epoch for e in cache.entries_since(2)] == [3, 4, 5]
+
+    def test_clock_tracks_publishers(self):
+        cache = EntryCache("A")
+        cache.add_entries(entries(2, peer="Alaska") + entries(1, start=5, peer="Beijing"))
+        assert cache.clock().versions == {"Alaska": 2, "Beijing": 6}
+
+    def test_mark_complete_is_monotone(self):
+        cache = EntryCache("A")
+        cache.mark_complete(5)
+        cache.mark_complete(3)
+        assert cache.complete_until == 5
+
+    def test_entries_for_skips_unknown_digests(self):
+        cache = EntryCache("A")
+        batch = entries(2)
+        cache.add_entries(batch)
+        got = cache.entries_for([batch[0].digest, 12345])
+        assert got == [batch[0]]
+
+
+class TestStoreView:
+    def _store_with(self, count: int) -> UpdateStore:
+        store = UpdateStore()
+        for i in range(count):
+            txn = Transaction(f"t{i}", "Alaska", (Update.insert("R", (i,), origin="Alaska"),))
+            store.archive([txn], epoch=i + 1, publisher="Alaska")
+        return store
+
+    def test_refresh_mirrors_the_store(self):
+        store = self._store_with(3)
+        view = StoreView(store)
+        view.refresh()
+        assert view.count == 3
+        assert view.complete_until == store.latest_epoch()
+
+    def test_refresh_is_incremental_and_catches_same_epoch_batches(self):
+        store = self._store_with(2)
+        view = StoreView(store)
+        view.refresh()
+        # A second batch at the current latest epoch must still be picked up.
+        txn = Transaction("late", "Alaska", (Update.insert("R", ("late",), origin="Alaska"),))
+        store.archive([txn], epoch=store.latest_epoch(), publisher="Alaska")
+        view.refresh()
+        assert view.count == 3
+
+    def test_store_view_never_accepts_entries(self):
+        view = StoreView(self._store_with(1))
+        view.refresh()
+        assert view.add_entries(entries(2, start=10)) == 0
+        assert view.count == 1
+
+
+@pytest.mark.parametrize("algorithm", ["iblt", "bloom"])
+class TestSessions:
+    def _caches(self, shared: int, extra_left: int, extra_right: int):
+        left = EntryCache("L")
+        right = EntryCache("R")
+        common = entries(shared)
+        left.add_entries(common)
+        right.add_entries(common)
+        left.add_entries(entries(extra_left, start=100, peer="Beijing"))
+        right.add_entries(entries(extra_right, start=200, peer="Crete"))
+        return left, right
+
+    def test_converged_sides_exchange_two_messages(self, algorithm):
+        left, right = self._caches(10, 0, 0)
+        reconciler = SetReconciler(ReconcileConfig(algorithm=algorithm))
+        result = reconciler.reconcile(left, right)
+        assert result.converged and result.delivered == 0
+        assert reconciler.stats.messages == 2
+        assert reconciler.stats.unchanged_sessions == 1
+
+    def test_session_makes_both_sides_equal(self, algorithm):
+        left, right = self._caches(20, 3, 2)
+        reconciler = SetReconciler(ReconcileConfig(algorithm=algorithm))
+        result = reconciler.reconcile(left, right)
+        assert result.converged
+        assert result.delivered_left == 2 and result.delivered_right == 3
+        assert left.compact_clock().agrees_with(right.compact_clock())
+        assert sorted(e.txn_id for e in left.entries()) == sorted(
+            e.txn_id for e in right.entries()
+        )
+
+    def test_bytes_scale_with_diff_not_log(self, algorithm):
+        """The same 5-entry diff over a 40-entry vs a 400-entry shared tail:
+        watermarked sketch sessions move nearly identical byte counts, while
+        a cursor replay of the tail grows ~10x."""
+        def session_bytes(shared):
+            left = EntryCache("L")
+            right = EntryCache("R")
+            common = entries(shared)
+            left.add_entries(common)
+            right.add_entries(common)
+            # Both sides are provably complete through the shared prefix;
+            # the diff lives strictly above the watermark.
+            left.mark_complete(shared)
+            right.mark_complete(shared)
+            left.add_entries(entries(5, start=shared + 100, peer="Beijing"))
+            reconciler = SetReconciler(ReconcileConfig(algorithm=algorithm))
+            assert reconciler.reconcile(left, right).converged
+            return reconciler.stats.bytes
+
+        small, large = session_bytes(40), session_bytes(400)
+        assert large <= small * 2
+        baseline_small = cursor_transfer_bytes(entries(40))
+        baseline_large = cursor_transfer_bytes(entries(400))
+        assert baseline_large > baseline_small * 8
+
+    def test_stats_account_every_message(self, algorithm):
+        left, right = self._caches(5, 2, 1)
+        stats = ReconcileStats()
+        reconciler = SetReconciler(ReconcileConfig(algorithm=algorithm), stats=stats)
+        reconciler.reconcile(left, right)
+        assert stats.sessions == 1
+        assert stats.messages > 2
+        assert stats.bytes >= stats.messages * MESSAGE_HEADER_BYTES
+        assert stats.sketch_bytes > 0
+        assert stats.entry_bytes > 0
+        assert stats.entries_delivered == 3
+
+    def test_network_message_stats_are_fed(self, algorithm):
+        network = Network(["L", "R"])
+        left, right = self._caches(5, 1, 1)
+        reconciler = SetReconciler(ReconcileConfig(algorithm=algorithm), network=network)
+        reconciler.reconcile(left, right)
+        stats = network.message_stats()
+        assert stats["messages"] == reconciler.stats.messages
+        assert stats["bytes"] == reconciler.stats.bytes
+        assert stats["per_peer"]["L"]["sent"] > 0
+        assert stats["per_peer"]["R"]["received"] > 0
+
+    def test_completeness_propagates_through_sessions(self, algorithm):
+        left, right = self._caches(6, 0, 2)
+        right.mark_complete(5)
+        reconciler = SetReconciler(ReconcileConfig(algorithm=algorithm))
+        assert reconciler.reconcile(left, right).converged
+        assert left.complete_until == 5
+
+    def test_snapshot_and_since_deltas(self, algorithm):
+        left, right = self._caches(4, 1, 0)
+        reconciler = SetReconciler(ReconcileConfig(algorithm=algorithm))
+        before = reconciler.stats.snapshot()
+        reconciler.reconcile(left, right)
+        delta = reconciler.stats.since(before)
+        assert delta.sessions == 1
+        assert delta.to_dict()["entries_delivered"] == 1
+
+
+class TestGrowAndFallback:
+    def test_iblt_grows_after_decode_failure(self):
+        """A symmetric diff keeps the observable count difference at zero, so
+        the sketch starts at the configured tiny capacity; the first attempts
+        must stall and the grown retries converge without falling back."""
+        left = EntryCache("L")
+        right = EntryCache("R")
+        left.add_entries(entries(60, peer="Beijing"))
+        right.add_entries(entries(60, start=1000, peer="Crete"))
+        reconciler = SetReconciler(
+            ReconcileConfig(algorithm="iblt", capacity=4, growth=8, max_attempts=3)
+        )
+        result = reconciler.reconcile(left, right)
+        assert result.converged and not result.fell_back
+        assert result.attempts > 1
+        assert reconciler.stats.decode_failures >= 1
+        assert left.count == right.count == 120
+
+    def test_exhausted_attempts_fall_back_to_cursor_replay(self):
+        """With growth pinned low enough that every sketch attempt fails,
+        the session must fall back to cursor replay and still converge —
+        decode failure is a cost signal, never a correctness problem."""
+        left = EntryCache("L")
+        right = EntryCache("R")
+        left.add_entries(entries(300, peer="Beijing"))
+        # A symmetric diff keeps the count difference at zero, so the base
+        # capacity stays at the configured 1 and the sketch must stall.
+        right.add_entries(entries(300, start=1000, peer="Crete"))
+        reconciler = SetReconciler(
+            ReconcileConfig(algorithm="iblt", capacity=1, growth=2, max_attempts=1)
+        )
+        result = reconciler.reconcile(left, right)
+        assert result.fell_back
+        assert result.converged
+        assert reconciler.stats.fallbacks == 1
+        assert reconciler.stats.decode_failures >= 1
+        assert left.compact_clock().agrees_with(right.compact_clock())
+        assert left.count == right.count == 600
+
+    def test_bloom_false_positives_are_repaired(self):
+        """An undersized Bloom filter hides some diff entries behind false
+        positives on the first pass; retries (or fallback) must still end
+        with equal sets."""
+        left = EntryCache("L")
+        right = EntryCache("R")
+        shared = entries(50)
+        left.add_entries(shared)
+        right.add_entries(shared)
+        left.add_entries(entries(120, start=500, peer="Beijing"))
+        right.add_entries(entries(120, start=900, peer="Crete"))
+        reconciler = SetReconciler(
+            ReconcileConfig(algorithm="bloom", capacity=2, growth=4, max_attempts=3)
+        )
+        result = reconciler.reconcile(left, right)
+        assert result.converged
+        assert left.compact_clock().agrees_with(right.compact_clock())
+
+    def test_fallback_replays_from_watermark_only(self):
+        left = EntryCache("L")
+        right = EntryCache("R")
+        shared = entries(10)
+        left.add_entries(shared)
+        right.add_entries(shared)
+        left.mark_complete(10)
+        right.mark_complete(10)
+        right.add_entries(entries(3, start=20, peer="Crete"))
+        reconciler = SetReconciler(
+            ReconcileConfig(algorithm="iblt", capacity=1, growth=2, max_attempts=1)
+        )
+        before_bytes = reconciler.stats.bytes
+        # Even a direct fallback ships only the tail above the watermark.
+        got_left, got_right = reconciler._cursor_fallback(left, right)
+        assert got_left == 3 and got_right == 0
+        moved = reconciler.stats.bytes - before_bytes
+        assert moved < cursor_transfer_bytes(shared + entries(3, start=20, peer="Crete"))
+
+
+class TestCursorTransferBytes:
+    def test_counts_request_and_batch(self):
+        batch = entries(3)
+        expected = (MESSAGE_HEADER_BYTES + 8) + MESSAGE_HEADER_BYTES + sum(
+            e.wire_size for e in batch
+        )
+        assert cursor_transfer_bytes(batch) == expected
+
+    def test_empty_replay_still_costs_an_envelope(self):
+        assert cursor_transfer_bytes([]) == (MESSAGE_HEADER_BYTES + 8) + MESSAGE_HEADER_BYTES

@@ -1,5 +1,7 @@
 """Unit tests for the simulated P2P substrate: store, network, replication."""
 
+import random
+
 import pytest
 
 from repro.core.transactions import Transaction
@@ -7,7 +9,7 @@ from repro.core.updates import Update
 from repro.errors import NetworkError, PublicationError
 from repro.p2p.network import Network
 from repro.p2p.replication import ReplicationManager
-from repro.p2p.store import UpdateStore
+from repro.p2p.store import EpochLog, PublishedTransaction, UpdateStore
 
 
 def txn(txn_id: str, peer: str = "Alaska") -> Transaction:
@@ -310,3 +312,117 @@ class TestReplication:
         for peer in ("A", "B"):
             network.disconnect(peer)
         assert manager.repair("t1") is placement  # location still known
+
+
+def published(txn_id: str, epoch: int, sequence: int, peer: str = "Alaska") -> PublishedTransaction:
+    return PublishedTransaction(txn(txn_id, peer), epoch, sequence, peer)
+
+
+class TestEpochLogSince:
+    """Bisection edge cases for the epoch cursor, against a linear scan."""
+
+    def _log(self, positions) -> EpochLog:
+        log = EpochLog()
+        for i, (epoch, sequence) in enumerate(positions):
+            log.add(published(f"t{i}", epoch, sequence))
+        return log
+
+    def test_empty_log(self):
+        log = EpochLog()
+        assert log.since(0) == []
+        assert log.since(7) == []
+        assert log.latest_epoch() == 0
+
+    def test_cursor_at_latest_epoch_returns_nothing(self):
+        log = self._log([(1, 0), (2, 1), (3, 2)])
+        assert log.since(log.latest_epoch()) == []
+
+    def test_cursor_past_the_end(self):
+        log = self._log([(1, 0), (2, 1)])
+        assert log.since(99) == []
+
+    def test_epoch_boundary_is_exclusive(self):
+        log = self._log([(1, 0), (2, 1), (3, 2)])
+        assert [e.epoch for e in log.since(1)] == [2, 3]
+        assert [e.epoch for e in log.since(0)] == [1, 2, 3]
+
+    def test_shared_epochs_stay_together(self):
+        # Multiple entries in the same epoch: a cursor at that epoch skips
+        # every one of them; a cursor just below returns every one of them.
+        log = self._log([(1, 0), (2, 1), (2, 2), (2, 3), (5, 4)])
+        assert [e.sequence for e in log.since(1)] == [1, 2, 3, 4]
+        assert [e.sequence for e in log.since(2)] == [4]
+
+    def test_out_of_order_backfill_keeps_cursor_correct(self):
+        log = self._log([(1, 0), (5, 3)])
+        log.add(published("late", 3, 1))  # anti-entropy back-fill
+        assert [e.epoch for e in log.since(2)] == [3, 5]
+
+    def test_since_matches_linear_scan_on_random_logs(self):
+        rng = random.Random(20260808)
+        for _ in range(50):
+            count = rng.randrange(0, 40)
+            positions = [(rng.randrange(1, 12), sequence) for sequence in range(count)]
+            rng.shuffle(positions)
+            log = self._log(positions)
+            entries = log.entries()
+            for cursor in range(0, 14):
+                expected = [e for e in entries if e.epoch > cursor]
+                assert log.since(cursor) == expected
+
+
+class TestMessageAccounting:
+    """Bounded message trace + unbounded aggregate counters."""
+
+    def test_counters_and_trace(self):
+        network = Network(["A", "B"])
+        network.record_message("A", "B", "sketch", 100)
+        network.record_message("B", "A", "entries", 40)
+        stats = network.message_stats()
+        assert stats["messages"] == 2
+        assert stats["bytes"] == 140
+        assert stats["per_peer"]["A"] == {
+            "sent": 1, "received": 1, "bytes_sent": 100, "bytes_received": 40,
+        }
+        kinds = [event.kind for event in network.message_trace()]
+        assert kinds == ["sketch", "entries"]
+
+    def test_unregistered_participants_are_allowed(self):
+        # The archive is a store, not a peer, but its traffic is accounted.
+        network = Network(["A"])
+        network.record_message("A", "#archive", "challenge", 24)
+        assert network.message_stats()["per_peer"]["#archive"]["received"] == 1
+
+    def test_negative_size_rejected(self):
+        network = Network(["A", "B"])
+        with pytest.raises(NetworkError):
+            network.record_message("A", "B", "sketch", -1)
+
+    def test_trace_rolls_over_but_totals_keep_counting(self):
+        network = Network(["A", "B"], trace_limit=5)
+        for i in range(12):
+            network.record_message("A", "B", "entries", 10)
+        stats = network.message_stats()
+        assert stats["messages"] == 12
+        assert stats["bytes"] == 120
+        assert stats["trace_retained"] == 5
+        assert stats["trace_dropped"] == 7
+        # The trace keeps the most recent events, not the oldest.
+        assert [event.step for event in network.message_trace()] == [8, 9, 10, 11, 12]
+
+    def test_zero_trace_limit_keeps_no_events(self):
+        network = Network(["A", "B"], trace_limit=0)
+        network.record_message("A", "B", "clock", 24)
+        stats = network.message_stats()
+        assert stats["trace_retained"] == 0
+        assert stats["trace_dropped"] == 1
+        assert stats["messages"] == 1
+
+    def test_message_and_connectivity_traces_are_independent(self):
+        network = Network(["A", "B"], trace_limit=3)
+        network.disconnect("A")
+        network.connect("A")
+        for _ in range(4):
+            network.record_message("A", "B", "entries", 5)
+        assert network.churn_stats()["trace_retained"] == 2
+        assert network.message_stats()["trace_retained"] == 3

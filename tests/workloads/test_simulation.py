@@ -1,12 +1,12 @@
 """The randomized simulation subsystem and its differential oracles.
 
-The parametrized slice runs 25 seeded random networks through all seven
+The parametrized slice runs 25 seeded random networks through all eight
 differential oracles (incremental-vs-recompute, provenance-vs-DRed,
 dag-vs-expanded, sync-vs-manual, memory-vs-SQLite,
-distributed-vs-centralized, replica-durability); the remaining tests pin
-down the generator's guarantees (round-tripping, determinism, validation)
-and the oracles' sensitivity (a deliberately injected divergence is
-reported with its seed and first failing epoch).
+distributed-vs-centralized, sketch-vs-cursor, replica-durability); the
+remaining tests pin down the generator's guarantees (round-tripping,
+determinism, validation) and the oracles' sensitivity (a deliberately
+injected divergence is reported with its seed and first failing epoch).
 """
 
 import pytest
@@ -93,15 +93,22 @@ class TestSimulationConfig:
         with pytest.raises(ConfigurationError):
             SimulationConfig(transactions_per_epoch=(6, 2))
 
+    def test_sync_mode_is_validated(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(sync_mode="telepathy")
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(sync_sketch="minhash")
+        assert SimulationConfig(sync_mode="gossip", sync_sketch="bloom").sync_mode == "gossip"
+
 
 @pytest.mark.parametrize("seed", SLICE_SEEDS)
 def test_differential_oracles_hold(seed):
-    """≥25 seeded random networks pass all seven differential oracles."""
+    """≥25 seeded random networks pass all eight differential oracles."""
     result = run_simulation(seed, SLICE_CONFIG)
     assert result.ok, "\n".join(failure.describe() for failure in result.failures)
     assert result.transactions > 0
-    # spec round-trip + 7 oracles per epoch actually ran.
-    assert result.oracle_checks == 1 + 7 * result.epochs_run
+    # spec round-trip + 8 oracles per epoch actually ran.
+    assert result.oracle_checks == 1 + 8 * result.epochs_run
 
 
 @pytest.mark.parametrize("seed", [2, 9, 23])
@@ -110,6 +117,50 @@ def test_differential_oracles_hold_with_distributed_primary(seed):
     config = SimulationConfig(
         epochs=3,
         transactions_per_epoch=(2, 5),
+        store_backend="distributed",
+        offline_probability=0.5,
+    )
+    result = run_simulation(seed, config)
+    assert result.ok, "\n".join(failure.describe() for failure in result.failures)
+
+
+@pytest.mark.parametrize("seed", SLICE_SEEDS)
+def test_sketch_vs_cursor_oracle_holds_with_gossip_primary_iblt(seed):
+    """25 seeds with an IBLT-gossip primary: reconcile outcomes and
+    instances match the cursor-sync mirror under churn."""
+    config = SimulationConfig(
+        epochs=3,
+        transactions_per_epoch=(2, 5),
+        sync_mode="gossip",
+        sync_sketch="iblt",
+        offline_probability=0.4,
+    )
+    result = run_simulation(seed, config)
+    assert result.ok, "\n".join(failure.describe() for failure in result.failures)
+    assert result.oracle_checks == 1 + 8 * result.epochs_run
+
+
+@pytest.mark.parametrize("seed", SLICE_SEEDS)
+def test_sketch_vs_cursor_oracle_holds_with_gossip_primary_bloom(seed):
+    """The same 25-seed slice with the counting-Bloom sketch algorithm."""
+    config = SimulationConfig(
+        epochs=3,
+        transactions_per_epoch=(2, 5),
+        sync_mode="gossip",
+        sync_sketch="bloom",
+        offline_probability=0.4,
+    )
+    result = run_simulation(seed, config)
+    assert result.ok, "\n".join(failure.describe() for failure in result.failures)
+
+
+@pytest.mark.parametrize("seed", [6, 14])
+def test_sketch_vs_cursor_oracle_holds_on_distributed_store(seed):
+    """Gossip sync against the sharded distributed archive, under churn."""
+    config = SimulationConfig(
+        epochs=3,
+        transactions_per_epoch=(2, 5),
+        sync_mode="gossip",
         store_backend="distributed",
         offline_probability=0.5,
     )
@@ -197,6 +248,25 @@ class TestOracleSensitivity:
         assert failure.oracle == "distributed-vs-centralized"
         assert "sync round 1 diverges" in failure.detail
 
+    def test_sketch_vs_cursor_detects_divergence(self):
+        run = self._run_one_epoch()
+        peer = run.synccheck.peer(run.synccheck.catalog.peer_names()[0])
+        relation = next(iter(peer.schema)).name
+        peer.instance.insert(relation, tuple("v" for _ in range(peer.schema.arity(relation))))
+        run._check_sketch_vs_cursor(epoch=2)
+        failure = run.failures[-1]
+        assert failure.oracle == "sketch-vs-cursor"
+        assert "only in mirror-sync" in failure.detail
+
+    def test_sketch_vs_cursor_detects_report_divergence(self):
+        run = self._run_one_epoch()
+        report = run._last_reports["synccheck"]
+        report.rounds[0].published = []
+        run._check_sketch_vs_cursor(epoch=2)
+        failure = run.failures[-1]
+        assert failure.oracle == "sketch-vs-cursor"
+        assert "sync round 1 diverges" in failure.detail
+
     def test_replica_durability_detects_lost_copies(self):
         run = self._run_one_epoch()
         store = run._distributed_replica().store
@@ -254,6 +324,31 @@ class TestCli:
         monkeypatch.setattr(cli, "run_simulation", boom)
         assert cli.main(["--seeds", "1", "--store-distributed"]) == 1
         assert "--store-distributed" in capsys.readouterr().err
+
+    def test_cli_sync_mode_flags(self, capsys):
+        assert simulate_main(
+            ["--seeds", "1", "--epochs", "2", "--sync-gossip", "--quiet"]
+        ) == 0
+        assert simulate_main(
+            ["--seeds", "1", "--epochs", "2", "--sync-gossip", "--sketch", "bloom", "--quiet"]
+        ) == 0
+        assert simulate_main(
+            ["--seeds", "1", "--epochs", "2", "--sync-cursor", "--quiet"]
+        ) == 0
+        with pytest.raises(SystemExit):
+            simulate_main(["--sync-cursor", "--sync-gossip"])
+
+    def test_cli_repro_line_names_gossip_sync(self, capsys, monkeypatch):
+        import repro.simulate as cli
+
+        def boom(seed, config):
+            assert config.sync_mode == "gossip" and config.sync_sketch == "bloom"
+            raise RuntimeError("sketch exploded")
+
+        monkeypatch.setattr(cli, "run_simulation", boom)
+        assert cli.main(["--seeds", "1", "--sync-gossip", "--sketch", "bloom"]) == 1
+        err = capsys.readouterr().err
+        assert "--sync-gossip" in err and "--sketch bloom" in err
 
     def test_cli_provenance_representation_flags(self, capsys):
         assert simulate_main(
