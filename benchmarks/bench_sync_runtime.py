@@ -1,0 +1,155 @@
+"""Experiment SYNC-RUNTIME: serial vs pipelined-async sync scheduling.
+
+Drives a star network (every spoke maps into one hub) with 100+ online
+peers under the seeded latency model and syncs it to quiescence with both
+schedulers on both store backends.  Compute is identical by construction
+(the async runtime replays the serial loop's canonical order, and the
+concurrent-vs-serial oracle asserts report equality here too); what the
+experiment measures is how the *simulated traffic* occupies the virtual
+clock:
+
+* ``serial`` transmits one message at a time, so the clock advances by the
+  sum of every per-message delay;
+* ``async`` overlaps independent transfers under admission control, so the
+  clock advances by the pipeline's critical path.
+
+Sustained throughput is transactions per *virtual* second; wall-clock
+seconds are reported as a secondary column (the scheduler itself must not
+cost more real time than it saves simulated time).
+
+Knobs:
+
+* ``SYNC_BENCH_SMOKE=1`` shrinks the network so the module runs in seconds (CI).
+* ``SYNC_BENCH_RECORD=1`` (re)writes the committed baseline
+  ``BENCH_sync.json`` next to this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.config import StoreConfig, SystemConfig
+from repro.core.mapping import join_mapping
+from repro.core.schema import PeerSchema
+from repro.core.system import CDSS
+from repro.core.trust import TrustPolicy
+from repro.p2p.network import LatencyModel
+
+from ._reporting import print_table
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() not in ("", "0", "false", "no", "off")
+
+
+SMOKE = _env_flag("SYNC_BENCH_SMOKE")
+RECORD = _env_flag("SYNC_BENCH_RECORD")
+BASELINE_PATH = Path(__file__).with_name("BENCH_sync.json")
+
+#: Online peers in the star (spokes + 1 hub).  The committed baseline runs
+#: the full size; CI smoke shrinks it.
+SPOKES = 11 if SMOKE else 100
+LATENCY_SEED = 20260808
+
+
+def _record(experiment: str, payload) -> None:
+    if not RECORD:
+        return
+    baseline = {}
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+    baseline[experiment] = payload
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+
+
+def _build_star(runtime: str, backend: str) -> CDSS:
+    """``SPOKES`` publishers all mapping into one hub peer, fully online."""
+    store = StoreConfig(
+        backend=backend,
+        sync_runtime=runtime,
+        sync_workers=16,
+        shard_count=8,
+        replication_factor=2,
+    )
+    cdss = CDSS(replace(SystemConfig.default(), store=store))
+    spokes = [f"S{index:03d}" for index in range(SPOKES)]
+    priorities = {name: 5 for name in [*spokes, "Hub"]}
+    cdss.add_peer(
+        "Hub",
+        PeerSchema.build("Hub", {"R": ["a", "b"]}, {"R": ["a"]}),
+        TrustPolicy.trust_only("Hub", priorities),
+    )
+    for name in spokes:
+        cdss.add_peer(
+            name,
+            PeerSchema.build(name, {"R": ["a", "b"]}, {"R": ["a"]}),
+            TrustPolicy.trust_only(name, priorities),
+        )
+        cdss.add_mapping(join_mapping(f"M_{name}", name, "Hub", "R(a, b)", ["R(a, b)"]))
+    cdss.network.set_latency_model(LatencyModel(seed=LATENCY_SEED))
+    return cdss
+
+
+def _measure(runtime: str, backend: str) -> dict:
+    cdss = _build_star(runtime, backend)
+    for index in range(SPOKES):
+        cdss.peer(f"S{index:03d}").insert("R", (index, f"v{index}"))
+    clock_before = cdss.network.clock.now
+    started = time.perf_counter()
+    report = cdss.sync()
+    wall_seconds = time.perf_counter() - started
+    virtual_seconds = cdss.network.clock.now - clock_before
+    assert report.converged
+    transactions = report.published_transactions
+    assert transactions == SPOKES
+    measurement = {
+        "peers_online": SPOKES + 1,
+        "transactions": transactions,
+        "rounds": report.round_count,
+        "virtual_seconds": round(virtual_seconds, 6),
+        "virtual_txn_per_sec": round(transactions / virtual_seconds, 1),
+        "wall_seconds": round(wall_seconds, 4),
+        "wall_txn_per_sec": round(transactions / wall_seconds, 1),
+    }
+    if report.runtime is not None:
+        measurement["max_in_flight"] = report.runtime["max_in_flight"]
+        measurement["backpressure_stalls"] = report.runtime["backpressure_stalls"]
+    return measurement
+
+
+def test_serial_vs_async_sync_throughput():
+    """Star network at 100+ online peers: async sustains >= serial txn/sec
+    (virtual time) on both store backends."""
+    results = {}
+    rows = []
+    for backend in ("centralized", "distributed"):
+        for runtime in ("serial", "async"):
+            measurement = _measure(runtime, backend)
+            results[f"{runtime}_{backend}"] = measurement
+            rows.append(
+                [
+                    runtime,
+                    backend,
+                    measurement["peers_online"],
+                    measurement["transactions"],
+                    f"{measurement['virtual_seconds']:.4f}",
+                    f"{measurement['virtual_txn_per_sec']:.1f}",
+                    f"{measurement['wall_seconds']:.3f}",
+                ]
+            )
+        serial = results[f"serial_{backend}"]
+        on_async = results[f"async_{backend}"]
+        # The acceptance bar: overlap must never be slower than serial.
+        assert (
+            on_async["virtual_txn_per_sec"] >= serial["virtual_txn_per_sec"]
+        ), f"async slower than serial on {backend}: {on_async} vs {serial}"
+    print_table(
+        f"SYNC-RUNTIME: serial vs async at {SPOKES + 1} online peers",
+        ["runtime", "store", "peers", "txns", "virtual s", "txn/s (virtual)", "wall s"],
+        rows,
+    )
+    _record("star_100_peers", results)

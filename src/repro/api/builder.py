@@ -296,6 +296,8 @@ class NetworkBuilder:
                         ("sketch_capacity", spec.sync.capacity),
                         ("sketch_growth", spec.sync.growth),
                         ("sketch_attempts", spec.sync.attempts),
+                        ("sync_runtime", spec.sync.runtime),
+                        ("sync_workers", spec.sync.workers),
                     )
                     if value is not None
                 }

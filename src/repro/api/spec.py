@@ -158,18 +158,22 @@ class StoreSpec:
 
 
 #: Knobs a ``sync`` declaration accepts, in canonical rendering order.
-#: ``sketch`` takes a word value (the algorithm name); the rest take ints.
-_SYNC_KNOBS = ("fanout", "sketch", "capacity", "growth", "attempts")
-_SYNC_WORD_KNOBS = frozenset({"sketch"})
+#: ``sketch`` and ``runtime`` take word values; the rest take ints.
+_SYNC_KNOBS = ("fanout", "sketch", "capacity", "growth", "attempts", "runtime", "workers")
+_SYNC_WORD_KNOBS = frozenset({"sketch", "runtime"})
+#: Knobs meaningful only in gossip mode (``sync cursor`` rejects them).
+_SYNC_GOSSIP_KNOBS = ("fanout", "sketch", "capacity", "growth", "attempts")
 
 
 @dataclass
 class SyncSpec:
-    """Declarative description of the peer catch-up strategy.
+    """Declarative description of the peer catch-up strategy and runtime.
 
-    ``sync cursor`` is the default scalar-cursor replay and takes no knobs;
-    ``sync gossip`` enables epidemic sketch reconciliation, with unset knobs
-    (``None``) deferring to :class:`~repro.config.StoreConfig` defaults.
+    ``sync cursor`` is the default scalar-cursor replay; ``sync gossip``
+    enables epidemic sketch reconciliation with its own knobs.  Both modes
+    additionally accept ``runtime serial|async`` and ``workers N`` to select
+    the sync scheduler (``sync cursor runtime async workers 8``).  Unset
+    knobs (``None``) defer to :class:`~repro.config.StoreConfig` defaults.
     """
 
     mode: str = "cursor"
@@ -178,17 +182,25 @@ class SyncSpec:
     capacity: Optional[int] = None
     growth: Optional[int] = None
     attempts: Optional[int] = None
+    runtime: Optional[str] = None
+    workers: Optional[int] = None
 
     def validate(self) -> None:
         if self.mode not in ("cursor", "gossip"):
             raise SpecError(
                 f"sync mode must be 'cursor' or 'gossip', got {self.mode!r}"
             )
+        if self.runtime is not None and self.runtime not in ("serial", "async"):
+            raise SpecError(
+                f"sync runtime must be 'serial' or 'async', got {self.runtime!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise SpecError(f"sync workers must be >= 1, got {self.workers}")
         if self.mode == "cursor":
-            for knob in _SYNC_KNOBS:
+            for knob in _SYNC_GOSSIP_KNOBS:
                 if getattr(self, knob) is not None:
                     raise SpecError(
-                        f"sync cursor takes no knobs, but {knob!r} is given"
+                        f"sync cursor takes no gossip knobs, but {knob!r} is given"
                     )
             return
         if self.sketch is not None and self.sketch not in ("iblt", "bloom"):
@@ -640,13 +652,22 @@ def store_spec_of(store) -> Optional[StoreSpec]:
 def sync_spec_of(cdss) -> Optional[SyncSpec]:
     """The :class:`SyncSpec` describing a running system's catch-up mode.
 
-    The cursor default maps to ``None`` (no ``sync`` line), so specs that
-    never mentioned sync round-trip unchanged; gossip mode is recovered with
-    all its knobs pinned.
+    The all-default configuration (cursor mode, serial runtime) maps to
+    ``None`` (no ``sync`` line), so specs that never mentioned sync
+    round-trip unchanged; gossip mode is recovered with all its knobs
+    pinned, and the async runtime pins ``runtime``/``workers`` in either
+    mode.
     """
     store_config = cdss.config.store
+    runtime = None
+    workers = None
+    if store_config.sync_runtime == "async":
+        runtime = store_config.sync_runtime
+        workers = store_config.sync_workers
     if store_config.sync_mode != "gossip":
-        return None
+        if runtime is None:
+            return None
+        return SyncSpec(mode="cursor", runtime=runtime, workers=workers)
     return SyncSpec(
         mode="gossip",
         fanout=store_config.gossip_fanout,
@@ -654,4 +675,6 @@ def sync_spec_of(cdss) -> Optional[SyncSpec]:
         capacity=store_config.sketch_capacity,
         growth=store_config.sketch_growth,
         attempts=store_config.sketch_attempts,
+        runtime=runtime,
+        workers=workers,
     )

@@ -86,6 +86,11 @@ class SyncReport:
     #: epidemic rounds run, sessions, messages, bytes (split into sketch and
     #: entry bytes), entries delivered, decode failures, cursor fallbacks.
     gossip: Optional[dict] = None
+    #: Scheduler accounting filled in by the async runtime
+    #: (:mod:`repro.api.async_sync`): mode, workers, queue depth, virtual
+    #: seconds on the network clock, backpressure stalls, peak in-flight
+    #: transfers.  ``None`` when the serial loop ran the sync.
+    runtime: Optional[dict] = None
 
     # -- aggregate views ------------------------------------------------------
     @property
@@ -103,20 +108,26 @@ class SyncReport:
     @property
     def skipped_offline(self) -> list[str]:
         """Peers that were offline during at least one round (deduplicated)."""
-        seen: list[str] = []
+        seen: set[str] = set()
+        ordered: list[str] = []
         for round_ in self.rounds:
             for peer in round_.skipped_offline:
                 if peer not in seen:
-                    seen.append(peer)
-        return seen
+                    seen.add(peer)
+                    ordered.append(peer)
+        return ordered
 
     def _decisions(self, peer: str, attribute: str) -> list[str]:
+        # Set-backed dedup in first-seen order: long campaigns accumulate
+        # thousands of ids, where the old ``id not in list`` scan was O(n²).
+        seen: set[str] = set()
         collected: list[str] = []
         for round_ in self.rounds:
             for outcome in round_.reconciled:
                 if outcome.peer == peer:
                     for txn_id in getattr(outcome, attribute):
-                        if txn_id not in collected:
+                        if txn_id not in seen:
+                            seen.add(txn_id)
                             collected.append(txn_id)
         return collected
 
@@ -163,6 +174,8 @@ class SyncReport:
             data["store_health"] = self.store_health
         if self.gossip is not None:
             data["gossip"] = dict(self.gossip)
+        if self.runtime is not None:
+            data["runtime"] = dict(self.runtime)
         return data
 
 
@@ -176,6 +189,45 @@ def _selected_peers(cdss, peers: Optional[Sequence[str]]) -> list[str]:
     return names
 
 
+#: Nominal wire size of one transaction, used by the latency model to price
+#: publish uplinks and reconcile downlinks (both runtimes use the same rate).
+TXN_WIRE_BYTES = 512
+
+
+def _account_publish_traffic(cdss, round_: SyncRound) -> None:
+    """Charge the round's publish uplinks to the network's latency model.
+
+    The serial loop transmits sequentially, so each transfer advances the
+    virtual clock by its full delay — the baseline the async runtime's
+    overlapped transfers are measured against.
+    """
+    network = getattr(cdss, "network", None)
+    if network is None or network.latency is None:
+        return
+    for outcome in round_.published:
+        if outcome.published:
+            network.transmit(
+                outcome.peer,
+                "archive",
+                "publish-uplink",
+                TXN_WIRE_BYTES * len(outcome.published),
+            )
+
+
+def _account_reconcile_traffic(cdss, outcome) -> None:
+    """Charge one peer's reconcile downlink to the network's latency model."""
+    network = getattr(cdss, "network", None)
+    if network is None or network.latency is None:
+        return
+    if outcome.candidates_considered:
+        network.transmit(
+            "archive",
+            outcome.peer,
+            "entries-downlink",
+            TXN_WIRE_BYTES * outcome.candidates_considered,
+        )
+
+
 def sync_round(cdss, peers: Optional[Sequence[str]] = None, index: int = 1) -> SyncRound:
     """Run one publish-then-reconcile pass over the selected (online) peers."""
     names = _selected_peers(cdss, peers)
@@ -183,15 +235,22 @@ def sync_round(cdss, peers: Optional[Sequence[str]] = None, index: int = 1) -> S
     publish = cdss.publish_all(names)
     round_.published = publish.outcomes
     round_.skipped_offline = publish.skipped_offline
+    _account_publish_traffic(cdss, round_)
     gossip = getattr(cdss, "gossip", None)
-    if gossip is not None:
+    if gossip is not None and round_.published_transactions > 0:
         # Epidemic anti-entropy phase: spread the round's publications
         # peer-to-peer before anyone reconciles, so the reconcile pass below
-        # reads from converged local caches instead of the archive.
+        # reads from converged local caches instead of the archive.  With
+        # nothing published there is nothing to spread — reconcile's own
+        # catch-up covers any stragglers — so the quiescent final round
+        # skips the session fan-out entirely instead of burning a full
+        # sketch exchange per partner just to confirm emptiness.
         gossip.run_until_converged()
     for name in names:
         if name not in publish.skipped_offline:
-            round_.reconciled.append(cdss.reconcile(name))
+            outcome = cdss.reconcile(name)
+            round_.reconciled.append(outcome)
+            _account_reconcile_traffic(cdss, outcome)
     return round_
 
 
@@ -227,13 +286,34 @@ def synchronize(
             report.converged = True
             break
     else:
+        finalize_report(cdss, report, gossip_before, gossip_rounds_before)
         raise SyncError(
-            f"synchronization did not reach quiescence within {max_rounds} rounds"
+            f"synchronization did not reach quiescence within {max_rounds} rounds",
+            report=report,
         )
-    report.open_conflicts = {name: len(cdss.open_conflicts(name)) for name in names}
+    finalize_report(cdss, report, gossip_before, gossip_rounds_before)
+    return report
+
+
+def finalize_report(
+    cdss,
+    report: SyncReport,
+    gossip_before=None,
+    gossip_rounds_before: int = 0,
+) -> SyncReport:
+    """Fill in the post-loop sections of a report (conflicts, health, gossip).
+
+    Shared by the convergent and non-convergent exits of :func:`synchronize`
+    (the latter attaches the finalized partial report to the raised
+    :class:`SyncError`) and by the async runtime.
+    """
+    report.open_conflicts = {
+        name: len(cdss.open_conflicts(name)) for name in report.peers
+    }
     health = getattr(cdss.store, "health", None)
     if callable(health):
         report.store_health = health()
+    gossip = getattr(cdss, "gossip", None)
     if gossip is not None:
         store_config = cdss.config.store
         report.gossip = {

@@ -103,6 +103,18 @@ class StoreConfig:
         sketch_capacity: Initial sketch capacity in difference elements.
         sketch_growth: Capacity multiplier applied on each decode failure.
         sketch_attempts: Sketch attempts before falling back to cursor replay.
+        sync_runtime: How ``cdss.sync()`` schedules the network —
+            ``"serial"`` (the strict round-robin loop, the default) or
+            ``"async"`` (the pipelined asyncio runtime of
+            :mod:`repro.api.async_sync`: independent peers publish and
+            reconcile concurrently on a virtual clock, publish fan-out
+            overlaps reconciliation, and bounded per-peer queues apply
+            backpressure).  Both runtimes produce identical reports.
+        sync_workers: Admission-control limit of the async runtime — the
+            number of peer transfers allowed in flight at once.
+        sync_queue_depth: Bound on each peer's delivery queue (async
+            runtime); a full queue blocks its producers (backpressure)
+            instead of growing without bound.
     """
 
     backend: str = "centralized"
@@ -119,6 +131,9 @@ class StoreConfig:
     sketch_capacity: int = 32
     sketch_growth: int = 4
     sketch_attempts: int = 3
+    sync_runtime: str = "serial"
+    sync_workers: int = 8
+    sync_queue_depth: int = 4
 
     def __post_init__(self) -> None:
         if self.backend not in ("centralized", "distributed"):
@@ -157,6 +172,14 @@ class StoreConfig:
             raise ConfigurationError("sketch_growth must be >= 2")
         if self.sketch_attempts < 1:
             raise ConfigurationError("sketch_attempts must be >= 1")
+        if self.sync_runtime not in ("serial", "async"):
+            raise ConfigurationError(
+                f"sync_runtime must be 'serial' or 'async', got {self.sync_runtime!r}"
+            )
+        if self.sync_workers < 1:
+            raise ConfigurationError("sync_workers must be >= 1")
+        if self.sync_queue_depth < 1:
+            raise ConfigurationError("sync_queue_depth must be >= 1")
 
 
 @dataclass(frozen=True)

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from ..config import SystemConfig
-from ..errors import MappingError, PeerError, PublicationError
+from ..errors import ConfigurationError, MappingError, PeerError, PublicationError
 from ..exchange.engine import ExchangeEngine
 from ..exchange.migration import migrate_instance
 from ..exchange.rules import compile_mappings
@@ -397,6 +397,7 @@ class CDSS:
         self,
         peers: Optional[Sequence[str]] = None,
         max_rounds: Optional[int] = None,
+        runtime: Optional[str] = None,
     ):
         """Publish and reconcile across the network until quiescence.
 
@@ -405,12 +406,27 @@ class CDSS:
         a structured :class:`~repro.api.sync.SyncReport` (per-peer outcomes,
         translated-change counts, skipped offline peers, open conflicts).
         Restrict participation with ``peers``.
+
+        ``runtime`` selects the scheduler for this call — ``"serial"`` (the
+        round-robin loop) or ``"async"`` (the pipelined runtime of
+        :mod:`repro.api.async_sync`) — overriding
+        :attr:`~repro.config.StoreConfig.sync_runtime`.  Both produce
+        identical reports; they differ in how simulated network traffic
+        occupies the virtual clock.
         """
         from ..api.sync import DEFAULT_MAX_ROUNDS, synchronize
 
-        return synchronize(
-            self, peers, max_rounds if max_rounds is not None else DEFAULT_MAX_ROUNDS
-        )
+        selected = runtime if runtime is not None else self.config.store.sync_runtime
+        if selected not in ("serial", "async"):
+            raise ConfigurationError(
+                f"sync runtime must be 'serial' or 'async', got {selected!r}"
+            )
+        rounds = max_rounds if max_rounds is not None else DEFAULT_MAX_ROUNDS
+        if selected == "async":
+            from ..api.async_sync import async_synchronize
+
+            return async_synchronize(self, peers, rounds)
+        return synchronize(self, peers, rounds)
 
     def sync_round(self, peers: Optional[Sequence[str]] = None):
         """Run exactly one publish-then-reconcile pass (no quiescence loop)."""

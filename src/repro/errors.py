@@ -111,4 +111,13 @@ class SpecError(ReproError):
 class SyncError(ReproError):
     """The sync orchestration could not reach quiescence within its round
     budget, or there were no peers to synchronize.  (Unknown peer names
-    raise :class:`PeerError`, matching the rest of the facade.)"""
+    raise :class:`PeerError`, matching the rest of the facade.)
+
+    When raised at the round budget, :attr:`report` carries the partial
+    :class:`~repro.api.sync.SyncReport` for the rounds that did run, so
+    non-convergence is diagnosable without re-running the campaign.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report

@@ -12,6 +12,18 @@ Subsystems that must react to churn — the distributed update store's
 re-replication and anti-entropy passes — register listeners with
 :meth:`Network.subscribe` and are invoked synchronously on every state
 change.
+
+Beyond connectivity, the network can model *time*: attach a seeded
+:class:`LatencyModel` (:meth:`Network.set_latency_model`) and every message
+sent through :meth:`Network.transmit` is assigned a deterministic per-link
+delay (propagation + jitter + bandwidth-proportional transfer + seeded
+congestion spikes that reorder messages on a link).  Delays advance the
+network's :class:`VirtualClock` — *simulated* time, never wall-clock, so
+runs stay byte-reproducible.  Serial callers let :meth:`transmit` advance
+the clock directly (messages occupy the timeline one after another); the
+async sync runtime (:mod:`repro.api.async_sync`) computes delays with
+``advance=False`` and awaits them on its virtual-time event loop instead,
+so independent transfers overlap.
 """
 
 from __future__ import annotations
@@ -20,10 +32,92 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
+from ..core.hashing import stable_hash
 from ..errors import NetworkError
 
 #: Default bound on the in-memory connectivity trace.
 DEFAULT_TRACE_LIMIT = 4096
+
+
+class VirtualClock:
+    """Monotonic simulated time, advanced explicitly — never by wall-clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move forward by ``seconds`` (>= 0); returns the new time."""
+        if seconds < 0:
+            raise NetworkError("the virtual clock cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, instant: float) -> float:
+        """Move forward to ``instant`` if it is in the future (never back)."""
+        if instant > self._now:
+            self._now = instant
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.6f})"
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Deterministic per-link delay and bandwidth model.
+
+    Every delay is derived from :func:`~repro.core.hashing.stable_hash` over
+    ``(seed, sender, receiver, sequence)``, so the same configuration always
+    produces the same message timeline regardless of process or interpreter
+    — the model introduces realistic variance, not nondeterminism.
+
+    Attributes:
+        seed: Stream selector; different seeds give different (but equally
+            reproducible) timelines.
+        base_delay: One-way propagation delay per message, in simulated
+            seconds.
+        jitter: Uniform ±jitter added to the propagation delay.
+        bandwidth: Link bandwidth in bytes per simulated second; each
+            message additionally costs ``size / bandwidth``.
+        spike_probability: Probability that a message hits a congestion
+            spike (``spike_factor`` × base delay extra), which lets later
+            messages on the same link overtake it — seeded reordering.
+        spike_factor: Extra delay multiplier applied to spiked messages.
+    """
+
+    seed: int = 0
+    base_delay: float = 0.005
+    jitter: float = 0.003
+    bandwidth: float = 1_000_000.0
+    spike_probability: float = 0.1
+    spike_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0 or self.jitter < 0:
+            raise NetworkError("latency delays cannot be negative")
+        if self.jitter > self.base_delay:
+            raise NetworkError("jitter cannot exceed base_delay (negative delays)")
+        if self.bandwidth <= 0:
+            raise NetworkError("bandwidth must be positive")
+        if not 0.0 <= self.spike_probability <= 1.0:
+            raise NetworkError("spike_probability must lie in [0, 1]")
+        if self.spike_factor < 0:
+            raise NetworkError("spike_factor cannot be negative")
+
+    def delay(self, sender: str, receiver: str, size: int, sequence: int) -> float:
+        """The simulated one-way delay of message ``sequence`` on a link."""
+        digest = stable_hash(("latency", self.seed, sender, receiver, sequence))
+        # Two independent uniform draws from disjoint digest bits.
+        jitter_draw = (digest & 0xFFFF) / 0xFFFF
+        spike_draw = ((digest >> 16) & 0xFFFF) / 0x10000
+        delay = self.base_delay + (2.0 * jitter_draw - 1.0) * self.jitter
+        if spike_draw < self.spike_probability:
+            delay += self.base_delay * self.spike_factor
+        return delay + size / self.bandwidth
 
 
 @dataclass
@@ -70,8 +164,51 @@ class Network:
         self._message_trace: deque[MessageEvent] = deque(maxlen=trace_limit)
         self._sent: dict[str, list[int]] = {}      # peer -> [messages, bytes]
         self._received: dict[str, list[int]] = {}
+        # Simulated time: a latency model (None = instantaneous links) and
+        # the virtual clock its delays advance.  Per-link sequence counters
+        # feed the model's seeded delay stream.
+        self.clock = VirtualClock()
+        self.latency: Optional[LatencyModel] = None
+        self._link_sequence: dict[tuple[str, str], int] = {}
         for peer in peers:
             self.register(peer)
+
+    # -- simulated time ---------------------------------------------------------
+    def set_latency_model(self, model: Optional[LatencyModel]) -> None:
+        """Attach (or clear) the deterministic link delay/bandwidth model."""
+        self.latency = model
+
+    def link_delay(self, sender: str, receiver: str, size: int) -> float:
+        """The next message's simulated delay on ``sender -> receiver``.
+
+        Draws (and consumes) the link's next sequence number, so repeated
+        calls walk the seeded delay stream deterministically.  Returns 0.0
+        when no latency model is attached.
+        """
+        if self.latency is None:
+            return 0.0
+        link = (sender, receiver)
+        sequence = self._link_sequence.get(link, 0)
+        self._link_sequence[link] = sequence + 1
+        return self.latency.delay(sender, receiver, size, sequence)
+
+    def transmit(
+        self, sender: str, receiver: str, kind: str, size: int, advance: bool = True
+    ) -> float:
+        """Record one message and return its simulated delay.
+
+        With ``advance=True`` (serial callers) the virtual clock moves
+        forward by the delay immediately: consecutive messages occupy the
+        simulated timeline one after another, which is exactly the serial
+        round-robin cost model.  The async runtime passes ``advance=False``
+        and awaits the returned delay on its virtual-time event loop so
+        independent transfers overlap.
+        """
+        self.record_message(sender, receiver, kind, size)
+        delay = self.link_delay(sender, receiver, size)
+        if advance and delay:
+            self.clock.advance(delay)
+        return delay
 
     # -- membership -----------------------------------------------------------
     def register(self, peer: str, online: bool = True) -> None:

@@ -22,7 +22,11 @@ workload over several replicas, and asserts after every epoch that
   up to k-1 replicas of a shard never loses published data, and
 * gossip sketch reconciliation produces reconcile outcomes and instances
   identical to scalar-cursor catch-up (``--sync-cursor``/``--sync-gossip``
-  choose which mode the primary replica runs; the mirror runs the other).
+  choose which mode the primary replica runs; the mirror runs the other), and
+* with ``--runtime async``, the pipelined asyncio sync scheduler produces
+  reconcile outcomes, open conflicts, and instances identical to the serial
+  round-robin loop (a serial mirror on the same backend and sync mode
+  checks it — the concurrent-vs-serial oracle).
 
 Exit status is 0 when every oracle holds for every seed, 1 otherwise; each
 mismatch prints the failing seed, the (minimal) epoch at which it first
@@ -112,6 +116,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="sketch algorithm of the gossip-sync replica (default: iblt)",
     )
     parser.add_argument(
+        "--runtime", choices=("serial", "async"), default="serial",
+        help="sync scheduler of the primary replica (default: serial); "
+             "'async' adds a serial mirror backing the concurrent-vs-serial "
+             "oracle",
+    )
+    parser.add_argument(
         "--quiet", action="store_true",
         help="only print failures and the final summary",
     )
@@ -132,6 +142,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             store_backend=args.store_backend,
             sync_mode=args.sync_mode,
             sync_sketch=args.sketch,
+            sync_runtime=args.runtime,
         )
     except ConfigurationError as error:
         print(f"invalid configuration: {error}", file=sys.stderr)
@@ -151,10 +162,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         sync_flag = " --sync-gossip" if args.sync_mode == "gossip" else ""
         sketch_flag = f" --sketch {args.sketch}" if args.sketch != "iblt" else ""
+        runtime_flag = " --runtime async" if args.runtime == "async" else ""
         repro = (
             f"--seeds 1 --seed-base {seed} --epochs {args.epochs} "
             f"--max-peers {args.max_peers} --transactions {args.transactions}"
-            f"{mode_flag}{store_flag}{sync_flag}{sketch_flag}"
+            f"{mode_flag}{store_flag}{sync_flag}{sketch_flag}{runtime_flag}"
         )
         try:
             result = run_simulation(seed, config)

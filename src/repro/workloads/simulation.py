@@ -147,6 +147,13 @@ class SimulationConfig:
     #: backend) and assert per-epoch that its reconcile outcomes and final
     #: instances match the primary (the sketch-vs-cursor oracle).
     sketch_oracle: bool = True
+    #: Sync scheduler of the primary replica: ``"serial"`` (the round-robin
+    #: loop) or ``"async"`` (the pipelined runtime of
+    #: :mod:`repro.api.async_sync`).  An async primary automatically gains a
+    #: serial mirror replica on the same backend and sync mode, backing the
+    #: concurrent-vs-serial oracle: identical final instances, reconcile
+    #: decisions, and open conflicts on identical seeds.
+    sync_runtime: str = "serial"
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -202,6 +209,10 @@ class SimulationConfig:
         if self.sync_sketch not in ("iblt", "bloom"):
             raise ConfigurationError(
                 f"sync_sketch must be 'iblt' or 'bloom', got {self.sync_sketch!r}"
+            )
+        if self.sync_runtime not in ("serial", "async"):
+            raise ConfigurationError(
+                f"sync_runtime must be 'serial' or 'async', got {self.sync_runtime!r}"
             )
 
 
@@ -689,7 +700,9 @@ class SimulationRun:
             config=SystemConfig(
                 exchange=ExchangeConfig(provenance_mode=self.config.provenance_mode),
                 store=self._store_config(
-                    self.config.store_backend, self.config.sync_mode
+                    self.config.store_backend,
+                    self.config.sync_mode,
+                    self.config.sync_runtime,
                 ),
             ),
         )
@@ -728,6 +741,20 @@ class SimulationRun:
                     store=self._store_config(self.config.store_backend, other_sync)
                 ),
             )
+        #: Serial mirror replica (same backend, same sync mode) of an async
+        #: primary, backing the concurrent-vs-serial oracle.  Only spawned
+        #: when the primary runs the async scheduler, so serial configs keep
+        #: their oracle count (and cost) unchanged.
+        self.runtimecheck: Optional[CDSS] = None
+        if self.config.sync_runtime == "async":
+            self.runtimecheck = CDSS.from_spec(
+                self.spec,
+                config=SystemConfig(
+                    store=self._store_config(
+                        self.config.store_backend, self.config.sync_mode, "serial"
+                    )
+                ),
+            )
         self._last_reports: dict[str, object] = {}
         #: DRed mirror: same program, provenance disabled, fed the primary's
         #: archived transaction stream.
@@ -737,13 +764,16 @@ class SimulationRun:
         self._mirror_fed = 0
 
     # -- oracle helpers -----------------------------------------------------
-    def _store_config(self, backend: str, sync_mode: str = "cursor") -> StoreConfig:
+    def _store_config(
+        self, backend: str, sync_mode: str = "cursor", runtime: str = "serial"
+    ) -> StoreConfig:
         return StoreConfig(
             backend=backend,
             shard_count=self.config.store_shards,
             replication_factor=self.config.store_replication,
             sync_mode=sync_mode,
             sketch=self.config.sync_sketch,
+            sync_runtime=runtime,
         )
 
     def _distributed_replica(self) -> Optional[CDSS]:
@@ -914,6 +944,61 @@ class SimulationRun:
         if diff:
             self._fail(epoch, "sketch-vs-cursor", diff)
 
+    def _check_async_vs_serial(
+        self,
+        epoch: int,
+        primary_report=None,
+        runtimecheck_report=None,
+        primary_snapshot=None,
+    ) -> None:
+        """The async scheduler must be invisible to sync semantics.
+
+        Round for round, the pipelined runtime's sync reports (published
+        ids, per-peer accept/reject/defer decisions), its open conflicts,
+        and the resulting peer instances must match a serial replica run on
+        the same seed — overlapped transfers, admission control, and
+        backpressure may only change *when* simulated traffic moves, never
+        what any peer decides.
+        """
+        if self.runtimecheck is None:
+            return
+        self.oracle_checks += 1
+        primary_report = primary_report or self._last_reports.get("primary")
+        runtimecheck_report = runtimecheck_report or self._last_reports.get(
+            "runtimecheck"
+        )
+        if primary_report is not None and runtimecheck_report is not None:
+            left = [round_.to_dict() for round_ in primary_report.rounds]
+            right = [round_.to_dict() for round_ in runtimecheck_report.rounds]
+            if left != right:
+                for index, (a, b) in enumerate(zip(left, right)):
+                    if a != b:
+                        detail = f"sync round {index + 1} diverges: {a} != {b}"
+                        break
+                else:
+                    detail = (
+                        f"round counts diverge: {len(left)} vs {len(right)} rounds"
+                    )
+                self._fail(epoch, "async-vs-serial", detail)
+                return
+            if primary_report.open_conflicts != runtimecheck_report.open_conflicts:
+                self._fail(
+                    epoch,
+                    "async-vs-serial",
+                    f"open conflicts diverge: {primary_report.open_conflicts} "
+                    f"!= {runtimecheck_report.open_conflicts}",
+                )
+                return
+        primary_snapshot = primary_snapshot or _snapshot_all(self.primary)
+        diff = _diff_snapshots(
+            primary_snapshot,
+            _snapshot_all(self.runtimecheck),
+            "async",
+            "mirror-serial",
+        )
+        if diff:
+            self._fail(epoch, "async-vs-serial", diff)
+
     def _check_replica_durability(self, epoch: int) -> None:
         """Every archived transaction must survive losing k-1 shard replicas.
 
@@ -1022,6 +1107,8 @@ class SimulationRun:
             replicas.append(self.storecheck)
         if self.synccheck is not None:
             replicas.append(self.synccheck)
+        if self.runtimecheck is not None:
+            replicas.append(self.runtimecheck)
         return tuple(replicas)
 
     def _commit_everywhere(self, command: WorkloadCommand) -> None:
@@ -1081,11 +1168,17 @@ class SimulationRun:
             synccheck_report = self.synccheck.sync(
                 max_rounds=self.config.max_sync_rounds
             )
+        runtimecheck_report = None
+        if self.runtimecheck is not None:
+            runtimecheck_report = self.runtimecheck.sync(
+                max_rounds=self.config.max_sync_rounds
+            )
         self._manual_exchange_loop()
         self._last_reports = {
             "primary": primary_report,
             "storecheck": storecheck_report,
             "synccheck": synccheck_report,
+            "runtimecheck": runtimecheck_report,
         }
 
         if offline is not None:
@@ -1103,6 +1196,9 @@ class SimulationRun:
         )
         self._check_sketch_vs_cursor(
             epoch, primary_report, synccheck_report, primary_snapshot
+        )
+        self._check_async_vs_serial(
+            epoch, primary_report, runtimecheck_report, primary_snapshot
         )
         self._check_replica_durability(epoch)
         self.epochs_run = epoch

@@ -1,13 +1,16 @@
 """The randomized simulation subsystem and its differential oracles.
 
-The parametrized slice runs 25 seeded random networks through all eight
+The parametrized slice runs 25 seeded random networks through all the
 differential oracles (incremental-vs-recompute, provenance-vs-DRed,
 dag-vs-expanded, sync-vs-manual, memory-vs-SQLite,
-distributed-vs-centralized, sketch-vs-cursor, replica-durability); the
+distributed-vs-centralized, sketch-vs-cursor, async-vs-serial,
+replica-durability); the
 remaining tests pin down the generator's guarantees (round-tripping,
 determinism, validation) and the oracles' sensitivity (a deliberately
 injected divergence is reported with its seed and first failing epoch).
 """
+
+import itertools
 
 import pytest
 
@@ -100,6 +103,11 @@ class TestSimulationConfig:
             SimulationConfig(sync_sketch="minhash")
         assert SimulationConfig(sync_mode="gossip", sync_sketch="bloom").sync_mode == "gossip"
 
+    def test_sync_runtime_is_validated(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(sync_runtime="threads")
+        assert SimulationConfig(sync_runtime="async").sync_runtime == "async"
+
 
 @pytest.mark.parametrize("seed", SLICE_SEEDS)
 def test_differential_oracles_hold(seed):
@@ -166,6 +174,44 @@ def test_sketch_vs_cursor_oracle_holds_on_distributed_store(seed):
     )
     result = run_simulation(seed, config)
     assert result.ok, "\n".join(failure.describe() for failure in result.failures)
+
+
+#: The async 25-seed slice cycles through every store-backend × sync-mode
+#: combination, so all four corners run the concurrent-vs-serial oracle.
+ASYNC_SLICE = [
+    (seed, backend, mode)
+    for seed, (backend, mode) in zip(
+        SLICE_SEEDS,
+        itertools.cycle(
+            [
+                ("centralized", "cursor"),
+                ("centralized", "gossip"),
+                ("distributed", "cursor"),
+                ("distributed", "gossip"),
+            ]
+        ),
+    )
+]
+
+
+@pytest.mark.parametrize("seed,backend,mode", ASYNC_SLICE)
+def test_async_vs_serial_oracle_holds(seed, backend, mode):
+    """25 seeds with an async-runtime primary: reconcile outcomes, open
+    conflicts, and instances match the serial mirror across every
+    store-backend × sync-mode combination, under churn."""
+    config = SimulationConfig(
+        epochs=3,
+        transactions_per_epoch=(2, 5),
+        store_backend=backend,
+        sync_mode=mode,
+        sync_runtime="async",
+        offline_probability=0.4,
+    )
+    result = run_simulation(seed, config)
+    assert result.ok, "\n".join(failure.describe() for failure in result.failures)
+    # spec round-trip + 9 oracles per epoch (the serial eight plus the
+    # concurrent-vs-serial check that the async primary switches on).
+    assert result.oracle_checks == 1 + 9 * result.epochs_run
 
 
 def test_simulation_is_deterministic():
@@ -267,6 +313,39 @@ class TestOracleSensitivity:
         assert failure.oracle == "sketch-vs-cursor"
         assert "sync round 1 diverges" in failure.detail
 
+    def test_async_vs_serial_detects_divergence(self):
+        config = SimulationConfig(
+            epochs=3, transactions_per_epoch=(2, 5), sync_runtime="async"
+        )
+        run = SimulationRun(4, config)
+        run.run_epoch(1, last_epoch=False)
+        assert not run.failures
+        peer = run.runtimecheck.peer(run.runtimecheck.catalog.peer_names()[0])
+        relation = next(iter(peer.schema)).name
+        peer.instance.insert(relation, tuple("u" for _ in range(peer.schema.arity(relation))))
+        run._check_async_vs_serial(epoch=2)
+        failure = run.failures[-1]
+        assert failure.oracle == "async-vs-serial"
+        assert "only in mirror-serial" in failure.detail
+
+    def test_async_vs_serial_detects_report_divergence(self):
+        config = SimulationConfig(
+            epochs=3, transactions_per_epoch=(2, 5), sync_runtime="async"
+        )
+        run = SimulationRun(4, config)
+        run.run_epoch(1, last_epoch=False)
+        assert not run.failures
+        report = run._last_reports["runtimecheck"]
+        report.rounds[0].published = []
+        run._check_async_vs_serial(epoch=2)
+        failure = run.failures[-1]
+        assert failure.oracle == "async-vs-serial"
+        assert "sync round 1 diverges" in failure.detail
+
+    def test_serial_runs_spawn_no_runtimecheck_replica(self):
+        run = self._run_one_epoch()
+        assert run.runtimecheck is None
+
     def test_replica_durability_detects_lost_copies(self):
         run = self._run_one_epoch()
         store = run._distributed_replica().store
@@ -349,6 +428,27 @@ class TestCli:
         assert cli.main(["--seeds", "1", "--sync-gossip", "--sketch", "bloom"]) == 1
         err = capsys.readouterr().err
         assert "--sync-gossip" in err and "--sketch bloom" in err
+
+    def test_cli_runtime_flags(self, capsys):
+        assert simulate_main(
+            ["--seeds", "1", "--epochs", "2", "--runtime", "async", "--quiet"]
+        ) == 0
+        assert simulate_main(
+            ["--seeds", "1", "--epochs", "2", "--runtime", "serial", "--quiet"]
+        ) == 0
+        with pytest.raises(SystemExit):
+            simulate_main(["--runtime", "threads"])
+
+    def test_cli_repro_line_names_async_runtime(self, capsys, monkeypatch):
+        import repro.simulate as cli
+
+        def boom(seed, config):
+            assert config.sync_runtime == "async"
+            raise RuntimeError("scheduler exploded")
+
+        monkeypatch.setattr(cli, "run_simulation", boom)
+        assert cli.main(["--seeds", "1", "--runtime", "async"]) == 1
+        assert "--runtime async" in capsys.readouterr().err
 
     def test_cli_provenance_representation_flags(self, capsys):
         assert simulate_main(
