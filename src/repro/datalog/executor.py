@@ -19,14 +19,22 @@ What differs between them is only the *firing hook*:
 The semi-naive fixpoint loop itself (:func:`run_stratum` /
 :func:`run_program`) is likewise shared, so the firing semantics of a whole
 evaluation is chosen by passing (or omitting) a ``recorder``.
+
+The loop is also where execution *strategies* plug in: an
+:class:`ExecutionBackend` owns the fixpoint iteration, so the tuple-at-a-time
+closure executor in this module (:class:`PythonExecutionBackend`) and the
+set-at-a-time SQL pushdown backend
+(:class:`repro.datalog.sql_executor.SQLExecutionBackend`) are interchangeable
+behind the same firing-hook contract and :class:`ExecutionStats` counters.
+Pick one with :func:`create_backend`.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Protocol, Sequence, runtime_checkable
 
-from ..errors import DatalogError
+from ..errors import ConfigurationError, DatalogError
 from .plan import UNBOUND, CompiledProgram, CompiledRule
 
 #: ``recorder(label, (head_predicate, head_values), sources)`` — invoked once
@@ -181,3 +189,142 @@ def run_program(
         ).items():
             all_new.setdefault(predicate, set()).update(values)
     return all_new
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Strategy protocol behind :func:`run_program` and delta propagation.
+
+    Both backends share the firing-hook contract: every derivation is (or is
+    equivalent to) one ``recorder(label, head, sources)`` call, head tuples
+    land in the ``database`` via :meth:`Database.add`, and counters accumulate
+    in :class:`ExecutionStats`.  The two backends reach the same fixpoint and
+    record the same derivation *set*, but their per-round firing counts may
+    differ (the SQL backend stages each round strictly while the closure
+    executor sees intra-round insertions), so differential tests compare
+    databases and provenance — never raw stats.
+    """
+
+    name: str
+
+    def run_program(
+        self,
+        compiled: CompiledProgram,
+        database,
+        recorder: Optional[Recorder] = None,
+        stats: Optional[ExecutionStats] = None,
+        max_iterations: int = 0,
+    ) -> dict[str, set[tuple]]:
+        """Evaluate ``compiled`` to fixpoint, mutating ``database`` in place."""
+        ...
+
+    def propagate(
+        self,
+        compiled: CompiledProgram,
+        database,
+        delta: dict[str, set[tuple]],
+        recorder: Optional[Recorder] = None,
+        stats: Optional[ExecutionStats] = None,
+    ) -> dict[str, set[tuple]]:
+        """Semi-naive propagation of newly inserted tuples across all strata.
+
+        ``delta`` maps predicates to tuples that were just added to
+        ``database`` (they are already present).  Mutates ``database`` with
+        every consequence and returns the newly derived tuples per predicate.
+        """
+        ...
+
+    def notify_removals(self, deleted: dict[str, set[tuple]]) -> None:
+        """Tuples were removed from the maintained database behind our back.
+
+        Stateful backends (the SQL mirror) use this to stay in sync with
+        deletion paths that bypass :meth:`run_program`/:meth:`propagate`;
+        the stateless Python backend ignores it.
+        """
+        ...
+
+
+class PythonExecutionBackend:
+    """The tuple-at-a-time closure executor (the default strategy).
+
+    A thin, stateless wrapper over this module's :func:`run_program` plus the
+    delta-propagation loop historically owned by
+    :class:`repro.datalog.incremental.IncrementalEngine`.
+    """
+
+    name = "python"
+
+    def run_program(
+        self,
+        compiled: CompiledProgram,
+        database,
+        recorder: Optional[Recorder] = None,
+        stats: Optional[ExecutionStats] = None,
+        max_iterations: int = 0,
+    ) -> dict[str, set[tuple]]:
+        return run_program(
+            compiled, database, recorder=recorder, stats=stats, max_iterations=max_iterations
+        )
+
+    def propagate(
+        self,
+        compiled: CompiledProgram,
+        database,
+        delta: dict[str, set[tuple]],
+        recorder: Optional[Recorder] = None,
+        stats: Optional[ExecutionStats] = None,
+    ) -> dict[str, set[tuple]]:
+        inserted: dict[str, set[tuple]] = defaultdict(set)
+        # Derivations of earlier strata join the delta seen by later strata.
+        accumulated = {predicate: set(values) for predicate, values in delta.items()}
+        for stratum in compiled.strata:
+            current = {
+                predicate: set(values) for predicate, values in accumulated.items()
+            }
+            while current:
+                next_delta: dict[str, set[tuple]] = defaultdict(set)
+                for rule in stratum:
+                    head = rule.rule.head.predicate
+                    body = rule.rule.body
+                    for position in rule.positive_positions:
+                        if body[position].predicate not in current:
+                            continue
+                        for values in fire_rule(
+                            rule, database, current, position,
+                            recorder=recorder, stats=stats,
+                        ):
+                            if database.add(head, values):
+                                next_delta[head].add(values)
+                                inserted[head].add(values)
+                                accumulated.setdefault(head, set()).add(values)
+                current = next_delta
+        return dict(inserted)
+
+    def notify_removals(self, deleted: dict[str, set[tuple]]) -> None:
+        pass
+
+    def explain(self, compiled: CompiledProgram) -> list[str]:
+        """Human-readable join-plan dump, one line per compiled rule."""
+        lines = []
+        for rule in compiled.rules:
+            plan = rule.plan_for(None)
+            lines.append(f"{rule.rule}  --  " + " -> ".join(plan.description))
+        return lines
+
+
+def create_backend(name: str) -> ExecutionBackend:
+    """Instantiate an execution backend by name (``"python"`` or ``"sql"``).
+
+    Backends may be stateful (the SQL backend keeps a persistent SQLite
+    mirror of the database it maintains), so every call returns a fresh
+    instance.
+    """
+    if name == "python":
+        return PythonExecutionBackend()
+    if name == "sql":
+        from .sql_executor import SQLExecutionBackend
+
+        return SQLExecutionBackend()
+    raise ConfigurationError(
+        f"execution backend must be 'python' or 'sql', got {name!r}"
+    )

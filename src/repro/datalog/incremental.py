@@ -33,8 +33,8 @@ from ..errors import DatalogError
 from ..provenance.graph import ProvenanceGraph
 from .ast import Fact, Program
 from .evaluation import Database, evaluate_program
-from .executor import ExecutionStats, fire_rule
-from .plan import CompiledProgram, CompiledRule, compile_program, evict_program
+from .executor import ExecutionBackend, ExecutionStats, create_backend
+from .plan import CompiledProgram, compile_program, evict_program
 from .provenance_eval import (
     ProvenanceDatabase,
     default_variable_namer,
@@ -74,8 +74,14 @@ class IncrementalEngine:
         track_provenance: bool = True,
         variable_namer=default_variable_namer,
         provenance_mode: str = "circuit",
+        execution_backend: str | ExecutionBackend = "python",
     ) -> None:
         self._program = program
+        self._backend: ExecutionBackend = (
+            create_backend(execution_backend)
+            if isinstance(execution_backend, str)
+            else execution_backend
+        )
         self._compiled: CompiledProgram = compile_program(program)
         self._compiled_key: tuple = tuple(program.rules)
         self._track_provenance = track_provenance
@@ -142,6 +148,11 @@ class IncrementalEngine:
         """Cumulative executor counters (rule firings across all maintenance)."""
         return self._stats
 
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution strategy firing this engine's compiled plans."""
+        return self._backend
+
     def provenance(self) -> ProvenanceDatabase:
         if self._graph is None:
             raise DatalogError("provenance tracking is disabled for this engine")
@@ -178,34 +189,12 @@ class IncrementalEngine:
         self, delta: dict[str, set[tuple]], inserted: dict[str, set[tuple]]
     ) -> None:
         """Semi-naive propagation of a batch of new tuples across all strata."""
-        for stratum in self.compiled.strata:
-            current = {
-                predicate: set(values) for predicate, values in delta.items()
-            }
-            while current:
-                next_delta: dict[str, set[tuple]] = defaultdict(set)
-                for compiled in stratum:
-                    head = compiled.rule.head.predicate
-                    body = compiled.rule.body
-                    for position in compiled.positive_positions:
-                        if body[position].predicate not in current:
-                            continue
-                        new_values = self._fire(compiled, current, position)
-                        for values in new_values:
-                            if self._database.add(head, values):
-                                next_delta[head].add(values)
-                                inserted[head].add(values)
-                                delta.setdefault(head, set()).add(values)
-                current = next_delta
-
-    def _fire(
-        self, compiled: CompiledRule, delta: dict[str, set[tuple]], position: int
-    ) -> set[tuple]:
         recorder = self._graph.add_derivation if self._graph is not None else None
-        return fire_rule(
-            compiled, self._database, delta, position,
-            recorder=recorder, stats=self._stats,
+        derived = self._backend.propagate(
+            self.compiled, self._database, delta, recorder=recorder, stats=self._stats
         )
+        for predicate, values in derived.items():
+            inserted[predicate].update(values)
 
     # -- deletions -------------------------------------------------------------
     def apply_deletions(self, facts: Iterable[Fact]) -> MaintenanceResult:
@@ -243,6 +232,8 @@ class IncrementalEngine:
                 if not self._graph.is_derivable(predicate, values):
                     if self._database.remove(predicate, values):
                         deleted[predicate].add(values)
+        if deleted:
+            self._backend.notify_removals(deleted)
         return dict(deleted)
 
     def _delete_with_dred(
@@ -258,7 +249,8 @@ class IncrementalEngine:
 
         before = self._database.copy()
         recomputed = evaluate_program(
-            self._program, self._base, copy=True, stats=self._stats
+            self._program, self._base, copy=True, stats=self._stats,
+            backend=self._backend,
         )
         deleted: dict[str, set[tuple]] = defaultdict(set)
         for predicate in before.predicates():
@@ -307,11 +299,13 @@ class IncrementalEngine:
                 graph=self._graph,
                 variable_namer=self._variable_namer,
                 stats=self._stats,
+                backend=self._backend,
             )
             self._database = result.database
         else:
             self._database = evaluate_program(
-                self._program, self._base, copy=True, stats=self._stats
+                self._program, self._base, copy=True, stats=self._stats,
+                backend=self._backend,
             )
         return self._database
 
