@@ -101,6 +101,9 @@ class PeerBuilder:
     def sync(self, mode: str = "gossip", **knobs) -> "NetworkBuilder":
         return self._network.sync(mode, **knobs)
 
+    def execution(self, backend: str = "sql") -> "NetworkBuilder":
+        return self._network.execution(backend)
+
     def spec(self) -> NetworkSpec:
         return self._network.spec()
 
@@ -163,6 +166,23 @@ class NetworkBuilder:
             raise SpecError(f"bad sync declaration: {error}") from None
         sync.validate()
         self._spec.sync = sync
+        return self
+
+    def execution(self, backend: str = "sql") -> "NetworkBuilder":
+        """Select the rule execution backend (``python``/``sql``).
+
+        ``sql`` pushes compiled rule plans down into an in-memory SQLite
+        mirror as ``INSERT ... SELECT`` statements
+        (:mod:`repro.datalog.sql_executor`); ``python`` is the
+        tuple-at-a-time closure executor default.
+        """
+        if self._spec.execution is not None:
+            raise SpecError("the execution backend is declared twice")
+        if backend not in ("python", "sql"):
+            raise SpecError(
+                f"execution backend must be 'python' or 'sql', got {backend!r}"
+            )
+        self._spec.execution = backend
         return self
 
     def mapping(
@@ -305,6 +325,12 @@ class NetworkBuilder:
         if overrides:
             base = config or SystemConfig.default()
             config = replace(base, store=replace(base.store, **overrides))
+        if spec.execution is not None:
+            base = config or SystemConfig.default()
+            config = replace(
+                base,
+                exchange=replace(base.exchange, execution_backend=spec.execution),
+            )
         cdss = CDSS(config, store_factory=store_factory)
         cdss.name = spec.name
         for peer_spec in spec.peers.values():

@@ -23,6 +23,10 @@ The format is line-oriented:
   peers catch up: ``sync cursor`` (the default scalar-cursor replay) or
   ``sync gossip fanout 2 sketch iblt capacity 32 growth 4 attempts 3``
   (epidemic anti-entropy over sketch reconciliation; every knob optional);
+* ``execution <backend>`` (optional) selects how compiled mapping rules are
+  fired: ``execution python`` (the tuple-at-a-time closure executor, the
+  default) or ``execution sql`` (set-at-a-time ``INSERT ... SELECT``
+  pushdown into an in-memory SQLite mirror);
 * ``peer <Name> [schema <SchemaName>]`` opens a peer section;
 * ``relation Rel(attr, ...) [key(attr, ...)]`` declares a relation of the
   current peer; without a ``key`` clause the whole tuple is the key;
@@ -62,6 +66,10 @@ _RELATION_RE = re.compile(
     r"relation\s+(?P<name>\w+)\s*\((?P<attrs>[^)]*)\)(?:\s*key\s*\((?P<key>[^)]*)\))?\s*$"
 )
 _TRUST_RE = re.compile(r"trust\s+(?P<peer>\*|\w+)\s+(?P<priority>\d+)\s*$")
+_EXECUTION_RE = re.compile(r"execution\s+(?P<backend>\w+)\s*$")
+
+#: Backends an ``execution`` declaration accepts.
+_EXECUTION_BACKENDS = ("python", "sql")
 
 
 @dataclass
@@ -240,6 +248,9 @@ class NetworkSpec:
     store: Optional[StoreSpec] = None
     #: Optional peer catch-up strategy (cursor replay vs sketch gossip).
     sync: Optional[SyncSpec] = None
+    #: Optional rule execution backend ("python" closure executor vs "sql"
+    #: pushdown); ``None`` defers to :class:`~repro.config.ExchangeConfig`.
+    execution: Optional[str] = None
 
     # -- validation ----------------------------------------------------------
     def validate(self) -> None:
@@ -250,6 +261,10 @@ class NetworkSpec:
             self.store.validate()
         if self.sync is not None:
             self.sync.validate()
+        if self.execution is not None and self.execution not in _EXECUTION_BACKENDS:
+            raise SpecError(
+                f"execution backend must be 'python' or 'sql', got {self.execution!r}"
+            )
         for peer in self.peers.values():
             if not peer.relations:
                 raise SpecError(f"peer {peer.name!r} declares no relations")
@@ -293,6 +308,8 @@ class NetworkSpec:
             data["store"] = self.store.to_dict()
         if self.sync is not None:
             data["sync"] = self.sync.to_dict()
+        if self.execution is not None:
+            data["execution"] = self.execution
         return data
 
     def to_text(self) -> str:
@@ -301,6 +318,8 @@ class NetworkSpec:
             lines.append(self.store.to_text_line())
         if self.sync is not None:
             lines.append(self.sync.to_text_line())
+        if self.execution is not None:
+            lines.append(f"execution {self.execution}")
         for peer in self.peers.values():
             header = f"peer {peer.name}"
             if peer.schema_name:
@@ -394,6 +413,22 @@ def _parse_text_spec(text: str) -> NetworkSpec:
             spec.sync = _sync_from_knobs(
                 match.group("mode"), match.group("knobs").split(), f"line {number}"
             )
+            continue
+
+        if line.startswith("execution"):
+            if current is not None:
+                raise SpecError(
+                    f"line {number}: the execution declaration belongs at the "
+                    "top of the spec, before any peer section"
+                )
+            if spec.execution is not None:
+                raise SpecError(f"line {number}: the execution backend is declared twice")
+            match = _EXECUTION_RE.match(line)
+            if match is None:
+                raise SpecError(
+                    f"line {number}: malformed execution declaration {raw.strip()!r}"
+                )
+            spec.execution = match.group("backend")
             continue
 
         if line.startswith("peer"):
@@ -542,6 +577,9 @@ def _parse_dict_spec(data: MappingType) -> NetworkSpec:
                 if sync_entry.get(knob) is not None
             },
         )
+    execution_entry = data.get("execution")
+    if execution_entry is not None:
+        spec.execution = str(execution_entry)
     peers = data.get("peers")
     if not isinstance(peers, MappingType) or not peers:
         raise SpecError("dict specs need a non-empty 'peers' mapping")
@@ -601,6 +639,7 @@ def spec_of(cdss) -> NetworkSpec:
     spec = NetworkSpec(name=getattr(cdss, "name", None) or "network")
     spec.store = store_spec_of(cdss.store)
     spec.sync = sync_spec_of(cdss)
+    spec.execution = execution_spec_of(cdss)
     for peer in cdss.catalog.peers():
         policy = peer.trust
         if policy.conditions:
@@ -626,6 +665,16 @@ def spec_of(cdss) -> NetworkSpec:
         )
     spec.mappings = list(cdss.catalog.mappings())
     return spec
+
+
+def execution_spec_of(cdss) -> Optional[str]:
+    """The ``execution`` directive describing a running system's backend.
+
+    The python default maps to ``None`` (no ``execution`` line), so specs
+    that never mentioned a backend round-trip unchanged.
+    """
+    backend = cdss.config.exchange.execution_backend
+    return backend if backend != "python" else None
 
 
 def store_spec_of(store) -> Optional[StoreSpec]:

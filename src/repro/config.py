@@ -26,6 +26,11 @@ class ExchangeConfig:
         max_iterations: Safety bound on semi-naive iterations (0 = unbounded).
         skolem_prefix: Prefix used for labelled nulls created by existential
             variables in mappings.
+        execution_backend: How compiled rule plans are fired — ``"python"``
+            (the tuple-at-a-time closure executor, the default) or ``"sql"``
+            (set-at-a-time ``INSERT ... SELECT`` pushdown into an in-memory
+            SQLite mirror; see :mod:`repro.datalog.sql_executor`).  Both
+            backends produce identical databases and provenance polynomials.
     """
 
     incremental: bool = True
@@ -33,6 +38,7 @@ class ExchangeConfig:
     provenance_mode: str = "circuit"
     max_iterations: int = 0
     skolem_prefix: str = "SK"
+    execution_backend: str = "python"
 
     def __post_init__(self) -> None:
         if self.max_iterations < 0:
@@ -42,6 +48,10 @@ class ExchangeConfig:
         if self.provenance_mode not in ("circuit", "expanded"):
             raise ConfigurationError(
                 f"provenance_mode must be 'circuit' or 'expanded', got {self.provenance_mode!r}"
+            )
+        if self.execution_backend not in ("python", "sql"):
+            raise ConfigurationError(
+                f"execution backend must be 'python' or 'sql', got {self.execution_backend!r}"
             )
 
 

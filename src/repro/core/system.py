@@ -287,6 +287,18 @@ class CDSS:
                 self._engine.process_transaction(entry.transaction)
         return self._engine
 
+    def explain(self) -> str:
+        """The mapping program's execution plan, rendered per backend.
+
+        On the ``sql`` backend this is the generated ``INSERT ... SELECT``
+        statement of every rule plan (plain and per-position delta); on the
+        ``python`` backend it is the compiled join-plan pipeline of each
+        rule.  Falls back to the python rendering when the SQL compiler
+        cannot express the program.
+        """
+        backend = self.engine.backend
+        return "\n".join(backend.explain(self.engine.compiled_program))
+
     # -- publication ------------------------------------------------------------------
     def import_existing_data(self, peer_name: str) -> Optional[Transaction]:
         """Wrap a peer's pre-existing local data into an initial transaction.

@@ -91,7 +91,7 @@ class IncrementalEngine:
             ProvenanceGraph(evaluation_mode=provenance_mode) if track_provenance else None
         )
         self._database = Database()
-        self._database.ensure_indexes(self._compiled.demanded_indexes)
+        self._ensure_demanded_indexes()
         self._base = Database()
         self._stats = ExecutionStats()
         if database is not None:
@@ -140,8 +140,19 @@ class IncrementalEngine:
             evict_program(self._compiled_key)
             self._compiled = compile_program(self._program)
             self._compiled_key = key
-            self._database.ensure_indexes(self._compiled.demanded_indexes)
+            self._ensure_demanded_indexes()
         return self._compiled
+
+    def _ensure_demanded_indexes(self) -> None:
+        """Pre-build plan-demanded column indexes for probing backends only.
+
+        Set-at-a-time backends (SQL pushdown) join inside their own engine
+        and never probe the database's hash indexes; pre-building would tax
+        every ``add`` for nothing.  :meth:`Database.probe` still builds any
+        index lazily, so a fallback to the Python executor stays correct.
+        """
+        if getattr(self._backend, "uses_database_indexes", True):
+            self._database.ensure_indexes(self._compiled.demanded_indexes)
 
     @property
     def stats(self) -> ExecutionStats:

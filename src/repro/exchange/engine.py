@@ -67,6 +67,7 @@ class ExchangeEngine:
             program,
             track_provenance=self._config.track_provenance,
             provenance_mode=self._config.provenance_mode,
+            execution_backend=self._config.execution_backend,
         )
         self._deltas: dict[str, TranslationDelta] = {}
         self._processed_order: list[str] = []
@@ -98,6 +99,11 @@ class ExchangeEngine:
     def execution_stats(self):
         """Cumulative executor counters (rule firings, derived tuples, rounds)."""
         return self._engine.stats
+
+    @property
+    def backend(self):
+        """The execution strategy firing the compiled plans (python or sql)."""
+        return self._engine.backend
 
     @property
     def base_database(self):

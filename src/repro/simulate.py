@@ -26,7 +26,12 @@ workload over several replicas, and asserts after every epoch that
 * with ``--runtime async``, the pipelined asyncio sync scheduler produces
   reconcile outcomes, open conflicts, and instances identical to the serial
   round-robin loop (a serial mirror on the same backend and sync mode
-  checks it — the concurrent-vs-serial oracle).
+  checks it — the concurrent-vs-serial oracle), and
+* the SQL pushdown execution backend derives instances and provenance
+  polynomials identical to the Python closure executor
+  (``--execution python``/``--execution sql`` choose which backend the
+  primary replica runs; a mirror engine runs the other — the sql-vs-python
+  oracle).
 
 Exit status is 0 when every oracle holds for every seed, 1 otherwise; each
 mismatch prints the failing seed, the (minimal) epoch at which it first
@@ -122,6 +127,11 @@ def build_parser() -> argparse.ArgumentParser:
              "oracle",
     )
     parser.add_argument(
+        "--execution", choices=("python", "sql"), default="python",
+        help="rule execution backend of the primary replica (default: "
+             "python); a mirror engine on the other backend checks it",
+    )
+    parser.add_argument(
         "--quiet", action="store_true",
         help="only print failures and the final summary",
     )
@@ -143,6 +153,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             sync_mode=args.sync_mode,
             sync_sketch=args.sketch,
             sync_runtime=args.runtime,
+            execution_backend=args.execution,
         )
     except ConfigurationError as error:
         print(f"invalid configuration: {error}", file=sys.stderr)
@@ -163,10 +174,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         sync_flag = " --sync-gossip" if args.sync_mode == "gossip" else ""
         sketch_flag = f" --sketch {args.sketch}" if args.sketch != "iblt" else ""
         runtime_flag = " --runtime async" if args.runtime == "async" else ""
+        execution_flag = " --execution sql" if args.execution == "sql" else ""
         repro = (
             f"--seeds 1 --seed-base {seed} --epochs {args.epochs} "
             f"--max-peers {args.max_peers} --transactions {args.transactions}"
             f"{mode_flag}{store_flag}{sync_flag}{sketch_flag}{runtime_flag}"
+            f"{execution_flag}"
         )
         try:
             result = run_simulation(seed, config)

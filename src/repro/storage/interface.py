@@ -64,5 +64,16 @@ class StorageBackend(Protocol):
         ...
 
     def insert_many(self, relation: str, rows: Iterable[tuple]) -> int:
-        """Bulk insert; returns the number of tuples actually added."""
+        """Bulk insert; returns the number of tuples actually added.
+
+        Backends with transactional writes batch the whole call into a
+        single transaction (one commit regardless of row count).
+        """
+        ...
+
+    def delete_many(self, relation: str, rows: Iterable[tuple]) -> int:
+        """Bulk delete; returns the number of tuples actually removed.
+
+        Same single-transaction contract as :meth:`insert_many`.
+        """
         ...

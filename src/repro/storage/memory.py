@@ -78,6 +78,13 @@ class MemoryInstance:
                 added += 1
         return added
 
+    def delete_many(self, relation: str, rows: Iterable[tuple]) -> int:
+        removed = 0
+        for values in rows:
+            if self.delete(relation, values):
+                removed += 1
+        return removed
+
     def delete(self, relation: str, values: tuple) -> bool:
         values = self._check(relation, values)
         rows = self._relations[relation]

@@ -21,6 +21,10 @@ from ..errors import StorageError, TupleArityError, UnknownRelationError
 #: rejected by SQLite itself and control characters only invite confusion.
 _FORBIDDEN_RE = re.compile(r"[\x00-\x1f]")
 
+#: Printable ASCII minus ``"`` and ``\`` — strings ``json.dumps`` emits
+#: verbatim, eligible for the cell-encoding fast path.
+_PLAIN_TEXT = re.compile(r'[ !#-\[\]-~]*\Z').match
+
 
 def _quote_identifier(name: str) -> str:
     """Safely quote an arbitrary identifier for interpolation into SQL.
@@ -34,12 +38,60 @@ def _quote_identifier(name: str) -> str:
 
 
 def encode_cell(value: object) -> str:
-    """Serialise one cell value (scalar or labelled null) to a JSON string."""
+    """Serialise one cell value (scalar or labelled null) to a JSON string.
+
+    The encoding is *canonical* with respect to Python equality: two cell
+    values compare equal in Python if and only if their encoded texts are
+    byte-identical.  Python collapses ``1 == True == 1.0`` (sets and dict
+    keys treat them as one value), so booleans and integral floats are
+    canonicalised to plain ints before serialisation.  This is what lets the
+    SQL pushdown executor (:mod:`repro.datalog.sql_executor`) join and
+    compare encoded TEXT columns directly and reach exactly the fixpoint the
+    Python executor reaches.
+
+    The common scalar cases are assembled directly (the SQL executor encodes
+    and decodes every cell crossing the SQLite boundary, and ``json.dumps``
+    dominated its profile); the fast paths produce byte-identical output to
+    the ``json.dumps`` slow path, which remains for skolems, floats, and
+    strings needing escapes.
+    """
+    kind = type(value)
+    if kind is int:
+        return '{"v": %d}' % value
+    if kind is str and _PLAIN_TEXT(value) is not None:
+        return '{"v": "' + value + '"}'
+    if kind is bool:
+        return '{"v": 1}' if value else '{"v": 0}'
+    if value is None:
+        return '{"v": null}'
     return json.dumps(_encode(value), sort_keys=True)
 
 
 def decode_cell(text: str) -> object:
-    """Inverse of :func:`encode_cell`."""
+    """Inverse of :func:`encode_cell` up to Python equality.
+
+    Canonicalisation means round-tripping maps ``True -> 1`` and
+    ``2.0 -> 2``; the result always compares equal (``==``, and hash-equal
+    as a set member or dict key) to the original value.
+    """
+    # Fast paths mirroring encode_cell's: a '{"v": ...}' wrapper always
+    # holds a scalar (skolems encode as a top-level object), so unescaped
+    # strings and numbers can be sliced out without the JSON parser.
+    if text.startswith('{"v": ') and text.endswith("}"):
+        inner = text[6:-1]
+        if inner.startswith('"'):
+            if "\\" not in inner:
+                return inner[1:-1]
+        elif inner == "null":
+            return None
+        else:
+            try:
+                return int(inner)
+            except ValueError:
+                try:
+                    return float(inner)
+                except ValueError:
+                    pass
     return _decode(json.loads(text))
 
 
@@ -49,7 +101,14 @@ def _encode(value: object) -> object:
             "__skolem__": value.function,
             "args": [_encode(argument) for argument in value.arguments],
         }
-    if isinstance(value, (str, int, float, bool)) or value is None:
+    # Canonicalise across Python's cross-type numeric equality so encoded
+    # equality coincides with ``==``: bool is a subclass of int, and floats
+    # with integral values equal their int counterparts.
+    if isinstance(value, bool):
+        return {"v": int(value)}
+    if isinstance(value, float) and value.is_integer():
+        return {"v": int(value)}
+    if isinstance(value, (str, int, float)) or value is None:
         return {"v": value}
     raise StorageError(f"unsupported cell value of type {type(value).__name__}: {value!r}")
 
@@ -79,10 +138,15 @@ class SQLiteInstance:
 
     def __init__(self, path: str = ":memory:") -> None:
         self._connection = sqlite3.connect(path)
+        #: Transactions committed so far.  Bulk operations must stay O(1) in
+        #: commits regardless of row count (the write-count regression test
+        #: pins this down); per-row commit cost dominates bulk loads
+        #: otherwise.
+        self.commit_count = 0
         self._connection.execute(
             "CREATE TABLE IF NOT EXISTS _catalog (name TEXT PRIMARY KEY, arity INTEGER NOT NULL)"
         )
-        self._connection.commit()
+        self._commit()
         self._arities: dict[str, int] = {
             name: arity
             for name, arity in self._connection.execute("SELECT name, arity FROM _catalog")
@@ -97,6 +161,10 @@ class SQLiteInstance:
         self._indexed_columns: set[tuple[str, int]] = set()
 
     # -- helpers -------------------------------------------------------------
+    def _commit(self) -> None:
+        self._connection.commit()
+        self.commit_count += 1
+
     @staticmethod
     def _validate_name(name: str) -> str:
         if not isinstance(name, str) or not name:
@@ -152,7 +220,7 @@ class SQLiteInstance:
         self._connection.execute(
             "INSERT OR REPLACE INTO _catalog (name, arity) VALUES (?, ?)", (name, arity)
         )
-        self._connection.commit()
+        self._commit()
         self._arities[name] = arity
         self._names_by_fold[name.casefold()] = name
 
@@ -175,15 +243,50 @@ class SQLiteInstance:
             f"INSERT OR IGNORE INTO {self._table(relation)} VALUES ({placeholders})",
             encoded,
         )
-        self._connection.commit()
+        self._commit()
         return cursor.rowcount > 0
 
     def insert_many(self, relation: str, rows: Iterable[tuple]) -> int:
-        added = 0
-        for values in rows:
-            if self.insert(relation, values):
-                added += 1
-        return added
+        """Bulk insert in a single transaction via ``executemany``.
+
+        One statement and one commit regardless of batch size — the per-row
+        commit of :meth:`insert` dominates bulk-load time otherwise.
+        Returns the number of tuples actually added (duplicates are ignored).
+        """
+        encoded_rows = [
+            [encode_cell(value) for value in self._check(relation, values)]
+            or [encode_cell(None)]
+            for values in rows
+        ]
+        if not encoded_rows:
+            return 0
+        placeholders = ", ".join("?" for _ in encoded_rows[0])
+        cursor = self._connection.executemany(
+            f"INSERT OR IGNORE INTO {self._table(relation)} VALUES ({placeholders})",
+            encoded_rows,
+        )
+        self._commit()
+        return cursor.rowcount
+
+    def delete_many(self, relation: str, rows: Iterable[tuple]) -> int:
+        """Bulk delete in a single transaction via ``executemany``.
+
+        Returns the number of tuples actually removed (missing tuples are
+        no-ops, matching :meth:`delete`).
+        """
+        encoded_rows = [
+            [encode_cell(value) for value in self._check(relation, values)]
+            or [encode_cell(None)]
+            for values in rows
+        ]
+        if not encoded_rows:
+            return 0
+        condition = " AND ".join(f"c{i} = ?" for i in range(len(encoded_rows[0])))
+        cursor = self._connection.executemany(
+            f"DELETE FROM {self._table(relation)} WHERE {condition}", encoded_rows
+        )
+        self._commit()
+        return cursor.rowcount
 
     def delete(self, relation: str, values: tuple) -> bool:
         values = self._check(relation, values)
@@ -192,7 +295,7 @@ class SQLiteInstance:
         cursor = self._connection.execute(
             f"DELETE FROM {self._table(relation)} WHERE {condition}", encoded
         )
-        self._connection.commit()
+        self._commit()
         return cursor.rowcount > 0
 
     def contains(self, relation: str, values: tuple) -> bool:
@@ -224,7 +327,7 @@ class SQLiteInstance:
                 f"CREATE INDEX IF NOT EXISTS {index_name} "
                 f"ON {self._table(relation)} (c{position})"
             )
-            self._connection.commit()
+            self._commit()
             self._indexed_columns.add(key)
         cursor = self._connection.execute(
             f"SELECT * FROM {self._table(relation)} WHERE c{position} = ?",
@@ -259,7 +362,7 @@ class SQLiteInstance:
         else:
             for name in self._arities:
                 self._connection.execute(f"DELETE FROM {self._table(name)}")
-        self._connection.commit()
+        self._commit()
 
     # -- lifecycle ----------------------------------------------------------
     def snapshot(self) -> dict[str, frozenset[tuple]]:

@@ -154,6 +154,13 @@ class SimulationConfig:
     #: concurrent-vs-serial oracle: identical final instances, reconcile
     #: decisions, and open conflicts on identical seeds.
     sync_runtime: str = "serial"
+    #: Rule execution backend of the primary replica's exchange engine:
+    #: ``"python"`` (tuple-at-a-time closure executor) or ``"sql"``
+    #: (set-at-a-time SQLite pushdown).  A mirror engine always runs on the
+    #: *other* backend, backing the sql-vs-python oracle: identical derived
+    #: instances and provenance polynomials per epoch.  The nightly fuzz job
+    #: runs both orientations.
+    execution_backend: str = "python"
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -213,6 +220,10 @@ class SimulationConfig:
         if self.sync_runtime not in ("serial", "async"):
             raise ConfigurationError(
                 f"sync_runtime must be 'serial' or 'async', got {self.sync_runtime!r}"
+            )
+        if self.execution_backend not in ("python", "sql"):
+            raise ConfigurationError(
+                f"execution_backend must be 'python' or 'sql', got {self.execution_backend!r}"
             )
 
 
@@ -698,7 +709,10 @@ class SimulationRun:
         self.primary = CDSS.from_spec(
             self.spec,
             config=SystemConfig(
-                exchange=ExchangeConfig(provenance_mode=self.config.provenance_mode),
+                exchange=ExchangeConfig(
+                    provenance_mode=self.config.provenance_mode,
+                    execution_backend=self.config.execution_backend,
+                ),
                 store=self._store_config(
                     self.config.store_backend,
                     self.config.sync_mode,
@@ -762,6 +776,15 @@ class SimulationRun:
             self.primary.engine.program, ExchangeConfig(track_provenance=False)
         )
         self._mirror_fed = 0
+        #: Execution-backend mirror: the same program on the *other* rule
+        #: execution backend, fed the primary's archived transaction stream
+        #: (the sql-vs-python oracle).
+        other_backend = "sql" if self.config.execution_backend == "python" else "python"
+        self.execcheck = ExchangeEngine(
+            self.primary.engine.program,
+            ExchangeConfig(execution_backend=other_backend),
+        )
+        self._execcheck_fed = 0
 
     # -- oracle helpers -----------------------------------------------------
     def _store_config(
@@ -799,7 +822,7 @@ class SimulationRun:
         expected = self.spec.to_dict()
         for name, entry in expected["peers"].items():
             entry.setdefault("schema", name)
-        from ..api.spec import store_spec_of, sync_spec_of
+        from ..api.spec import execution_spec_of, store_spec_of, sync_spec_of
 
         recovered_store = store_spec_of(self.primary.store)
         if recovered_store is not None:
@@ -809,6 +832,10 @@ class SimulationRun:
         recovered_sync = sync_spec_of(self.primary)
         if recovered_sync is not None:
             expected["sync"] = recovered_sync.to_dict()
+        # And for the execution directive when the primary runs SQL pushdown.
+        recovered_execution = execution_spec_of(self.primary)
+        if recovered_execution is not None:
+            expected["execution"] = recovered_execution
         if self.primary.to_spec().to_dict() != expected:
             self._fail(0, "spec-roundtrip", "from_spec -> to_spec does not round-trip")
 
@@ -836,6 +863,59 @@ class SimulationRun:
         )
         if diff:
             self._fail(epoch, "provenance-vs-dred", diff)
+
+    def _check_sql_vs_python(self, epoch: int) -> None:
+        """Same program on the other execution backend: identical instances
+        and provenance polynomials (sampled)."""
+        self.oracle_checks += 1
+        entries = self.primary.store.all_entries()
+        for entry in entries[self._execcheck_fed:]:
+            self.execcheck.process_transaction(entry.transaction)
+        self._execcheck_fed = len(entries)
+        primary_label = self.config.execution_backend
+        mirror_label = self.execcheck.config.execution_backend
+        diff = _diff_relation_maps(
+            _database_relations(self.primary.engine.database),
+            _database_relations(self.execcheck.database),
+            primary_label, mirror_label,
+        )
+        if diff:
+            self._fail(epoch, "sql-vs-python", diff)
+            return
+        graph = self.primary.engine.provenance
+        mirror_graph = self.execcheck.provenance
+        if (
+            graph is None
+            or mirror_graph is None
+            or self.config.provenance_oracle_samples == 0
+        ):
+            return
+        from ..errors import ProvenanceError
+
+        derived = sorted(
+            (node.key for node in graph.tuples() if not node.is_base), key=repr
+        )
+        sample_size = min(len(derived), self.config.provenance_oracle_samples)
+        for relation, values in self._oracle_rng.sample(derived, sample_size):
+            try:
+                primary_polynomial = graph.polynomial_for(
+                    relation, values,
+                    max_monomials=self.config.provenance_oracle_max_monomials,
+                )
+                mirror_polynomial = mirror_graph.polynomial_for(
+                    relation, values,
+                    max_monomials=self.config.provenance_oracle_max_monomials,
+                )
+            except ProvenanceError:
+                continue  # expansion over budget on either side
+            if primary_polynomial != mirror_polynomial:
+                self._fail(
+                    epoch,
+                    "sql-vs-python",
+                    f"{relation}{values!r}: {primary_label}={primary_polynomial!r} "
+                    f"{mirror_label}={mirror_polynomial!r}",
+                )
+                return
 
     def _check_sync_vs_manual(self, epoch: int, primary_snapshot=None) -> None:
         self.oracle_checks += 1
@@ -1187,6 +1267,7 @@ class SimulationRun:
 
         self._check_incremental_vs_recompute(epoch)
         self._check_provenance_vs_dred(epoch)
+        self._check_sql_vs_python(epoch)
         self._check_dag_vs_expanded(epoch)
         primary_snapshot = _snapshot_all(self.primary)
         self._check_sync_vs_manual(epoch, primary_snapshot)

@@ -1,0 +1,381 @@
+"""Tests for the SQL pushdown execution backend.
+
+Three layers:
+
+* unit tests pinning the compiled SQL shape — table naming, explain
+  output, canonical-encoding joins, comparison/negation/skolem
+  translation, and the exact fallback reasons;
+* statefulness tests: the warm incremental mirror, out-of-band removal
+  notifications, and the count guard that forces a reload on drift;
+* differential property tests mirroring
+  :mod:`tests.datalog.test_plan_executor`: randomly generated CDSS
+  networks are driven through plain, incremental, and provenance
+  evaluation on both backends, asserting identical databases and
+  identical provenance polynomials.  ExecutionStats are deliberately
+  never compared — set-at-a-time round staging legitimately differs.
+"""
+
+import random
+
+import pytest
+
+from repro.core.system import CDSS
+from repro.datalog.ast import Fact, SkolemTerm
+from repro.datalog.evaluation import Database, evaluate_program
+from repro.datalog.executor import create_backend
+from repro.datalog.incremental import IncrementalEngine
+from repro.datalog.parser import parse_program
+from repro.datalog.plan import compile_program
+from repro.datalog.provenance_eval import evaluate_with_provenance
+from repro.datalog.sql_executor import SQLExecutionBackend, _table_name, explain_sql
+from repro.errors import ConfigurationError, DatalogError
+from repro.exchange.rules import published_relation
+from repro.workloads.simulation import (
+    RandomWorkload,
+    SimulationConfig,
+    generate_network,
+)
+
+
+def _relation_map(database):
+    return {
+        predicate: database.relation(predicate) for predicate in database.predicates()
+    }
+
+
+def _all_polynomials(database, graph, max_depth=24):
+    return {
+        (predicate, values): graph.polynomial_for(predicate, values, max_depth=max_depth)
+        for predicate in database.predicates()
+        for values in database.relation(predicate)
+    }
+
+
+def _run_both(text, base):
+    """Evaluate ``text`` over ``base`` on both backends; assert agreement."""
+    program = parse_program(text)
+    python = evaluate_program(program, base)
+    sql = evaluate_program(program, base, backend=SQLExecutionBackend())
+    assert _relation_map(sql) == _relation_map(python)
+    return sql
+
+
+class TestBackendRegistry:
+    def test_create_backend_names(self):
+        assert create_backend("sql").name == "sql"
+        assert create_backend("python").name == "python"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            create_backend("prolog")
+
+
+class TestTableNaming:
+    def test_awkward_predicates_get_distinct_tables(self):
+        # Both slug to the same readable hint; the digest disambiguates.
+        first = _table_name("rel", "Alaska.OPS!pub", 2)
+        second = _table_name("rel", "Alaska OPS pub", 2)
+        assert first != second
+        assert first.startswith('"rel_alaska_ops_pub_2_')
+
+    def test_arity_separates_tables(self):
+        assert _table_name("rel", "R", 1) != _table_name("rel", "R", 2)
+
+    def test_names_are_quoted(self):
+        name = _table_name("stg", "Σ1.R", 3)
+        assert name.startswith('"') and name.endswith('"')
+
+
+class TestGeneratedSQL:
+    def test_explain_renders_insert_select_per_plan(self):
+        rendered = explain_sql(parse_program("path(x, y) :- edge(x, y).\npath(x, z) :- path(x, y), edge(y, z)."))
+        assert "INSERT INTO" in rendered
+        assert "SELECT" in rendered
+        assert "-- delta on body position" in rendered
+        # Semi-naive deltas are rowid watermark windows over the relation.
+        assert ".rowid > ? AND" in rendered
+
+    def test_negation_becomes_not_exists(self):
+        rendered = explain_sql(parse_program("T(x) :- R(x), not S(x)."))
+        assert "NOT EXISTS" in rendered
+
+    def test_constants_are_parameterized_not_inlined(self):
+        rendered = explain_sql(parse_program("T(y) :- R('key', y)."))
+        sql_lines = [line for line in rendered.splitlines() if not line.startswith("--")]
+        assert all("key" not in line for line in sql_lines)
+        assert any("= ?" in line for line in sql_lines)
+
+    def test_engine_backend_explain_is_sql(self):
+        engine = IncrementalEngine(
+            parse_program("T(x) :- R(x)."), track_provenance=False,
+            execution_backend="sql",
+        )
+        lines = engine.backend.explain(engine.compiled)
+        assert any("INSERT INTO" in line for line in lines)
+
+
+class TestSQLSemantics:
+    def test_recursive_closure(self):
+        base = Database.from_dict({"edge": [(1, 2), (2, 3), (3, 4)]})
+        result = _run_both(
+            "path(x, y) :- edge(x, y).\npath(x, z) :- path(x, y), edge(y, z).", base
+        )
+        assert (1, 4) in result.relation("path")
+
+    def test_numeric_lookalikes_join(self):
+        # 1 == True in Python; the canonical encoding makes the TEXT join
+        # agree, so both backends derive T(1).
+        base = Database.from_dict({"R": [(1,)], "S": [(True,)]})
+        result = _run_both("T(x) :- R(x), S(x).", base)
+        assert result.relation("T") == frozenset({(1,)})
+
+    def test_ordering_comparison_mirrors_python_type_rules(self):
+        base = Database.from_dict(
+            {"R": [(1, 2), (2, 1), ("a", "b"), (1, "z"), (None, 5), (1.5, 2)]}
+        )
+        result = _run_both("T(x, y) :- R(x, y), x < y.", base)
+        # Mixed-type and None pairs are False (Python's TypeError), numbers
+        # compare numerically across int/float, strings lexicographically.
+        assert result.relation("T") == frozenset({(1, 2), ("a", "b"), (1.5, 2)})
+
+    def test_negation_anti_join(self):
+        base = Database.from_dict({"R": [(1,), (2,), (3,)], "S": [(2,)]})
+        result = _run_both("T(x) :- R(x), not S(x).", base)
+        assert result.relation("T") == frozenset({(1,), (3,)})
+
+    def test_skolem_head_builds_labelled_null(self):
+        base = Database.from_dict({"R": [("a",), ("b",)]})
+        result = _run_both("T(x, SK_id(x)) :- R(x).", base)
+        assert result.relation("T") == frozenset(
+            {("a", SkolemTerm("SK_id", ("a",))), ("b", SkolemTerm("SK_id", ("b",)))}
+        )
+
+    def test_skolem_argument_in_negated_atom_stays_on_sql(self):
+        base = Database.from_dict(
+            {"R": [("a",), ("b",)], "S": [(SkolemTerm("SK_id", ("a",)),)]}
+        )
+        rendered = explain_sql(parse_program("T(x) :- R(x), not S(SK_id(x))."))
+        assert "python fallback" not in rendered
+        result = _run_both("T(x) :- R(x), not S(SK_id(x)).", base)
+        assert result.relation("T") == frozenset({("b",)})
+
+    def test_repeated_variable_within_atom(self):
+        base = Database.from_dict({"B": [(1, 1), (1, 2), (3, 3)]})
+        result = _run_both("A(x) :- B(x, x).", base)
+        assert result.relation("A") == frozenset({(1,), (3,)})
+
+    def test_max_iterations_raises(self):
+        base = Database.from_dict({"edge": [(i, i + 1) for i in range(8)]})
+        program = parse_program(
+            "path(x, y) :- edge(x, y).\npath(x, z) :- path(x, y), edge(y, z)."
+        )
+        with pytest.raises(DatalogError):
+            evaluate_program(
+                program, base, backend=SQLExecutionBackend(), max_iterations=2
+            )
+
+
+class TestFallback:
+    def test_positive_body_skolem_falls_back(self):
+        text = "A(x) :- B(x, SK_id(x))."
+        rendered = explain_sql(parse_program(text))
+        assert rendered.startswith("-- python fallback: skolem term in positive body atom")
+        base = Database.from_dict(
+            {"B": [("a", SkolemTerm("SK_id", ("a",))), ("b", "not-a-null")]}
+        )
+        result = _run_both(text, base)
+        assert result.relation("A") == frozenset({("a",)})
+
+    def test_arity_zero_head_falls_back(self):
+        rendered = explain_sql(parse_program("T() :- R(x)."))
+        assert rendered.startswith("-- python fallback: arity-0 head atom")
+        base = Database.from_dict({"R": [(1,)]})
+        result = _run_both("T() :- R(x).", base)
+        assert result.relation("T") == frozenset({()})
+
+    def test_ordering_comparisons_stay_on_sql(self):
+        # Ordering used to require the JSON1 extension; the native cell
+        # mapping expresses Python's comparison rules with a typeof CASE.
+        rendered = explain_sql(parse_program("T(x, y) :- R(x, y), x < y."))
+        assert "python fallback" not in rendered
+        assert "typeof" in rendered
+
+
+class TestNativeCells:
+    """The Python <-> SQLite cell codec underneath the generated SQL."""
+
+    def test_scalars_round_trip(self):
+        from repro.datalog.sql_executor import _from_blob, _to_sql
+
+        for value in (0, 1, -7, 2**62, "x", "", "ü\n", True, 3.0, None, 1.5,
+                      -2.5e-3, 2**70, -(2**70), float(2**80),
+                      SkolemTerm("SK_f", ()), SkolemTerm("SK_f", ("a", 1)),
+                      SkolemTerm("SK_f", (SkolemTerm("SK_g", (None, 2.5)), "b:c"))):
+            cell = _to_sql(value)
+            decoded = cell if type(cell) in (int, str) else _from_blob(cell)
+            assert decoded == value, value
+
+    def test_canonical_with_python_equality(self):
+        from repro.datalog.sql_executor import _to_sql
+
+        assert _to_sql(1) == _to_sql(True) == _to_sql(1.0)
+        assert _to_sql(0) == _to_sql(False) == _to_sql(-0.0)
+        assert _to_sql(SkolemTerm("SK_a", (True, 2.0))) == _to_sql(
+            SkolemTerm("SK_a", (1, 2))
+        )
+        assert _to_sql("1") != _to_sql(1)
+
+    def test_blobs_are_valid_utf8(self):
+        # The SELECT list rebuilds skolem blobs through TEXT concatenation,
+        # which silently requires every tagged encoding to decode as UTF-8.
+        from repro.datalog.sql_executor import _to_sql
+
+        for value in (None, 1.5, 2**70, SkolemTerm("SK_f", ("ü", 2.5, None))):
+            _to_sql(value).decode("utf-8")
+
+    def test_sql_built_skolem_matches_python_encoding(self):
+        # A skolem head assembled inside SQLite must dedup against the same
+        # labelled null inserted from Python.
+        base = Database.from_dict(
+            {"R": [("a",)], "T": [("a", SkolemTerm("SK_id", ("a",)))]}
+        )
+        result = _run_both("T(x, SK_id(x)) :- R(x).", base)
+        assert result.relation("T") == frozenset({("a", SkolemTerm("SK_id", ("a",)))})
+
+
+class TestIncrementalMirror:
+    PROGRAM = "path(x, y) :- edge(x, y).\npath(x, z) :- path(x, y), edge(y, z)."
+
+    def test_mirror_stays_warm_across_insertions(self):
+        engine = IncrementalEngine(
+            parse_program(self.PROGRAM), track_provenance=False,
+            execution_backend="sql",
+        )
+        engine.apply_insertions([Fact("edge", (1, 2))])
+        backend = engine.backend
+        assert backend._db_ref is engine.database
+        engine.apply_insertions([Fact("edge", (2, 3))])
+        assert backend._db_ref is engine.database
+        assert engine.database.contains("path", (1, 3))
+        # Mirror counts track the engine database exactly.
+        for predicate in engine.database.predicates():
+            assert backend._counts.get(predicate, 0) == engine.database.count(predicate)
+
+    def test_deletions_keep_mirror_consistent(self):
+        engine = IncrementalEngine(
+            parse_program(self.PROGRAM), track_provenance=False,
+            execution_backend="sql",
+        )
+        engine.apply_insertions([Fact("edge", (1, 2)), Fact("edge", (2, 3))])
+        engine.apply_deletions([Fact("edge", (2, 3))])
+        engine.apply_insertions([Fact("edge", (2, 4))])
+        assert engine.database.contains("path", (1, 4))
+        assert not engine.database.contains("path", (1, 3))
+
+    def test_count_guard_forces_reload_on_drift(self):
+        engine = IncrementalEngine(
+            parse_program(self.PROGRAM), track_provenance=False,
+            execution_backend="sql",
+        )
+        engine.apply_insertions([Fact("edge", (1, 2))])
+        backend = engine.backend
+        compiled = engine.compiled
+        # Mutate the database behind the backend's back: the count guard
+        # must detect the drift and reload rather than trust the warm mirror.
+        engine.database.add("edge", (5, 6))
+        engine.database.add("edge", (6, 7))
+        backend.propagate(compiled, engine.database, {"edge": {(6, 7)}})
+        assert backend._counts["edge"] == engine.database.count("edge")
+        # The reload pulled the drifted (5, 6) into the mirror, so a later
+        # delta can join against it: 4 -> 5 -> 6 -> 7 closes transitively.
+        engine.database.add("edge", (4, 5))
+        inserted = backend.propagate(compiled, engine.database, {"edge": {(4, 5)}})
+        assert (4, 7) in inserted.get("path", set())
+
+
+class TestSQLMatchesPython:
+    """Differential properties over randomly generated CDSS networks."""
+
+    CONFIG = SimulationConfig(epochs=3, max_peers=4, transactions_per_epoch=(2, 6))
+
+    def _epoch_fact_batches(self, spec, workload):
+        """Per-epoch (delete_facts, insert_facts) over published relations."""
+        batches = []
+        for _ in range(self.CONFIG.epochs):
+            deletes, inserts = [], []
+            for command in workload.epoch_commands():
+                relation = published_relation(command.peer, command.relation)
+                if command.kind == "delete":
+                    deletes.append(Fact(relation, command.values))
+                elif command.kind == "modify":
+                    deletes.append(Fact(relation, command.old_values))
+                    inserts.append(Fact(relation, command.values))
+                else:  # insert / conflict
+                    inserts.append(Fact(relation, command.values))
+            batches.append((deletes, inserts))
+        return batches
+
+    @pytest.mark.parametrize("seed", range(1, 9))
+    def test_plain_incremental_and_provenance_agree(self, seed):
+        rng = random.Random(seed)
+        spec = generate_network(rng, self.CONFIG)
+        workload = RandomWorkload(spec, self.CONFIG, rng)
+        program = CDSS.from_spec(spec).engine.program
+
+        sql_provenance = IncrementalEngine(
+            program, track_provenance=True, execution_backend="sql"
+        )
+        sql_dred = IncrementalEngine(
+            program, track_provenance=False, execution_backend="sql"
+        )
+        python_provenance = IncrementalEngine(program, track_provenance=True)
+        python_dred = IncrementalEngine(program, track_provenance=False)
+        plain_backend = SQLExecutionBackend()
+        base = Database()
+
+        for epoch, (deletes, inserts) in enumerate(
+            self._epoch_fact_batches(spec, workload), start=1
+        ):
+            engines = (sql_provenance, sql_dred, python_provenance, python_dred)
+            for engine in engines:
+                engine.apply_deletions(deletes)
+                engine.apply_insertions(inserts)
+            for fact in deletes:
+                base.remove(fact.predicate, fact.values)
+            for fact in inserts:
+                base.add(fact.predicate, fact.values)
+
+            context = f"seed {seed} epoch {epoch}"
+
+            # Plain from-scratch evaluation agrees across backends.
+            python_plain = evaluate_program(program, base)
+            sql_plain = evaluate_program(program, base, backend=plain_backend)
+            assert _relation_map(sql_plain) == _relation_map(python_plain), context
+
+            # Incremental maintenance on the SQL backend tracks the Python
+            # backend exactly, for both deletion strategies.
+            assert _relation_map(sql_provenance.database) == _relation_map(
+                python_provenance.database
+            ), f"{context}: provenance-deletion engines diverged"
+            assert _relation_map(sql_dred.database) == _relation_map(
+                python_dred.database
+            ), f"{context}: DRed engines diverged"
+
+            # The recorder hook rides along: incremental provenance graphs
+            # yield identical polynomials tuple by tuple.
+            assert _all_polynomials(
+                sql_provenance.database, sql_provenance.graph
+            ) == _all_polynomials(
+                python_provenance.database, python_provenance.graph
+            ), f"{context}: incremental provenance diverged"
+
+            # From-scratch provenance recording agrees too.
+            sql_result = evaluate_with_provenance(
+                program, base, backend=SQLExecutionBackend()
+            )
+            python_result = evaluate_with_provenance(program, base)
+            assert _all_polynomials(
+                sql_result.database, sql_result.graph
+            ) == _all_polynomials(
+                python_result.database, python_result.graph
+            ), f"{context}: from-scratch provenance diverged"

@@ -68,6 +68,12 @@ class TestData:
     def test_insert_many_returns_new_count(self, instance):
         assert instance.insert_many("R", [(1, 2), (1, 2), (3, 4)]) == 2
 
+    def test_delete_many_returns_removed_count(self, instance):
+        instance.insert_many("R", [(1, 2), (3, 4), (5, 6)])
+        assert instance.delete_many("R", [(1, 2), (3, 4), (9, 9)]) == 2
+        assert set(instance.scan("R")) == {(5, 6)}
+        assert instance.delete_many("R", []) == 0
+
     def test_clear_single_relation(self, instance):
         instance.insert("R", (1, 2))
         instance.clear("R")

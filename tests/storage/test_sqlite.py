@@ -219,3 +219,90 @@ class TestSQLiteBackend:
             assert memory.insert("R", row) == sqlite.insert("R", row)
         assert set(memory.scan("R")) == set(sqlite.scan("R"))
         sqlite.close()
+
+class TestCanonicalEncoding:
+    """SQL join keys compare as encoded TEXT, so encoded equality must
+    coincide exactly with Python equality across every cell type."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(left=cell_values(), right=cell_values())
+    def test_encoded_equality_is_python_equality(self, left, right):
+        assert (encode_cell(left) == encode_cell(right)) == (left == right)
+
+    def test_numeric_lookalikes_share_one_encoding(self):
+        # 1 == True == 1.0 in Python, so their cells must be one join key.
+        assert encode_cell(1) == encode_cell(True) == encode_cell(1.0)
+        assert encode_cell(0) == encode_cell(False) == encode_cell(-0.0)
+        assert encode_cell(2.5) != encode_cell(2)
+
+    def test_decoded_values_stay_python_equal(self):
+        for value in (True, False, 1.0, -3.0, 7, None):
+            assert decode_cell(encode_cell(value)) == value
+
+    @settings(max_examples=60, deadline=None)
+    @given(text=st.text(alphabet=st.characters(min_codepoint=0, max_codepoint=0x2FF), max_size=12))
+    def test_control_character_strings_roundtrip(self, text):
+        assert decode_cell(encode_cell(text)) == text
+
+    def test_skolem_arguments_canonicalize_like_scalars(self):
+        lookalike = SkolemTerm("SK_a", (True, 2.0))
+        canonical = SkolemTerm("SK_a", (1, 2))
+        assert lookalike == canonical
+        assert encode_cell(lookalike) == encode_cell(canonical)
+
+    def test_storage_deduplicates_numeric_lookalikes(self, instance):
+        assert instance.insert("R", (1, "a"))
+        assert not instance.insert("R", (True, "a"))
+        assert not instance.insert("R", (1.0, "a"))
+        assert instance.count("R") == 1
+
+
+class TestBatchedWrites:
+    def test_insert_many_commits_once(self, instance):
+        before = instance.commit_count
+        added = instance.insert_many("R", [(i, "v") for i in range(100)])
+        assert added == 100
+        assert instance.commit_count == before + 1
+
+    def test_insert_many_counts_only_new_rows(self, instance):
+        instance.insert("R", (1, "a"))
+        assert instance.insert_many("R", [(1, "a"), (2, "b"), (2, "b"), (3, "c")]) == 2
+        assert instance.count("R") == 3
+
+    def test_delete_many_commits_once(self, instance):
+        instance.insert_many("R", [(i, "v") for i in range(50)])
+        before = instance.commit_count
+        removed = instance.delete_many("R", [(i, "v") for i in range(60)])
+        assert removed == 50
+        assert instance.commit_count == before + 1
+        assert instance.count("R") == 0
+
+    def test_empty_batches_are_noops(self, instance):
+        before = instance.commit_count
+        assert instance.insert_many("R", []) == 0
+        assert instance.delete_many("R", []) == 0
+        assert instance.commit_count == before
+
+    def test_batched_writes_maintain_lookup_indexes(self, instance):
+        instance.lookup("R", 0, 1)  # build the index first
+        instance.insert_many("R", [(1, "a"), (1, "b"), (2, "c")])
+        assert instance.lookup("R", 0, 1) == frozenset({(1, "a"), (1, "b")})
+        instance.delete_many("R", [(1, "a")])
+        assert instance.lookup("R", 0, 1) == frozenset({(1, "b")})
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.lists(st.tuples(st.integers(-20, 20), st.text(max_size=4)), max_size=12),
+        doomed=st.lists(st.tuples(st.integers(-20, 20), st.text(max_size=4)), max_size=12),
+    )
+    def test_batched_writes_match_memory_semantics(self, rows, doomed):
+        from repro.storage.memory import MemoryInstance
+
+        memory = MemoryInstance()
+        memory.create_relation("R", 2)
+        sqlite = SQLiteInstance(":memory:")
+        sqlite.create_relation("R", 2)
+        assert memory.insert_many("R", rows) == sqlite.insert_many("R", rows)
+        assert memory.delete_many("R", doomed) == sqlite.delete_many("R", doomed)
+        assert set(memory.scan("R")) == set(sqlite.scan("R"))
+        sqlite.close()

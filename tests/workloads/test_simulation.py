@@ -2,7 +2,7 @@
 
 The parametrized slice runs 25 seeded random networks through all the
 differential oracles (incremental-vs-recompute, provenance-vs-DRed,
-dag-vs-expanded, sync-vs-manual, memory-vs-SQLite,
+sql-vs-python, dag-vs-expanded, sync-vs-manual, memory-vs-SQLite,
 distributed-vs-centralized, sketch-vs-cursor, async-vs-serial,
 replica-durability); the
 remaining tests pin down the generator's guarantees (round-tripping,
@@ -108,15 +108,20 @@ class TestSimulationConfig:
             SimulationConfig(sync_runtime="threads")
         assert SimulationConfig(sync_runtime="async").sync_runtime == "async"
 
+    def test_execution_backend_is_validated(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(execution_backend="prolog")
+        assert SimulationConfig(execution_backend="sql").execution_backend == "sql"
+
 
 @pytest.mark.parametrize("seed", SLICE_SEEDS)
 def test_differential_oracles_hold(seed):
-    """≥25 seeded random networks pass all eight differential oracles."""
+    """≥25 seeded random networks pass all nine differential oracles."""
     result = run_simulation(seed, SLICE_CONFIG)
     assert result.ok, "\n".join(failure.describe() for failure in result.failures)
     assert result.transactions > 0
-    # spec round-trip + 8 oracles per epoch actually ran.
-    assert result.oracle_checks == 1 + 8 * result.epochs_run
+    # spec round-trip + 9 oracles per epoch actually ran.
+    assert result.oracle_checks == 1 + 9 * result.epochs_run
 
 
 @pytest.mark.parametrize("seed", [2, 9, 23])
@@ -145,7 +150,21 @@ def test_sketch_vs_cursor_oracle_holds_with_gossip_primary_iblt(seed):
     )
     result = run_simulation(seed, config)
     assert result.ok, "\n".join(failure.describe() for failure in result.failures)
-    assert result.oracle_checks == 1 + 8 * result.epochs_run
+    assert result.oracle_checks == 1 + 9 * result.epochs_run
+
+
+@pytest.mark.parametrize("seed", [3, 11, 19])
+def test_sql_vs_python_oracle_holds_with_sql_primary(seed):
+    """With an SQL-pushdown primary the python mirror checks it (the
+    reverse orientation of the default slice's sql-vs-python oracle)."""
+    config = SimulationConfig(
+        epochs=3,
+        transactions_per_epoch=(2, 5),
+        execution_backend="sql",
+    )
+    result = run_simulation(seed, config)
+    assert result.ok, "\n".join(failure.describe() for failure in result.failures)
+    assert result.oracle_checks == 1 + 9 * result.epochs_run
 
 
 @pytest.mark.parametrize("seed", SLICE_SEEDS)
@@ -209,9 +228,9 @@ def test_async_vs_serial_oracle_holds(seed, backend, mode):
     )
     result = run_simulation(seed, config)
     assert result.ok, "\n".join(failure.describe() for failure in result.failures)
-    # spec round-trip + 9 oracles per epoch (the serial eight plus the
+    # spec round-trip + 10 oracles per epoch (the serial nine plus the
     # concurrent-vs-serial check that the async primary switches on).
-    assert result.oracle_checks == 1 + 9 * result.epochs_run
+    assert result.oracle_checks == 1 + 10 * result.epochs_run
 
 
 def test_simulation_is_deterministic():
@@ -274,6 +293,16 @@ class TestOracleSensitivity:
         run._check_provenance_vs_dred(epoch=2)
         assert run.failures[-1].oracle == "provenance-vs-dred"
         assert "only in provenance" in run.failures[-1].detail
+
+    def test_sql_vs_python_detects_divergence(self):
+        run = self._run_one_epoch()
+        database = run.execcheck.database
+        predicate = next(iter(database.predicates()))
+        database.add(predicate, tuple("t" for _ in range(len(next(iter(database.relation(predicate)))))))
+        run._check_sql_vs_python(epoch=2)
+        failure = run.failures[-1]
+        assert failure.oracle == "sql-vs-python"
+        assert "only in sql" in failure.detail
 
     def test_distributed_vs_centralized_detects_divergence(self):
         run = self._run_one_epoch()
@@ -449,6 +478,27 @@ class TestCli:
         monkeypatch.setattr(cli, "run_simulation", boom)
         assert cli.main(["--seeds", "1", "--runtime", "async"]) == 1
         assert "--runtime async" in capsys.readouterr().err
+
+    def test_cli_execution_backend_flags(self, capsys):
+        assert simulate_main(
+            ["--seeds", "1", "--epochs", "2", "--execution", "sql", "--quiet"]
+        ) == 0
+        assert simulate_main(
+            ["--seeds", "1", "--epochs", "2", "--execution", "python", "--quiet"]
+        ) == 0
+        with pytest.raises(SystemExit):
+            simulate_main(["--execution", "prolog"])
+
+    def test_cli_repro_line_names_sql_execution(self, capsys, monkeypatch):
+        import repro.simulate as cli
+
+        def boom(seed, config):
+            assert config.execution_backend == "sql"
+            raise RuntimeError("pushdown exploded")
+
+        monkeypatch.setattr(cli, "run_simulation", boom)
+        assert cli.main(["--seeds", "1", "--execution", "sql"]) == 1
+        assert "--execution sql" in capsys.readouterr().err
 
     def test_cli_provenance_representation_flags(self, capsys):
         assert simulate_main(
