@@ -47,6 +47,13 @@ spec :data:`repro.workloads.FIGURE2_SPEC`) and the five demonstration
 scenarios live in :mod:`repro.workloads`.
 """
 
+from .analysis import (
+    Diagnostic,
+    DiagnosticReport,
+    analyze_network_spec,
+    analyze_program,
+    analyze_system,
+)
 from .api import (
     NetworkBuilder,
     NetworkSpec,
@@ -74,11 +81,13 @@ from .core.trust import TrustCondition, TrustPolicy
 from .core.updates import Update, UpdateKind
 from .errors import ReproError, SpecError, SyncError
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CDSS",
     "Catalog",
+    "Diagnostic",
+    "DiagnosticReport",
     "ExchangeConfig",
     "Mapping",
     "NetworkBuilder",
@@ -106,6 +115,9 @@ __all__ = [
     "Update",
     "UpdateKind",
     "__version__",
+    "analyze_network_spec",
+    "analyze_program",
+    "analyze_system",
     "identity_mapping",
     "join_mapping",
     "mapping_from_tgd",

@@ -1,0 +1,163 @@
+"""Weak-acyclicity analysis of the skolemized mapping dependency graph.
+
+Update exchange runs the chase over the network's tgds: existential head
+variables become skolem terms (labelled nulls).  The chase is guaranteed to
+terminate when the set of mappings is *weakly acyclic* (Fagin et al., "Data
+exchange: semantics and query answering"): build a graph over schema
+*positions* ``(peer, relation, index)`` with
+
+* an **ordinary edge** from every body position of an exported variable to
+  every head position of that same variable (values are copied), and
+* a **special edge** from every body position of an exported variable to
+  every head position holding an existential variable or skolem term (a new
+  labelled null is *created from* the copied value).
+
+A cycle through a special edge means a labelled null can feed a mapping
+that creates another labelled null from it, nesting skolem terms without
+bound — the runtime symptom is an update exchange that never reaches
+fixpoint.  :func:`weak_acyclicity_violations` finds such cycles and returns
+them with the witnessing positions, for the analyzer to surface as
+``CDSS003``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..core.mapping import Mapping
+from ..datalog.ast import SkolemTerm, Variable, term_variables
+from .graphs import shortest_path_within, strongly_connected_components
+
+
+@dataclass(frozen=True)
+class Position:
+    """One schema position: attribute ``index`` of ``peer``'s ``relation``."""
+
+    peer: str
+    relation: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.peer}.{self.relation}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class PositionEdge:
+    """A dependency edge of the position graph.
+
+    ``special`` marks edges into existential positions (labelled-null
+    creation); ordinary edges copy values unchanged.
+    """
+
+    source: Position
+    target: Position
+    special: bool
+    mapping_id: str
+
+
+@dataclass(frozen=True)
+class WeakAcyclicityViolation:
+    """A cycle through a special edge, witnessing possible chase divergence."""
+
+    edge: PositionEdge
+    cycle: Tuple[Position, ...]
+
+    def describe(self) -> str:
+        path = " -> ".join(str(position) for position in self.cycle)
+        return (
+            f"mapping {self.edge.mapping_id!r} creates a labelled null at "
+            f"{self.edge.target} from {self.edge.source}, which feeds back "
+            f"through the cycle {path} -> {self.cycle[0]}; the chase may not "
+            "terminate"
+        )
+
+
+def _body_positions(mapping: Mapping) -> Dict[Variable, List[Position]]:
+    """Every body position of every variable, in deterministic order."""
+    positions: Dict[Variable, List[Position]] = {}
+    for atom in mapping.body:
+        for index, term in enumerate(atom.terms):
+            for variable in term_variables(term):
+                positions.setdefault(variable, []).append(
+                    Position(mapping.source_peer, atom.predicate, index)
+                )
+    return positions
+
+
+def position_graph(mappings: Iterable[Mapping]) -> List[PositionEdge]:
+    """Build the (de-duplicated) position graph for a set of mappings."""
+    edges: List[PositionEdge] = []
+    seen: Set[Tuple[Position, Position, bool]] = set()
+    for mapping in mappings:
+        body_positions = _body_positions(mapping)
+        body_variables = set(body_positions)
+        for atom in mapping.heads:
+            for index, term in enumerate(atom.terms):
+                target = Position(mapping.target_peer, atom.predicate, index)
+                if isinstance(term, Variable) and term in body_variables:
+                    sources = body_positions[term]
+                    special = False
+                elif isinstance(term, Variable) or isinstance(term, SkolemTerm):
+                    # An existential variable or explicit skolem term: a new
+                    # labelled null derived from every exported variable (or,
+                    # for skolem terms, from the term's own arguments).
+                    if isinstance(term, SkolemTerm):
+                        feeding = set(term_variables(term)) & body_variables
+                    else:
+                        feeding = mapping.exported_variables() & body_variables
+                    sources = [
+                        position
+                        for variable in sorted(feeding, key=lambda v: v.name)
+                        for position in body_positions[variable]
+                    ]
+                    special = True
+                else:
+                    continue
+                for source in sources:
+                    key = (source, target, special)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    edges.append(PositionEdge(source, target, special, mapping.mapping_id))
+    return edges
+
+
+def weak_acyclicity_violations(
+    mappings: Iterable[Mapping],
+) -> List[WeakAcyclicityViolation]:
+    """All special edges that lie on a cycle, one violation per mapping.
+
+    Returns an empty list exactly when the mapping set is weakly acyclic.
+    """
+    edges = position_graph(mappings)
+    adjacency: Dict[Position, List[Position]] = {}
+    nodes: List[Position] = []
+    seen_nodes: Set[Position] = set()
+    for edge in edges:
+        adjacency.setdefault(edge.source, []).append(edge.target)
+        for node in (edge.source, edge.target):
+            if node not in seen_nodes:
+                seen_nodes.add(node)
+                nodes.append(node)
+    component = strongly_connected_components(nodes, adjacency)
+
+    violations: List[WeakAcyclicityViolation] = []
+    reported: Set[str] = set()
+    for edge in edges:
+        if not edge.special:
+            continue
+        if component.get(edge.source) != component.get(edge.target):
+            continue
+        if edge.mapping_id in reported:
+            continue
+        reported.add(edge.mapping_id)
+        # Cycle witness: source -> target (the special edge), then the
+        # shortest way back from target to source within the SCC.
+        if edge.source == edge.target:
+            cycle = (edge.source,)
+        else:
+            back = shortest_path_within(edge.target, edge.source, adjacency, component)
+            cycle = (edge.source,) + tuple(back)
+        violations.append(WeakAcyclicityViolation(edge, cycle))
+    return violations

@@ -1,0 +1,219 @@
+"""Diagnostic records and reports for the CDSS static analyzer.
+
+A :class:`Diagnostic` is one finding: a stable ``CDSS0xx`` code, a severity,
+a message, and (when known) the :class:`~repro.errors.SourceSpan` of the
+offending spec/program text plus the object (rule label, mapping id, peer
+name) it concerns.  A :class:`DiagnosticReport` is an ordered collection with
+human and JSON renderings, used by ``python -m repro.lint``,
+``cdss.analyze()`` and ``NetworkBuilder.build(strict=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from ..errors import SourceSpan
+from . import codes as _codes
+
+_SEVERITY_RANK = {_codes.ERROR: 0, _codes.WARNING: 1, _codes.INFO: 2}
+
+
+def message_of(error: BaseException) -> str:
+    """``str(error)`` without the ``[CDSSxxx]`` prefix coded errors render.
+
+    Diagnostics carry the code in a dedicated field, so keeping the prefix
+    in the message would print it twice.
+    """
+    text = str(error)
+    code = getattr(error, "code", None)
+    if code:
+        prefix = f"[{code}] "
+        if text.startswith(prefix):
+            text = text[len(prefix) :]
+    return text
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Attributes:
+        code: Stable ``CDSS0xx`` code (see :mod:`repro.analysis.codes`).
+        message: Human-readable description of this specific finding.
+        severity: ``"error"``, ``"warning"`` or ``"info"``; defaults to the
+            registry severity for the code.
+        span: Location in the source document, when known.
+        source: Name of the document the span refers to (file path or a
+            label like ``"<spec>"``).
+        subject: The object the finding concerns — a mapping id, rule label,
+            peer name, or predicate — for grouping and machine consumption.
+    """
+
+    code: str
+    message: str
+    severity: str = ""
+    span: Optional[SourceSpan] = None
+    source: Optional[str] = None
+    subject: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.severity:
+            object.__setattr__(self, "severity", _codes.severity_of(self.code))
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == _codes.ERROR
+
+    @property
+    def location(self) -> str:
+        """``source:line:column`` prefix used in human rendering."""
+        origin = self.source or (self.span.source if self.span else None) or "<input>"
+        if self.span is not None:
+            return f"{origin}:{self.span.line}:{self.span.column}"
+        return origin
+
+    def render(self) -> str:
+        """One human-readable line, ``path:line:col: severity CDSSxxx: msg``."""
+        return f"{self.location}: {self.severity} {self.code}: {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.source is not None:
+            payload["source"] = self.source
+        if self.subject is not None:
+            payload["subject"] = self.subject
+        if self.span is not None:
+            payload["line"] = self.span.line
+            payload["column"] = self.span.column
+            if self.span.end_line is not None:
+                payload["end_line"] = self.span.end_line
+            if self.span.end_column is not None:
+                payload["end_column"] = self.span.end_column
+        return payload
+
+    def _sort_key(self) -> tuple:
+        return (
+            self.source or "",
+            self.span.line if self.span else 0,
+            self.span.column if self.span else 0,
+            _SEVERITY_RANK.get(self.severity, 3),
+            self.code,
+            self.message,
+        )
+
+
+@dataclass
+class DiagnosticReport:
+    """An ordered collection of diagnostics for one analyzed document."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        *,
+        severity: str = "",
+        span: Optional[SourceSpan] = None,
+        source: Optional[str] = None,
+        subject: Optional[str] = None,
+    ) -> Diagnostic:
+        diagnostic = Diagnostic(
+            code, message, severity=severity, span=span, source=source, subject=subject
+        )
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def sort(self) -> "DiagnosticReport":
+        """Sort by (source, position, severity, code); returns self."""
+        self.diagnostics.sort(key=Diagnostic._sort_key)
+        return self
+
+    def with_source(self, source: str) -> "DiagnosticReport":
+        """Return a copy with ``source`` filled in on diagnostics lacking one."""
+        rewritten = [
+            d
+            if d.source is not None
+            else Diagnostic(
+                d.code,
+                d.message,
+                severity=d.severity,
+                span=d.span,
+                source=source,
+                subject=d.subject,
+            )
+            for d in self.diagnostics
+        ]
+        return DiagnosticReport(rewritten)
+
+    # -- queries ------------------------------------------------------------
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == _codes.ERROR]
+
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == _codes.WARNING]
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def codes(self) -> List[str]:
+        """The distinct codes present, sorted."""
+        return sorted({d.code for d in self.diagnostics})
+
+    @property
+    def ok(self) -> bool:
+        """True when the report contains no error-severity diagnostics."""
+        return not self.errors()
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    # -- rendering ----------------------------------------------------------
+    def render(self) -> str:
+        """Human rendering: one line per diagnostic plus a summary line."""
+        lines = [d.render() for d in self.diagnostics]
+        errors, warnings = len(self.errors()), len(self.warnings())
+        infos = len(self.diagnostics) - errors - warnings
+        summary = f"{errors} error(s), {warnings} warning(s), {infos} info(s)"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "errors": len(self.errors()),
+            "warnings": len(self.warnings()),
+            "ok": self.ok,
+        }
+
+    def raise_if_errors(self, context: str = "network spec") -> None:
+        """Raise :class:`~repro.errors.SpecError` when errors are present.
+
+        The exception message embeds the rendered error lines so strict
+        builds fail with the same text the linter prints.
+        """
+        errors = self.errors()
+        if not errors:
+            return
+        from ..errors import SpecError
+
+        detail = "\n".join(d.render() for d in errors)
+        raise SpecError(
+            f"static analysis found {len(errors)} error(s) in {context}:\n{detail}",
+            code=errors[0].code,
+            span=errors[0].span,
+        )

@@ -1,0 +1,121 @@
+"""Small graph helpers shared by the static analyses.
+
+Hashable-node digraphs as ``{node: [successor, ...]}`` adjacency dicts.
+Everything is iterative (no recursion limits) and deterministic given
+deterministic input order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Set, Tuple, TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def strongly_connected_components(
+    nodes: Sequence[Node], adjacency: Dict[Node, List[Node]]
+) -> Dict[Node, int]:
+    """Iterative Tarjan SCC; returns a component id per node.
+
+    Component ids are assigned in reverse-topological completion order; all
+    the analyses only compare ids for equality.
+    """
+    index_of: Dict[Node, int] = {}
+    low: Dict[Node, int] = {}
+    component: Dict[Node, int] = {}
+    on_stack: Set[Node] = set()
+    stack: List[Node] = []
+    counter = 0
+    components = 0
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        work: List[Tuple[Node, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index_of[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            children = adjacency.get(node, [])
+            advanced = False
+            while child_index < len(children):
+                child = children[child_index]
+                child_index += 1
+                if child not in index_of:
+                    work[-1] = (node, child_index)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index_of[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component[member] = components
+                    if member == node:
+                        break
+                components += 1
+            if work:
+                parent, _ = work[-1]
+                low[parent] = min(low[parent], low[node])
+    return component
+
+
+def reachable_from(start: Node, adjacency: Dict[Node, List[Node]]) -> Set[Node]:
+    """Every node reachable from ``start`` (excluding ``start`` unless it is
+    on a cycle through itself)."""
+    seen: Set[Node] = set()
+    frontier: List[Node] = list(adjacency.get(start, []))
+    while frontier:
+        node = frontier.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        frontier.extend(adjacency.get(node, []))
+    return seen
+
+
+def shortest_path_within(
+    start: Node,
+    goal: Node,
+    adjacency: Dict[Node, List[Node]],
+    component: Dict[Node, int],
+) -> List[Node]:
+    """Shortest path from ``start`` to ``goal`` staying inside ``start``'s
+    SCC; the returned list starts at ``start`` and ends just before ``goal``
+    (the caller closes the cycle).  Returns ``[start]`` when no path exists
+    or ``start == goal``."""
+    scc = component.get(start)
+    if start == goal:
+        return [start]
+    parents: Dict[Node, Node] = {}
+    seen: Set[Node] = {start}
+    frontier = [start]
+    while frontier:
+        next_frontier: List[Node] = []
+        for node in frontier:
+            for child in adjacency.get(node, []):
+                if component.get(child) != scc or child in seen:
+                    continue
+                seen.add(child)
+                parents[child] = node
+                if child == goal:
+                    path: List[Node] = []
+                    walk = node
+                    while True:
+                        path.append(walk)
+                        if walk == start:
+                            break
+                        walk = parents[walk]
+                    path.reverse()
+                    return path
+                next_frontier.append(child)
+        frontier = next_frontier
+    return [start]

@@ -23,6 +23,7 @@ from dataclasses import replace
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ..config import SystemConfig
+from ..analysis import codes as _codes
 from ..core.mapping import Mapping, identity_mapping, mapping_from_tgd
 from ..errors import SpecError
 from .spec import NetworkSpec, PeerSpec, StoreSpec, SyncSpec, TRUST_DEFAULT
@@ -51,7 +52,8 @@ class PeerBuilder:
         """Declare a relation ``name(attributes...)`` with an optional key."""
         if name in self._spec.relations:
             raise SpecError(
-                f"relation {name!r} of peer {self._spec.name!r} is declared twice"
+                f"relation {name!r} of peer {self._spec.name!r} is declared twice",
+                code=_codes.MALFORMED_SPEC,
             )
         if not attributes:
             raise SpecError(
@@ -111,8 +113,10 @@ class PeerBuilder:
         self,
         storage_factory: Optional[Callable[[str], object]] = None,
         store_factory=None,
+        *,
+        strict: bool = False,
     ):
-        return self._network.build(storage_factory, store_factory)
+        return self._network.build(storage_factory, store_factory, strict=strict)
 
 
 class NetworkBuilder:
@@ -129,7 +133,7 @@ class NetworkBuilder:
     def peer(self, name: str, schema_name: Optional[str] = None) -> PeerBuilder:
         """Open a new peer section and return its :class:`PeerBuilder`."""
         if name in self._spec.peers:
-            raise SpecError(f"peer {name!r} is declared twice")
+            raise SpecError(f"peer {name!r} is declared twice", code=_codes.MALFORMED_SPEC)
         peer_spec = PeerSpec(name=name, schema_name=schema_name)
         self._spec.peers[name] = peer_spec
         return PeerBuilder(self, peer_spec)
@@ -231,7 +235,8 @@ class NetworkBuilder:
                 if name not in self._spec.peers:
                     raise SpecError(
                         f"identity mapping {mapping_id!r} references unknown "
-                        f"{role} peer {name!r}"
+                        f"{role} peer {name!r}",
+                        code=_codes.UNKNOWN_PEER,
                     )
             source = self._spec.peers[source_peer]
             target = self._spec.peers[target_peer]
@@ -267,10 +272,23 @@ class NetworkBuilder:
         self._spec.validate()
         return self._spec
 
+    def analyze(self):
+        """Run the static analyzer on the accumulated spec.
+
+        Returns a :class:`~repro.analysis.diagnostics.DiagnosticReport`; the
+        spec must already be structurally parseable but need not be clean.
+        """
+        from ..analysis import analyze_network_spec
+
+        self._resolve_identities()
+        return analyze_network_spec(self._spec)
+
     def build(
         self,
         storage_factory: Optional[Callable[[str], object]] = None,
         store_factory=None,
+        *,
+        strict: bool = False,
     ):
         """Validate the whole description and construct the CDSS.
 
@@ -284,10 +302,17 @@ class NetworkBuilder:
                 the spec's ``store`` section (merged over the config's
                 :class:`~repro.config.StoreConfig`) picks centralized vs
                 distributed.
+            strict: Run the full static analyzer before construction and
+                raise :class:`~repro.errors.SpecError` if it reports any
+                error-severity diagnostic (weak-acyclicity violations,
+                unsafe rules, schema mismatches, ...), not just the
+                structural problems ``validate()`` catches.
         """
         from ..core.system import CDSS
 
         spec = self.spec()
+        if strict:
+            self.analyze().raise_if_errors(f"network {spec.name!r}")
         config = self._config
         overrides: dict = {}
         if spec.store is not None:
@@ -349,6 +374,8 @@ def build_network(
     config: Optional[SystemConfig] = None,
     storage_factory: Optional[Callable[[str], object]] = None,
     store_factory=None,
+    *,
+    strict: bool = False,
 ):
     """Build a CDSS directly from a textual/dict/:class:`NetworkSpec` description."""
     from .spec import parse_network_spec
@@ -356,4 +383,4 @@ def build_network(
     spec = parse_network_spec(source)
     builder = NetworkBuilder(spec.name, config)
     builder._spec = spec
-    return builder.build(storage_factory, store_factory)
+    return builder.build(storage_factory, store_factory, strict=strict)

@@ -50,10 +50,11 @@ import re
 from dataclasses import dataclass, field
 from typing import Mapping as MappingType, Optional, Sequence, Union
 
+from ..analysis import codes as _codes
 from ..core.mapping import Mapping, mapping_from_tgd, mapping_to_tgd
 from ..core.schema import PeerSchema
 from ..core.trust import TrustPolicy
-from ..errors import SpecError
+from ..errors import SourceSpan, SpecError
 
 #: The trust-table key that sets a peer's default priority.
 TRUST_DEFAULT = "*"
@@ -82,6 +83,15 @@ class PeerSpec:
     keys: dict[str, list[str]] = field(default_factory=dict)
     #: ``{peer: priority}`` plus the optional ``"*"`` default entry.
     trust: dict[str, int] = field(default_factory=dict)
+    #: Source locations of the peer's declarations, when parsed from text:
+    #: ``"peer"``, ``"relation:<name>"``, ``"key:<name>"``, ``"trust:<peer>"``.
+    spans: dict[str, SourceSpan] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+
+    def span_of(self, key: str) -> Optional[SourceSpan]:
+        """The recorded span for a declaration key, or the peer's own span."""
+        return self.spans.get(key) or self.spans.get("peer")
 
     def schema(self) -> PeerSchema:
         if not self.relations:
@@ -251,37 +261,63 @@ class NetworkSpec:
     #: Optional rule execution backend ("python" closure executor vs "sql"
     #: pushdown); ``None`` defers to :class:`~repro.config.ExchangeConfig`.
     execution: Optional[str] = None
+    #: Source locations of top-level declarations, when parsed from text:
+    #: ``"network"``, ``"store"``, ``"sync"``, ``"execution"``.
+    spans: dict[str, SourceSpan] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     # -- validation ----------------------------------------------------------
     def validate(self) -> None:
-        """Cross-check the spec before any system state is built."""
+        """Cross-check the spec before any system state is built.
+
+        Raised :class:`~repro.errors.SpecError`\\ s carry the same ``CDSS0xx``
+        codes and spans that ``python -m repro.lint`` reports, so build-time
+        and lint-time messages agree.
+        """
         if not self.peers:
-            raise SpecError("a network spec needs at least one peer")
+            raise SpecError(
+                "a network spec needs at least one peer", code=_codes.MALFORMED_SPEC
+            )
         if self.store is not None:
-            self.store.validate()
+            self._validate_section(self.store, "store")
         if self.sync is not None:
-            self.sync.validate()
+            self._validate_section(self.sync, "sync")
         if self.execution is not None and self.execution not in _EXECUTION_BACKENDS:
             raise SpecError(
-                f"execution backend must be 'python' or 'sql', got {self.execution!r}"
+                f"execution backend must be 'python' or 'sql', got {self.execution!r}",
+                code=_codes.MALFORMED_SPEC,
+                span=self.spans.get("execution"),
             )
         for peer in self.peers.values():
             if not peer.relations:
-                raise SpecError(f"peer {peer.name!r} declares no relations")
+                raise SpecError(
+                    f"peer {peer.name!r} declares no relations",
+                    code=_codes.MALFORMED_SPEC,
+                    span=peer.span_of("peer"),
+                )
             for relation, key in peer.keys.items():
                 if relation not in peer.relations:
                     raise SpecError(
-                        f"peer {peer.name!r} declares a key for unknown relation {relation!r}"
+                        f"peer {peer.name!r} declares a key for unknown relation {relation!r}",
+                        code=_codes.UNKNOWN_RELATION,
+                        span=peer.span_of(f"key:{relation}"),
                     )
             for trusted in peer.trust:
                 if trusted != TRUST_DEFAULT and trusted not in self.peers:
                     raise SpecError(
-                        f"peer {peer.name!r} declares trust in unknown peer {trusted!r}"
+                        f"peer {peer.name!r} declares trust in unknown peer {trusted!r}",
+                        code=_codes.UNKNOWN_PEER,
+                        span=peer.span_of(f"trust:{trusted}"),
                     )
         seen_ids: set[str] = set()
         for mapping in self.mappings:
             if mapping.mapping_id in seen_ids:
-                raise SpecError(f"duplicate mapping id {mapping.mapping_id!r}")
+                raise SpecError(
+                    f"duplicate mapping id {mapping.mapping_id!r}",
+                    code=_codes.DUPLICATE_MAPPING,
+                    span=mapping.span,
+                )
             seen_ids.add(mapping.mapping_id)
             for role, peer_name in (
                 ("source", mapping.source_peer),
@@ -290,12 +326,25 @@ class NetworkSpec:
                 if peer_name not in self.peers:
                     raise SpecError(
                         f"mapping {mapping.mapping_id!r} references unknown "
-                        f"{role} peer {peer_name!r}"
+                        f"{role} peer {peer_name!r}",
+                        code=_codes.UNKNOWN_PEER,
+                        span=mapping.span,
                     )
             mapping.validate_against(
                 self.peers[mapping.source_peer].schema(),
                 self.peers[mapping.target_peer].schema(),
             )
+
+    def _validate_section(self, section, key: str) -> None:
+        """Run a section's own validation, tagging errors with code + span."""
+        try:
+            section.validate()
+        except SpecError as error:
+            if error.code is None:
+                error.code = _codes.MALFORMED_SPEC
+            if error.span is None:
+                error.span = self.spans.get(key)
+            raise
 
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> dict:
@@ -359,28 +408,44 @@ def _parse_text_spec(text: str) -> NetworkSpec:
     spec = NetworkSpec()
     current: Optional[PeerSpec] = None
     pending_mapping: list[str] = []
+    pending_start = 0
+
+    def line_span(number: int, raw: str) -> SourceSpan:
+        indent = len(raw) - len(raw.lstrip())
+        return SourceSpan(number, indent + 1)
 
     def finish_mapping() -> None:
         if pending_mapping:
             raise SpecError(
                 "mapping statement is missing its closing period: "
-                + " ".join(pending_mapping)
+                + " ".join(part.strip() for part in pending_mapping),
+                code=_codes.MALFORMED_SPEC,
+                span=SourceSpan(pending_start, 1),
             )
 
     for number, raw in enumerate(text.splitlines(), start=1):
         line = _strip_comment(raw).strip()
         if not line:
+            if pending_mapping:
+                pending_mapping.append("")
             continue
 
         if pending_mapping:
-            pending_mapping.append(line)
+            # Keep the raw (comment-stripped, indentation-preserving) line so
+            # spans inside multi-line mappings keep exact columns.
+            pending_mapping.append(_strip_comment(raw))
             if line.endswith("."):
-                spec.mappings.append(_mapping_from_lines(pending_mapping, f"line {number}"))
+                spec.mappings.append(
+                    _mapping_from_lines(
+                        pending_mapping, f"line {pending_start}", pending_start
+                    )
+                )
                 pending_mapping = []
             continue
 
         if line.startswith("network "):
             spec.name = line.split(None, 1)[1].strip()
+            spec.spans["network"] = line_span(number, raw)
             continue
 
         if line.startswith("store"):
@@ -397,6 +462,7 @@ def _parse_text_spec(text: str) -> NetworkSpec:
             spec.store = _store_from_knobs(
                 match.group("kind"), match.group("knobs").split(), f"line {number}"
             )
+            spec.spans["store"] = line_span(number, raw)
             continue
 
         if line.startswith("sync"):
@@ -413,6 +479,7 @@ def _parse_text_spec(text: str) -> NetworkSpec:
             spec.sync = _sync_from_knobs(
                 match.group("mode"), match.group("knobs").split(), f"line {number}"
             )
+            spec.spans["sync"] = line_span(number, raw)
             continue
 
         if line.startswith("execution"):
@@ -429,6 +496,7 @@ def _parse_text_spec(text: str) -> NetworkSpec:
                     f"line {number}: malformed execution declaration {raw.strip()!r}"
                 )
             spec.execution = match.group("backend")
+            spec.spans["execution"] = line_span(number, raw)
             continue
 
         if line.startswith("peer"):
@@ -439,6 +507,7 @@ def _parse_text_spec(text: str) -> NetworkSpec:
             if name in spec.peers:
                 raise SpecError(f"line {number}: peer {name!r} is declared twice")
             current = PeerSpec(name=name, schema_name=match.group("schema"))
+            current.spans["peer"] = line_span(number, raw)
             spec.peers[name] = current
             continue
 
@@ -456,11 +525,13 @@ def _parse_text_spec(text: str) -> NetworkSpec:
                 )
             attributes = [attr.strip() for attr in match.group("attrs").split(",") if attr.strip()]
             current.relations[relation] = attributes
+            current.spans[f"relation:{relation}"] = line_span(number, raw)
             key_text = match.group("key")
             if key_text is not None:
                 current.keys[relation] = [
                     attr.strip() for attr in key_text.split(",") if attr.strip()
                 ]
+                current.spans[f"key:{relation}"] = line_span(number, raw)
             continue
 
         if line.startswith("trust"):
@@ -470,30 +541,47 @@ def _parse_text_spec(text: str) -> NetworkSpec:
             if match is None:
                 raise SpecError(f"line {number}: malformed trust declaration {raw.strip()!r}")
             current.trust[match.group("peer")] = int(match.group("priority"))
+            current.spans[f"trust:{match.group('peer')}"] = line_span(number, raw)
             continue
 
         if line.startswith("mapping"):
-            body = line[len("mapping"):].strip()
-            if body.endswith("."):
-                spec.mappings.append(_mapping_from_lines([body], f"line {number}"))
+            # Blank out the "mapping" keyword (and anything before it) so the
+            # remaining text keeps the raw line's exact columns for spans.
+            stripped = _strip_comment(raw)
+            keyword_end = stripped.find("mapping") + len("mapping")
+            masked = " " * keyword_end + stripped[keyword_end:]
+            if line.endswith("."):
+                spec.mappings.append(_mapping_from_lines([masked], f"line {number}", number))
             else:
-                pending_mapping = [body]
+                pending_mapping = [masked]
+                pending_start = number
             continue
 
-        raise SpecError(f"line {number}: unrecognised spec statement {raw.strip()!r}")
+        raise SpecError(
+            f"line {number}: unrecognised spec statement {raw.strip()!r}",
+            code=_codes.MALFORMED_SPEC,
+            span=line_span(number, raw),
+        )
 
     finish_mapping()
     return spec
 
 
-def _mapping_from_lines(lines: Sequence[str], context: str) -> Mapping:
-    text = " ".join(lines)
+def _mapping_from_lines(
+    lines: Sequence[str], context: str, origin_line: int = 1
+) -> Mapping:
+    text = "\n".join(lines)
     try:
-        return mapping_from_tgd(text)
+        return mapping_from_tgd(text, origin_line=origin_line)
     except SpecError:
         raise
     except Exception as error:  # parse/mapping errors become spec errors with context
-        raise SpecError(f"{context}: bad mapping {text!r}: {error}") from error
+        flat = " ".join(part.strip() for part in lines if part.strip())
+        raise SpecError(
+            f"{context}: bad mapping {flat!r}: {error}",
+            code=getattr(error, "code", None) or _codes.MALFORMED_SPEC,
+            span=getattr(error, "span", None) or SourceSpan(origin_line, 1),
+        ) from error
 
 
 def _store_from_knobs(kind: str, tokens: Sequence[str], context: str) -> StoreSpec:
@@ -607,11 +695,13 @@ def _parse_dict_spec(data: MappingType) -> NetworkSpec:
     return spec
 
 
-def parse_network_spec(source: SpecInput) -> NetworkSpec:
+def parse_network_spec(source: SpecInput, *, validate: bool = True) -> NetworkSpec:
     """Parse a textual or dict network description into a :class:`NetworkSpec`.
 
     The spec is validated (unknown peers, duplicate ids, arity mismatches)
     before being returned, so a spec that parses is guaranteed to build.
+    The static analyzer passes ``validate=False`` so it can report *every*
+    problem as a diagnostic instead of raising on the first.
     """
     if isinstance(source, NetworkSpec):
         spec = source
@@ -624,7 +714,8 @@ def parse_network_spec(source: SpecInput) -> NetworkSpec:
             f"cannot parse a network spec from {type(source).__name__}; "
             "pass text, a dict, or a NetworkSpec"
         )
-    spec.validate()
+    if validate:
+        spec.validate()
     return spec
 
 

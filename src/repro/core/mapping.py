@@ -19,12 +19,13 @@ rules over peer-qualified relation names (see :mod:`repro.exchange.rules`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from ..analysis import codes as _codes
 from ..datalog.ast import Atom, Constant, SkolemTerm, Term, Variable
 from ..datalog.parser import parse_atom, parse_rule, parse_tgd
-from ..errors import MappingError
+from ..errors import MappingError, SourceSpan
 from .schema import PeerSchema, RelationSchema, split_qualified
 
 
@@ -47,6 +48,10 @@ class Mapping:
     target_peer: str
     body: tuple[Atom, ...]
     heads: tuple[Atom, ...]
+    #: Where the mapping was declared, when parsed from a spec document.
+    #: Excluded from equality/hashing so structurally identical mappings
+    #: from different sources still compare equal.
+    span: Optional[SourceSpan] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "body", tuple(self.body))
@@ -111,25 +116,33 @@ class Mapping:
             if not source_schema.has_relation(atom.predicate):
                 raise MappingError(
                     f"mapping {self.mapping_id!r} body uses unknown relation "
-                    f"{atom.predicate!r} of peer {self.source_peer!r}"
+                    f"{atom.predicate!r} of peer {self.source_peer!r}",
+                    code=_codes.UNKNOWN_RELATION,
+                    span=atom.span or self.span,
                 )
             expected = source_schema.arity(atom.predicate)
             if atom.arity != expected:
                 raise MappingError(
                     f"mapping {self.mapping_id!r} body atom {atom.predicate!r} has arity "
-                    f"{atom.arity}, schema says {expected}"
+                    f"{atom.arity}, schema says {expected}",
+                    code=_codes.ARITY_MISMATCH,
+                    span=atom.span or self.span,
                 )
         for atom in self.heads:
             if not target_schema.has_relation(atom.predicate):
                 raise MappingError(
                     f"mapping {self.mapping_id!r} head uses unknown relation "
-                    f"{atom.predicate!r} of peer {self.target_peer!r}"
+                    f"{atom.predicate!r} of peer {self.target_peer!r}",
+                    code=_codes.UNKNOWN_RELATION,
+                    span=atom.span or self.span,
                 )
             expected = target_schema.arity(atom.predicate)
             if atom.arity != expected:
                 raise MappingError(
                     f"mapping {self.mapping_id!r} head atom {atom.predicate!r} has arity "
-                    f"{atom.arity}, schema says {expected}"
+                    f"{atom.arity}, schema says {expected}",
+                    code=_codes.ARITY_MISMATCH,
+                    span=atom.span or self.span,
                 )
 
     def __str__(self) -> str:
@@ -140,7 +153,9 @@ class Mapping:
 
 # -- constructors ----------------------------------------------------------------
 
-def mapping_from_tgd(text: str, mapping_id: Optional[str] = None) -> Mapping:
+def mapping_from_tgd(
+    text: str, mapping_id: Optional[str] = None, *, origin_line: int = 1
+) -> Mapping:
     """Build a mapping from a peer-qualified tgd rule.
 
     The rule is written target-first, in the notation of the paper and the
@@ -153,10 +168,14 @@ def mapping_from_tgd(text: str, mapping_id: Optional[str] = None) -> Mapping:
     peer and all body atoms one source peer.  The rule label becomes the
     mapping id unless ``mapping_id`` overrides it.
     """
-    tgd = parse_tgd(text)
+    tgd = parse_tgd(text, origin_line=origin_line)
     identifier = mapping_id or tgd.label
     if not identifier:
-        raise MappingError(f"tgd {text!r} needs a [label] or an explicit mapping_id")
+        raise MappingError(
+            f"tgd {text!r} needs a [label] or an explicit mapping_id",
+            code=_codes.MALFORMED_SPEC,
+            span=tgd.span,
+        )
 
     def unqualify(atoms, side: str) -> tuple[str, tuple[Atom, ...]]:
         peers: set[str] = set()
@@ -165,21 +184,25 @@ def mapping_from_tgd(text: str, mapping_id: Optional[str] = None) -> Mapping:
             if "." not in atom.predicate:
                 raise MappingError(
                     f"mapping {identifier!r}: atom {atom.predicate!r} in the {side} "
-                    "is not peer-qualified (write @Peer.Relation(...))"
+                    "is not peer-qualified (write @Peer.Relation(...))",
+                    code=_codes.MALFORMED_SPEC,
+                    span=atom.span or tgd.span,
                 )
             peer, relation = split_qualified(atom.predicate)
             peers.add(peer)
-            stripped.append(Atom(relation, atom.terms))
+            stripped.append(Atom(relation, atom.terms, span=atom.span))
         if len(peers) != 1:
             raise MappingError(
                 f"mapping {identifier!r}: the {side} must reference exactly one "
-                f"peer, found {sorted(peers)}"
+                f"peer, found {sorted(peers)}",
+                code=_codes.MALFORMED_SPEC,
+                span=tgd.span,
             )
         return peers.pop(), tuple(stripped)
 
     target_peer, heads = unqualify(tgd.heads, "head")
     source_peer, body = unqualify(tgd.body, "body")
-    return Mapping(identifier, source_peer, target_peer, body, heads)
+    return Mapping(identifier, source_peer, target_peer, body, heads, span=tgd.span)
 
 
 def _render_term(term: Term) -> str:

@@ -254,9 +254,13 @@ class CDSS:
             ("target", mapping.target_peer),
         ):
             if not self.catalog.has_peer(peer_name):
+                from ..analysis import codes as _codes
+
                 raise MappingError(
                     f"mapping {mapping.mapping_id!r} references {role} peer "
-                    f"{peer_name!r}, which is not registered; call add_peer first"
+                    f"{peer_name!r}, which is not registered; call add_peer first",
+                    code=_codes.UNKNOWN_PEER,
+                    span=mapping.span,
                 )
         self.catalog.add_mapping(mapping)
         self._invalidate_engine()
@@ -297,7 +301,32 @@ class CDSS:
         cannot express the program.
         """
         backend = self.engine.backend
-        return "\n".join(backend.explain(self.engine.compiled_program))
+        lines = list(backend.explain(self.engine.compiled_program))
+        predictions = self._fallback_predictions()
+        if predictions:
+            lines.append("")
+            lines.append("-- static analysis: rules the SQL backend cannot compile --")
+            lines.extend(predictions)
+        return "\n".join(lines)
+
+    def _fallback_predictions(self) -> list[str]:
+        from ..analysis.program import sql_fallback_reasons
+
+        return [
+            f"{rule.label or rule.head.predicate}: {reason}"
+            for rule, reason in sql_fallback_reasons(self.engine.program)
+        ]
+
+    def analyze(self):
+        """Run the static analyzer against this system.
+
+        Returns a :class:`~repro.analysis.diagnostics.DiagnosticReport`
+        covering chase termination, rule safety, stratifiability, trust
+        lints, topology, and SQL compilability — without executing anything.
+        """
+        from ..analysis import analyze_system
+
+        return analyze_system(self)
 
     # -- publication ------------------------------------------------------------------
     def import_existing_data(self, peer_name: str) -> Optional[Transaction]:

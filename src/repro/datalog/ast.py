@@ -19,7 +19,7 @@ import operator
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence, Union
 
-from ..errors import DatalogError, UnsafeRuleError
+from ..errors import DatalogError, SourceSpan, UnsafeRuleError
 
 #: Values that may appear inside facts: Python scalars plus labelled nulls
 #: (represented by ground :class:`SkolemTerm` instances).
@@ -96,11 +96,18 @@ def term_variables(term: Term) -> Iterator[Variable]:
 
 @dataclass(frozen=True)
 class Atom:
-    """A relational atom ``predicate(t1, ..., tn)``, possibly negated."""
+    """A relational atom ``predicate(t1, ..., tn)``, possibly negated.
+
+    ``span`` records where the atom appeared in source text when it was
+    produced by the parser; it is excluded from equality/hashing so that
+    structurally identical atoms from different locations still compare
+    equal (plan caches rely on structural identity).
+    """
 
     predicate: str
     terms: tuple
     negated: bool = False
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "terms", tuple(self.terms))
@@ -122,7 +129,7 @@ class Atom:
 
     def negate(self) -> "Atom":
         """Return a copy of this atom with the negation flag flipped."""
-        return Atom(self.predicate, self.terms, negated=not self.negated)
+        return Atom(self.predicate, self.terms, negated=not self.negated, span=self.span)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(repr(t) for t in self.terms)
@@ -195,6 +202,7 @@ class Rule:
     head: Atom
     body: tuple = ()
     label: str | None = None
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "body", tuple(self.body))
@@ -251,7 +259,8 @@ class Rule:
                 names = ", ".join(sorted(v.name for v in missing))
                 raise UnsafeRuleError(
                     f"unsafe rule {self!r}: variable(s) {names} in {where} are "
-                    "not bound by a positive body atom"
+                    "not bound by a positive body atom",
+                    span=self.span,
                 )
 
         check(self.head.variables(), "the head")
@@ -295,7 +304,7 @@ class Rule:
                         rename_term(literal.right),
                     )
                 )
-        return Rule(rename_atom(self.head), tuple(new_body), label=self.label)
+        return Rule(rename_atom(self.head), tuple(new_body), label=self.label, span=self.span)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if not self.body:

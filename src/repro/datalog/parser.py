@@ -28,10 +28,10 @@ Conventions:
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
-from ..errors import DatalogParseError
+from ..errors import DatalogParseError, SourceSpan
 from .ast import Atom, Comparison, Constant, Fact, Program, Rule, SkolemTerm, Term, Variable
 
 
@@ -47,6 +47,7 @@ class ParsedTgd:
     heads: tuple[Atom, ...]
     body: tuple[Atom, ...]
     label: str | None = None
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
 _TOKEN_RE = re.compile(
     r"""
@@ -69,28 +70,45 @@ _TOKEN_RE = re.compile(
 
 
 class _Token:
-    __slots__ = ("kind", "text")
+    __slots__ = ("kind", "text", "line", "column")
 
-    def __init__(self, kind: str, text: str) -> None:
+    def __init__(self, kind: str, text: str, line: int = 1, column: int = 1) -> None:
         self.kind = kind
         self.text = text
+        self.line = line
+        self.column = column
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"{self.kind}:{self.text}"
+        return f"{self.kind}:{self.text}@{self.line}:{self.column}"
 
 
-def _tokenize(text: str) -> list[_Token]:
+def _tokenize(text: str, first_line: int = 1) -> list[_Token]:
+    """Tokenize ``text``, recording the 1-based line/column of each token.
+
+    ``first_line`` offsets line numbers when the text is a fragment embedded
+    in a larger document (a mapping clause inside a network spec).
+    """
     tokens: list[_Token] = []
     position = 0
+    line = first_line
+    line_start = 0
     while position < len(text):
         match = _TOKEN_RE.match(text, position)
         if match is None:
+            column = position - line_start + 1
             raise DatalogParseError(
-                f"unexpected character {text[position]!r} at offset {position} in {text!r}"
+                f"unexpected character {text[position]!r} at line {line}, "
+                f"column {column} (offset {position}) in {text!r}",
+                line=line,
+                column=column,
             )
         kind = match.lastgroup or ""
         if kind != "ws":
-            tokens.append(_Token(kind, match.group()))
+            tokens.append(_Token(kind, match.group(), line, position - line_start + 1))
+        segment = match.group()
+        if "\n" in segment:
+            line += segment.count("\n")
+            line_start = match.start() + segment.rfind("\n") + 1
         position = match.end()
     return tokens
 
@@ -108,19 +126,49 @@ class _Parser:
             return self._tokens[self._index]
         return None
 
+    def _error(self, message: str, token: _Token | None = None) -> DatalogParseError:
+        """Build a parse error carrying the position of the offending token."""
+        if token is None and self._tokens:
+            token = self._tokens[min(self._index, len(self._tokens) - 1)]
+        if token is not None:
+            return DatalogParseError(
+                f"{message} at line {token.line}, column {token.column} "
+                f"in {self._source!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return DatalogParseError(f"{message} in {self._source!r}")
+
+    def _last_token(self) -> _Token | None:
+        if 0 < self._index <= len(self._tokens):
+            return self._tokens[self._index - 1]
+        return None
+
+    def _span_from(self, start: _Token | None) -> SourceSpan | None:
+        """Span from ``start`` to the most recently consumed token."""
+        if start is None:
+            return None
+        last = self._last_token()
+        if last is None:
+            return SourceSpan(start.line, start.column)
+        return SourceSpan(
+            start.line,
+            start.column,
+            end_line=last.line,
+            end_column=last.column + len(last.text),
+        )
+
     def _next(self) -> _Token:
         token = self._peek()
         if token is None:
-            raise DatalogParseError(f"unexpected end of input in {self._source!r}")
+            raise self._error("unexpected end of input", self._last_token())
         self._index += 1
         return token
 
     def _expect(self, kind: str) -> _Token:
         token = self._next()
         if token.kind != kind:
-            raise DatalogParseError(
-                f"expected {kind} but found {token.text!r} in {self._source!r}"
-            )
+            raise self._error(f"expected {kind} but found {token.text!r}", token)
         return token
 
     def at_end(self) -> bool:
@@ -128,7 +176,8 @@ class _Parser:
 
     def parse_rule(self) -> Rule:
         label = None
-        token = self._peek()
+        start = self._peek()
+        token = start
         if token is not None and token.kind == "lbracket":
             self._next()
             label = self._expect("name").text
@@ -149,11 +198,12 @@ class _Parser:
         token = self._peek()
         if token is not None and token.kind == "period":
             self._next()
-        return Rule(head, tuple(body), label=label)
+        return Rule(head, tuple(body), label=label, span=self._span_from(start))
 
     def parse_tgd(self) -> ParsedTgd:
         label = None
-        token = self._peek()
+        start = self._peek()
+        token = start
         if token is not None and token.kind == "lbracket":
             self._next()
             label = self._expect("name").text
@@ -180,15 +230,17 @@ class _Parser:
             self._next()
         for literal in body:
             if not isinstance(literal, Atom):
-                raise DatalogParseError(
-                    f"tgd bodies may not contain comparisons: {literal!r} in {self._source!r}"
+                raise self._error(
+                    f"tgd bodies may not contain comparisons: {literal!r}", start
                 )
-        return ParsedTgd(tuple(heads), tuple(body), label=label)
+        return ParsedTgd(
+            tuple(heads), tuple(body), label=label, span=self._span_from(start)
+        )
 
     def parse_body_literal(self):
         token = self._peek()
         if token is None:
-            raise DatalogParseError(f"unexpected end of body in {self._source!r}")
+            raise self._error("unexpected end of body", self._last_token())
         if token.kind == "name" and token.text == "not":
             self._next()
             atom = self.parse_atom()
@@ -210,6 +262,7 @@ class _Parser:
 
     def parse_atom(self) -> Atom:
         token = self._peek()
+        start = token
         qualifier = None
         if token is not None and token.kind == "at":
             # A peer-qualified atom: @Peer.Relation(terms).
@@ -232,7 +285,7 @@ class _Parser:
                 else:
                     break
         self._expect("rparen")
-        return Atom(name, tuple(terms))
+        return Atom(name, tuple(terms), span=self._span_from(start))
 
     def parse_term(self) -> Term:
         token = self._next()
@@ -271,22 +324,31 @@ class _Parser:
             if name.startswith("?"):
                 return Variable(name[1:])
             return Variable(name)
-        raise DatalogParseError(
-            f"unexpected token {token.text!r} in term position in {self._source!r}"
-        )
+        raise self._error(f"unexpected token {token.text!r} in term position", token)
 
 
-def parse_rule(text: str) -> Rule:
-    """Parse a single rule (or fact written as a ground rule)."""
-    parser = _Parser(_tokenize(text), text)
+def parse_rule(text: str, *, validate: bool = True, origin_line: int = 1) -> Rule:
+    """Parse a single rule (or fact written as a ground rule).
+
+    Args:
+        text: Rule source text.
+        validate: When true (default), check rule safety and raise
+            :class:`~repro.errors.UnsafeRuleError` for range-unrestricted
+            rules.  The static analyzer parses with ``validate=False`` so it
+            can report *every* unsafe rule instead of dying on the first.
+        origin_line: 1-based line number of ``text`` inside its enclosing
+            document; offsets the spans attached to the rule and its atoms.
+    """
+    parser = _Parser(_tokenize(text, origin_line), text)
     rule = parser.parse_rule()
     if not parser.at_end():
-        raise DatalogParseError(f"trailing input after rule in {text!r}")
-    rule.validate()
+        raise parser._error("trailing input after rule")
+    if validate:
+        rule.validate()
     return rule
 
 
-def parse_tgd(text: str) -> ParsedTgd:
+def parse_tgd(text: str, *, origin_line: int = 1) -> ParsedTgd:
     """Parse a tuple-generating dependency ``[label] head1, head2 :- body.``
 
     Head atoms may share a comma-separated list before ``:-`` (split
@@ -295,13 +357,15 @@ def parse_tgd(text: str) -> ParsedTgd:
     are existential, so no safety check is applied to them; negated body
     atoms are rejected because tgds are positive.
     """
-    parser = _Parser(_tokenize(text), text)
+    parser = _Parser(_tokenize(text, origin_line), text)
     tgd = parser.parse_tgd()
     if not parser.at_end():
-        raise DatalogParseError(f"trailing input after tgd in {text!r}")
+        raise parser._error("trailing input after tgd")
     for atom in tgd.body:
         if atom.negated:
-            raise DatalogParseError(f"tgd bodies may not contain negation in {text!r}")
+            raise DatalogParseError(
+                f"tgd bodies may not contain negation in {text!r}", span=atom.span
+            )
     return tgd
 
 
@@ -310,7 +374,7 @@ def parse_atom(text: str) -> Atom:
     parser = _Parser(_tokenize(text), text)
     atom = parser.parse_atom()
     if not parser.at_end():
-        raise DatalogParseError(f"trailing input after atom in {text!r}")
+        raise parser._error("trailing input after atom")
     return atom
 
 
@@ -322,7 +386,7 @@ def parse_fact(text: str) -> Fact:
     if token is not None and token.kind == "period":
         parser._next()
     if not parser.at_end():
-        raise DatalogParseError(f"trailing input after fact in {text!r}")
+        raise parser._error("trailing input after fact")
     values = []
     for term in atom.terms:
         if isinstance(term, Constant):
@@ -334,11 +398,17 @@ def parse_fact(text: str) -> Fact:
     return Fact(atom.predicate, tuple(values))
 
 
-def _iter_statements(text: str) -> Iterator[str]:
-    """Split program text into statements, respecting quotes and comments."""
+def _iter_statements(text: str) -> Iterator[tuple[str, int]]:
+    """Split program text into ``(statement, start_line)`` pairs.
+
+    Quotes and comments are respected; ``start_line`` is the 1-based line on
+    which the statement's first non-whitespace character appears, so spans of
+    parsed rules can be mapped back into the original document.
+    """
     statement: list[str] = []
+    start_line: int | None = None
     in_string: str | None = None
-    for line in text.splitlines():
+    for number, line in enumerate(text.splitlines(), start=1):
         stripped = line
         if in_string is None:
             comment = stripped.find("%")
@@ -355,8 +425,12 @@ def _iter_statements(text: str) -> Iterator[str]:
                 continue
             if char in "'\"":
                 in_string = char
+                if start_line is None:
+                    start_line = number
                 statement.append(char)
                 continue
+            if start_line is None and not char.isspace():
+                start_line = number
             statement.append(char)
             if char == ".":
                 # A "." immediately followed by an identifier character is
@@ -367,20 +441,27 @@ def _iter_statements(text: str) -> Iterator[str]:
                     continue
                 candidate = "".join(statement).strip()
                 if candidate and candidate != ".":
-                    yield candidate
+                    yield candidate, start_line if start_line is not None else number
                 statement = []
+                start_line = None
         statement.append("\n")
     remainder = "".join(statement).strip()
     if remainder:
-        yield remainder
+        yield remainder, start_line if start_line is not None else 1
 
 
-def parse_program(text: str) -> Program:
+def parse_program(text: str, *, validate: bool = True) -> Program:
     """Parse a newline/period separated list of rules into a :class:`Program`.
 
-    Lines starting with ``%`` or ``#`` are comments.
+    Lines starting with ``%`` or ``#`` are comments.  With ``validate=False``
+    unsafe rules are admitted (the static analyzer uses this to report every
+    safety violation rather than raising on the first).
     """
     program = Program()
-    for statement in _iter_statements(text):
-        program.add(parse_rule(statement))
+    for statement, line in _iter_statements(text):
+        rule = parse_rule(statement, validate=validate, origin_line=line)
+        if validate:
+            program.add(rule)
+        else:
+            program.rules.append(rule)
     return program

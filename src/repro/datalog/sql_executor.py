@@ -638,6 +638,24 @@ def _compile_program_sql(compiled: CompiledProgram):
     return program
 
 
+def rule_fallback_reason(rule: Rule) -> Optional[str]:
+    """Why the SQL backend cannot compile ``rule``, or ``None`` if it can.
+
+    This is the static-analysis twin of the runtime fallback in
+    :func:`_compile_program_sql`: one uncompilable rule makes the backend run
+    the whole program on the Python executor.  The analyzer surfaces the
+    per-rule reasons as ``CDSS013`` diagnostics, and ``cdss.explain()``
+    appends them to its rendering.
+    """
+    from .plan import compile_rule
+
+    try:
+        _compile_rule_sql(compile_rule(rule))
+    except _Unsupported as unsupported:
+        return str(unsupported)
+    return None
+
+
 # ---------------------------------------------------------------------------
 # The backend
 # ---------------------------------------------------------------------------

@@ -7,9 +7,70 @@ able to discriminate the subsystem that failed.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A location in a spec or datalog source text.
+
+    Lines and columns are 1-based.  ``source`` names the origin (a file path
+    or a label like ``"<spec>"``) when known.  Spans are attached to parsed
+    atoms, rules, mappings and spec declarations so that static-analysis
+    diagnostics (:mod:`repro.analysis`) can point at the offending line.
+    """
+
+    line: int
+    column: int = 1
+    end_line: Optional[int] = None
+    end_column: Optional[int] = None
+    source: Optional[str] = None
+
+    def shifted(self, line_offset: int, source: Optional[str] = None) -> "SourceSpan":
+        """Return a copy moved down by ``line_offset`` lines.
+
+        Used when a datalog fragment is embedded inside a larger document
+        (e.g. a ``mapping`` clause inside a network spec) and the fragment
+        parser counted lines from 1.
+        """
+        return SourceSpan(
+            line=self.line + line_offset,
+            column=self.column,
+            end_line=None if self.end_line is None else self.end_line + line_offset,
+            end_column=self.end_column,
+            source=source if source is not None else self.source,
+        )
+
+    def __str__(self) -> str:
+        origin = self.source or "<input>"
+        return f"{origin}:{self.line}:{self.column}"
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by the ``repro`` library."""
+    """Base class for all errors raised by the ``repro`` library.
+
+    Errors may carry a stable diagnostic ``code`` (``CDSS0xx``, see
+    :mod:`repro.analysis.codes`) and a :class:`SourceSpan` pointing at the
+    offending spec/program location, so that build-time failures and
+    lint-time diagnostics agree on identity and position.
+    """
+
+    def __init__(
+        self,
+        *args: object,
+        code: Optional[str] = None,
+        span: Optional[SourceSpan] = None,
+    ) -> None:
+        super().__init__(*args)
+        self.code = code
+        self.span = span
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.code:
+            return f"[{self.code}] {base}"
+        return base
 
 
 class SchemaError(ReproError):
@@ -33,7 +94,25 @@ class DatalogError(ReproError):
 
 
 class DatalogParseError(DatalogError):
-    """A datalog rule, atom or fact could not be parsed."""
+    """A datalog rule, atom or fact could not be parsed.
+
+    Carries the 1-based ``line``/``column`` of the offending token when the
+    parser knows them (also exposed via :attr:`span`).
+    """
+
+    def __init__(
+        self,
+        *args: object,
+        code: Optional[str] = None,
+        span: Optional[SourceSpan] = None,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+    ) -> None:
+        if span is None and line is not None:
+            span = SourceSpan(line=line, column=column if column is not None else 1)
+        super().__init__(*args, code=code, span=span)
+        self.line = span.line if span is not None else None
+        self.column = span.column if span is not None else None
 
 
 class UnsafeRuleError(DatalogError):

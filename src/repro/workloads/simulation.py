@@ -721,6 +721,7 @@ class SimulationRun:
             ),
         )
         self._check_spec_roundtrip()
+        self._check_analyzer_clean()
         self.manual = CDSS.from_spec(self.spec)
         self.sqlite = CDSS.from_spec(
             self.spec, storage_factory=lambda name: SQLiteInstance()
@@ -838,6 +839,25 @@ class SimulationRun:
             expected["execution"] = recovered_execution
         if self.primary.to_spec().to_dict() != expected:
             self._fail(0, "spec-roundtrip", "from_spec -> to_spec does not round-trip")
+
+    def _check_analyzer_clean(self) -> None:
+        """Generated networks must pass static analysis with zero errors.
+
+        The generator only emits acyclic mapping graphs over consistent
+        schemas, so an error-severity diagnostic (unsafe rule, weak
+        acyclicity, arity mismatch, ...) means either the generator or the
+        analyzer regressed.  Warnings are allowed: random trust tables
+        legitimately shadow defaults or trust unreachable peers.
+        """
+        from ..analysis import analyze_network_spec
+
+        self.oracle_checks += 1
+        report = analyze_network_spec(self.spec)
+        if not report.ok:
+            findings = "; ".join(
+                diagnostic.render() for diagnostic in report.errors()
+            )
+            self._fail(0, "analyzer", f"generated spec has analyzer errors: {findings}")
 
     def _check_incremental_vs_recompute(self, epoch: int) -> None:
         self.oracle_checks += 1

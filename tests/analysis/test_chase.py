@@ -1,0 +1,84 @@
+"""Weak-acyclicity analysis of the skolemized mapping dependency graph."""
+
+from __future__ import annotations
+
+from repro.analysis.chase import (
+    Position,
+    position_graph,
+    weak_acyclicity_violations,
+)
+from repro.core.mapping import mapping_from_tgd
+
+
+def tgd(text: str):
+    return mapping_from_tgd(text)
+
+
+def test_copy_mappings_have_only_ordinary_edges() -> None:
+    mappings = [tgd("[M] @B.R(x, y) :- @A.R(x, y).")]
+    edges = position_graph(mappings)
+    assert edges
+    assert all(not edge.special for edge in edges)
+    assert weak_acyclicity_violations(mappings) == []
+
+
+def test_existential_head_position_gets_special_edges() -> None:
+    mappings = [tgd("[M] @B.R(x, e) :- @A.R(x, y).")]
+    special = [edge for edge in position_graph(mappings) if edge.special]
+    assert {edge.target for edge in special} == {Position("B", "R", 1)}
+    # exported x feeds the null from every body position it occupies
+    assert {edge.source for edge in special} == {Position("A", "R", 0)}
+
+
+def test_self_refreshing_null_is_weakly_acyclic() -> None:
+    # The null at A.R[1] is recreated from x each round but never nests:
+    # SK(x) stays SK(x), so the chase terminates.
+    mappings = [tgd("[M] @A.R(x, e) :- @A.R(x, y).")]
+    assert weak_acyclicity_violations(mappings) == []
+
+
+def test_null_feeding_its_own_argument_violates() -> None:
+    # The null lands in A.R[0], which is the argument position the next
+    # application reads: SK(SK(...)) nests forever.
+    mappings = [tgd("[M] @A.R(e, x) :- @A.R(x, y).")]
+    violations = weak_acyclicity_violations(mappings)
+    assert len(violations) == 1
+    assert violations[0].edge.mapping_id == "M"
+    assert "may not terminate" in violations[0].describe()
+
+
+def test_two_mapping_cycle_through_existential_violates() -> None:
+    mappings = [
+        tgd("[M1] @B.R(e, x) :- @A.R(x, y)."),
+        tgd("[M2] @A.R(x, y) :- @B.R(x, y)."),
+    ]
+    violations = weak_acyclicity_violations(mappings)
+    assert len(violations) == 1
+    cycle = violations[0].cycle
+    assert Position("A", "R", 0) in cycle
+    assert Position("B", "R", 0) in cycle
+
+
+def test_acyclic_join_and_split_pair_is_clean() -> None:
+    # The Figure-2 core shape: join Sigma1 into OPS and split back with
+    # fresh nulls for oid/pid.  Values flow in a cycle but nulls never
+    # feed their own creating positions.
+    mappings = [
+        tgd(
+            "[M_AC] @C.OPS(org, prot, seq) :- "
+            "@A.O(org, oid), @A.P(prot, pid), @A.S(oid, pid, seq)."
+        ),
+        tgd(
+            "[M_CA] @A.O(org, oid), @A.P(prot, pid), @A.S(oid, pid, seq) :- "
+            "@C.OPS(org, prot, seq)."
+        ),
+    ]
+    assert weak_acyclicity_violations(mappings) == []
+
+
+def test_one_violation_reported_per_mapping() -> None:
+    mappings = [
+        tgd("[M] @A.R(e, x), @A.T(e, x) :- @A.R(x, y), @A.T(x, y)."),
+    ]
+    violations = weak_acyclicity_violations(mappings)
+    assert len(violations) == 1

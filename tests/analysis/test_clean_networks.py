@@ -1,0 +1,39 @@
+"""The analyzer is clean on everything the repo itself ships and generates.
+
+Two invariants: the Figure 2 bioinformatics network (and the examples that
+embed it) must produce zero diagnostics of any severity, and randomly
+generated simulator networks must produce zero error-severity diagnostics
+across a seed sweep — warnings are allowed there, since random trust tables
+legitimately shadow defaults or trust unreachable peers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_network_spec, analyze_system
+from repro.workloads.bioinformatics import FIGURE2_SPEC, build_figure2_network
+from repro.workloads.simulation import generate_network
+
+
+def test_figure2_spec_is_diagnostic_free() -> None:
+    report = analyze_network_spec(FIGURE2_SPEC, source_name="FIGURE2_SPEC")
+    assert report.ok
+    assert len(report) == 0, report.render()
+
+
+def test_figure2_system_is_diagnostic_free() -> None:
+    network = build_figure2_network()
+    report = analyze_system(network.cdss)
+    assert report.ok
+    assert len(report) == 0, report.render()
+
+
+@pytest.mark.parametrize("seed", range(1, 26))
+def test_generated_networks_are_analyzer_clean(seed: int) -> None:
+    spec = generate_network(seed)
+    report = analyze_network_spec(spec, source_name=f"seed-{seed}")
+    assert report.ok, (
+        f"seed {seed} produced analyzer errors:\n"
+        + "\n".join(diagnostic.render() for diagnostic in report.errors())
+    )

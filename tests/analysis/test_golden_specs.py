@@ -1,0 +1,95 @@
+"""Golden corpus: every diagnostic code has a spec/program that triggers it.
+
+Each file under ``specs/`` starts with ``expect: <CODE> @ <line>`` header
+comments naming the diagnostics (code and 1-based source line) the analyzer
+must report for it.  The test asserts exactly those (code, line) pairs
+appear, that error-severity files fail the CLI with a nonzero exit, and
+that every code in the registry is covered by at least one corpus file.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import codes
+from repro.lint import lint_path, main as lint_main
+
+SPEC_DIR = Path(__file__).parent / "specs"
+EXPECT = re.compile(r"expect:\s*(CDSS\d{3})\s*@\s*(\d+)")
+
+CORPUS = sorted(SPEC_DIR.iterdir())
+
+
+def expectations(path: Path) -> list[tuple[str, int]]:
+    expected = []
+    for line in path.read_text().splitlines():
+        match = EXPECT.search(line)
+        if match:
+            expected.append((match.group(1), int(match.group(2))))
+    return expected
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda path: path.stem)
+def test_corpus_file_reports_expected_diagnostics(path: Path) -> None:
+    expected = expectations(path)
+    assert expected, f"{path.name} has no 'expect: CODE @ line' header"
+    report = lint_path(path)
+    found = [
+        (diagnostic.code, diagnostic.span.line if diagnostic.span else None)
+        for diagnostic in report
+    ]
+    for code, line in expected:
+        assert (code, line) in found, (
+            f"{path.name}: expected {code} at line {line}, got {found}"
+        )
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda path: path.stem)
+def test_corpus_file_diagnostics_carry_spans_and_sources(path: Path) -> None:
+    report = lint_path(path)
+    assert len(report) > 0
+    for diagnostic in report:
+        assert diagnostic.source == str(path)
+        assert diagnostic.code in codes.REGISTRY
+
+
+def test_every_code_has_corpus_coverage() -> None:
+    covered = {code for path in CORPUS for code, _line in expectations(path)}
+    assert covered == set(codes.REGISTRY)
+
+
+def test_cli_exits_nonzero_on_error_corpus(capsys) -> None:
+    error_files = [
+        path
+        for path in CORPUS
+        if any(
+            codes.severity_of(code) == codes.ERROR
+            for code, _line in expectations(path)
+        )
+    ]
+    assert error_files
+    exit_code = lint_main([str(path) for path in error_files])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "error" in captured.out
+
+
+def test_cli_strict_fails_on_warning_only_corpus(capsys) -> None:
+    warning_only = [
+        path
+        for path in CORPUS
+        if expectations(path)
+        and all(
+            codes.severity_of(code) == codes.WARNING
+            for code, _line in expectations(path)
+        )
+    ]
+    assert warning_only
+    targets = [str(path) for path in warning_only]
+    assert lint_main(targets) == 0
+    capsys.readouterr()
+    assert lint_main(targets + ["--strict"]) == 1
+    capsys.readouterr()

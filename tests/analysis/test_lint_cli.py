@@ -1,0 +1,89 @@
+"""The ``python -m repro.lint`` command line front end."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import main
+
+CLEAN_SPEC = """
+network clean
+peer A
+  relation R(x)
+peer B
+  relation R(x)
+mapping [M] @B.R(x) :- @A.R(x).
+"""
+
+BROKEN_SPEC = """
+network broken
+peer A
+  relation R(x, y)
+peer B
+  relation R(x, y)
+mapping [M1] @B.R(e, x) :- @A.R(x, y).
+mapping [M2] @A.R(x, y) :- @B.R(x, y).
+"""
+
+
+@pytest.fixture
+def corpus(tmp_path: Path) -> Path:
+    (tmp_path / "clean.spec").write_text(CLEAN_SPEC)
+    (tmp_path / "broken.spec").write_text(BROKEN_SPEC)
+    (tmp_path / "rules.dl").write_text("p(x, y) :- q(x).\n")
+    return tmp_path
+
+
+def test_clean_file_exits_zero(corpus: Path, capsys) -> None:
+    assert main([str(corpus / "clean.spec")]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_error_file_exits_one_with_rendered_diagnostics(corpus: Path, capsys) -> None:
+    assert main([str(corpus / "broken.spec")]) == 1
+    out = capsys.readouterr().out
+    assert "CDSS003" in out
+    assert "broken.spec:7:" in out
+
+
+def test_directory_walk_picks_up_specs_and_programs(corpus: Path, capsys) -> None:
+    assert main([str(corpus)]) == 1
+    out = capsys.readouterr().out
+    assert "CDSS003" in out  # from broken.spec
+    assert "CDSS001" in out  # from rules.dl
+
+
+def test_json_output_is_machine_readable(corpus: Path, capsys) -> None:
+    assert main([str(corpus / "broken.spec"), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["errors"] >= 1
+    [entry] = payload["files"].values()
+    assert any(d["code"] == "CDSS003" for d in entry["diagnostics"])
+
+
+def test_figure2_flag_lints_the_builtin_spec(capsys) -> None:
+    assert main(["--figure2"]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_missing_path_exits_two(tmp_path: Path, capsys) -> None:
+    assert main([str(tmp_path / "nope.spec")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_module_is_runnable(corpus: Path) -> None:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(corpus / "broken.spec")],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(Path(__file__).parents[2] / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 1
+    assert "CDSS003" in result.stdout

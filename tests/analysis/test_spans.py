@@ -1,0 +1,99 @@
+"""Source spans threaded from the parser and spec reader into diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.spec import parse_network_spec
+from repro.core.mapping import mapping_from_tgd
+from repro.datalog.parser import parse_program, parse_rule
+from repro.errors import DatalogParseError, SourceSpan
+
+
+def test_rule_and_atom_spans_cover_their_source_text() -> None:
+    rule = parse_rule("p(x) :- q(x), r(x).")
+    assert rule.span == SourceSpan(1, 1, end_line=1, end_column=20)
+    assert rule.head.span is not None and rule.head.span.column == 1
+    q, r = rule.body
+    assert q.span is not None and q.span.column == 9
+    assert r.span is not None and r.span.column == 15
+
+
+def test_spans_do_not_affect_equality_or_hashing() -> None:
+    with_span = parse_rule("p(x) :- q(x).")
+    bare = parse_rule("p(x) :- q(x).")
+    assert with_span == bare
+    assert hash(with_span.head) == hash(bare.head)
+    object.__setattr__(bare.head, "span", None)
+    assert with_span.head == bare.head
+
+
+def test_parse_program_tracks_statement_lines() -> None:
+    program = parse_program(
+        """
+p(x) :- q(x).
+
+r(x) :-
+    p(x).
+""",
+        validate=False,
+    )
+    first, second = program.rules
+    assert first.span.line == 2
+    assert second.span.line == 4
+    assert second.span.end_line == 5
+
+
+def test_parse_errors_carry_line_and_column() -> None:
+    with pytest.raises(DatalogParseError) as info:
+        parse_program("p(x) :- q(x).\nbad(x) :- !r(x).", validate=False)
+    assert info.value.line == 2
+    assert info.value.column == 11
+    assert info.value.span is not None
+
+
+def test_origin_line_offsets_embedded_tgds() -> None:
+    mapping = mapping_from_tgd(
+        "[M] @B.R(x) :- @A.R(x).", origin_line=41
+    )
+    assert mapping.span is not None and mapping.span.line == 41
+    assert all(atom.span.line == 41 for atom in mapping.body + mapping.heads)
+
+
+def test_spec_records_mapping_and_trust_spans() -> None:
+    spec = parse_network_spec(
+        """
+network spans
+peer A
+  relation R(x)
+  trust B 2
+peer B
+  relation R(x)
+mapping [M] @B.R(x) :-
+    @A.R(x).
+"""
+    )
+    [mapping] = spec.mappings
+    assert mapping.span.line == 8
+    assert mapping.span.column == 9  # just past the masked 'mapping ' keyword
+    peer = spec.peers["A"]
+    assert peer.span_of("trust:B").line == 5
+    assert peer.span_of("relation:R").line == 4
+    assert spec.peers["B"].span_of("peer").line == 6
+
+
+def test_multiline_mapping_atoms_keep_their_own_lines() -> None:
+    spec = parse_network_spec(
+        """
+network multiline
+peer A
+  relation R(x)
+peer B
+  relation R(x)
+mapping [M] @B.R(x) :-
+    @A.R(x).
+"""
+    )
+    [mapping] = spec.mappings
+    assert mapping.heads[0].span.line == 7
+    assert mapping.body[0].span.line == 8

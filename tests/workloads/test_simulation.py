@@ -120,8 +120,8 @@ def test_differential_oracles_hold(seed):
     result = run_simulation(seed, SLICE_CONFIG)
     assert result.ok, "\n".join(failure.describe() for failure in result.failures)
     assert result.transactions > 0
-    # spec round-trip + 9 oracles per epoch actually ran.
-    assert result.oracle_checks == 1 + 9 * result.epochs_run
+    # spec round-trip + analyzer-clean + 9 oracles per epoch actually ran.
+    assert result.oracle_checks == 2 + 9 * result.epochs_run
 
 
 @pytest.mark.parametrize("seed", [2, 9, 23])
@@ -150,7 +150,7 @@ def test_sketch_vs_cursor_oracle_holds_with_gossip_primary_iblt(seed):
     )
     result = run_simulation(seed, config)
     assert result.ok, "\n".join(failure.describe() for failure in result.failures)
-    assert result.oracle_checks == 1 + 9 * result.epochs_run
+    assert result.oracle_checks == 2 + 9 * result.epochs_run
 
 
 @pytest.mark.parametrize("seed", [3, 11, 19])
@@ -164,7 +164,7 @@ def test_sql_vs_python_oracle_holds_with_sql_primary(seed):
     )
     result = run_simulation(seed, config)
     assert result.ok, "\n".join(failure.describe() for failure in result.failures)
-    assert result.oracle_checks == 1 + 9 * result.epochs_run
+    assert result.oracle_checks == 2 + 9 * result.epochs_run
 
 
 @pytest.mark.parametrize("seed", SLICE_SEEDS)
@@ -228,9 +228,9 @@ def test_async_vs_serial_oracle_holds(seed, backend, mode):
     )
     result = run_simulation(seed, config)
     assert result.ok, "\n".join(failure.describe() for failure in result.failures)
-    # spec round-trip + 10 oracles per epoch (the serial nine plus the
-    # concurrent-vs-serial check that the async primary switches on).
-    assert result.oracle_checks == 1 + 10 * result.epochs_run
+    # spec round-trip + analyzer-clean + 10 oracles per epoch (the serial
+    # nine plus the concurrent-vs-serial check the async primary switches on).
+    assert result.oracle_checks == 2 + 10 * result.epochs_run
 
 
 def test_simulation_is_deterministic():
