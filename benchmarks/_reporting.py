@@ -43,6 +43,24 @@ def print_outcomes(title: str, outcomes, columns: list[str]) -> None:
     print_table(title, columns, rows)
 
 
+def print_metrics(title: str, metrics: dict, limit: int = 0) -> None:
+    """Tabulate a flat metrics snapshot (``MetricsRegistry.snapshot()`` form).
+
+    ``limit`` > 0 keeps only the first N keys (sorted) — benchmark output
+    stays quotable while the full dict remains available to JSON sinks.
+    """
+    items = sorted(metrics.items())
+    dropped = 0
+    if limit and len(items) > limit:
+        dropped = len(items) - limit
+        items = items[:limit]
+    rows = [[name, round(value, 6) if isinstance(value, float) else value]
+            for name, value in items]
+    if dropped:
+        rows.append([f"... {dropped} more", ""])
+    print_table(title, ["metric", "value"], rows)
+
+
 def print_sync_report(title: str, report) -> None:
     """Print the round-by-round shape of a :class:`SyncReport` via its dict form."""
     data = report.to_dict()
@@ -69,3 +87,5 @@ def print_sync_report(title: str, report) -> None:
             for peer, summary in sorted(data["decisions"].items())
         ],
     )
+    if data.get("metrics"):
+        print_metrics(f"{title}: metrics", data["metrics"], limit=20)

@@ -262,6 +262,30 @@ class AsyncSyncRuntime:
             ),
         }
 
+    def flush_metrics(self) -> None:
+        """Mirror the run's scheduler accounting into the metrics registry.
+
+        The ``sync.runtime.*`` series carries exactly the numbers
+        :meth:`accounting` reports (parity is asserted in the tests), so
+        :class:`~repro.api.sync.SyncReport.runtime` stays a thin view.
+        """
+        obs = getattr(self._cdss, "obs", None)
+        if obs is None:
+            return
+        metrics = obs.metrics
+        accounting = self.accounting()
+        if accounting["transfers"]:
+            metrics.counter_add("sync.runtime.transfers", accounting["transfers"])
+        if accounting["backpressure_stalls"]:
+            metrics.counter_add(
+                "sync.runtime.backpressure_stalls", accounting["backpressure_stalls"]
+            )
+        metrics.gauge_max("sync.runtime.max_in_flight", accounting["max_in_flight"])
+        metrics.gauge_max(
+            "sync.runtime.max_queue_depth", accounting["max_queue_depth_seen"]
+        )
+        metrics.gauge_set("sync.runtime.virtual_seconds", accounting["virtual_seconds"])
+
 
 def async_synchronize(
     cdss,
@@ -295,6 +319,7 @@ def async_synchronize(
     gossip = getattr(cdss, "gossip", None)
     gossip_before = gossip.stats.snapshot() if gossip is not None else None
     gossip_rounds_before = gossip.rounds_run if gossip is not None else 0
+    metrics_before = cdss.obs.metrics.snapshot()
 
     loop = VirtualTimeEventLoop()
     runtime = AsyncSyncRuntime(cdss, names, workers, queue_depth)
@@ -304,7 +329,8 @@ def async_synchronize(
         loop.close()
 
     cdss.network.clock.advance(runtime.virtual_seconds)
-    finalize_report(cdss, report, gossip_before, gossip_rounds_before)
+    runtime.flush_metrics()
+    finalize_report(cdss, report, gossip_before, gossip_rounds_before, metrics_before)
     report.runtime = runtime.accounting()
     if not converged:
         raise SyncError(

@@ -106,6 +106,9 @@ class PeerBuilder:
     def execution(self, backend: str = "sql") -> "NetworkBuilder":
         return self._network.execution(backend)
 
+    def observe(self, mode: str = "metrics") -> "NetworkBuilder":
+        return self._network.observe(mode)
+
     def spec(self) -> NetworkSpec:
         return self._network.spec()
 
@@ -187,6 +190,22 @@ class NetworkBuilder:
                 f"execution backend must be 'python' or 'sql', got {backend!r}"
             )
         self._spec.execution = backend
+        return self
+
+    def observe(self, mode: str = "metrics") -> "NetworkBuilder":
+        """Turn on the observability layer (``metrics``/``trace``).
+
+        ``metrics`` populates the shared registry and the per-sync
+        ``report.metrics`` deltas; ``trace`` additionally installs the
+        deterministic span tracer for Chrome-trace export.
+        """
+        if self._spec.observe is not None:
+            raise SpecError("the observe mode is declared twice")
+        if mode not in ("off", "metrics", "trace"):
+            raise SpecError(
+                f"observe mode must be 'off', 'metrics' or 'trace', got {mode!r}"
+            )
+        self._spec.observe = mode if mode != "off" else None
         return self
 
     def mapping(
@@ -347,6 +366,8 @@ class NetworkBuilder:
                     if value is not None
                 }
             )
+        if spec.observe is not None:
+            overrides["observability"] = spec.observe
         if overrides:
             base = config or SystemConfig.default()
             config = replace(base, store=replace(base.store, **overrides))

@@ -27,6 +27,11 @@ The format is line-oriented:
   fired: ``execution python`` (the tuple-at-a-time closure executor, the
   default) or ``execution sql`` (set-at-a-time ``INSERT ... SELECT``
   pushdown into an in-memory SQLite mirror);
+* ``observe <mode> [<mode> ...]`` (optional) turns on the observability
+  layer: ``observe metrics`` populates the shared metrics registry and the
+  per-sync ``report.metrics`` deltas, ``observe trace`` (or ``observe trace
+  metrics`` — trace implies metrics) additionally installs the span tracer
+  for Chrome-trace export;
 * ``peer <Name> [schema <SchemaName>]`` opens a peer section;
 * ``relation Rel(attr, ...) [key(attr, ...)]`` declares a relation of the
   current peer; without a ``key`` clause the whole tuple is the key;
@@ -68,9 +73,31 @@ _RELATION_RE = re.compile(
 )
 _TRUST_RE = re.compile(r"trust\s+(?P<peer>\*|\w+)\s+(?P<priority>\d+)\s*$")
 _EXECUTION_RE = re.compile(r"execution\s+(?P<backend>\w+)\s*$")
+_OBSERVE_RE = re.compile(r"observe(?P<tokens>(?:\s+\w+)+)\s*$")
 
 #: Backends an ``execution`` declaration accepts.
 _EXECUTION_BACKENDS = ("python", "sql")
+
+#: Modes an ``observe`` declaration accepts (matching
+#: :attr:`~repro.config.StoreConfig.observability`).
+_OBSERVE_MODES = ("off", "metrics", "trace")
+
+
+def _observe_from_tokens(tokens: Sequence[str], context: str) -> str:
+    """Collapse ``observe`` tokens to one effective mode (trace > metrics)."""
+    unknown = [token for token in tokens if token not in _OBSERVE_MODES]
+    if unknown:
+        raise SpecError(
+            f"{context}: observe mode must be one of {', '.join(_OBSERVE_MODES)}; "
+            f"got {unknown[0]!r}"
+        )
+    if "off" in tokens and len(set(tokens)) > 1:
+        raise SpecError(f"{context}: 'observe off' cannot be combined with other modes")
+    if "trace" in tokens:
+        return "trace"
+    if "metrics" in tokens:
+        return "metrics"
+    return "off"
 
 
 @dataclass
@@ -261,8 +288,11 @@ class NetworkSpec:
     #: Optional rule execution backend ("python" closure executor vs "sql"
     #: pushdown); ``None`` defers to :class:`~repro.config.ExchangeConfig`.
     execution: Optional[str] = None
+    #: Optional observability mode ("metrics" or "trace"); ``None`` defers
+    #: to :class:`~repro.config.StoreConfig` (off by default).
+    observe: Optional[str] = None
     #: Source locations of top-level declarations, when parsed from text:
-    #: ``"network"``, ``"store"``, ``"sync"``, ``"execution"``.
+    #: ``"network"``, ``"store"``, ``"sync"``, ``"execution"``, ``"observe"``.
     spans: dict[str, SourceSpan] = field(
         default_factory=dict, compare=False, repr=False
     )
@@ -288,6 +318,13 @@ class NetworkSpec:
                 f"execution backend must be 'python' or 'sql', got {self.execution!r}",
                 code=_codes.MALFORMED_SPEC,
                 span=self.spans.get("execution"),
+            )
+        if self.observe is not None and self.observe not in _OBSERVE_MODES:
+            raise SpecError(
+                f"observe mode must be one of {', '.join(_OBSERVE_MODES)}, "
+                f"got {self.observe!r}",
+                code=_codes.MALFORMED_SPEC,
+                span=self.spans.get("observe"),
             )
         for peer in self.peers.values():
             if not peer.relations:
@@ -359,6 +396,8 @@ class NetworkSpec:
             data["sync"] = self.sync.to_dict()
         if self.execution is not None:
             data["execution"] = self.execution
+        if self.observe is not None:
+            data["observe"] = self.observe
         return data
 
     def to_text(self) -> str:
@@ -369,6 +408,8 @@ class NetworkSpec:
             lines.append(self.sync.to_text_line())
         if self.execution is not None:
             lines.append(f"execution {self.execution}")
+        if self.observe is not None:
+            lines.append(f"observe {self.observe}")
         for peer in self.peers.values():
             header = f"peer {peer.name}"
             if peer.schema_name:
@@ -497,6 +538,27 @@ def _parse_text_spec(text: str) -> NetworkSpec:
                 )
             spec.execution = match.group("backend")
             spec.spans["execution"] = line_span(number, raw)
+            continue
+
+        if line.startswith("observe"):
+            if current is not None:
+                raise SpecError(
+                    f"line {number}: the observe declaration belongs at the "
+                    "top of the spec, before any peer section"
+                )
+            if spec.observe is not None:
+                raise SpecError(f"line {number}: the observe mode is declared twice")
+            match = _OBSERVE_RE.match(line)
+            if match is None:
+                raise SpecError(
+                    f"line {number}: malformed observe declaration {raw.strip()!r}"
+                )
+            spec.observe = _observe_from_tokens(
+                match.group("tokens").split(), f"line {number}"
+            )
+            if spec.observe == "off":
+                spec.observe = None  # "observe off" is the absent default.
+            spec.spans["observe"] = line_span(number, raw)
             continue
 
         if line.startswith("peer"):
@@ -668,6 +730,15 @@ def _parse_dict_spec(data: MappingType) -> NetworkSpec:
     execution_entry = data.get("execution")
     if execution_entry is not None:
         spec.execution = str(execution_entry)
+    observe_entry = data.get("observe")
+    if observe_entry is not None:
+        tokens = (
+            [str(token) for token in observe_entry]
+            if isinstance(observe_entry, (list, tuple))
+            else str(observe_entry).split()
+        )
+        mode = _observe_from_tokens(tokens, "the 'observe' entry")
+        spec.observe = mode if mode != "off" else None
     peers = data.get("peers")
     if not isinstance(peers, MappingType) or not peers:
         raise SpecError("dict specs need a non-empty 'peers' mapping")
@@ -731,6 +802,7 @@ def spec_of(cdss) -> NetworkSpec:
     spec.store = store_spec_of(cdss.store)
     spec.sync = sync_spec_of(cdss)
     spec.execution = execution_spec_of(cdss)
+    spec.observe = observe_spec_of(cdss)
     for peer in cdss.catalog.peers():
         policy = peer.trust
         if policy.conditions:
@@ -766,6 +838,16 @@ def execution_spec_of(cdss) -> Optional[str]:
     """
     backend = cdss.config.exchange.execution_backend
     return backend if backend != "python" else None
+
+
+def observe_spec_of(cdss) -> Optional[str]:
+    """The ``observe`` directive describing a running system's observability.
+
+    The off default maps to ``None`` (no ``observe`` line), so specs that
+    never mentioned observability round-trip unchanged.
+    """
+    mode = cdss.config.store.observability
+    return mode if mode != "off" else None
 
 
 def store_spec_of(store) -> Optional[StoreSpec]:

@@ -27,9 +27,21 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..errors import PeerError, SyncError
+from ..obs import NULL_SPAN as _NO_SPAN
 
 #: Rounds after which :func:`synchronize` gives up and raises SyncError.
 DEFAULT_MAX_ROUNDS = 25
+
+
+def metrics_enabled(cdss) -> bool:
+    """True when reports should carry the per-run metrics view."""
+    obs = getattr(cdss, "obs", None)
+    if obs is None:
+        return False
+    if obs.tracer is not None:
+        return True
+    config = getattr(cdss, "config", None)
+    return config is not None and config.store.observability != "off"
 
 
 @dataclass
@@ -91,6 +103,12 @@ class SyncReport:
     #: seconds on the network clock, backpressure stalls, peak in-flight
     #: transfers.  ``None`` when the serial loop ran the sync.
     runtime: Optional[dict] = None
+    #: Per-run view of the shared metrics registry (:mod:`repro.obs`):
+    #: counters moved during this sync plus current gauges, under stable
+    #: dotted names.  ``None`` unless ``StoreConfig.observability`` is
+    #: ``"metrics"``/``"trace"`` or a tracer was installed via
+    #: ``cdss.sync(trace=...)``.
+    metrics: Optional[dict] = None
 
     # -- aggregate views ------------------------------------------------------
     @property
@@ -176,6 +194,8 @@ class SyncReport:
             data["gossip"] = dict(self.gossip)
         if self.runtime is not None:
             data["runtime"] = dict(self.runtime)
+        if self.metrics is not None:
+            data["metrics"] = dict(self.metrics)
         return data
 
 
@@ -232,25 +252,30 @@ def sync_round(cdss, peers: Optional[Sequence[str]] = None, index: int = 1) -> S
     """Run one publish-then-reconcile pass over the selected (online) peers."""
     names = _selected_peers(cdss, peers)
     round_ = SyncRound(index=index)
-    publish = cdss.publish_all(names)
-    round_.published = publish.outcomes
-    round_.skipped_offline = publish.skipped_offline
-    _account_publish_traffic(cdss, round_)
-    gossip = getattr(cdss, "gossip", None)
-    if gossip is not None and round_.published_transactions > 0:
-        # Epidemic anti-entropy phase: spread the round's publications
-        # peer-to-peer before anyone reconciles, so the reconcile pass below
-        # reads from converged local caches instead of the archive.  With
-        # nothing published there is nothing to spread — reconcile's own
-        # catch-up covers any stragglers — so the quiescent final round
-        # skips the session fan-out entirely instead of burning a full
-        # sketch exchange per partner just to confirm emptiness.
-        gossip.run_until_converged()
-    for name in names:
-        if name not in publish.skipped_offline:
-            outcome = cdss.reconcile(name)
-            round_.reconciled.append(outcome)
-            _account_reconcile_traffic(cdss, outcome)
+    obs = getattr(cdss, "obs", None)
+    with obs.span("sync.round", index=index) if obs is not None else _NO_SPAN:
+        publish = cdss.publish_all(names)
+        round_.published = publish.outcomes
+        round_.skipped_offline = publish.skipped_offline
+        _account_publish_traffic(cdss, round_)
+        gossip = getattr(cdss, "gossip", None)
+        if gossip is not None and round_.published_transactions > 0:
+            # Epidemic anti-entropy phase: spread the round's publications
+            # peer-to-peer before anyone reconciles, so the reconcile pass
+            # below reads from converged local caches instead of the
+            # archive.  With nothing published there is nothing to spread —
+            # reconcile's own catch-up covers any stragglers — so the
+            # quiescent final round skips the session fan-out entirely
+            # instead of burning a full sketch exchange per partner just to
+            # confirm emptiness.
+            gossip.run_until_converged()
+        for name in names:
+            if name not in publish.skipped_offline:
+                outcome = cdss.reconcile(name)
+                round_.reconciled.append(outcome)
+                _account_reconcile_traffic(cdss, outcome)
+    if obs is not None:
+        obs.metrics.counter_add("sync.rounds", 1)
     return round_
 
 
@@ -279,6 +304,8 @@ def synchronize(
     gossip = getattr(cdss, "gossip", None)
     gossip_before = gossip.stats.snapshot() if gossip is not None else None
     gossip_rounds_before = gossip.rounds_run if gossip is not None else 0
+    obs = getattr(cdss, "obs", None)
+    metrics_before = obs.metrics.snapshot() if obs is not None else None
     for index in range(1, max_rounds + 1):
         round_ = sync_round(cdss, names, index=index)
         report.rounds.append(round_)
@@ -286,12 +313,14 @@ def synchronize(
             report.converged = True
             break
     else:
-        finalize_report(cdss, report, gossip_before, gossip_rounds_before)
+        finalize_report(
+            cdss, report, gossip_before, gossip_rounds_before, metrics_before
+        )
         raise SyncError(
             f"synchronization did not reach quiescence within {max_rounds} rounds",
             report=report,
         )
-    finalize_report(cdss, report, gossip_before, gossip_rounds_before)
+    finalize_report(cdss, report, gossip_before, gossip_rounds_before, metrics_before)
     return report
 
 
@@ -300,6 +329,7 @@ def finalize_report(
     report: SyncReport,
     gossip_before=None,
     gossip_rounds_before: int = 0,
+    metrics_before=None,
 ) -> SyncReport:
     """Fill in the post-loop sections of a report (conflicts, health, gossip).
 
@@ -324,4 +354,6 @@ def finalize_report(
         report.gossip.update(
             gossip.summary(since=gossip_before, rounds_before=gossip_rounds_before)
         )
+    if metrics_before is not None and metrics_enabled(cdss):
+        report.metrics = cdss.obs.metrics.since(metrics_before)
     return report

@@ -125,6 +125,12 @@ class StoreConfig:
         sync_queue_depth: Bound on each peer's delivery queue (async
             runtime); a full queue blocks its producers (backpressure)
             instead of growing without bound.
+        observability: What the shared :mod:`repro.obs` layer records —
+            ``"off"`` (metrics registry only, reports unchanged — the
+            default), ``"metrics"`` (additionally attach the flat metrics
+            snapshot to ``SyncReport.metrics``), or ``"trace"`` (metrics
+            plus a deterministic span tracer stamped from the virtual
+            clock, exportable as Chrome-trace JSON).
     """
 
     backend: str = "centralized"
@@ -144,6 +150,7 @@ class StoreConfig:
     sync_runtime: str = "serial"
     sync_workers: int = 8
     sync_queue_depth: int = 4
+    observability: str = "off"
 
     def __post_init__(self) -> None:
         if self.backend not in ("centralized", "distributed"):
@@ -190,6 +197,11 @@ class StoreConfig:
             raise ConfigurationError("sync_workers must be >= 1")
         if self.sync_queue_depth < 1:
             raise ConfigurationError("sync_queue_depth must be >= 1")
+        if self.observability not in ("off", "metrics", "trace"):
+            raise ConfigurationError(
+                "observability must be 'off', 'metrics', or 'trace', "
+                f"got {self.observability!r}"
+            )
 
 
 @dataclass(frozen=True)

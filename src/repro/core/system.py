@@ -35,6 +35,7 @@ from ..exchange.engine import ExchangeEngine
 from ..exchange.migration import migrate_instance
 from ..exchange.rules import compile_mappings
 from ..exchange.translation import CandidateTransaction, UpdateTranslator
+from ..obs import Tracer, write_chrome_trace
 from ..p2p.distributed import store_from_config
 from ..p2p.gossip import GossipCoordinator
 from ..p2p.network import Network
@@ -158,6 +159,12 @@ class CDSS:
         self.catalog = Catalog()
         self.clock = LogicalClock()
         self.network = Network()
+        # One observability holder for the whole system: the network owns
+        # it (traffic counters land there even before the CDSS exists) and
+        # every other layer shares the same registry/tracer slots.
+        self.obs = self.network.obs
+        if self.config.store.observability == "trace":
+            self.obs.tracer = Tracer(self.network.clock)
         factory = store_factory if store_factory is not None else store_from_config
         self.store = factory(self.network, self.config.store)
         self.replication = ReplicationManager(
@@ -176,6 +183,7 @@ class CDSS:
                     max_attempts=store_config.sketch_attempts,
                 ),
                 fanout=store_config.gossip_fanout,
+                observability=self.obs,
             )
         self._engine: Optional[ExchangeEngine] = None
         self._translators: dict[str, UpdateTranslator] = {}
@@ -284,7 +292,9 @@ class CDSS:
                 [(peer.name, peer.schema) for peer in self.catalog.peers()],
                 self.catalog.mappings(),
             )
-            self._engine = ExchangeEngine(program, self.config.exchange)
+            self._engine = ExchangeEngine(
+                program, self.config.exchange, observability=self.obs
+            )
             # Replay anything already archived so late schema changes keep the
             # translated state consistent.
             for entry in self.store.all_entries():
@@ -353,21 +363,28 @@ class CDSS:
         if not pending:
             return outcome
 
-        # Make sure the exchange engine exists (and has replayed the archive)
-        # before new entries are appended, so nothing is processed twice.
-        engine = self.engine
-        entries = self.store.archive(pending, epoch, peer_name)
-        peer.log.mark_published(len(pending))
-        peer.clock.record_publication(epoch)
+        with self.obs.span("publish", peer=peer_name, epoch=epoch):
+            # Make sure the exchange engine exists (and has replayed the
+            # archive) before new entries are appended, so nothing is
+            # processed twice.
+            engine = self.engine
+            entries = self.store.archive(pending, epoch, peer_name)
+            peer.log.mark_published(len(pending))
+            peer.clock.record_publication(epoch)
 
-        if self.gossip is not None:
-            self.gossip.record_published(peer_name, entries)
+            if self.gossip is not None:
+                self.gossip.record_published(peer_name, entries)
 
-        for entry in entries:
-            self.replication.place(entry.txn_id, peer_name)
-            delta = engine.process_transaction(entry.transaction)
-            outcome.published.append(entry.txn_id)
-            outcome.translated_changes += delta.change_count()
+            for entry in entries:
+                self.replication.place(entry.txn_id, peer_name)
+                delta = engine.process_transaction(entry.transaction)
+                outcome.published.append(entry.txn_id)
+                outcome.translated_changes += delta.change_count()
+        metrics = self.obs.metrics
+        metrics.counter_add("sync.publications", 1, label=peer_name)
+        metrics.counter_add(
+            "sync.published_transactions", len(outcome.published), label=peer_name
+        )
         return outcome
 
     def publish_all(self, peer_names: Optional[Sequence[str]] = None) -> PublishAllOutcome:
@@ -395,6 +412,13 @@ class CDSS:
 
         engine = self.engine
         watermark = peer.clock.last_reconciled_epoch
+        span = self.obs.span("reconcile", peer=peer_name, watermark=watermark)
+        with span:
+            return self._reconcile_inner(peer, peer_name, engine, watermark)
+
+    def _reconcile_inner(
+        self, peer: Peer, peer_name: str, engine: ExchangeEngine, watermark: int
+    ) -> ReconcileOutcome:
         if self.gossip is not None:
             # Gossip mode: catch the peer's local entry cache up with the
             # archive (a two-message no-op when the epidemic rounds already
@@ -426,6 +450,11 @@ class CDSS:
             epoch=epoch,
         )
         peer.clock.record_reconciliation(self.store.latest_epoch())
+        metrics = self.obs.metrics
+        metrics.counter_add("sync.reconciliations", 1, label=peer_name)
+        metrics.counter_add(
+            "sync.candidates_considered", len(candidates), label=peer_name
+        )
         return ReconcileOutcome(
             peer=peer_name,
             epoch=epoch,
@@ -439,6 +468,7 @@ class CDSS:
         peers: Optional[Sequence[str]] = None,
         max_rounds: Optional[int] = None,
         runtime: Optional[str] = None,
+        trace=None,
     ):
         """Publish and reconcile across the network until quiescence.
 
@@ -454,8 +484,30 @@ class CDSS:
         :attr:`~repro.config.StoreConfig.sync_runtime`.  Both produce
         identical reports; they differ in how simulated network traffic
         occupies the virtual clock.
+
+        ``trace`` controls span tracing for this and later calls:
+        ``True`` installs a deterministic :class:`~repro.obs.Tracer` on
+        the system's shared observability holder (keeping an existing
+        one), a :class:`~repro.obs.Tracer` instance installs that tracer,
+        and ``False`` removes the current tracer.  Whenever a tracer is
+        active — or ``StoreConfig.observability`` is not ``"off"`` — the
+        returned report carries the per-run metrics view in
+        ``report.metrics``.
         """
         from ..api.sync import DEFAULT_MAX_ROUNDS, synchronize
+
+        if trace is not None:
+            if trace is False:
+                self.obs.tracer = None
+            elif trace is True:
+                if self.obs.tracer is None:
+                    self.obs.tracer = Tracer(self.network.clock)
+            elif isinstance(trace, Tracer):
+                self.obs.tracer = trace
+            else:
+                raise ConfigurationError(
+                    f"trace must be True, False, or a Tracer, got {trace!r}"
+                )
 
         selected = runtime if runtime is not None else self.config.store.sync_runtime
         if selected not in ("serial", "async"):
@@ -510,6 +562,26 @@ class CDSS:
         peer = self.peer(peer_name)
         reconciler = self._reconcilers[peer_name]
         return resolve_conflict(peer, reconciler.state, winner_txn_id)
+
+    # -- observability ---------------------------------------------------------------------
+    def trace_events(self) -> list[dict]:
+        """The spans recorded so far (empty when tracing is off)."""
+        tracer = self.obs.tracer
+        return tracer.events() if tracer is not None else []
+
+    def write_trace(self, path: str) -> None:
+        """Write the recorded spans as Chrome-trace JSON (Perfetto-loadable)."""
+        tracer = self.obs.tracer
+        if tracer is None:
+            raise ConfigurationError(
+                "no tracer is active; sync(trace=True) or "
+                "StoreConfig(observability='trace') first"
+            )
+        write_chrome_trace(tracer, path)
+
+    def metrics_snapshot(self) -> dict:
+        """Flat cumulative view of the shared metrics registry."""
+        return self.obs.metrics.snapshot()
 
     # -- connectivity ----------------------------------------------------------------------
     def set_online(self, peer_name: str, online: bool) -> None:

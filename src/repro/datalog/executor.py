@@ -35,6 +35,7 @@ from collections import defaultdict
 from typing import Callable, Optional, Protocol, Sequence, runtime_checkable
 
 from ..errors import ConfigurationError, DatalogError
+from ..obs import NULL_SPAN
 from .plan import UNBOUND, CompiledProgram, CompiledRule
 
 #: ``recorder(label, (head_predicate, head_values), sources)`` — invoked once
@@ -114,16 +115,36 @@ def fire_rule(
     return derived
 
 
+def _traced_fire(
+    tracer,
+    compiled: CompiledRule,
+    database,
+    delta=None,
+    delta_position=None,
+    recorder: Optional[Recorder] = None,
+    stats: Optional[ExecutionStats] = None,
+) -> set[tuple]:
+    """One ``rule.fire`` span around :func:`fire_rule` (tracing paths only)."""
+    rule = compiled.rule
+    with tracer.span("rule.fire", rule=rule.label or rule.head.predicate):
+        return fire_rule(
+            compiled, database, delta, delta_position, recorder=recorder, stats=stats
+        )
+
+
 def run_stratum(
     stratum: Sequence[CompiledRule],
     database,
     recorder: Optional[Recorder] = None,
     stats: Optional[ExecutionStats] = None,
     max_iterations: int = 0,
+    tracer=None,
 ) -> dict[str, set[tuple]]:
     """Semi-naive fixpoint of one stratum; mutates ``database`` in place.
 
-    Returns the tuples newly derived in this stratum, per predicate.
+    Returns the tuples newly derived in this stratum, per predicate.  With
+    a ``tracer`` every rule application is wrapped in a ``rule.fire`` span;
+    the disabled path pays exactly one ``is None`` check per firing.
     """
     idb = {compiled.rule.head.predicate for compiled in stratum}
     all_new: dict[str, set[tuple]] = defaultdict(set)
@@ -132,7 +153,13 @@ def run_stratum(
     delta: dict[str, set[tuple]] = defaultdict(set)
     for compiled in stratum:
         head = compiled.rule.head.predicate
-        for values in fire_rule(compiled, database, recorder=recorder, stats=stats):
+        if tracer is None:
+            derived = fire_rule(compiled, database, recorder=recorder, stats=stats)
+        else:
+            derived = _traced_fire(
+                tracer, compiled, database, recorder=recorder, stats=stats
+            )
+        for values in derived:
             if database.add(head, values):
                 delta[head].add(values)
                 all_new[head].add(values)
@@ -154,9 +181,17 @@ def run_stratum(
                     continue  # Non-recursive occurrence: fully applied above.
                 if body[position].predicate not in delta:
                     continue
-                for values in fire_rule(
-                    compiled, database, delta, position, recorder=recorder, stats=stats
-                ):
+                if tracer is None:
+                    derived = fire_rule(
+                        compiled, database, delta, position,
+                        recorder=recorder, stats=stats,
+                    )
+                else:
+                    derived = _traced_fire(
+                        tracer, compiled, database, delta, position,
+                        recorder=recorder, stats=stats,
+                    )
+                for values in derived:
                     if database.add(head, values):
                         next_delta[head].add(values)
                         all_new[head].add(values)
@@ -174,6 +209,7 @@ def run_program(
     recorder: Optional[Recorder] = None,
     stats: Optional[ExecutionStats] = None,
     max_iterations: int = 0,
+    tracer=None,
 ) -> dict[str, set[tuple]]:
     """Evaluate a compiled program to fixpoint, stratum by stratum.
 
@@ -183,10 +219,18 @@ def run_program(
     """
     database.ensure_indexes(compiled.demanded_indexes)
     all_new: dict[str, set[tuple]] = {}
-    for stratum in compiled.strata:
-        for predicate, values in run_stratum(
-            stratum, database, recorder=recorder, stats=stats, max_iterations=max_iterations
-        ).items():
+    for index, stratum in enumerate(compiled.strata):
+        span = (
+            tracer.span("exchange.stratum", index=index, rules=len(stratum))
+            if tracer is not None
+            else NULL_SPAN
+        )
+        with span:
+            derived = run_stratum(
+                stratum, database, recorder=recorder, stats=stats,
+                max_iterations=max_iterations, tracer=tracer,
+            )
+        for predicate, values in derived.items():
             all_new.setdefault(predicate, set()).update(values)
     return all_new
 
@@ -253,6 +297,14 @@ class PythonExecutionBackend:
     """
 
     name = "python"
+    # Installed (as an instance attribute) by IncrementalEngine when the
+    # owning system carries an Observability holder; backends stay usable
+    # standalone with tracing and metrics simply absent.
+    observability = None
+
+    def _tracer(self):
+        obs = self.observability
+        return obs.active_tracer() if obs is not None else None
 
     def run_program(
         self,
@@ -263,7 +315,8 @@ class PythonExecutionBackend:
         max_iterations: int = 0,
     ) -> dict[str, set[tuple]]:
         return run_program(
-            compiled, database, recorder=recorder, stats=stats, max_iterations=max_iterations
+            compiled, database, recorder=recorder, stats=stats,
+            max_iterations=max_iterations, tracer=self._tracer(),
         )
 
     def propagate(
@@ -274,30 +327,49 @@ class PythonExecutionBackend:
         recorder: Optional[Recorder] = None,
         stats: Optional[ExecutionStats] = None,
     ) -> dict[str, set[tuple]]:
+        tracer = self._tracer()
         inserted: dict[str, set[tuple]] = defaultdict(set)
         # Derivations of earlier strata join the delta seen by later strata.
         accumulated = {predicate: set(values) for predicate, values in delta.items()}
-        for stratum in compiled.strata:
-            current = {
-                predicate: set(values) for predicate, values in accumulated.items()
-            }
-            while current:
-                next_delta: dict[str, set[tuple]] = defaultdict(set)
-                for rule in stratum:
-                    head = rule.rule.head.predicate
-                    body = rule.rule.body
-                    for position in rule.positive_positions:
-                        if body[position].predicate not in current:
-                            continue
-                        for values in fire_rule(
-                            rule, database, current, position,
-                            recorder=recorder, stats=stats,
-                        ):
-                            if database.add(head, values):
-                                next_delta[head].add(values)
-                                inserted[head].add(values)
-                                accumulated.setdefault(head, set()).add(values)
-                current = next_delta
+        for index, stratum in enumerate(compiled.strata):
+            span = (
+                tracer.span("exchange.stratum", index=index, rules=len(stratum))
+                if tracer is not None
+                else NULL_SPAN
+            )
+            with span:
+                current = {
+                    predicate: set(values) for predicate, values in accumulated.items()
+                }
+                while current:
+                    if stats is not None:
+                        stats.rounds += 1
+                    next_delta: dict[str, set[tuple]] = defaultdict(set)
+                    for rule in stratum:
+                        head = rule.rule.head.predicate
+                        body = rule.rule.body
+                        for position in rule.positive_positions:
+                            if body[position].predicate not in current:
+                                continue
+                            if tracer is None:
+                                derived = fire_rule(
+                                    rule, database, current, position,
+                                    recorder=recorder, stats=stats,
+                                )
+                            else:
+                                derived = _traced_fire(
+                                    tracer, rule, database, current, position,
+                                    recorder=recorder, stats=stats,
+                                )
+                            for values in derived:
+                                if database.add(head, values):
+                                    next_delta[head].add(values)
+                                    inserted[head].add(values)
+                                    accumulated.setdefault(head, set()).add(values)
+                    current = next_delta
+        if stats is not None:
+            for values in inserted.values():
+                stats.tuples_derived += len(values)
         return dict(inserted)
 
     def notify_removals(self, deleted: dict[str, set[tuple]]) -> None:

@@ -75,6 +75,7 @@ class IncrementalEngine:
         variable_namer=default_variable_namer,
         provenance_mode: str = "circuit",
         execution_backend: str | ExecutionBackend = "python",
+        observability=None,
     ) -> None:
         self._program = program
         self._backend: ExecutionBackend = (
@@ -82,6 +83,13 @@ class IncrementalEngine:
             if isinstance(execution_backend, str)
             else execution_backend
         )
+        # Backends carry the shared observability holder as an instance
+        # attribute (rather than widening the protocol's call signatures);
+        # they re-read ``observability.tracer`` at fire time, so tracers
+        # installed after construction are picked up.
+        if observability is not None:
+            self._backend.observability = observability
+        self._observability = observability
         self._compiled: CompiledProgram = compile_program(program)
         self._compiled_key: tuple = tuple(program.rules)
         self._track_provenance = track_provenance
@@ -90,6 +98,8 @@ class IncrementalEngine:
         self._graph: Optional[ProvenanceGraph] = (
             ProvenanceGraph(evaluation_mode=provenance_mode) if track_provenance else None
         )
+        if self._graph is not None and observability is not None:
+            self._graph.observability = observability
         self._database = Database()
         self._ensure_demanded_indexes()
         self._base = Database()
@@ -304,6 +314,8 @@ class IncrementalEngine:
                 store=self._graph.circuit,
                 evaluation_mode=self._provenance_mode,
             )
+            if self._observability is not None:
+                self._graph.observability = self._observability
             result = evaluate_with_provenance(
                 self._program,
                 self._base,

@@ -69,6 +69,7 @@ from functools import lru_cache
 from typing import Iterable, Optional
 
 from ..errors import DatalogError, StorageError
+from ..obs import NULL_SPAN
 from .ast import Atom, Comparison, Constant, Rule, SkolemTerm, Variable
 from .executor import (
     ExecutionStats,
@@ -678,6 +679,19 @@ class SQLExecutionBackend:
     #: indexes are never probed, so callers need not pre-build them.
     uses_database_indexes = False
 
+    #: Installed (as an instance attribute) by IncrementalEngine when the
+    #: owning system carries an Observability holder.
+    observability = None
+
+    def _tracer(self):
+        obs = self.observability
+        return obs.active_tracer() if obs is not None else None
+
+    def _span(self, tracer, index: int, stratum) -> object:
+        if tracer is None:
+            return NULL_SPAN
+        return tracer.span("exchange.stratum", index=index, rules=len(stratum))
+
     def __init__(self) -> None:
         self._connection = sqlite3.connect(":memory:")
         self._connection.isolation_level = None  # autocommit; purely in-memory
@@ -1073,56 +1087,59 @@ class SQLExecutionBackend:
         program_key, program = self._program_for(compiled)
         if isinstance(program, _Fallback):
             self._db_ref = None
+            self._python.observability = self.observability
             return self._python.run_program(
                 compiled, database, recorder=recorder, stats=stats,
                 max_iterations=max_iterations,
             )
+        tracer = self._tracer()
         all_new: dict[str, set[tuple]] = {}
         with self._mirror_transaction():
             self._load_mirror(program, database)
             self._program_key = program_key
             direct = recorder is None
-            for stratum in program.strata:
-                idb = {entry.head_predicate for entry in stratum}
-                head_keys = {entry.head_key for entry in stratum}
-                pending = {} if direct else None
-                for entry in stratum:
-                    rows = self._execute_statement(entry, entry.plain, recorder, stats)
-                    if direct and rows:
-                        pending.setdefault(entry.head_key, []).extend(rows)
-                new_rows = self._promote(program, head_keys, database, pending)
-                current = set()
-                for (predicate, _), values in new_rows.items():
-                    if values:
-                        current.add(predicate)
-                        all_new.setdefault(predicate, set()).update(values)
-                iterations = 1
-                while current:
-                    if max_iterations and iterations >= max_iterations:
-                        raise DatalogError(
-                            f"evaluation did not converge within {max_iterations} iterations"
-                        )
-                    if stats is not None:
-                        stats.rounds += 1
-                    touched: set[tuple[str, int]] = set()
+            for index, stratum in enumerate(program.strata):
+                with self._span(tracer, index, stratum):
+                    idb = {entry.head_predicate for entry in stratum}
+                    head_keys = {entry.head_key for entry in stratum}
                     pending = {} if direct else None
                     for entry in stratum:
-                        body = entry.rule.body
-                        for position, statement in entry.deltas.items():
-                            predicate = body[position].predicate
-                            if predicate not in idb or predicate not in current:
-                                continue
-                            rows = self._execute_statement(entry, statement, recorder, stats)
-                            if direct and rows:
-                                pending.setdefault(entry.head_key, []).extend(rows)
-                            touched.add(entry.head_key)
-                    new_rows = self._promote(program, touched, database, pending)
+                        rows = self._execute_statement(entry, entry.plain, recorder, stats)
+                        if direct and rows:
+                            pending.setdefault(entry.head_key, []).extend(rows)
+                    new_rows = self._promote(program, head_keys, database, pending)
                     current = set()
                     for (predicate, _), values in new_rows.items():
                         if values:
                             current.add(predicate)
                             all_new.setdefault(predicate, set()).update(values)
-                    iterations += 1
+                    iterations = 1
+                    while current:
+                        if max_iterations and iterations >= max_iterations:
+                            raise DatalogError(
+                                f"evaluation did not converge within {max_iterations} iterations"
+                            )
+                        if stats is not None:
+                            stats.rounds += 1
+                        touched: set[tuple[str, int]] = set()
+                        pending = {} if direct else None
+                        for entry in stratum:
+                            body = entry.rule.body
+                            for position, statement in entry.deltas.items():
+                                predicate = body[position].predicate
+                                if predicate not in idb or predicate not in current:
+                                    continue
+                                rows = self._execute_statement(entry, statement, recorder, stats)
+                                if direct and rows:
+                                    pending.setdefault(entry.head_key, []).extend(rows)
+                                touched.add(entry.head_key)
+                        new_rows = self._promote(program, touched, database, pending)
+                        current = set()
+                        for (predicate, _), values in new_rows.items():
+                            if values:
+                                current.add(predicate)
+                                all_new.setdefault(predicate, set()).update(values)
+                        iterations += 1
         if stats is not None:
             for values in all_new.values():
                 stats.tuples_derived += len(values)
@@ -1139,9 +1156,11 @@ class SQLExecutionBackend:
         program_key, program = self._program_for(compiled)
         if isinstance(program, _Fallback):
             self._db_ref = None
+            self._python.observability = self.observability
             return self._python.propagate(
                 compiled, database, delta, recorder=recorder, stats=stats
             )
+        tracer = self._tracer()
         inserted: dict[str, set[tuple]] = defaultdict(set)
         direct = recorder is None
         with self._mirror_transaction():
@@ -1153,7 +1172,7 @@ class SQLExecutionBackend:
                 staged = False
 
             accumulated = {predicate: set(values) for predicate, values in delta.items()}
-            for stratum in program.strata:
+            for index, stratum in enumerate(program.strata):
                 # Skip strata no delta predicate can fire — the common case for
                 # the small per-transaction deltas of the exchange engine.
                 stratum_reads = {
@@ -1163,33 +1182,39 @@ class SQLExecutionBackend:
                 }
                 if not (stratum_reads & {p for p, v in accumulated.items() if v}):
                     continue
-                if staged:
-                    # The warm-path fold already staged exactly this delta.
-                    staged = False
-                else:
-                    self._stage_delta_tables(program, accumulated, database=database)
-                current = {predicate for predicate, values in accumulated.items() if values}
-                while current:
-                    touched: set[tuple[str, int]] = set()
-                    pending = {} if direct else None
-                    for entry in stratum:
-                        body = entry.rule.body
-                        for position, statement in entry.deltas.items():
-                            if body[position].predicate not in current:
-                                continue
-                            rows = self._execute_statement(entry, statement, recorder, stats)
-                            if direct and rows:
-                                pending.setdefault(entry.head_key, []).extend(rows)
-                            touched.add(entry.head_key)
-                    if not touched:
-                        break
-                    new_rows = self._promote(program, touched, database, pending)
-                    current = set()
-                    for (predicate, _), values in new_rows.items():
-                        if values:
-                            current.add(predicate)
-                            inserted[predicate].update(values)
-                            accumulated.setdefault(predicate, set()).update(values)
+                with self._span(tracer, index, stratum):
+                    if staged:
+                        # The warm-path fold already staged exactly this delta.
+                        staged = False
+                    else:
+                        self._stage_delta_tables(program, accumulated, database=database)
+                    current = {predicate for predicate, values in accumulated.items() if values}
+                    while current:
+                        if stats is not None:
+                            stats.rounds += 1
+                        touched: set[tuple[str, int]] = set()
+                        pending = {} if direct else None
+                        for entry in stratum:
+                            body = entry.rule.body
+                            for position, statement in entry.deltas.items():
+                                if body[position].predicate not in current:
+                                    continue
+                                rows = self._execute_statement(entry, statement, recorder, stats)
+                                if direct and rows:
+                                    pending.setdefault(entry.head_key, []).extend(rows)
+                                touched.add(entry.head_key)
+                        if not touched:
+                            break
+                        new_rows = self._promote(program, touched, database, pending)
+                        current = set()
+                        for (predicate, _), values in new_rows.items():
+                            if values:
+                                current.add(predicate)
+                                inserted[predicate].update(values)
+                                accumulated.setdefault(predicate, set()).update(values)
+        if stats is not None:
+            for values in inserted.values():
+                stats.tuples_derived += len(values)
         return dict(inserted)
 
     def _fold_delta(self, program: _ProgramSQL, delta: dict[str, set[tuple]]) -> bool:

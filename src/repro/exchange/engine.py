@@ -26,6 +26,7 @@ from ..core.updates import UpdateKind
 from ..datalog.ast import Fact, Program
 from ..datalog.incremental import IncrementalEngine
 from ..errors import PublicationError
+from ..obs import Observability
 from ..provenance.graph import ProvenanceGraph
 from .rules import derived_relation, published_relation, split_derived, is_published_relation
 
@@ -60,17 +61,41 @@ class TranslationDelta:
 class ExchangeEngine:
     """Processes published transactions and records their per-peer deltas."""
 
-    def __init__(self, program: Program, config: Optional[ExchangeConfig] = None) -> None:
+    def __init__(
+        self,
+        program: Program,
+        config: Optional[ExchangeConfig] = None,
+        observability: Optional[Observability] = None,
+    ) -> None:
         self._config = config or ExchangeConfig()
         self._program = program
+        self._obs = observability if observability is not None else Observability()
         self._engine = IncrementalEngine(
             program,
             track_provenance=self._config.track_provenance,
             provenance_mode=self._config.provenance_mode,
             execution_backend=self._config.execution_backend,
+            observability=self._obs,
         )
         self._deltas: dict[str, TranslationDelta] = {}
         self._processed_order: list[str] = []
+        # High-water marks of the executor counters already mirrored into
+        # the metrics registry (the ``exchange.*`` series); the executor's
+        # ``ExecutionStats`` are cumulative, so each mirror pass adds only
+        # the movement since the last one.
+        self._mirrored_stats: dict[str, int] = {
+            "rules_fired": 0,
+            "tuples_derived": 0,
+            "rounds": 0,
+        }
+        # The registry outlives engine rebuilds (CDSS recreates the engine
+        # on schema changes); remembering the counters at construction
+        # keeps ``statistics()`` scoped to *this* engine's work while the
+        # registry stays cumulative system-wide.
+        self._registry_baseline: dict[str, float] = {
+            name: self._obs.metrics.counter_value(f"exchange.{name}")
+            for name in self._mirrored_stats
+        }
 
     # -- accessors ---------------------------------------------------------
     @property
@@ -170,18 +195,21 @@ class ExchangeEngine:
         inserted: dict[str, list[tuple[str, tuple]]] = defaultdict(list)
         deleted: dict[str, list[tuple[str, tuple]]] = defaultdict(list)
 
-        if delete_facts:
-            result = self._engine.apply_deletions(delete_facts)
-            self._collect(result.deleted, deleted)
-        if insert_facts:
-            result = self._engine.apply_insertions(insert_facts)
-            self._collect(result.inserted, inserted)
-        if not self._config.incremental:
-            # Ablation baseline (ABL-INCREMENTAL): rebuild the derived state
-            # from the base facts after every transaction instead of relying
-            # on the propagated deltas.  The deltas reported above are
-            # unchanged — only the maintenance cost differs.
-            self._engine.recompute()
+        with self._obs.span(
+            "exchange.txn", txn=transaction.txn_id, origin=origin
+        ):
+            if delete_facts:
+                result = self._engine.apply_deletions(delete_facts)
+                self._collect(result.deleted, deleted)
+            if insert_facts:
+                result = self._engine.apply_insertions(insert_facts)
+                self._collect(result.inserted, inserted)
+            if not self._config.incremental:
+                # Ablation baseline (ABL-INCREMENTAL): rebuild the derived
+                # state from the base facts after every transaction instead
+                # of relying on the propagated deltas.  The deltas reported
+                # above are unchanged — only the maintenance cost differs.
+                self._engine.recompute()
 
         delta = TranslationDelta(
             txn_id=transaction.txn_id,
@@ -192,6 +220,15 @@ class ExchangeEngine:
         )
         self._deltas[transaction.txn_id] = delta
         self._processed_order.append(transaction.txn_id)
+        metrics = self._obs.metrics
+        metrics.counter_add("exchange.transactions", 1, label=origin)
+        insertions = sum(len(changes) for changes in inserted.values())
+        deletions = sum(len(changes) for changes in deleted.values())
+        if insertions:
+            metrics.counter_add("exchange.delta.insertions", insertions)
+        if deletions:
+            metrics.counter_add("exchange.delta.deletions", deletions)
+        self._mirror_execution_stats()
         return delta
 
     def process_transactions(
@@ -217,13 +254,48 @@ class ExchangeEngine:
         """Recompute the derived state from scratch (ablation baseline)."""
         self._engine.recompute()
 
+    def _mirror_execution_stats(self) -> None:
+        """Fold executor-counter movement into the ``exchange.*`` metrics.
+
+        Both execution backends account into the same cumulative
+        :class:`~repro.datalog.executor.ExecutionStats`, so this single
+        mirror covers the Python closure executor and the SQL pushdown
+        alike — the registry is where their counts are compared.
+        """
+        stats = self._engine.stats
+        metrics = self._obs.metrics
+        mirrored = self._mirrored_stats
+        for name in ("rules_fired", "tuples_derived", "rounds"):
+            current = getattr(stats, name)
+            moved = current - mirrored[name]
+            if moved:
+                metrics.counter_add(f"exchange.{name}", moved)
+                mirrored[name] = current
+
     def statistics(self) -> dict[str, int]:
-        """Engine-level counters used by the benchmarks."""
+        """Engine-level counters used by the benchmarks.
+
+        The executor counters are served from the shared metrics registry
+        (the ``exchange.*`` series) — a thin view kept in lockstep with the
+        raw :class:`~repro.datalog.executor.ExecutionStats` by
+        :meth:`_mirror_execution_stats`.
+        """
         graph = self._engine.graph
         tuple_nodes, derivation_nodes = graph.size() if graph is not None else (0, 0)
         circuit_nodes, circuit_edges = (
             graph.circuit_size() if graph is not None else (0, 0)
         )
+        self._mirror_execution_stats()
+        metrics = self._obs.metrics
+        metrics.gauge_set("exchange.database_tuples", len(self._engine.database))
+        metrics.gauge_set("provenance.circuit.nodes", circuit_nodes)
+        metrics.gauge_set("provenance.circuit.edges", circuit_edges)
+        lookups = metrics.counter_value("provenance.circuit.memo_lookups")
+        if lookups:
+            metrics.gauge_set(
+                "provenance.circuit.memo_hit_rate",
+                metrics.counter_value("provenance.circuit.memo_hits") / lookups,
+            )
         return {
             "processed_transactions": len(self._processed_order),
             "database_tuples": len(self._engine.database),
@@ -231,5 +303,12 @@ class ExchangeEngine:
             "provenance_derivations": derivation_nodes,
             "provenance_circuit_nodes": circuit_nodes,
             "provenance_circuit_edges": circuit_edges,
-            "rules_fired": self._engine.stats.rules_fired,
+            "rules_fired": int(
+                metrics.counter_value("exchange.rules_fired")
+                - self._registry_baseline["rules_fired"]
+            ),
+            "tuples_derived": int(
+                metrics.counter_value("exchange.tuples_derived")
+                - self._registry_baseline["tuples_derived"]
+            ),
         }

@@ -1,0 +1,84 @@
+"""Trace and metrics exports: Chrome trace-event JSON + validators.
+
+The trace format is the Chrome/Perfetto *JSON Array Format* restricted
+to complete (``"ph": "X"``) events inside a ``{"traceEvents": [...]}``
+envelope — open the file at https://ui.perfetto.dev (or
+``chrome://tracing``) to get the flame view.  Serialisation is
+canonical (sorted keys, no whitespace) so byte-identical traces are the
+determinism oracle, not just semantically-equal ones.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .metrics import validate_metric_name
+
+_REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+def chrome_trace(tracer: Any) -> Dict[str, Any]:
+    """The Chrome trace-event envelope for a tracer's recorded spans."""
+    return {
+        "displayTimeUnit": "ms",
+        "traceEvents": tracer.events(),
+    }
+
+
+def trace_json(tracer: Any) -> str:
+    """Canonical (byte-stable) JSON serialisation of the trace."""
+    return json.dumps(chrome_trace(tracer), sort_keys=True, separators=(",", ":"))
+
+
+def write_chrome_trace(tracer: Any, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(trace_json(tracer))
+        handle.write("\n")
+
+
+def validate_chrome_trace(payload: Any) -> List[str]:
+    """Schema problems of a parsed trace payload (empty when valid).
+
+    Checks the envelope, the per-event required keys for complete
+    events, timestamp sanity (non-negative ``ts``, positive ``dur``),
+    and that ``args`` — when present — is a JSON object.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["trace payload must be a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace payload must carry a 'traceEvents' array"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: events must be objects")
+            continue
+        if event.get("ph") != "X":
+            problems.append(f"{where}: expected a complete ('X') event")
+            continue
+        for key in _REQUIRED_EVENT_KEYS:
+            if key not in event:
+                problems.append(f"{where}: missing required key {key!r}")
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: 'name' must be a non-empty string")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: 'ts' must be a non-negative number")
+        dur = event.get("dur")
+        if not isinstance(dur, (int, float)) or dur <= 0:
+            problems.append(f"{where}: 'dur' must be a positive number")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"{where}: 'args' must be an object when present")
+    return problems
+
+
+def validate_metric_keys(snapshot: Dict[str, Any]) -> List[str]:
+    """Naming problems across every key of a metrics snapshot."""
+    problems: List[str] = []
+    for key in sorted(snapshot):
+        problems.extend(validate_metric_name(key))
+    return problems

@@ -1,0 +1,159 @@
+"""Deterministic span tracer driven by the virtual clock.
+
+Spans are Chrome-trace ``"X"`` (complete) events: one dict per span with
+a start timestamp and a duration, both in microseconds.  Timestamps come
+from the network's :class:`~repro.p2p.network.VirtualClock` — the only
+time source the simulation has — so a trace is a pure function of the
+seed.  Because most compute takes *zero* virtual time, raw clock reads
+collide; the tracer therefore keeps a monotonic cursor and advances it
+by a sub-microsecond epsilon on every read.  Entering a span before its
+children and exiting after them then guarantees strict ``ts``/``dur``
+containment, which is exactly what Perfetto uses to nest same-thread
+slices.
+
+The disabled path allocates nothing: :class:`NullTracer.span` returns
+the process-wide :data:`NULL_SPAN` singleton, and hot loops skip even
+that call by checking ``tracer is None`` / ``tracer.enabled`` first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .metrics import MetricsRegistry
+
+#: Sub-microsecond tick separating events that share a virtual instant.
+_EPSILON_US = 0.001
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer-shaped object whose every span is :data:`NULL_SPAN`."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, **args: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def events(self) -> List[Dict[str, Any]]:
+        return []
+
+
+class _Span:
+    """Context manager recording one complete ("X") trace event."""
+
+    __slots__ = ("_tracer", "name", "args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = self._tracer._tick()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        tracer = self._tracer
+        end = tracer._tick()
+        event: Dict[str, Any] = {
+            "name": self.name,
+            "ph": "X",
+            "ts": round(self._start, 3),
+            "dur": round(end - self._start, 3),
+            "pid": 1,
+            "tid": 1,
+        }
+        if self.args:
+            event["args"] = self.args
+        tracer._events.append(event)
+        return False
+
+
+class Tracer:
+    """Records nested spans with deterministic virtual-time stamps.
+
+    ``clock`` is any object with a ``now`` attribute in (virtual)
+    seconds; ``None`` falls back to a pure logical timeline where only
+    the epsilon cursor advances.  Span ``args`` must already be
+    JSON-serialisable and deterministic (no ids, no wall-clock).
+    """
+
+    __slots__ = ("_clock", "_events", "_cursor")
+    enabled = True
+
+    def __init__(self, clock: Optional[Any] = None) -> None:
+        self._clock = clock
+        self._events: List[Dict[str, Any]] = []
+        self._cursor = 0.0
+
+    def _tick(self) -> float:
+        base = 0.0
+        if self._clock is not None:
+            base = self._clock.now * 1_000_000.0
+        cursor = self._cursor + _EPSILON_US
+        if base > cursor:
+            cursor = base
+        self._cursor = cursor
+        return cursor
+
+    def span(self, name: str, **args: Any) -> _Span:
+        return _Span(self, name, args)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Completed events, in exit order (children before parents)."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._cursor = 0.0
+
+
+class Observability:
+    """One holder threaded through every layer: metrics + optional tracer.
+
+    The registry is always live (its cost is a few dict updates); the
+    tracer slot is ``None`` until tracing is requested, and components
+    re-read it at call time so ``cdss.sync(trace=True)`` can install a
+    tracer on an already-built network.
+    """
+
+    __slots__ = ("metrics", "tracer")
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+
+    def span(self, name: str, **args: Any) -> Any:
+        """Span under the current tracer, or the shared no-op span."""
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return NULL_SPAN
+        return tracer.span(name, **args)
+
+    def active_tracer(self) -> Optional[Tracer]:
+        """The tracer when enabled, else ``None`` (hot-path pre-check)."""
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            return tracer
+        return None

@@ -235,6 +235,7 @@ class DistributedUpdateStore:
         #: take part in a round, and health() reports each replica's age.
         self._anti_entropy_clock = 0
         self._entries_transferred = 0
+        self._obs = network.obs
         network.subscribe(self._on_connectivity)
 
     # -- knobs -------------------------------------------------------------------
@@ -454,37 +455,43 @@ class DistributedUpdateStore:
         )
         segment = self._segment_of(epoch)
         shard = self._ring.shard_for(segment)
-        replicas = self._replica_set(shard)
-        if sum(1 for replica in replicas if self._reachable(replica)) < min(
-            self._replication_factor, len(self._network.online_peers())
+        metrics = self._obs.metrics
+        with self._obs.span(
+            "store.quorum_write", shard=shard, epoch=epoch, publisher=publisher
         ):
-            self._repair_shard(shard)
-            replicas = self._replicas[shard]
-        archived = []
-        for transaction in batch:
-            stamped = transaction.with_epoch(epoch)
-            entry = PublishedTransaction(
-                transaction=stamped,
-                epoch=epoch,
-                sequence=self._next_sequence,
-                publisher=publisher,
-            )
-            acks = 0
-            for replica in replicas:
-                if self._reachable(replica) and replica.add(entry, segment):
-                    acks += 1
-            if acks == 0:
-                raise QuorumError(
-                    f"no replica of shard {shard} is reachable; cannot archive "
-                    f"transaction {transaction.txn_id!r}"
+            replicas = self._replica_set(shard)
+            if sum(1 for replica in replicas if self._reachable(replica)) < min(
+                self._replication_factor, len(self._network.online_peers())
+            ):
+                self._repair_shard(shard)
+                replicas = self._replicas[shard]
+            archived = []
+            for transaction in batch:
+                stamped = transaction.with_epoch(epoch)
+                entry = PublishedTransaction(
+                    transaction=stamped,
+                    epoch=epoch,
+                    sequence=self._next_sequence,
+                    publisher=publisher,
                 )
-            if acks < self._write_quorum:
-                self._degraded_writes += 1
-            self._next_sequence += 1
-            self._latest_epoch = max(self._latest_epoch, epoch)
-            self._shard_sequences.setdefault(shard, set()).add(entry.sequence)
-            self._ids.add(transaction.txn_id)
-            archived.append(entry)
+                acks = 0
+                for replica in replicas:
+                    if self._reachable(replica) and replica.add(entry, segment):
+                        acks += 1
+                if acks == 0:
+                    raise QuorumError(
+                        f"no replica of shard {shard} is reachable; cannot archive "
+                        f"transaction {transaction.txn_id!r}"
+                    )
+                metrics.counter_add("store.quorum.writes", 1)
+                if acks < self._write_quorum:
+                    self._degraded_writes += 1
+                    metrics.counter_add("store.quorum.degraded_writes", 1)
+                self._next_sequence += 1
+                self._latest_epoch = max(self._latest_epoch, epoch)
+                self._shard_sequences.setdefault(shard, set()).add(entry.sequence)
+                self._ids.add(transaction.txn_id)
+                archived.append(entry)
         return archived
 
     # -- quorum reads ------------------------------------------------------------
@@ -504,13 +511,17 @@ class DistributedUpdateStore:
                 f"shard {shard} has no reachable replica "
                 f"(hosts: {sorted(replica.host for replica in replicas)})"
             )
-        # Read the most complete replicas first so a freshly re-added (still
-        # catching-up) quorum member cannot shadow a complete one.
-        reachable.sort(key=lambda replica: (-len(replica), self._rank(shard, replica.host)))
-        merged: dict[int, PublishedTransaction] = {}
-        for replica in reachable[: self._read_quorum]:
-            for entry in replica.log.since(epoch, exclude_publisher):
-                merged[entry.sequence] = entry
+        with self._obs.span("store.quorum_read", shard=shard):
+            self._obs.metrics.counter_add("store.quorum.reads", 1)
+            # Read the most complete replicas first so a freshly re-added
+            # (still catching-up) quorum member cannot shadow a complete one.
+            reachable.sort(
+                key=lambda replica: (-len(replica), self._rank(shard, replica.host))
+            )
+            merged: dict[int, PublishedTransaction] = {}
+            for replica in reachable[: self._read_quorum]:
+                for entry in replica.log.since(epoch, exclude_publisher):
+                    merged[entry.sequence] = entry
         return list(merged.values())
 
     def _read_all_shards(
@@ -637,6 +648,13 @@ class DistributedUpdateStore:
                 }
             )
         under = self.under_replicated()
+        metrics = self._obs.metrics
+        metrics.gauge_set("store.replication.repairs", self._re_replications)
+        metrics.gauge_set("store.anti_entropy.rounds", self._anti_entropy_rounds)
+        metrics.gauge_set(
+            "store.anti_entropy.entries_transferred", self._entries_transferred
+        )
+        metrics.gauge_set("store.shards.under_replicated", len(under))
         return {
             "backend": "distributed",
             "shards": self.shard_count,

@@ -73,13 +73,17 @@ class GossipCoordinator:
         store,
         config: ReconcileConfig = ReconcileConfig(),
         fanout: int = 2,
+        observability=None,
     ) -> None:
         if fanout < 1:
             raise SyncError("gossip fanout must be at least 1")
         self.fanout = fanout
         self._network = network
+        self._obs = observability if observability is not None else network.obs
         self._store_view = StoreView(store)
-        self._reconciler = SetReconciler(config, network=network)
+        self._reconciler = SetReconciler(
+            config, network=network, observability=self._obs
+        )
         self._caches: dict[str, EntryCache] = {}
         self._round = 0
 
@@ -143,9 +147,13 @@ class GossipCoordinator:
         online = self._online_members()
         before = self.stats.snapshot()
         delivered = 0
-        for peer in online:
-            for partner in self._partners(peer, online):
-                delivered += self._session(peer, partner).delivered
+        with self._obs.span(
+            "gossip.round", index=self._round, participants=len(online)
+        ):
+            for peer in online:
+                for partner in self._partners(peer, online):
+                    delivered += self._session(peer, partner).delivered
+        self._obs.metrics.counter_add("gossip.rounds", 1)
         delta = self.stats.since(before)
         return {
             "round": self._round,

@@ -34,6 +34,7 @@ from typing import Callable, Iterable, Optional
 
 from ..core.hashing import stable_hash
 from ..errors import NetworkError
+from ..obs import Observability
 
 #: Default bound on the in-memory connectivity trace.
 DEFAULT_TRACE_LIMIT = 4096
@@ -159,11 +160,11 @@ class Network:
         self._disconnects: dict[str, int] = {}
         # Message accounting, fed by the reconciliation layer.  The event
         # trace is bounded like the connectivity trace; the aggregate
-        # counters keep counting past the cap.
+        # counters live on the shared metrics registry (``net.*`` series,
+        # labelled per participant) and keep counting past the cap.
         self._message_step = 0
         self._message_trace: deque[MessageEvent] = deque(maxlen=trace_limit)
-        self._sent: dict[str, list[int]] = {}      # peer -> [messages, bytes]
-        self._received: dict[str, list[int]] = {}
+        self.obs = Observability()
         # Simulated time: a latency model (None = instantaneous links) and
         # the virtual clock its delays advance.  Per-link sequence counters
         # feed the model's seeded delay stream.
@@ -303,12 +304,11 @@ class Network:
         self._message_trace.append(
             MessageEvent(self._message_step, sender, receiver, kind, size)
         )
-        self._sent.setdefault(sender, [0, 0])
-        self._sent[sender][0] += 1
-        self._sent[sender][1] += size
-        self._received.setdefault(receiver, [0, 0])
-        self._received[receiver][0] += 1
-        self._received[receiver][1] += size
+        metrics = self.obs.metrics
+        metrics.counter_add("net.messages.sent", 1, label=sender)
+        metrics.counter_add("net.bytes.sent", size, label=sender)
+        metrics.counter_add("net.messages.received", 1, label=receiver)
+        metrics.counter_add("net.bytes.received", size, label=receiver)
 
     def message_trace(self) -> list[MessageEvent]:
         """The most recent messages (bounded by ``trace_limit``)."""
@@ -319,21 +319,28 @@ class Network:
 
         Like :meth:`churn_stats`, the totals keep counting after the bounded
         event trace rolls over; ``trace_dropped`` says how many events the
-        cap discarded.
+        cap discarded.  This is a thin view over the shared metrics
+        registry's ``net.*`` series — the registry is the single source of
+        truth for traffic accounting.
         """
-        participants = sorted(set(self._sent) | set(self._received))
+        metrics = self.obs.metrics
+        messages_sent = metrics.labelled_counters("net.messages.sent")
+        messages_received = metrics.labelled_counters("net.messages.received")
+        bytes_sent = metrics.labelled_counters("net.bytes.sent")
+        bytes_received = metrics.labelled_counters("net.bytes.received")
+        participants = sorted(set(messages_sent) | set(messages_received))
         per_peer = {
             name: {
-                "sent": self._sent.get(name, [0, 0])[0],
-                "received": self._received.get(name, [0, 0])[0],
-                "bytes_sent": self._sent.get(name, [0, 0])[1],
-                "bytes_received": self._received.get(name, [0, 0])[1],
+                "sent": int(messages_sent.get(name, 0)),
+                "received": int(messages_received.get(name, 0)),
+                "bytes_sent": int(bytes_sent.get(name, 0)),
+                "bytes_received": int(bytes_received.get(name, 0)),
             }
             for name in participants
         }
         return {
-            "messages": self._message_step,
-            "bytes": sum(slot[1] for slot in self._sent.values()),
+            "messages": int(metrics.counter_value("net.messages.sent")),
+            "bytes": int(metrics.counter_value("net.bytes.sent")),
             "trace_retained": len(self._message_trace),
             "trace_dropped": self._message_step - len(self._message_trace),
             "per_peer": per_peer,

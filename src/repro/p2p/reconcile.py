@@ -43,6 +43,7 @@ from dataclasses import dataclass, fields
 from typing import Iterable, Optional, Union
 
 from ..errors import SketchError
+from ..obs import Observability
 from .network import Network
 from .sketch import (
     CompactClock,
@@ -353,14 +354,38 @@ class ReconcileConfig:
 class SetReconciler:
     """Runs reconciliation sessions and accounts every message."""
 
+    #: Registry series mirrored from :class:`ReconcileStats` after every
+    #: session (satellite of the shared observability layer: the dataclass
+    #: keeps its exact shape for reports, the registry gets the same counts
+    #: under stable dotted names).
+    _METRIC_NAMES = (
+        ("sessions", "gossip.sessions"),
+        ("unchanged_sessions", "gossip.sessions_unchanged"),
+        ("converged_sessions", "gossip.sessions_converged"),
+        ("messages", "gossip.messages"),
+        ("bytes", "gossip.bytes"),
+        ("sketch_bytes", "gossip.bytes_sketch"),
+        ("entry_bytes", "gossip.bytes_entries"),
+        ("entries_delivered", "gossip.entries_delivered"),
+        ("decode_failures", "sketch.decode.failures"),
+        ("fallbacks", "gossip.fallbacks"),
+    )
+
     def __init__(
         self,
         config: ReconcileConfig = ReconcileConfig(),
         network: Optional[Network] = None,
         stats: Optional[ReconcileStats] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
         self._config = config
         self._network = network
+        if observability is not None:
+            self._obs = observability
+        elif network is not None:
+            self._obs = network.obs
+        else:
+            self._obs = Observability()
         self.stats = stats if stats is not None else ReconcileStats()
 
     # -- transport ---------------------------------------------------------------
@@ -389,6 +414,18 @@ class SetReconciler:
     def reconcile(self, left, right) -> SessionResult:
         """Make ``left`` and ``right`` hold the same entries; returns what
         the session delivered and how it got there."""
+        before = self.stats.snapshot()
+        with self._obs.span("gossip.session", left=left.name, right=right.name):
+            result = self._run_session(left, right)
+        moved = self.stats.since(before)
+        metrics = self._obs.metrics
+        for stat_field, metric_name in self._METRIC_NAMES:
+            delta = getattr(moved, stat_field)
+            if delta:
+                metrics.counter_add(metric_name, delta)
+        return result
+
+    def _run_session(self, left, right) -> SessionResult:
         self.stats.sessions += 1
         challenge_left = self._challenge(left)
         self._send(left.name, right.name, challenge_left)
@@ -455,10 +492,14 @@ class SetReconciler:
         sketch_right = IBLTSketch(capacity, seed=seed)
         for digest in right.digests_since(watermark):
             sketch_right.add(digest)
-        try:
-            only_left, only_right = sketch_left.subtract(sketch_right).decode()
-        except SketchError:
-            return 0, 0, False
+        with self._obs.span(
+            "sketch.decode", algorithm="iblt", capacity=capacity, attempt=attempt
+        ):
+            try:
+                only_left, only_right = sketch_left.subtract(sketch_right).decode()
+            except SketchError:
+                return 0, 0, False
+        self._obs.metrics.counter_add("sketch.decode.successes", 1)
         batch_to_left = EntryBatch(right.name, tuple(right.entries_for(only_right)))
         self._send(right.name, left.name, batch_to_left)
         request = EntryRequest(right.name, tuple(sorted(only_left)))
@@ -481,11 +522,14 @@ class SetReconciler:
         )
         # The receiver answers with everything the sender definitely lacks,
         # plus its own filter so the sender can reciprocate.
-        missing_at_left = [
-            entry
-            for entry in right.entries_since(watermark)
-            if entry.digest not in bloom_left
-        ]
+        with self._obs.span(
+            "sketch.decode", algorithm="bloom", capacity=capacity, attempt=attempt
+        ):
+            missing_at_left = [
+                entry
+                for entry in right.entries_since(watermark)
+                if entry.digest not in bloom_left
+            ]
         bloom_right = CountingBloomSketch(capacity, seed=seed)
         for digest in right.digests_since(watermark):
             bloom_right.add(digest)

@@ -331,7 +331,8 @@ class CircuitEvaluator:
     (few) nodes that were newly created.
     """
 
-    __slots__ = ("_store", "_semiring", "_assignment", "_default", "_memo")
+    __slots__ = ("_store", "_semiring", "_assignment", "_default", "_memo",
+                 "hits", "lookups")
 
     def __init__(
         self,
@@ -357,6 +358,11 @@ class CircuitEvaluator:
             ZERO: semiring.zero(),
             ONE: semiring.one(),
         }
+        #: Root-level memo telemetry: how many :meth:`value` calls were
+        #: answered straight from the memo table.  Mirrored into the
+        #: ``provenance.circuit.memo_*`` metrics by the provenance graph.
+        self.hits = 0
+        self.lookups = 0
 
     @property
     def semiring(self):
@@ -365,11 +371,17 @@ class CircuitEvaluator:
     def memo_size(self) -> int:
         return len(self._memo)
 
+    def cache_stats(self) -> dict[str, int]:
+        """Root-level memo telemetry (hits / lookups / table size)."""
+        return {"hits": self.hits, "lookups": self.lookups, "size": len(self._memo)}
+
     def value(self, node: int):
         """The semiring value of ``node`` under this evaluator's assignment."""
         memo = self._memo
+        self.lookups += 1
         cached = memo.get(node)
         if cached is not None or node in memo:
+            self.hits += 1
             return cached
         store = self._store
         semiring = self._semiring

@@ -123,6 +123,11 @@ class ProvenanceGraph:
     #: Bound on cached per-(semiring, assignment) evaluators (FIFO evicted).
     _EVALUATOR_CACHE_LIMIT = 64
 
+    #: Installed (as an instance attribute) by IncrementalEngine when the
+    #: owning system carries an Observability holder; annotation queries
+    #: then emit ``circuit.evaluate`` spans and memo-hit-rate counters.
+    observability = None
+
     def __init__(
         self,
         annotate_mappings: bool = False,
@@ -567,9 +572,28 @@ class ProvenanceGraph:
     ):
         """One tuple's annotation in ``semiring`` under ``assignment``."""
         key = (relation, tuple(values))
+        obs = self.observability
         if self.evaluation_mode == "expanded":
+            if obs is not None:
+                with obs.span("circuit.evaluate", mode="expanded", relation=relation):
+                    result = self._expanded_annotation(
+                        key, semiring, assignment or {}, default
+                    )
+                obs.metrics.counter_add("provenance.circuit.evaluations", 1)
+                return result
             return self._expanded_annotation(key, semiring, assignment or {}, default)
-        return self.evaluator(semiring, assignment, default).value(self._root_for(key))
+        evaluator = self.evaluator(semiring, assignment, default)
+        if obs is None:
+            return evaluator.value(self._root_for(key))
+        hits_before = evaluator.hits
+        with obs.span("circuit.evaluate", mode="circuit", relation=relation):
+            result = evaluator.value(self._root_for(key))
+        metrics = obs.metrics
+        metrics.counter_add("provenance.circuit.evaluations", 1)
+        metrics.counter_add("provenance.circuit.memo_lookups", 1)
+        if evaluator.hits > hits_before:
+            metrics.counter_add("provenance.circuit.memo_hits", 1)
+        return result
 
     def _expanded_annotation(self, key: TupleKey, semiring, assignment, default):
         """Expanded-representation path: materialise the tuple's ``N[X]``

@@ -361,6 +361,25 @@ class TestSQLMatchesPython:
                 python_dred.database
             ), f"{context}: DRed engines diverged"
 
+            # Executor accounting parity: both backends derive exactly the
+            # same set of new tuples, so the ``tuples_derived`` counter must
+            # agree even though raw per-round firing counts legitimately
+            # differ (set-at-a-time staging vs intra-round insertions — see
+            # the ExecutionBackend protocol docstring).
+            assert (
+                sql_provenance.stats.tuples_derived
+                == python_provenance.stats.tuples_derived
+            ), f"{context}: tuples_derived diverged (provenance engines)"
+            assert (
+                sql_dred.stats.tuples_derived == python_dred.stats.tuples_derived
+            ), f"{context}: tuples_derived diverged (DRed engines)"
+            # rules_fired semantics differ per backend, but firing activity
+            # must coincide: whenever one backend derived tuples, both
+            # backends report non-zero firings.
+            if python_provenance.stats.tuples_derived:
+                assert python_provenance.stats.rules_fired > 0, context
+                assert sql_provenance.stats.rules_fired > 0, context
+
             # The recorder hook rides along: incremental provenance graphs
             # yield identical polynomials tuple by tuple.
             assert _all_polynomials(

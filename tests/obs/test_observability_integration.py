@@ -1,0 +1,224 @@
+"""End-to-end observability: parity views, determinism, overhead guard.
+
+* Satellite parity: the legacy accessors (`Network.message_stats`,
+  `ExchangeEngine.statistics`, async `report.runtime`) are thin views over
+  the shared metrics registry and must agree with it exactly.
+* Determinism: two same-seed Figure-2 runs produce byte-identical Chrome
+  trace JSON and identical metrics snapshots.
+* Overhead: with no tracer installed, the instrumented executor path stays
+  within a few percent of an uninstrumented backend (nominal budget 2%;
+  the assertion leaves headroom for scheduler noise).
+"""
+
+import time
+
+from repro.api.builder import NetworkBuilder
+from repro.datalog.evaluation import Database
+from repro.datalog.executor import PythonExecutionBackend
+from repro.datalog.parser import parse_program
+from repro.datalog.plan import compile_program
+from repro.obs import NULL_SPAN, Observability, validate_metric_keys
+from repro.p2p.network import LatencyModel
+from repro.trace import run_figure2
+
+
+def _pair(observe="metrics"):
+    builder = NetworkBuilder("pair")
+    builder.peer("Source").relation("R", "k", "v", key=["k"])
+    builder.peer("Target").relation("R", "k", "v", key=["k"])
+    builder.mapping("[M] @Target.R(k, v) :- @Source.R(k, v).")
+    if observe is not None:
+        builder.observe(observe)
+    return builder.build()
+
+
+class TestMessageStatsParity:
+    def test_view_agrees_with_registry(self):
+        cdss = _pair()
+        cdss.network.set_latency_model(LatencyModel(seed=3))
+        cdss.peer("Source").insert("R", (1, "a"))
+        cdss.sync()
+        stats = cdss.network.message_stats()
+        metrics = cdss.obs.metrics
+        assert stats["messages"] == int(metrics.counter_value("net.messages.sent"))
+        assert stats["bytes"] == int(metrics.counter_value("net.bytes.sent"))
+        assert stats["messages"] > 0
+        # The per-peer breakdown is exactly the labelled series, and the
+        # labelled series rolls up to the unlabelled totals.
+        sent = metrics.labelled_counters("net.messages.sent")
+        assert sum(sent.values()) == stats["messages"]
+        for name, entry in stats["per_peer"].items():
+            assert entry["sent"] == int(sent.get(name, 0))
+            assert entry["bytes_received"] == int(
+                metrics.counter_value("net.bytes.received", label=name)
+            )
+
+
+class TestEngineStatisticsParity:
+    def test_view_agrees_with_execution_stats(self):
+        cdss = _pair()
+        for index in range(3):
+            cdss.peer("Source").insert("R", (index, f"v{index}"))
+        cdss.sync()
+        engine = cdss.engine
+        statistics = engine.statistics()
+        assert statistics["rules_fired"] == engine.execution_stats.rules_fired
+        assert statistics["tuples_derived"] == engine.execution_stats.tuples_derived
+        assert statistics["rules_fired"] > 0
+        assert statistics["tuples_derived"] > 0
+
+    def test_registry_survives_engine_rebuild(self):
+        # CDSS rebuilds the exchange engine on schema changes and replays
+        # the store; the per-engine view must stay scoped to one engine
+        # while the registry keeps the system-wide cumulative count.
+        cdss = _pair()
+        cdss.peer("Source").insert("R", (1, "a"))
+        cdss.sync()
+        fired_before = cdss.obs.metrics.counter_value("exchange.rules_fired")
+        assert fired_before > 0
+        cdss._invalidate_engine()
+        engine = cdss.engine  # rebuild + replay
+        assert engine.statistics()["rules_fired"] == engine.execution_stats.rules_fired
+        assert (
+            cdss.obs.metrics.counter_value("exchange.rules_fired") >= fired_before
+        )
+
+
+class TestAsyncRuntimeParity:
+    def test_accounting_agrees_with_registry(self):
+        cdss = _pair()
+        cdss.network.set_latency_model(LatencyModel(seed=3))
+        cdss.peer("Source").insert("R", (1, "a"))
+        report = cdss.sync(runtime="async")
+        runtime = report.runtime
+        metrics = cdss.obs.metrics
+        assert runtime["transfers"] == int(
+            metrics.counter_value("sync.runtime.transfers")
+        )
+        assert runtime["transfers"] > 0
+        assert runtime["backpressure_stalls"] == int(
+            metrics.counter_value("sync.runtime.backpressure_stalls")
+        )
+        assert runtime["max_in_flight"] == metrics.gauge_value(
+            "sync.runtime.max_in_flight"
+        )
+        assert runtime["max_queue_depth_seen"] == metrics.gauge_value(
+            "sync.runtime.max_queue_depth"
+        )
+        assert runtime["virtual_seconds"] == metrics.gauge_value(
+            "sync.runtime.virtual_seconds"
+        )
+
+
+class TestReportMetrics:
+    def test_off_by_default(self):
+        cdss = _pair(observe=None)
+        cdss.peer("Source").insert("R", (1, "a"))
+        report = cdss.sync()
+        assert report.metrics is None
+        assert "metrics" not in report.to_dict()
+
+    def test_metrics_mode_attaches_per_run_delta(self):
+        cdss = _pair()
+        cdss.peer("Source").insert("R", (1, "a"))
+        report = cdss.sync()
+        assert report.metrics is not None
+        assert report.metrics["sync.rounds"] >= 1
+        assert report.to_dict()["metrics"] == report.metrics
+        # The delta is per-run: a quiescent follow-up sync reports its own
+        # (smaller) movement, not the cumulative registry.
+        follow_up = cdss.sync()
+        assert follow_up.metrics["sync.rounds"] == 1
+
+    def test_sync_trace_true_installs_tracer(self):
+        cdss = _pair(observe=None)
+        cdss.peer("Source").insert("R", (1, "a"))
+        report = cdss.sync(trace=True)
+        assert cdss.obs.tracer is not None
+        assert report.metrics is not None
+        names = {event["name"] for event in cdss.trace_events()}
+        assert "sync.round" in names and "publish" in names
+        cdss.sync(trace=False)
+        assert cdss.obs.tracer is None
+
+    def test_snapshot_keys_pass_lint(self):
+        cdss = run_figure2(seed=5)
+        assert validate_metric_keys(cdss.metrics_snapshot()) == []
+
+
+class TestDeterminism:
+    def test_same_seed_runs_are_byte_identical(self):
+        from repro.obs import trace_json
+
+        first = run_figure2(seed=11)
+        second = run_figure2(seed=11)
+        assert trace_json(first.obs.tracer) == trace_json(second.obs.tracer)
+        assert first.metrics_snapshot() == second.metrics_snapshot()
+
+    def test_different_seeds_differ(self):
+        from repro.obs import trace_json
+
+        first = run_figure2(seed=11)
+        second = run_figure2(seed=12)
+        assert trace_json(first.obs.tracer) != trace_json(second.obs.tracer)
+
+
+class TestDisabledOverhead:
+    N = 160
+
+    def _workload(self):
+        program = parse_program(
+            """
+            tc(x, y) :- edge(x, y).
+            tc(x, z) :- edge(x, y), tc(y, z).
+            """
+        )
+        compiled = compile_program(program)
+        base = Database()
+        for index in range(self.N):
+            base.add("edge", (index, index + 1))
+        return compiled, base
+
+    @staticmethod
+    def _time(backend, compiled, base, repeats=7):
+        best = float("inf")
+        for _ in range(repeats):
+            database = base.copy()
+            database.ensure_indexes(compiled.demanded_indexes)
+            started = time.perf_counter()
+            backend.run_program(compiled, database)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    def test_disabled_tracer_is_allocation_free(self):
+        obs = Observability()
+        backend = PythonExecutionBackend()
+        backend.observability = obs
+        # No tracer installed: the backend resolves to the shared no-op
+        # span; nothing is allocated per call.
+        assert obs.span("anything", a=1) is NULL_SPAN
+        assert backend._tracer() is None
+
+    def test_disabled_tracer_overhead_within_budget(self):
+        compiled, base = self._workload()
+        bare = PythonExecutionBackend()
+        observed = PythonExecutionBackend()
+        observed.observability = Observability()  # registry, no tracer
+
+        # Warm both (plan caches, interning) before timing.
+        self._time(bare, compiled, base, repeats=1)
+        self._time(observed, compiled, base, repeats=1)
+
+        # Nominal budget is 2%; min-of-k interleaved timings are stable,
+        # but leave headroom for scheduler noise on shared CI runners.
+        # Three attempts, pass on the first that lands under the ceiling.
+        ratio = float("inf")
+        for _ in range(3):
+            bare_best = self._time(bare, compiled, base)
+            observed_best = self._time(observed, compiled, base)
+            ratio = min(ratio, observed_best / bare_best)
+            if ratio < 1.05:
+                break
+        assert ratio < 1.05, (
+            f"disabled-tracer path is {ratio:.3f}x the uninstrumented backend"
+        )

@@ -1,0 +1,128 @@
+"""Unit tests for the span tracer, the no-op path, and the Chrome export."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    NullTracer,
+    Observability,
+    Tracer,
+    chrome_trace,
+    trace_json,
+    validate_chrome_trace,
+)
+from repro.p2p.network import VirtualClock
+
+
+class TestTracer:
+    def test_exit_order_events_with_containment(self):
+        tracer = Tracer(VirtualClock())
+        with tracer.span("outer", kind="test"):
+            with tracer.span("inner"):
+                pass
+        events = tracer.events()
+        assert [event["name"] for event in events] == ["inner", "outer"]
+        inner, outer = events
+        # Perfetto nests by ts/dur containment: the parent must strictly
+        # contain the child even when the virtual clock never advanced.
+        assert outer["ts"] < inner["ts"]
+        assert outer["ts"] + outer["dur"] > inner["ts"] + inner["dur"]
+        assert outer["args"] == {"kind": "test"}
+
+    def test_timestamps_follow_virtual_clock(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        clock.advance(1.5)  # seconds -> 1.5e6 microseconds
+        with tracer.span("after.advance"):
+            pass
+        event = tracer.events()[0]
+        assert event["ts"] == pytest.approx(1.5e6)
+
+    def test_events_are_chrome_complete_events(self):
+        tracer = Tracer(VirtualClock())
+        with tracer.span("x"):
+            pass
+        event = tracer.events()[0]
+        assert event["ph"] == "X"
+        assert event["pid"] == 1 and event["tid"] == 1
+        assert event["dur"] > 0
+
+    def test_clear_resets(self):
+        tracer = Tracer(VirtualClock())
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.events() == []
+
+
+class TestDisabledPath:
+    def test_null_tracer_returns_shared_singleton(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        assert tracer.span("anything", key=1) is NULL_SPAN
+        assert tracer.events() == []
+
+    def test_observability_without_tracer_is_null_span(self):
+        obs = Observability()
+        assert obs.tracer is None
+        assert obs.span("anything") is NULL_SPAN
+        assert obs.active_tracer() is None
+
+    def test_null_span_context_manager_is_noop(self):
+        with NULL_SPAN as span:
+            assert span is NULL_SPAN
+
+    def test_tracer_swappable_at_runtime(self):
+        obs = Observability()
+        tracer = Tracer(VirtualClock())
+        obs.tracer = tracer
+        with obs.span("live"):
+            pass
+        assert [event["name"] for event in tracer.events()] == ["live"]
+        obs.tracer = None
+        assert obs.span("dead") is NULL_SPAN
+
+
+class TestExport:
+    def test_chrome_trace_envelope_validates(self):
+        tracer = Tracer(VirtualClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        payload = chrome_trace(tracer)
+        assert payload["displayTimeUnit"] == "ms"
+        assert validate_chrome_trace(payload) == []
+
+    def test_trace_json_is_canonical(self):
+        tracer = Tracer(VirtualClock())
+        with tracer.span("a", z=1, a=2):
+            pass
+        text = trace_json(tracer)
+        assert text == json.dumps(json.loads(text), sort_keys=True,
+                                  separators=(",", ":"))
+
+    def test_validator_flags_bad_events(self):
+        assert validate_chrome_trace({"traceEvents": "nope"})
+        assert validate_chrome_trace(
+            {"displayTimeUnit": "ms", "traceEvents": [{"name": "x", "ph": "B"}]}
+        )
+        assert validate_chrome_trace(
+            {
+                "displayTimeUnit": "ms",
+                "traceEvents": [
+                    {"name": "", "ph": "X", "ts": 0, "dur": 1, "pid": 1, "tid": 1}
+                ],
+            }
+        )
+
+    def test_same_clock_same_spans_byte_identical(self):
+        def capture():
+            tracer = Tracer(VirtualClock())
+            with tracer.span("outer"):
+                with tracer.span("inner", n=3):
+                    pass
+            return trace_json(tracer)
+
+        assert capture() == capture()
